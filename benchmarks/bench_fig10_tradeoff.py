@@ -1,0 +1,41 @@
+"""Figure 10 — accuracy vs inference time and accuracy vs model size.
+
+On the Reddit-like anomaly stream, measure each method's test AUC, steady-
+state inference throughput, and parameter count.  Shape to look for:
+SPLASH sits on the Pareto frontier — comparable or better AUC at a
+fraction of the inference time and parameters of attention/transformer
+baselines.
+"""
+
+from _common import comparison_methods, edges, emit, model_config
+
+from repro.datasets import reddit_like
+from repro.pipeline import prepare_experiment, run_method
+
+
+def run_fig10():
+    dataset = reddit_like(seed=0, num_edges=edges(3000))
+    prepared = prepare_experiment(dataset, k=10, feature_dim=16, seed=0)
+    results = []
+    for method in comparison_methods():
+        results.append(run_method(method, prepared, model_config()))
+    return results
+
+
+def test_fig10_efficiency_tradeoff(benchmark):
+    results = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    lines = [f"{'method':14s} {'AUC':>6s} {'infer_s':>8s} {'params':>8s}"]
+    for r in sorted(results, key=lambda r: -r.test_metric):
+        lines.append(
+            f"{r.method:14s} {100*r.test_metric:6.1f} {r.inference_seconds:8.3f} "
+            f"{r.num_parameters:8d}"
+        )
+    emit("fig10_efficiency_tradeoff.txt", "\n".join(lines))
+
+    splash = next(r for r in results if r.method == "SPLASH")
+    transformers = [
+        r for r in results if r.method.startswith(("dygformer", "graphmixer"))
+    ]
+    # SLIM's all-MLP design must be faster than the transformer-style models.
+    for r in transformers:
+        assert splash.inference_seconds <= r.inference_seconds * 1.5

@@ -1,0 +1,57 @@
+"""Figure 11 — training/inference time vs stream length.
+
+Sweeps geometrically spaced edge counts and fits a log-log slope.  Shape to
+look for: slope ≈ 1 (linear scaling; per-edge and per-query cost
+independent of the total graph size).  The paper sweeps 100M-1B edges on a
+GPU testbed; the slope claim is scale-invariant, so a CPU-sized sweep
+tests the same property.
+"""
+
+import time
+
+from _common import edges, emit, model_config
+
+from repro.analysis import ScalingPoint, scaling_slope
+from repro.datasets import email_eu_like
+from repro.pipeline import prepare_experiment, run_method
+
+SIZES = [1500, 3000, 6000, 12000]
+
+
+def run_fig11():
+    points = []
+    for base in SIZES:
+        n = edges(base)
+        dataset = email_eu_like(seed=0, num_edges=n)
+        start = time.perf_counter()
+        prepared = prepare_experiment(dataset, k=10, feature_dim=16, seed=0)
+        result = run_method("splash", prepared, model_config())
+        total_train = (time.perf_counter() - start) - result.inference_seconds
+        points.append(
+            ScalingPoint(
+                num_edges=n,
+                num_queries=len(dataset.queries),
+                train_seconds=total_train,
+                inference_seconds=max(result.inference_seconds, 1e-4),
+            )
+        )
+    return points
+
+
+def test_fig11_linear_scalability(benchmark):
+    points = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    lines = [f"{'edges':>8s} {'queries':>8s} {'train_s':>8s} {'infer_s':>8s}"]
+    for p in points:
+        lines.append(
+            f"{p.num_edges:8d} {p.num_queries:8d} {p.train_seconds:8.2f} "
+            f"{p.inference_seconds:8.3f}"
+        )
+    train_slope = scaling_slope(points, "train_seconds")
+    infer_slope = scaling_slope(points, "inference_seconds")
+    lines.append(f"log-log slope (train) = {train_slope:.2f}")
+    lines.append(f"log-log slope (infer) = {infer_slope:.2f}")
+    emit("fig11_scalability.txt", "\n".join(lines))
+
+    # Linear-ish scaling: clearly sub-quadratic end to end.
+    assert train_slope < 1.7, f"training scales super-linearly: {train_slope:.2f}"
+    assert infer_slope < 1.7, f"inference scales super-linearly: {infer_slope:.2f}"

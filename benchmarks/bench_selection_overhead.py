@@ -1,0 +1,67 @@
+"""Online-appendix-style ablation: feature-selection overhead and accuracy.
+
+The paper argues linear risk models make multi-split selection cheap
+relative to training TGNNs (§IV-B, Online Appendix I).  This bench measures
+the wall-clock of the selection stage against one SLIM training run, and
+checks that selection agrees with the empirically best process.
+"""
+
+import time
+
+import numpy as np
+from _common import edges, emit, model_config
+
+from repro.datasets import email_eu_like
+from repro.models import create_model, evaluate_model
+from repro.pipeline import prepare_experiment
+from repro.selection import FeatureSelector
+
+
+def run_selection_overhead():
+    dataset = email_eu_like(seed=0, num_edges=edges(3000))
+    prepared = prepare_experiment(dataset, k=10, feature_dim=16, seed=0)
+    available = np.concatenate([prepared.split.train_idx, prepared.split.val_idx])
+
+    start = time.perf_counter()
+    selection = FeatureSelector(rng=0).select(
+        prepared.bundle, dataset.task, available,
+        process_names=prepared.bundle.splash_candidates,
+    )
+    selection_seconds = time.perf_counter() - start
+
+    config = model_config()
+    metrics = {}
+    train_seconds = {}
+    for process in ("random", "positional", "structural"):
+        model = create_model(f"slim+{process}", prepared.bundle, config)
+        start = time.perf_counter()
+        model.fit(
+            prepared.bundle, dataset.task,
+            prepared.split.train_idx, prepared.split.val_idx,
+        )
+        train_seconds[process] = time.perf_counter() - start
+        metrics[process] = evaluate_model(
+            model, prepared.bundle, dataset.task, prepared.split.test_idx
+        )
+    return selection, selection_seconds, metrics, train_seconds
+
+
+def test_selection_overhead_and_agreement(benchmark):
+    selection, sel_s, metrics, train_s = benchmark.pedantic(
+        run_selection_overhead, rounds=1, iterations=1
+    )
+    exhaustive_s = sum(train_s.values())
+    lines = [
+        f"selection stage: {sel_s:.2f}s (risks {selection.total_risks})",
+        f"exhaustive per-process SLIM training: {exhaustive_s:.2f}s",
+        "test metric per process: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in metrics.items()),
+        f"selected: {selection.selected} | empirically best: "
+        f"{max(metrics, key=metrics.get)}",
+    ]
+    emit("selection_overhead.txt", "\n".join(lines))
+
+    # Selection must be cheaper than exhaustively training every variant,
+    # and its pick must be within tolerance of the best variant's metric.
+    assert sel_s < exhaustive_s
+    assert metrics[selection.selected] >= max(metrics.values()) - 0.12

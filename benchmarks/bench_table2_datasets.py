@@ -1,0 +1,36 @@
+"""Table II — dataset statistics for all seven dataset equivalents."""
+
+from _common import edges, emit
+
+from repro.datasets import (
+    email_eu_like,
+    format_statistics,
+    gdelt_like,
+    mooc_like,
+    reddit_like,
+    statistics_table,
+    synthetic_shift,
+    tgbn_genre_like,
+    tgbn_trade_like,
+    wiki_like,
+)
+
+
+def build_all_datasets(seed: int = 0):
+    return [
+        reddit_like(seed=seed, num_edges=edges(3000)),
+        wiki_like(seed=seed, num_edges=edges(2500)),
+        mooc_like(seed=seed, num_edges=edges(3000)),
+        email_eu_like(seed=seed, num_edges=edges(3000)),
+        gdelt_like(seed=seed, num_edges=edges(4000)),
+        tgbn_trade_like(seed=seed),
+        tgbn_genre_like(seed=seed),
+        synthetic_shift(70, seed=seed, num_edges=edges(3000)),
+    ]
+
+
+def test_table2_dataset_statistics(benchmark):
+    datasets = benchmark.pedantic(build_all_datasets, rounds=1, iterations=1)
+    table = format_statistics(statistics_table(datasets))
+    emit("table2_dataset_statistics.txt", table)
+    assert len(datasets) == 8

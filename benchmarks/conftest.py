@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark suite."""
+
+import logging
+import os
+import sys
+
+# Allow `from _common import ...` regardless of pytest's rootdir.
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+# Benchmarks print their own result tables; keep library logs quiet.
+logging.getLogger("repro").setLevel(logging.WARNING)

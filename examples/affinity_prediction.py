@@ -1,0 +1,49 @@
+"""Node affinity prediction on a tgbn-trade-like weighted stream.
+
+Predicts each country's next-period trade-share distribution and evaluates
+NDCG@10 (the TGB protocol used by the paper), comparing SPLASH against a
+baseline TGNN with random features.
+
+Usage:  python examples/affinity_prediction.py
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import tgbn_trade_like
+from repro.models import ModelConfig
+from repro.pipeline import prepare_experiment, run_method
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = tgbn_trade_like(seed=args.seed)
+    print(f"dataset: {dataset.summary()}")
+
+    prepared = prepare_experiment(dataset, k=10, feature_dim=24, seed=args.seed)
+    config = ModelConfig(hidden_dim=48, epochs=30, patience=6, lr=3e-3, seed=args.seed)
+
+    results = []
+    for method in ("splash", "slim+rf", "tgat+rf", "tgat"):
+        result = run_method(method, prepared, config)
+        results.append(result)
+        extra = f" (selected {result.selected_process})" if result.selected_process else ""
+        print(f"{result.method:10s} NDCG@10 = {result.test_metric:.3f}{extra}")
+
+    # Show one concrete prediction: top-5 predicted partners vs ground truth.
+    best = max(results, key=lambda r: r.test_metric)
+    print(f"\nbest method: {best.method}")
+    targets = dataset.metadata["targets"]
+    row = prepared.split.test_idx[0]
+    label = np.asarray(dataset.task.labels)[row]
+    true_top = targets[np.argsort(-label)[:5]]
+    print(f"query: country {dataset.queries.nodes[row]} at t={dataset.queries.times[row]:.1f}")
+    print(f"ground-truth top-5 partners: {true_top.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

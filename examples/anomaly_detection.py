@@ -1,0 +1,66 @@
+"""Dynamic anomaly detection on a Reddit-like interaction stream.
+
+Trains SPLASH and the unsupervised SLADE baseline, compares AUC, and prints
+a qualitative anomaly-score trace for one user that transitions between
+normal and abnormal states (the paper's Fig. 13 analysis).
+
+Usage:  python examples/anomaly_detection.py [--edges 3000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.datasets import reddit_like
+from repro.models import ModelConfig, create_model
+from repro.pipeline import prepare_experiment, run_method
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=3000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = reddit_like(seed=args.seed, num_edges=args.edges)
+    ratio = float(np.mean(dataset.task.labels))
+    print(f"dataset: {dataset.name}, abnormal query ratio {ratio:.3f}")
+
+    prepared = prepare_experiment(dataset, k=10, feature_dim=16, seed=args.seed)
+    config = ModelConfig(hidden_dim=48, epochs=30, patience=6, lr=3e-3, seed=args.seed)
+
+    for method in ("splash", "slade+rf", "tgat+rf"):
+        result = run_method(method, prepared, config)
+        extra = f" (selected {result.selected_process})" if result.selected_process else ""
+        print(f"{result.method:10s} test AUC = {result.test_metric:.3f}{extra}")
+
+    # ------------------------------------------------------------------
+    # Qualitative trace (Fig. 13): anomaly scores over time for one user
+    # with at least one abnormal episode in the test period.
+    # ------------------------------------------------------------------
+    splash_model = create_model("slim+structural", prepared.bundle, config)
+    splash_model.fit(
+        prepared.bundle, dataset.task, prepared.split.train_idx, prepared.split.val_idx
+    )
+    test_idx = prepared.split.test_idx
+    labels = dataset.task.labels[test_idx]
+    nodes = dataset.queries.nodes[test_idx]
+    flagged = nodes[labels == 1]
+    if flagged.size == 0:
+        print("no abnormal test queries generated for this seed")
+        return
+    target_user = int(flagged[0])
+    user_rows = test_idx[nodes == target_user]
+    scores = splash_model.predict_scores(prepared.bundle, user_rows)
+    truth = dataset.task.labels[user_rows]
+    print(f"\nanomaly-score trace for user {target_user} "
+          f"({truth.sum()}/{len(truth)} abnormal queries):")
+    for row, score, label in zip(user_rows[:30], scores[:30], truth[:30]):
+        time = dataset.queries.times[row]
+        bar = "#" * int(score * 40)
+        print(f"  t={time:9.1f}  state={'ABNORMAL' if label else 'normal  '} "
+              f"score={score:.3f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Using the library on your own edge stream.
+
+Shows the full public-API path a downstream user would follow:
+
+1. build a :class:`~repro.streams.CTDG` from raw (src, dst, time) records;
+2. persist/reload it as CSV;
+3. define label queries and a task;
+4. wrap everything into a :class:`~repro.datasets.StreamDataset`;
+5. train SPLASH and inspect predictions.
+
+The stream here is a small two-community network whose node class is the
+community — replace the synthesiser with your own data loader.
+
+Usage:  python examples/custom_stream.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.datasets import StreamDataset
+from repro.models import ModelConfig
+from repro.pipeline import Splash, SplashConfig
+from repro.streams import CTDG, read_csv, write_csv
+from repro.tasks import ClassificationTask, QuerySet
+
+
+def synthesize_raw_records(num_edges: int = 2500, seed: int = 0):
+    """Stand-in for your data source: returns (src, dst, time) arrays."""
+    rng = np.random.default_rng(seed)
+    n = 80
+    community = np.arange(n) % 4
+    src, dst, times = [], [], []
+    t = 0.0
+    while len(src) < num_edges:
+        t += rng.exponential(1.0)
+        a = int(rng.integers(0, n))
+        same = np.nonzero(community == community[a])[0]
+        other = np.nonzero(community != community[a])[0]
+        b = int(rng.choice(same if rng.random() < 0.9 else other))
+        if a == b:
+            continue
+        src.append(a)
+        dst.append(b)
+        times.append(t)
+    return np.array(src), np.array(dst), np.array(times), community
+
+
+def main() -> None:
+    src, dst, times, community = synthesize_raw_records()
+
+    # 1-2. Build the stream and round-trip it through CSV.
+    stream = CTDG(src, dst, times, num_nodes=80)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "stream.csv")
+        write_csv(stream, path)
+        stream = read_csv(path, num_nodes=80)
+    print(f"stream: {stream}")
+
+    # 3. Label queries: each edge's source node, labelled by its community.
+    queries = QuerySet(stream.src.copy(), stream.times.copy())
+    task = ClassificationTask(community[stream.src], num_classes=4)
+
+    # 4-5. Dataset + SPLASH.
+    dataset = StreamDataset(name="custom", ctdg=stream, queries=queries, task=task)
+    splash = Splash(
+        SplashConfig(
+            feature_dim=16,
+            k=10,
+            model=ModelConfig(hidden_dim=48, epochs=40, patience=8, lr=3e-3, seed=0),
+        )
+    )
+    splash.fit(dataset)
+    print(f"selected process: {splash.selected_process}")
+    print(f"test F1: {splash.evaluate():.3f}")
+
+    # Inspect a few raw predictions.
+    test_rows = splash.split.test_idx[:5]
+    scores = splash.predict_scores(test_rows)
+    for row, logits in zip(test_rows, scores):
+        node = queries.nodes[row]
+        print(
+            f"  node {node:2d} at t={queries.times[row]:8.1f} "
+            f"→ predicted class {int(np.argmax(logits))} (true {community[node]})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Automatic feature selection across heterogeneous datasets.
+
+Demonstrates SPLASH's §IV-B mechanism: for each dataset, the three
+augmentation processes (random / positional / structural) are scored by
+linear empirical risks over multiple chronological splits, and the lowest
+total risk wins — with no labels from the test period and no TGNN training.
+
+Usage:  python examples/feature_selection_demo.py
+"""
+
+import numpy as np
+
+from repro.datasets import email_eu_like, reddit_like, tgbn_trade_like
+from repro.features import default_processes
+from repro.models.context import build_context_bundle
+from repro.selection import FeatureSelector
+
+
+def main() -> None:
+    datasets = [
+        email_eu_like(seed=0, num_edges=3000),
+        reddit_like(seed=0, num_edges=3000),
+        tgbn_trade_like(seed=0),
+    ]
+    for dataset in datasets:
+        split = dataset.split()
+        processes = default_processes(16, seed=0)
+        train_stream = dataset.train_stream(split)
+        for process in processes:
+            process.fit(train_stream, dataset.ctdg.num_nodes)
+        bundle = build_context_bundle(dataset.ctdg, dataset.queries, 10, processes)
+        available = np.concatenate([split.train_idx, split.val_idx])
+
+        result = FeatureSelector(rng=0).select(bundle, dataset.task, available)
+        print(f"\n{dataset.name} ({dataset.task.name})")
+        print(f"  selected: {result.selected}")
+        print(f"  split fractions used: {result.split_fractions}")
+        for name in result.ranking():
+            risks = " ".join(f"{r:6.3f}" for r in result.per_split_risks[name])
+            print(f"  {name:11s} total={result.total_risks[name]:7.3f}  per-split: {risks}")
+
+
+if __name__ == "__main__":
+    main()

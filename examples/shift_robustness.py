@@ -1,0 +1,37 @@
+"""Distribution-shift robustness sweep (a miniature of the paper's Fig. 12).
+
+Generates Synthetic-{30,60,90} streams with increasing shift intensity and
+compares SPLASH against a featureless TGNN and its +RF variant.  Expect
+SPLASH to stay accurate while the baselines degrade or collapse.
+
+Usage:  python examples/shift_robustness.py
+"""
+
+from repro.datasets import synthetic_shift
+from repro.models import ModelConfig
+from repro.pipeline import prepare_experiment, run_method
+
+
+def main() -> None:
+    intensities = [30, 60, 90]
+    methods = ["splash", "tgat+rf", "tgat"]
+    config = ModelConfig(hidden_dim=48, epochs=25, patience=6, lr=3e-3, seed=0)
+
+    series = {method: [] for method in methods}
+    for intensity in intensities:
+        dataset = synthetic_shift(intensity, seed=0, num_edges=3500)
+        prepared = prepare_experiment(dataset, k=10, feature_dim=16, seed=0)
+        for method in methods:
+            result = run_method(method, prepared, config)
+            series[method].append(result.test_metric)
+
+    print("\nshift intensity:  " + "  ".join(f"{i:>6d}" for i in intensities))
+    for method, values in series.items():
+        row = "  ".join(f"{100 * v:6.1f}" for v in values)
+        print(f"{method:14s}  {row}")
+    print("\n(F1, %; higher is better — note how the featureless baseline sits"
+          "\n near chance while SPLASH degrades gracefully)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""SPLASH reproduction — node property prediction on edge streams under
+distribution shifts (Lee, Kwon, Moon & Shin, ICDE 2025).
+
+Subpackages
+-----------
+``repro.nn``         numpy autograd + neural-network substrate
+``repro.streams``    CTDG edge streams, snapshots, replay, splitting
+``repro.features``   R/P/S feature augmentation, propagation, node2vec
+``repro.selection``  automatic feature selection via linear risks
+``repro.models``     SLIM and all baseline TGNNs
+``repro.tasks``      classification / anomaly / affinity tasks
+``repro.datasets``   synthetic dataset generators (see DESIGN.md)
+``repro.pipeline``   end-to-end SPLASH and the experiment harness
+``repro.metrics``    AUC, F1, NDCG@k, silhouette
+``repro.analysis``   t-SNE, drift diagnostics, efficiency accounting
+
+Quickstart
+----------
+>>> from repro.datasets import email_eu_like
+>>> from repro.pipeline import Splash, SplashConfig
+>>> splash = Splash(SplashConfig())
+>>> splash.fit(email_eu_like(seed=0))        # doctest: +SKIP
+>>> splash.evaluate()                        # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

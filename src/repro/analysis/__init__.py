@@ -1,0 +1,25 @@
+"""``repro.analysis`` — qualitative and efficiency analyses: exact t-SNE
+(Fig. 14), distribution-shift diagnostics (Fig. 3), and inference/scaling
+profiling (Figs. 10-11)."""
+
+from repro.analysis.drift import DriftReport, drift_report, format_drift_report
+from repro.analysis.efficiency import (
+    EfficiencyProfile,
+    ScalingPoint,
+    profile_inference,
+    scaling_slope,
+)
+from repro.analysis.tsne import TSNEConfig, kl_divergence, tsne
+
+__all__ = [
+    "DriftReport",
+    "drift_report",
+    "format_drift_report",
+    "EfficiencyProfile",
+    "ScalingPoint",
+    "profile_inference",
+    "scaling_slope",
+    "TSNEConfig",
+    "tsne",
+    "kl_divergence",
+]

@@ -1,0 +1,66 @@
+"""Efficiency accounting for Fig. 10 (trade-offs) and Fig. 11 (scaling)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.base import StreamModel
+from repro.models.context import ContextBundle
+
+
+@dataclass
+class EfficiencyProfile:
+    """Inference cost profile of a trained model."""
+
+    method: str
+    num_parameters: int
+    total_inference_seconds: float
+    queries_per_second: float
+
+
+def profile_inference(
+    model: StreamModel,
+    bundle: ContextBundle,
+    idx: np.ndarray,
+    repeats: int = 3,
+) -> EfficiencyProfile:
+    """Measure steady-state scoring throughput over the queries at ``idx``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    idx = np.asarray(idx, dtype=np.int64)
+    model.predict_scores(bundle, idx[: min(len(idx), 64)])  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        model.predict_scores(bundle, idx)
+    elapsed = (time.perf_counter() - start) / repeats
+    return EfficiencyProfile(
+        method=getattr(model, "name", type(model).__name__),
+        num_parameters=model.num_parameters(),
+        total_inference_seconds=elapsed,
+        queries_per_second=len(idx) / elapsed if elapsed > 0 else float("inf"),
+    )
+
+
+@dataclass
+class ScalingPoint:
+    num_edges: int
+    num_queries: int
+    train_seconds: float
+    inference_seconds: float
+
+
+def scaling_slope(points: Sequence[ScalingPoint], field: str = "inference_seconds") -> float:
+    """Log-log slope of time vs. stream size — ≈ 1.0 means linear scaling,
+    the Fig. 11 claim."""
+    if len(points) < 2:
+        raise ValueError("need at least two scaling points")
+    sizes = np.array([p.num_edges for p in points], dtype=float)
+    times = np.array([getattr(p, field) for p in points], dtype=float)
+    if np.any(times <= 0) or np.any(sizes <= 0):
+        raise ValueError("sizes and times must be positive for log-log fit")
+    slope, _ = np.polyfit(np.log(sizes), np.log(times), 1)
+    return float(slope)

@@ -1,0 +1,118 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for Fig. 14's visualisation.
+
+A faithful small-n implementation: binary-search perplexity calibration,
+early exaggeration, and momentum gradient descent on the KL divergence.
+Sufficient for the few hundred node representations Fig. 14 plots; no
+Barnes-Hut approximation is needed at that scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.clustering import pairwise_euclidean
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class TSNEConfig:
+    perplexity: float = 20.0
+    num_iterations: int = 400
+    learning_rate: float = 100.0
+    early_exaggeration: float = 4.0
+    exaggeration_iters: int = 80
+    momentum: float = 0.8
+
+
+def _conditional_probabilities(
+    distances_sq: np.ndarray, perplexity: float, tolerance: float = 1e-4
+) -> np.ndarray:
+    """Row-stochastic P_{j|i} with per-row bandwidths matched to perplexity."""
+    n = distances_sq.shape[0]
+    probabilities = np.zeros((n, n))
+    target_entropy = np.log(perplexity)
+    for i in range(n):
+        row = np.delete(distances_sq[i], i)
+        beta_lo, beta_hi = 1e-12, 1e12
+        beta = 1.0
+        for _ in range(60):
+            kernel = np.exp(-row * beta)
+            total = kernel.sum()
+            if total <= 0:
+                beta /= 2
+                continue
+            p = kernel / total
+            entropy = -np.sum(p * np.log(np.maximum(p, 1e-12)))
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:
+                beta_lo = beta
+                beta = beta * 2 if beta_hi >= 1e12 else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo <= 1e-12 else (beta + beta_lo) / 2
+        p_full = np.zeros(n)
+        p_full[np.arange(n) != i] = kernel / max(total, 1e-12)
+        probabilities[i] = p_full
+    return probabilities
+
+
+def tsne(
+    x: np.ndarray,
+    config: Optional[TSNEConfig] = None,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Embed rows of ``x`` into 2-D; returns an (n, 2) array."""
+    config = config or TSNEConfig()
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got {x.shape}")
+    n = x.shape[0]
+    if n < 5:
+        raise ValueError(f"t-SNE needs at least 5 samples, got {n}")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+    rng = new_rng(rng)
+
+    distances_sq = pairwise_euclidean(x) ** 2
+    conditional = _conditional_probabilities(distances_sq, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    embedding = rng.normal(0.0, 1e-4, size=(n, 2))
+    velocity = np.zeros_like(embedding)
+    for iteration in range(config.num_iterations):
+        exaggeration = (
+            config.early_exaggeration
+            if iteration < config.exaggeration_iters
+            else 1.0
+        )
+        d2 = pairwise_euclidean(embedding) ** 2
+        student = 1.0 / (1.0 + d2)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-12)
+        q = np.maximum(q, 1e-12)
+        coefficient = (exaggeration * joint - q) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+        velocity = config.momentum * velocity - config.learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding
+
+
+def kl_divergence(x: np.ndarray, embedding: np.ndarray, perplexity: float = 20.0) -> float:
+    """KL(P‖Q) of a finished embedding — a quality diagnostic for tests."""
+    n = x.shape[0]
+    perplexity = min(perplexity, (n - 1) / 3.0)
+    conditional = _conditional_probabilities(pairwise_euclidean(x) ** 2, perplexity)
+    joint = np.maximum((conditional + conditional.T) / (2.0 * n), 1e-12)
+    d2 = pairwise_euclidean(embedding) ** 2
+    student = 1.0 / (1.0 + d2)
+    np.fill_diagonal(student, 0.0)
+    q = np.maximum(student / max(student.sum(), 1e-12), 1e-12)
+    return float(np.sum(joint * np.log(joint / q)))

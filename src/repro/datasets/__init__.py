@@ -1,0 +1,58 @@
+"""``repro.datasets`` — synthetic equivalents of the paper's seven datasets
+plus the Synthetic-50/70/90 shift benchmarks (see DESIGN.md §2 for the
+substitution rationale)."""
+
+from repro.datasets.anomaly_like import (
+    AnomalyStreamConfig,
+    generate_anomaly_stream,
+    mooc_like,
+    reddit_like,
+    wiki_like,
+)
+from repro.datasets.base import StreamDataset
+from repro.datasets.email_eu_like import (
+    EmailStreamConfig,
+    email_eu_like,
+    generate_email_stream,
+)
+from repro.datasets.gdelt_like import GdeltStreamConfig, gdelt_like, generate_gdelt_stream
+from repro.datasets.statistics import format_statistics, statistics_table
+from repro.datasets.synthetic_shift import (
+    ShiftStreamConfig,
+    generate_shift_stream,
+    synthetic_shift,
+)
+from repro.datasets.tgbn_like import (
+    GenreStreamConfig,
+    TradeStreamConfig,
+    generate_genre_stream,
+    generate_trade_stream,
+    tgbn_genre_like,
+    tgbn_trade_like,
+)
+
+__all__ = [
+    "StreamDataset",
+    "AnomalyStreamConfig",
+    "generate_anomaly_stream",
+    "reddit_like",
+    "wiki_like",
+    "mooc_like",
+    "EmailStreamConfig",
+    "generate_email_stream",
+    "email_eu_like",
+    "GdeltStreamConfig",
+    "generate_gdelt_stream",
+    "gdelt_like",
+    "TradeStreamConfig",
+    "GenreStreamConfig",
+    "generate_trade_stream",
+    "generate_genre_stream",
+    "tgbn_trade_like",
+    "tgbn_genre_like",
+    "ShiftStreamConfig",
+    "generate_shift_stream",
+    "synthetic_shift",
+    "statistics_table",
+    "format_statistics",
+]

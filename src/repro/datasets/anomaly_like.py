@@ -1,0 +1,310 @@
+"""Synthetic stand-ins for the JODIE anomaly datasets (Wikipedia, Reddit,
+MOOC).
+
+Shape of the real data: a bipartite user-item interaction stream; each
+interaction carries an edge feature; a user's *state* (normal/abnormal) is
+queried at every interaction, and abnormal states are rare.
+
+Planted mechanism (what the paper's analysis needs):
+
+* users belong to taste communities and normally interact with a preferred
+  item subset at a personal base rate;
+* an abnormal episode changes *behaviour*: bursty activity (rapid degree
+  growth — a structural cue, which is why process S wins on these datasets
+  in Table IV), uniformly random item targets, and shifted edge features;
+* a fraction of users only appears in the test period (unseen nodes), and
+  item popularity drifts over time (structural + positional shift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import StreamDataset
+from repro.datasets.generators import assign_communities, zipf_weights
+from repro.streams.ctdg import CTDG
+from repro.tasks.anomaly import AnomalyTask
+from repro.tasks.base import QuerySet
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class AnomalyStreamConfig:
+    """Knobs for the anomaly-detection stream generator."""
+
+    num_users: int = 120
+    num_items: int = 200
+    num_edges: int = 4000
+    edge_feature_dim: int = 8
+    num_communities: int = 6
+    intra_prob: float = 0.85
+    popular_item_frac: float = 0.3  # share of items normal users ever touch
+    abnormal_user_frac: float = 0.3
+    episodes_per_user: float = 2.0  # mean number of short abnormal episodes
+    abnormal_duration_frac: float = 0.025  # single-episode length vs. span
+    burst_factor: float = 8.0
+    feature_shift: float = 1.2
+    founder_frac: float = 0.35  # users active from t = 0
+    session_width_frac: float = 0.45  # active-lifetime length vs. span
+    cold_item_arrival_frac: float = 0.8  # share of cold items arriving late
+    popularity_churn: float = 0.35  # share of each popular pool rotated per event
+    churn_events: int = 10  # number of popularity-rotation points over the span
+    user_migration_frac: float = 0.4  # users whose community drifts (Fig. 3a)
+    seed: int = 0
+
+
+def generate_anomaly_stream(
+    config: Optional[AnomalyStreamConfig] = None, name: str = "reddit-like"
+) -> StreamDataset:
+    """Generate a Wikipedia/Reddit/MOOC-shaped anomaly-detection dataset."""
+    cfg = config or AnomalyStreamConfig()
+    rng = new_rng(cfg.seed)
+    n_users, n_items = cfg.num_users, cfg.num_items
+    # Item ids live above user ids in a single id space.
+    item_offset = n_users
+    num_nodes = n_users + n_items
+
+    user_comm = assign_communities(n_users, cfg.num_communities, rng)
+    item_comm = assign_communities(n_items, cfg.num_communities, rng)
+    horizon = float(cfg.num_edges)  # unit-rate clock → span ≈ num_edges
+    # Item universe splits into a *popular core* that normal users frequent
+    # (heavy-tailed popularity within their community) and a long *cold
+    # tail* only abnormal behaviour reaches.  A large share of the cold tail
+    # arrives over time, so a low-degree interaction partner is a stable,
+    # training-transferable anomaly cue — while item *identity* is not.
+    num_popular = max(cfg.num_communities, int(n_items * cfg.popular_item_frac))
+    popular_items = rng.choice(n_items, size=num_popular, replace=False)
+    popular_mask = np.zeros(n_items, dtype=bool)
+    popular_mask[popular_items] = True
+    items_of_comm = []
+    item_pop_of_comm = []
+    for c in range(cfg.num_communities):
+        members = np.nonzero((item_comm == c) & popular_mask)[0]
+        if members.size == 0:
+            members = np.nonzero(item_comm == c)[0]
+        items_of_comm.append(members)  # raw item indices (offset added later)
+        item_pop_of_comm.append(zipf_weights(len(members), exponent=1.2, rng=rng))
+    item_activation = np.zeros(n_items)
+    cold_items = np.nonzero(~popular_mask)[0]
+    if cold_items.size:
+        late = rng.choice(
+            cold_items,
+            size=int(len(cold_items) * cfg.cold_item_arrival_frac),
+            replace=False,
+        )
+        item_activation[late] = rng.uniform(0.05 * horizon, 0.95 * horizon, size=len(late))
+    # Popularity churn (the structural drift of paper Fig. 3b): at each churn
+    # point a share of every community's popular pool is replaced by freshly
+    # trending items from the cold tail.  Memorising item identities then
+    # goes stale, while *current degree* remains a live popularity readout.
+    churn_times = (
+        np.linspace(0.0, horizon, cfg.churn_events + 2)[1:-1]
+        if cfg.churn_events > 0
+        else np.zeros(0)
+    )
+    user_activity = zipf_weights(n_users, exponent=0.8, rng=rng)
+
+    # Positional drift (paper Fig. 3a): a share of users migrates to another
+    # taste community mid-stream, so positional embeddings of the training
+    # snapshot go stale during the test period.
+    migrators = rng.choice(
+        n_users, size=int(n_users * cfg.user_migration_frac), replace=False
+    )
+    migration_time = {
+        int(u): float(rng.uniform(0.08 * horizon, 0.9 * horizon)) for u in migrators
+    }
+    migration_target = {
+        int(u): int(
+            (user_comm[u] + 1 + rng.integers(0, cfg.num_communities - 1))
+            % cfg.num_communities
+        )
+        for u in migrators
+    }
+
+    def community_of(user: int, now: float) -> int:
+        when = migration_time.get(user)
+        if when is not None and now >= when:
+            return migration_target[user]
+        return int(user_comm[user])
+
+    def rotate_popular_pools(now: float) -> None:
+        for c in range(cfg.num_communities):
+            pool = items_of_comm[c]
+            swaps = int(len(pool) * cfg.popularity_churn)
+            if swaps == 0:
+                continue
+            replace_slots = rng.choice(len(pool), size=swaps, replace=False)
+            candidates = np.setdiff1d(
+                np.nonzero(item_comm == item_comm[pool[0]])[0], pool
+            )
+            if candidates.size == 0:
+                candidates = np.setdiff1d(np.arange(n_items), pool)
+            fresh = rng.choice(candidates, size=min(swaps, candidates.size), replace=False)
+            pool[replace_slots[: len(fresh)]] = fresh
+            item_activation[fresh] = np.minimum(item_activation[fresh], now)
+            item_pop_of_comm[c] = zipf_weights(len(pool), exponent=1.2, rng=rng)
+    # Per-community base vector for edge features; users inherit it.
+    comm_profiles = rng.normal(0.0, 1.0, size=(cfg.num_communities, cfg.edge_feature_dim))
+    shift_direction = rng.normal(0.0, 1.0, size=cfg.edge_feature_dim)
+    shift_direction /= np.linalg.norm(shift_direction)
+
+    # User turnover: founders are active from the start; the rest join
+    # uniformly over the span and every user has a finite activity window.
+    # This keeps the *degree distribution of active users* quasi-stationary
+    # (as in real platforms with churn) and continuously supplies unseen
+    # nodes to the test period.
+    activation = rng.uniform(0.0, 0.85 * horizon, size=n_users)
+    founders = rng.choice(n_users, size=int(n_users * cfg.founder_frac), replace=False)
+    activation[founders] = 0.0
+    session_width = cfg.session_width_frac * horizon * rng.uniform(
+        0.6, 1.4, size=n_users
+    )
+    retirement = activation + session_width
+
+    # Abnormal episodes: a subset of users exhibits several *short* abnormal
+    # bursts scattered over the whole span.  Identity then tells a model who
+    # is at risk but not *when* they misbehave — the temporal signal lives
+    # in behaviour (burstiness, unpopular targets), matching the character
+    # of the real ban/dropout labels in the JODIE datasets.
+    abnormal_users = rng.choice(
+        n_users, size=max(1, int(n_users * cfg.abnormal_user_frac)), replace=False
+    )
+    duration = cfg.abnormal_duration_frac * horizon
+    episodes: dict = {}
+    for user in abnormal_users:
+        count = 1 + rng.poisson(max(cfg.episodes_per_user - 1, 0.0))
+        # Episodes must fall inside the user's activity window to produce edges.
+        lo = max(activation[user], 0.03 * horizon)
+        hi = min(retirement[user], 0.97 * horizon) - duration
+        if hi <= lo:
+            continue
+        starts = rng.uniform(lo, hi, size=count)
+        episodes[int(user)] = [(float(s), float(s + duration)) for s in np.sort(starts)]
+
+    def is_abnormal(user: int, t: float) -> bool:
+        windows = episodes.get(user)
+        if not windows:
+            return False
+        return any(start <= t < stop for start, stop in windows)
+
+    src, dst, times, feats, labels = [], [], [], [], []
+    t = 0.0
+    churn_ptr = 0
+    while len(src) < cfg.num_edges:
+        t += rng.exponential(1.0)
+        while churn_ptr < len(churn_times) and churn_times[churn_ptr] <= t:
+            rotate_popular_pools(float(churn_times[churn_ptr]))
+            churn_ptr += 1
+        active = (activation <= t) & (t < retirement)
+        if not np.any(active):
+            continue
+        weights = user_activity * active
+        # Burst: users inside an abnormal episode interact far more often.
+        burst = np.ones(n_users)
+        for user, windows in episodes.items():
+            if any(start <= t < stop for start, stop in windows):
+                burst[user] = cfg.burst_factor
+        weights = weights * burst
+        weights_sum = weights.sum()
+        if weights_sum <= 0:
+            continue
+        user = int(rng.choice(n_users, p=weights / weights_sum))
+        abnormal = is_abnormal(user, t)
+        available_items = np.nonzero(item_activation <= t)[0]
+        if abnormal:
+            # Uniform over currently available items: overwhelmingly cold,
+            # out-of-community, often recently created ones.
+            item = int(rng.choice(available_items)) + item_offset
+        else:
+            community = community_of(user, t)
+            pool = items_of_comm[community]
+            if rng.random() < cfg.intra_prob and pool.size:
+                item = int(rng.choice(pool, p=item_pop_of_comm[community])) + item_offset
+            else:
+                item = int(rng.choice(available_items)) + item_offset
+        feature = comm_profiles[community_of(user, t)] + rng.normal(
+            0.0, 0.5, size=cfg.edge_feature_dim
+        )
+        if abnormal:
+            feature = feature + cfg.feature_shift * shift_direction
+        src.append(user)
+        dst.append(item)
+        times.append(t)
+        feats.append(feature)
+        labels.append(1 if abnormal else 0)
+
+    ctdg = CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        edge_features=np.stack(feats),
+        num_nodes=num_nodes,
+    )
+    # One state query per interaction, on the user endpoint — the JODIE
+    # protocol for dynamic state change labelling.
+    queries = QuerySet(np.array(src, dtype=np.int64), np.array(times))
+    task = AnomalyTask(np.array(labels, dtype=np.int64))
+    return StreamDataset(
+        name=name,
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={
+            "num_users": n_users,
+            "num_items": n_items,
+            "abnormal_users": np.sort(abnormal_users),
+            "episodes": episodes,
+            "user_communities": user_comm,
+            "config": cfg,
+        },
+    )
+
+
+def reddit_like(seed: int = 0, num_edges: int = 4000) -> StreamDataset:
+    """Reddit-shaped: many bursty abnormal episodes, strong feature shift."""
+    return generate_anomaly_stream(
+        AnomalyStreamConfig(num_edges=num_edges, seed=seed), name="reddit-like"
+    )
+
+
+def wiki_like(seed: int = 0, num_edges: int = 3500) -> StreamDataset:
+    """Wikipedia-shaped: fewer users, rarer and shorter abnormal episodes."""
+    return generate_anomaly_stream(
+        AnomalyStreamConfig(
+            num_users=90,
+            num_items=150,
+            num_edges=num_edges,
+            abnormal_user_frac=0.35,
+            episodes_per_user=2.0,
+            abnormal_duration_frac=0.02,
+            burst_factor=6.0,
+            seed=seed,
+        ),
+        name="wiki-like",
+    )
+
+
+def mooc_like(seed: int = 0, num_edges: int = 4500) -> StreamDataset:
+    """MOOC-shaped: small item set (courses), weaker edge-feature signal so
+    the behavioural (structural) cue dominates."""
+    return generate_anomaly_stream(
+        AnomalyStreamConfig(
+            num_users=150,
+            num_items=80,
+            num_edges=num_edges,
+            edge_feature_dim=4,
+            feature_shift=0.6,
+            burst_factor=8.0,
+            abnormal_user_frac=0.3,
+            episodes_per_user=2.0,
+            abnormal_duration_frac=0.02,
+            # Course-taking communities are comparatively stable; with less
+            # positional drift the positional process stays usable.
+            user_migration_frac=0.15,
+            seed=seed,
+        ),
+        name="mooc-like",
+    )

@@ -1,0 +1,64 @@
+"""Dataset container binding a stream, its label queries, and the task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.streams.ctdg import CTDG
+from repro.streams.split import ChronoSplit, chronological_split
+from repro.tasks.base import QuerySet, Task
+
+
+@dataclass
+class StreamDataset:
+    """A CTDG with node-property labels — one row of the paper's Table II.
+
+    ``queries``/``task.labels`` are aligned: the i-th query asks for node
+    ``queries.nodes[i]`` at ``queries.times[i]`` with ground truth
+    ``task.labels[i]``.
+    """
+
+    name: str
+    ctdg: CTDG
+    queries: QuerySet
+    task: Task
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.queries) != self.task.num_queries:
+            raise ValueError(
+                f"{len(self.queries)} queries but {self.task.num_queries} labels"
+            )
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def split(self, train_frac: float = 0.1, val_frac: float = 0.1) -> ChronoSplit:
+        """Chronological query split (paper default: 10/10/80)."""
+        return chronological_split(self.queries.times, train_frac, val_frac)
+
+    def train_stream(self, split: ChronoSplit) -> CTDG:
+        """Edges within the training period (up to the last training query)."""
+        return self.ctdg.prefix_until(split.train_end_time, inclusive=True)
+
+    def summary(self) -> Dict[str, object]:
+        """Table-II style dataset statistics."""
+        labels = self.task.labels
+        if labels.ndim == 1:
+            num_labels = int(len(np.unique(labels)))
+        else:
+            num_labels = int(labels.shape[1])
+        return {
+            "name": self.name,
+            "task": self.task.name,
+            "num_nodes": int(self.ctdg.num_nodes),
+            "num_edges": int(self.ctdg.num_edges),
+            "num_queries": int(self.num_queries),
+            "edge_feature_dim": int(self.ctdg.edge_feature_dim),
+            "has_edge_weights": bool(np.any(self.ctdg.weights != 1.0)),
+            "num_labels": num_labels,
+        }

@@ -1,0 +1,131 @@
+"""Synthetic stand-in for the Email-EU dynamic node classification dataset.
+
+Shape of the real data: e-mails between researchers of an EU institution;
+the node property is the sender's *department*, and edges are heavily
+intra-department.  In the paper this is the dataset where featureless TGNNs
+collapse (F1 ≈ 10 %) while identity/positional features recover F1 > 90 %,
+and where process S is useless (degree carries no department signal).
+
+Planted mechanism:
+
+* node class = department; interactions are intra-department w.p.
+  ``intra_prob``;
+* departments have equal sizes and activity, so *degree is uninformative*;
+* a fraction of nodes migrates to a new department mid-stream (property +
+  positional shift), after which their edges and label follow the new one;
+* a fraction of nodes activates only late (unseen nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import StreamDataset
+from repro.datasets.generators import assign_communities
+from repro.streams.ctdg import CTDG
+from repro.tasks.base import QuerySet
+from repro.tasks.classification import ClassificationTask
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class EmailStreamConfig:
+    num_nodes: int = 160
+    num_departments: int = 8
+    num_edges: int = 4000
+    intra_prob: float = 0.9
+    migrate_frac: float = 0.1
+    unseen_frac: float = 0.25
+    unseen_start: float = 0.55
+    query_prob: float = 0.6
+    seed: int = 0
+
+
+def generate_email_stream(
+    config: Optional[EmailStreamConfig] = None, name: str = "email-eu-like"
+) -> StreamDataset:
+    cfg = config or EmailStreamConfig()
+    rng = new_rng(cfg.seed)
+    n = cfg.num_nodes
+    departments = assign_communities(n, cfg.num_departments, rng)
+    horizon = float(cfg.num_edges)
+
+    # Department migrations: (node, time, new department).
+    migrators = rng.choice(n, size=int(n * cfg.migrate_frac), replace=False)
+    migration_time = {
+        int(v): float(rng.uniform(0.3 * horizon, 0.9 * horizon)) for v in migrators
+    }
+    migration_target = {
+        int(v): int((departments[v] + 1 + rng.integers(0, cfg.num_departments - 1)) % cfg.num_departments)
+        for v in migrators
+    }
+
+    activation = np.zeros(n)
+    unseen = rng.choice(n, size=int(n * cfg.unseen_frac), replace=False)
+    activation[unseen] = rng.uniform(
+        cfg.unseen_start * horizon, 0.95 * horizon, size=len(unseen)
+    )
+
+    def department_at(node: int, t: float) -> int:
+        when = migration_time.get(node)
+        if when is not None and t >= when:
+            return migration_target[node]
+        return int(departments[node])
+
+    src, dst, times = [], [], []
+    q_nodes, q_times, q_labels = [], [], []
+    t = 0.0
+    current = np.array(departments)
+    while len(src) < cfg.num_edges:
+        t += rng.exponential(1.0)
+        active = np.nonzero(activation <= t)[0]
+        if active.size < 2:
+            continue
+        sender = int(rng.choice(active))
+        sender_dep = department_at(sender, t)
+        # Keep the vectorised department view current for partner choice.
+        for node, when in migration_time.items():
+            if t >= when:
+                current[node] = migration_target[node]
+        same = active[(current[active] == sender_dep) & (active != sender)]
+        other = active[current[active] != sender_dep]
+        if same.size and (rng.random() < cfg.intra_prob or other.size == 0):
+            receiver = int(rng.choice(same))
+        elif other.size:
+            receiver = int(rng.choice(other))
+        else:
+            continue
+        src.append(sender)
+        dst.append(receiver)
+        times.append(t)
+        if rng.random() < cfg.query_prob:
+            q_nodes.append(sender)
+            q_times.append(t)
+            q_labels.append(sender_dep)
+
+    ctdg = CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        num_nodes=n,
+    )
+    queries = QuerySet(np.array(q_nodes, dtype=np.int64), np.array(q_times))
+    task = ClassificationTask(np.array(q_labels, dtype=np.int64), cfg.num_departments)
+    return StreamDataset(
+        name=name,
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={
+            "departments": departments,
+            "migrators": np.sort(migrators),
+            "config": cfg,
+        },
+    )
+
+
+def email_eu_like(seed: int = 0, num_edges: int = 4000) -> StreamDataset:
+    return generate_email_stream(EmailStreamConfig(num_edges=num_edges, seed=seed))

@@ -1,0 +1,125 @@
+"""Low-level building blocks for the synthetic dataset generators.
+
+The real datasets in the paper could not be shipped in this offline
+environment (see DESIGN.md §2); these primitives let each generator plant
+the *mechanisms* the paper studies — communities (positional signal), skewed
+activity (structural signal), temporal drift and unseen-node influx
+(distribution shift) — with controllable intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def zipf_weights(n: int, exponent: float = 1.0, rng: SeedLike = None) -> np.ndarray:
+    """Normalised heavy-tailed activity weights, shuffled over ids.
+
+    Rank-based Zipf: w_r ∝ (r+1)^{-exponent}.  Shuffling decouples node id
+    from popularity so ids carry no accidental structural signal.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    rng = new_rng(rng)
+    weights = (np.arange(1, n + 1)) ** (-float(exponent))
+    rng.shuffle(weights)
+    return weights / weights.sum()
+
+
+def assign_communities(
+    n: int, num_communities: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Balanced random community assignment over ``n`` nodes."""
+    if num_communities <= 0 or n <= 0:
+        raise ValueError("n and num_communities must be positive")
+    rng = new_rng(rng)
+    assignment = np.arange(n) % num_communities
+    rng.shuffle(assignment)
+    return assignment
+
+
+def draw_partner(
+    node: int,
+    communities: np.ndarray,
+    intra_prob: float,
+    rng: np.random.Generator,
+    candidate_pool: Optional[np.ndarray] = None,
+) -> int:
+    """Sample an interaction partner: same community w.p. ``intra_prob``.
+
+    ``candidate_pool`` restricts partners (e.g., to already-active nodes so
+    the stream has no isolated forward references).
+    """
+    pool = candidate_pool if candidate_pool is not None else np.arange(len(communities))
+    if pool.size < 2:
+        raise ValueError("candidate pool too small to draw a distinct partner")
+    same = communities[pool] == communities[node]
+    same_pool = pool[same & (pool != node)]
+    other_pool = pool[~same]
+    if same_pool.size and (rng.random() < intra_prob or other_pool.size == 0):
+        return int(rng.choice(same_pool))
+    if other_pool.size:
+        return int(rng.choice(other_pool))
+    return int(rng.choice(pool[pool != node]))
+
+
+def exponential_clock(
+    num_events: int, rate: float = 1.0, rng: SeedLike = None
+) -> np.ndarray:
+    """Strictly increasing event times with i.i.d. exponential gaps."""
+    if num_events <= 0:
+        raise ValueError(f"num_events must be positive, got {num_events}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = new_rng(rng)
+    gaps = rng.exponential(1.0 / rate, size=num_events)
+    return np.cumsum(gaps)
+
+
+def staggered_arrivals(
+    n: int,
+    horizon: float,
+    late_fraction: float,
+    late_start: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Node activation times: most nodes active from t=0, a ``late_fraction``
+    activates uniformly in [late_start·horizon, horizon].
+
+    Late nodes are the *unseen nodes* of the paper's distribution-shift
+    analysis when ``late_start`` exceeds the training fraction.
+    """
+    if not 0 <= late_fraction <= 1:
+        raise ValueError(f"late_fraction must be in [0, 1], got {late_fraction}")
+    if not 0 <= late_start < 1:
+        raise ValueError(f"late_start must be in [0, 1), got {late_start}")
+    rng = new_rng(rng)
+    arrivals = np.zeros(n)
+    num_late = int(round(n * late_fraction))
+    if num_late:
+        late_ids = rng.choice(n, size=num_late, replace=False)
+        arrivals[late_ids] = rng.uniform(late_start * horizon, horizon, size=num_late)
+    return arrivals
+
+
+def drifting_preferences(
+    base: np.ndarray,
+    drift_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One drift step: mix each row of ``base`` toward a fresh random
+    distribution with weight ``drift_rate`` and renormalise."""
+    if not 0 <= drift_rate <= 1:
+        raise ValueError(f"drift_rate must be in [0, 1], got {drift_rate}")
+    if drift_rate == 0:
+        return base
+    noise = rng.random(base.shape)
+    noise /= noise.sum(axis=-1, keepdims=True)
+    mixed = (1 - drift_rate) * base + drift_rate * noise
+    return mixed / mixed.sum(axis=-1, keepdims=True)

@@ -1,0 +1,48 @@
+"""Dataset statistics tables (reproduces the role of paper Table II)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.datasets.base import StreamDataset
+
+
+def statistics_table(datasets: Sequence[StreamDataset]) -> List[Dict[str, object]]:
+    """One summary row per dataset, in the given order."""
+    return [dataset.summary() for dataset in datasets]
+
+
+def format_statistics(rows: Sequence[Dict[str, object]]) -> str:
+    """Render rows as an aligned text table (printed by the benchmarks)."""
+    if not rows:
+        return "(no datasets)"
+    columns = [
+        "name",
+        "task",
+        "num_nodes",
+        "num_edges",
+        "num_queries",
+        "edge_feature_dim",
+        "has_edge_weights",
+        "num_labels",
+    ]
+    header = {
+        "name": "dataset",
+        "task": "task",
+        "num_nodes": "#nodes",
+        "num_edges": "#edges",
+        "num_queries": "#queries",
+        "edge_feature_dim": "d_e",
+        "has_edge_weights": "weighted",
+        "num_labels": "#labels",
+    }
+    widths = {
+        c: max(len(header[c]), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    lines = [
+        "  ".join(header[c].ljust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Synthetic-50/70/90: classification streams with controllable
+distribution-shift intensity (paper §V-A, Fig. 12).
+
+Shift intensity s ∈ [0, 100] controls, after the training boundary:
+
+* the fraction of activity carried by *unseen* nodes (positional shift);
+* the fraction of seen nodes whose community — and therefore label — is
+  re-sampled at the boundary (property shift);
+* a change in activity skew (structural shift).
+
+At s = 0 the test period is statistically identical to training; at s = 90
+almost everything the model learned about specific nodes is stale, which is
+exactly the stress test of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import StreamDataset
+from repro.datasets.generators import assign_communities, zipf_weights
+from repro.streams.ctdg import CTDG
+from repro.tasks.base import QuerySet
+from repro.tasks.classification import ClassificationTask
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class ShiftStreamConfig:
+    shift_intensity: float = 50.0  # 0-100
+    num_core_nodes: int = 150
+    num_new_nodes: int = 150
+    num_classes: int = 6
+    num_edges: int = 5000
+    intra_prob: float = 0.9
+    boundary_frac: float = 0.2  # the 10/10 train+val region of the query set
+    query_prob: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shift_intensity <= 100:
+            raise ValueError(
+                f"shift_intensity must be in [0, 100], got {self.shift_intensity}"
+            )
+
+
+def generate_shift_stream(
+    config: Optional[ShiftStreamConfig] = None, name: Optional[str] = None
+) -> StreamDataset:
+    cfg = config or ShiftStreamConfig()
+    rng = new_rng(cfg.seed)
+    s = cfg.shift_intensity / 100.0
+    n_core, n_new = cfg.num_core_nodes, cfg.num_new_nodes
+    n = n_core + n_new
+    horizon = float(cfg.num_edges)
+    boundary = cfg.boundary_frac * horizon
+
+    communities = assign_communities(n, cfg.num_classes, rng)
+    # Property shift: re-assign a fraction of core nodes at the boundary.
+    # The fraction grows with s but stays minor — the dominant planted shift
+    # is positional (unseen-node influx), as in the paper's synthetic setup;
+    # relabeling most seen nodes would make the task information-theoretically
+    # hopeless for every method rather than separating robust ones.
+    migrators = rng.choice(n_core, size=int(n_core * 0.25 * s), replace=False)
+    post_communities = communities.copy()
+    for node in migrators:
+        post_communities[node] = int(
+            (communities[node] + 1 + rng.integers(0, cfg.num_classes - 1))
+            % cfg.num_classes
+        )
+
+    # Structural shift: activity skew changes across the boundary.
+    pre_activity = zipf_weights(n_core, exponent=0.8, rng=rng)
+    post_core_activity = zipf_weights(n_core, exponent=0.8 + 0.8 * s, rng=rng)
+    new_activity = zipf_weights(n_new, exponent=0.8, rng=rng) if n_new else np.zeros(0)
+
+    src, dst, times = [], [], []
+    q_nodes, q_times, q_labels = [], [], []
+    t = 0.0
+    while len(src) < cfg.num_edges:
+        t += rng.exponential(1.0)
+        in_test = t > boundary
+        comm = post_communities if in_test else communities
+        if in_test and n_new and rng.random() < s:
+            # Positional shift: unseen nodes carry a share s of test activity.
+            sender = n_core + int(rng.choice(n_new, p=new_activity))
+            pool = np.arange(n)  # unseen nodes mix with everyone
+        else:
+            activity = post_core_activity if in_test else pre_activity
+            sender = int(rng.choice(n_core, p=activity))
+            pool = np.arange(n_core) if not in_test else np.arange(n)
+        same = pool[(comm[pool] == comm[sender]) & (pool != sender)]
+        other = pool[comm[pool] != comm[sender]]
+        if same.size and (rng.random() < cfg.intra_prob or other.size == 0):
+            receiver = int(rng.choice(same))
+        elif other.size:
+            receiver = int(rng.choice(other))
+        else:
+            continue
+        src.append(sender)
+        dst.append(receiver)
+        times.append(t)
+        if rng.random() < cfg.query_prob:
+            q_nodes.append(sender)
+            q_times.append(t)
+            q_labels.append(int(comm[sender]))
+
+    ctdg = CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        num_nodes=n,
+    )
+    queries = QuerySet(np.array(q_nodes, dtype=np.int64), np.array(q_times))
+    task = ClassificationTask(np.array(q_labels, dtype=np.int64), cfg.num_classes)
+    return StreamDataset(
+        name=name or f"synthetic-{int(cfg.shift_intensity)}",
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={
+            "communities": communities,
+            "post_communities": post_communities,
+            "boundary_time": boundary,
+            "config": cfg,
+        },
+    )
+
+
+def synthetic_shift(intensity: float, seed: int = 0, num_edges: int = 5000) -> StreamDataset:
+    """Synthetic-{50,70,90} of the paper (any intensity in [0, 100] works)."""
+    return generate_shift_stream(
+        ShiftStreamConfig(shift_intensity=intensity, num_edges=num_edges, seed=seed)
+    )

@@ -1,0 +1,193 @@
+"""Synthetic stand-ins for the TGB node-affinity datasets (tgbn-trade,
+tgbn-genre).
+
+Shape of the real data: weighted interaction streams with periodic affinity
+labels — yearly country→country trade shares, and weekly user→genre
+listening shares.  Labels are the L1-normalised future edge weights over
+the next period (built here with the same
+:func:`repro.tasks.affinity.build_affinity_queries` machinery a TGB loader
+would use).
+
+Planted mechanisms mirror the Table IV outcome:
+
+* **trade-like** — small unipartite graph; each country has *idiosyncratic*
+  partner preferences (no community structure), persistent but slowly
+  drifting, with a regime change late in the stream.  Identity is the only
+  useful signal → process R should win.
+* **genre-like** — bipartite users×genres; user preferences follow *taste
+  clusters* plus small personal noise, and new users keep arriving.
+  Community position generalises to unseen users → process P should win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import StreamDataset
+from repro.datasets.generators import drifting_preferences
+from repro.streams.ctdg import CTDG
+from repro.tasks.affinity import AffinityLabelSpec, AffinityTask, build_affinity_queries
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class TradeStreamConfig:
+    num_countries: int = 60
+    num_periods: int = 40
+    edges_per_period: int = 150
+    preference_concentration: float = 0.15  # Dirichlet α: small → idiosyncratic
+    drift_rate: float = 0.02
+    regime_change_period: float = 0.7  # fraction of periods at which shock hits
+    regime_frac: float = 0.3  # fraction of countries whose preferences reset
+    seed: int = 0
+
+
+def generate_trade_stream(
+    config: Optional[TradeStreamConfig] = None, name: str = "tgbn-trade-like"
+) -> StreamDataset:
+    cfg = config or TradeStreamConfig()
+    rng = new_rng(cfg.seed)
+    n = cfg.num_countries
+
+    preferences = rng.dirichlet(
+        np.full(n, cfg.preference_concentration), size=n
+    )  # row i: country i's partner shares
+    np.fill_diagonal(preferences, 0.0)
+    preferences /= preferences.sum(axis=1, keepdims=True)
+
+    shock_period = int(cfg.num_periods * cfg.regime_change_period)
+    shocked = rng.choice(n, size=int(n * cfg.regime_frac), replace=False)
+
+    src, dst, times, weights = [], [], [], []
+    for period in range(cfg.num_periods):
+        if period == shock_period:
+            fresh = rng.dirichlet(np.full(n, cfg.preference_concentration), size=len(shocked))
+            for row, country in enumerate(shocked):
+                vector = fresh[row].copy()
+                vector[country] = 0.0
+                preferences[country] = vector / vector.sum()
+        preferences = drifting_preferences(preferences, cfg.drift_rate, rng)
+        np.fill_diagonal(preferences, 0.0)
+        preferences /= preferences.sum(axis=1, keepdims=True)
+
+        exporters = rng.integers(0, n, size=cfg.edges_per_period)
+        offsets = np.sort(rng.uniform(0.0, 1.0, size=cfg.edges_per_period))
+        for exporter, offset in zip(exporters, offsets):
+            partner = int(rng.choice(n, p=preferences[exporter]))
+            volume = float(rng.lognormal(0.0, 0.5) * (1.0 + 10.0 * preferences[exporter][partner]))
+            src.append(int(exporter))
+            dst.append(partner)
+            times.append(period + float(offset))
+            weights.append(volume)
+
+    order = np.argsort(times, kind="stable")
+    ctdg = CTDG(
+        np.asarray(src, dtype=np.int64)[order],
+        np.asarray(dst, dtype=np.int64)[order],
+        np.asarray(times)[order],
+        weights=np.asarray(weights)[order],
+        num_nodes=n,
+    )
+    queries, labels, targets = build_affinity_queries(
+        ctdg, AffinityLabelSpec(period=1.0)
+    )
+    task = AffinityTask(labels)
+    return StreamDataset(
+        name=name,
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={"targets": targets, "config": cfg, "period": 1.0},
+    )
+
+
+@dataclass
+class GenreStreamConfig:
+    num_users: int = 200
+    num_genres: int = 40
+    num_taste_clusters: int = 6
+    num_periods: int = 30
+    edges_per_period: int = 250
+    cluster_concentration: float = 0.5
+    personal_noise: float = 0.1
+    drift_rate: float = 0.03
+    unseen_frac: float = 0.3
+    unseen_start: float = 0.55
+    seed: int = 0
+
+
+def generate_genre_stream(
+    config: Optional[GenreStreamConfig] = None, name: str = "tgbn-genre-like"
+) -> StreamDataset:
+    cfg = config or GenreStreamConfig()
+    rng = new_rng(cfg.seed)
+    n_users, n_genres = cfg.num_users, cfg.num_genres
+    genre_offset = n_users
+
+    cluster_of = rng.integers(0, cfg.num_taste_clusters, size=n_users)
+    cluster_prefs = rng.dirichlet(
+        np.full(n_genres, cfg.cluster_concentration), size=cfg.num_taste_clusters
+    )
+    personal = rng.dirichlet(np.ones(n_genres), size=n_users)
+    preferences = (
+        (1 - cfg.personal_noise) * cluster_prefs[cluster_of]
+        + cfg.personal_noise * personal
+    )
+    preferences /= preferences.sum(axis=1, keepdims=True)
+
+    activation = np.zeros(n_users)
+    unseen = rng.choice(n_users, size=int(n_users * cfg.unseen_frac), replace=False)
+    activation[unseen] = rng.uniform(
+        cfg.unseen_start * cfg.num_periods, 0.95 * cfg.num_periods, size=len(unseen)
+    )
+
+    src, dst, times, weights = [], [], [], []
+    for period in range(cfg.num_periods):
+        cluster_prefs = drifting_preferences(cluster_prefs, cfg.drift_rate, rng)
+        preferences = (
+            (1 - cfg.personal_noise) * cluster_prefs[cluster_of]
+            + cfg.personal_noise * personal
+        )
+        preferences /= preferences.sum(axis=1, keepdims=True)
+        active = np.nonzero(activation <= period)[0]
+        if active.size == 0:
+            continue
+        listeners = rng.choice(active, size=cfg.edges_per_period)
+        offsets = np.sort(rng.uniform(0.0, 1.0, size=cfg.edges_per_period))
+        for listener, offset in zip(listeners, offsets):
+            genre = int(rng.choice(n_genres, p=preferences[listener]))
+            src.append(int(listener))
+            dst.append(genre + genre_offset)
+            times.append(period + float(offset))
+            weights.append(float(rng.lognormal(0.0, 0.3)))
+
+    order = np.argsort(times, kind="stable")
+    ctdg = CTDG(
+        np.asarray(src, dtype=np.int64)[order],
+        np.asarray(dst, dtype=np.int64)[order],
+        np.asarray(times)[order],
+        weights=np.asarray(weights)[order],
+        num_nodes=n_users + n_genres,
+    )
+    queries, labels, targets = build_affinity_queries(
+        ctdg, AffinityLabelSpec(period=1.0)
+    )
+    task = AffinityTask(labels)
+    return StreamDataset(
+        name=name,
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={"targets": targets, "cluster_of": cluster_of, "config": cfg, "period": 1.0},
+    )
+
+
+def tgbn_trade_like(seed: int = 0) -> StreamDataset:
+    return generate_trade_stream(TradeStreamConfig(seed=seed))
+
+
+def tgbn_genre_like(seed: int = 0) -> StreamDataset:
+    return generate_genre_stream(GenreStreamConfig(seed=seed))

@@ -1,0 +1,49 @@
+"""``repro.features`` — node feature augmentation for edge streams (§IV-A).
+
+Three augmentation processes (random R, positional P, structural S), a fixed
+sinusoidal time encoder, feature propagation for unseen nodes, and a
+from-scratch node2vec backend.
+"""
+
+from repro.features.base import FeatureProcess, OnlineFeatureStore
+from repro.features.positional import PositionalFeatureProcess
+from repro.features.propagation import PropagatedFeatureStore
+from repro.features.random_feat import (
+    FreshRandomFeatureProcess,
+    RandomFeatureProcess,
+    StaticStore,
+    ZeroFeatureProcess,
+)
+from repro.features.structural import (
+    StructuralFeatureProcess,
+    StructuralStore,
+    degree_encoding,
+)
+from repro.features.time_encoding import TimeEncoder
+
+__all__ = [
+    "FeatureProcess",
+    "OnlineFeatureStore",
+    "RandomFeatureProcess",
+    "FreshRandomFeatureProcess",
+    "ZeroFeatureProcess",
+    "StaticStore",
+    "PositionalFeatureProcess",
+    "StructuralFeatureProcess",
+    "StructuralStore",
+    "degree_encoding",
+    "PropagatedFeatureStore",
+    "TimeEncoder",
+]
+
+
+def default_processes(dim: int, seed: int = 0):
+    """The three SPLASH candidate processes {R, P, S} with a shared seed."""
+    from repro.utils.rng import spawn_rngs
+
+    rng_r, rng_p = spawn_rngs(seed, 2)
+    return [
+        RandomFeatureProcess(dim, rng=rng_r),
+        PositionalFeatureProcess(dim, rng=rng_p),
+        StructuralFeatureProcess(dim),
+    ]

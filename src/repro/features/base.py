@@ -1,0 +1,103 @@
+"""Interfaces for node feature augmentation processes (paper §IV-A).
+
+A :class:`FeatureProcess` is fitted once on the training prefix G_seen
+(assigning features to seen nodes); it then spawns fresh
+:class:`OnlineFeatureStore` instances that maintain time-varying features
+*incrementally* while a stream is replayed — the store is where unseen-node
+handling (degree encoding or feature propagation) lives.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.streams.ctdg import CTDG
+
+
+class OnlineFeatureStore(ABC):
+    """Streaming view of one feature process: x_i(t) as t advances."""
+
+    dim: int
+
+    @abstractmethod
+    def on_edge(
+        self,
+        index: int,
+        src: int,
+        dst: int,
+        time: float,
+        feature: Optional[np.ndarray],
+        weight: float,
+    ) -> None:
+        """Update internal state for an arriving temporal edge."""
+
+    def on_query(self, index: int, node: int, time: float) -> None:
+        """Label queries do not change feature state; provided for replay."""
+
+    @abstractmethod
+    def feature_of(self, node: int) -> np.ndarray:
+        """Current feature vector x_node(t) (never None; zeros if untouched)."""
+
+    def features_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorised lookup; default loops over :meth:`feature_of`."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = np.zeros((len(nodes), self.dim))
+        for row, node in enumerate(nodes):
+            out[row] = self.feature_of(int(node))
+        return out
+
+
+class FeatureProcess(ABC):
+    """One of the augmentation processes X ∈ {R, P, S} (and the ZF control)."""
+
+    name: str = "abstract"
+
+    def __init__(self, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError(f"feature dim must be positive, got {dim}")
+        self.dim = dim
+        self._seen_mask: Optional[np.ndarray] = None
+        self._num_nodes: Optional[int] = None
+
+    @abstractmethod
+    def fit(self, train_ctdg: CTDG, num_nodes: int) -> None:
+        """Learn features for nodes seen in the training prefix.
+
+        ``num_nodes`` is the size of the *full* node-id space (training and
+        test), so stores can index any node that may later appear.
+        """
+
+    @abstractmethod
+    def make_store(self) -> OnlineFeatureStore:
+        """Fresh streaming state for one replay of the full stream."""
+
+    # ------------------------------------------------------------------
+    def _record_seen(self, train_ctdg: CTDG, num_nodes: int) -> None:
+        if num_nodes < train_ctdg.num_nodes:
+            raise ValueError(
+                f"num_nodes={num_nodes} smaller than the training stream's "
+                f"id space {train_ctdg.num_nodes}"
+            )
+        mask = np.zeros(num_nodes, dtype=bool)
+        seen = train_ctdg.nodes_seen()
+        mask[seen] = True
+        self._seen_mask = mask
+        self._num_nodes = num_nodes
+
+    @property
+    def seen_mask(self) -> np.ndarray:
+        if self._seen_mask is None:
+            raise RuntimeError(f"process {self.name!r} has not been fitted")
+        return self._seen_mask
+
+    @property
+    def num_nodes(self) -> int:
+        if self._num_nodes is None:
+            raise RuntimeError(f"process {self.name!r} has not been fitted")
+        return self._num_nodes
+
+    def is_fitted(self) -> bool:
+        return self._seen_mask is not None

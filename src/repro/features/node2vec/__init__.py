@@ -1,0 +1,21 @@
+"""From-scratch node2vec (Grover & Leskovec, 2016): the positional embedding
+backend for SPLASH's process P (paper Eq. 1)."""
+
+from repro.features.node2vec.alias import AliasTable
+from repro.features.node2vec.embedding import Node2Vec, Node2VecConfig
+from repro.features.node2vec.skipgram import (
+    SkipGramModel,
+    build_training_pairs,
+    unigram_table,
+)
+from repro.features.node2vec.walks import WalkGenerator
+
+__all__ = [
+    "AliasTable",
+    "Node2Vec",
+    "Node2VecConfig",
+    "SkipGramModel",
+    "build_training_pairs",
+    "unigram_table",
+    "WalkGenerator",
+]

@@ -1,0 +1,63 @@
+"""Alias method for O(1) sampling from discrete distributions (Walker 1977).
+
+node2vec's biased random walks draw millions of categorical samples; the
+alias table makes each draw constant-time after O(n) setup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+class AliasTable:
+    """Preprocessed categorical distribution supporting O(1) draws."""
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise ValueError("weights must be finite and non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+
+        n = weights.size
+        prob = weights * (n / total)
+        self.n = n
+        self.accept = np.zeros(n, dtype=np.float64)
+        self.alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.accept[s] = prob[s]
+            self.alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in large + small:
+            self.accept[leftover] = 1.0
+            self.alias[leftover] = leftover
+
+    def sample(self, rng: SeedLike = None, size: int = 1) -> np.ndarray:
+        """Draw ``size`` indices from the distribution."""
+        rng = new_rng(rng)
+        columns = rng.integers(0, self.n, size=size)
+        coins = rng.random(size)
+        use_alias = coins >= self.accept[columns]
+        return np.where(use_alias, self.alias[columns], columns)
+
+    def sample_one(self, rng: np.random.Generator) -> int:
+        column = int(rng.integers(0, self.n))
+        if rng.random() < self.accept[column]:
+            return column
+        return int(self.alias[column])

@@ -1,0 +1,171 @@
+"""Skip-gram with negative sampling (SGNS) trained directly in numpy.
+
+This is the word2vec objective applied to random-walk corpora: maximise
+log σ(u_c · v_ctx) + Σ_neg log σ(−u_c · v_neg).  Updates are hand-derived
+SGD (no autograd) because the sparse gather/scatter pattern is far more
+efficient that way — exactly why gensim does the same.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.features.node2vec.alias import AliasTable
+from repro.utils.rng import SeedLike, new_rng
+
+
+def build_training_pairs(
+    walks: Sequence[Sequence[int]],
+    window: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Extract (center, context) pairs with a per-center random window ≤ window.
+
+    Random window shrinkage matches word2vec and downweights distant
+    contexts.  Returns an array of shape (P, 2).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    rng = new_rng(rng)
+    pairs: List[Tuple[int, int]] = []
+    for walk in walks:
+        length = len(walk)
+        if length < 2:
+            continue
+        spans = rng.integers(1, window + 1, size=length)
+        for position, center in enumerate(walk):
+            span = int(spans[position])
+            lo = max(0, position - span)
+            hi = min(length, position + span + 1)
+            for other in range(lo, hi):
+                if other != position:
+                    pairs.append((center, walk[other]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def unigram_table(
+    walks: Sequence[Sequence[int]], num_nodes: int, power: float = 0.75
+) -> AliasTable:
+    """Negative-sampling distribution ∝ count(node)^power over walk tokens."""
+    counts = np.zeros(num_nodes, dtype=np.float64)
+    for walk in walks:
+        for node in walk:
+            counts[node] += 1.0
+    counts = np.maximum(counts, 0.0) ** power
+    if counts.sum() == 0:
+        counts[:] = 1.0
+    return AliasTable(counts)
+
+
+def _scatter_mean_update(
+    table: np.ndarray, indices: np.ndarray, grads: np.ndarray, lr: float
+) -> None:
+    """table[i] -= lr * mean of grads rows assigned to i (in place)."""
+    sums = np.zeros_like(table)
+    np.add.at(sums, indices, grads)
+    counts = np.bincount(indices, minlength=len(table))
+    rows = counts > 0
+    table[rows] -= lr * sums[rows] / counts[rows, None]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, 0, 50))),
+        np.exp(np.clip(x, -50, 0)) / (1.0 + np.exp(np.clip(x, -50, 0))),
+    )
+
+
+class SkipGramModel:
+    """SGNS embedding trainer over integer token ids 0..num_nodes-1."""
+
+    def __init__(self, num_nodes: int, dim: int, rng: SeedLike = None) -> None:
+        if num_nodes <= 0 or dim <= 0:
+            raise ValueError("num_nodes and dim must be positive")
+        rng = new_rng(rng)
+        self.num_nodes = num_nodes
+        self.dim = dim
+        bound = 0.5 / dim
+        self.w_in = rng.uniform(-bound, bound, size=(num_nodes, dim))
+        self.w_out = np.zeros((num_nodes, dim))
+        self._rng = rng
+
+    def train(
+        self,
+        pairs: np.ndarray,
+        negatives: AliasTable,
+        epochs: int = 1,
+        lr: float = 0.05,
+        num_negative: int = 5,
+        batch_size: int = 32,
+    ) -> float:
+        """Train over (center, context) ``pairs``; returns the final batch loss."""
+        if pairs.size == 0:
+            return 0.0
+        if epochs <= 0 or num_negative <= 0:
+            raise ValueError("epochs and num_negative must be positive")
+        last_loss = 0.0
+        n_pairs = len(pairs)
+        for epoch in range(epochs):
+            order = self._rng.permutation(n_pairs)
+            # Linear learning-rate decay across all epochs, as in word2vec.
+            for start in range(0, n_pairs, batch_size):
+                batch = pairs[order[start : start + batch_size]]
+                progress = (epoch * n_pairs + start) / (epochs * n_pairs)
+                step = lr * max(1.0 - progress, 1e-4 / lr)
+                last_loss = self._train_batch(batch, negatives, step, num_negative)
+        return last_loss
+
+    def _train_batch(
+        self,
+        batch: np.ndarray,
+        negatives: AliasTable,
+        lr: float,
+        num_negative: int,
+    ) -> float:
+        centers = batch[:, 0]
+        contexts = batch[:, 1]
+        b = len(batch)
+        neg = negatives.sample(self._rng, size=b * num_negative).reshape(
+            b, num_negative
+        )
+
+        v_c = self.w_in[centers]  # (B, D)
+        u_pos = self.w_out[contexts]  # (B, D)
+        u_neg = self.w_out[neg]  # (B, K, D)
+
+        pos_score = _sigmoid(np.einsum("bd,bd->b", v_c, u_pos))
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", v_c, u_neg))
+
+        # Gradients of -log σ(x_pos) - Σ log σ(-x_neg).
+        g_pos = pos_score - 1.0  # (B,)
+        g_neg = neg_score  # (B, K)
+
+        grad_vc = g_pos[:, None] * u_pos + np.einsum("bk,bkd->bd", g_neg, u_neg)
+        grad_upos = g_pos[:, None] * v_c
+        grad_uneg = g_neg[:, :, None] * v_c[:, None, :]
+
+        # A node can occur many times within one batch (few distinct tokens,
+        # many pairs).  Summing its stale gradients multiplies the effective
+        # step size by its occurrence count and diverges; averaging per row
+        # keeps the update equivalent to one SGD step at the row level.
+        _scatter_mean_update(self.w_in, centers, grad_vc, lr)
+        _scatter_mean_update(self.w_out, contexts, grad_upos, lr)
+        _scatter_mean_update(
+            self.w_out, neg.reshape(-1), grad_uneg.reshape(-1, self.dim), lr
+        )
+
+        eps = 1e-10
+        loss = -np.log(pos_score + eps).mean() - np.log(1 - neg_score + eps).sum(
+            axis=1
+        ).mean()
+        return float(loss)
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """The learned input embeddings (standard choice for downstream use)."""
+        return self.w_in

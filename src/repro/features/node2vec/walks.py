@@ -1,0 +1,105 @@
+"""Second-order biased random walks (Grover & Leskovec, 2016).
+
+The walk from ``prev`` standing at ``cur`` chooses the next node ``x`` with
+unnormalised probability w(cur, x) · bias, where bias = 1/p if x == prev,
+1 if x is adjacent to prev, and 1/q otherwise.  p controls return
+likelihood, q the inward/outward (BFS/DFS) balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+class WalkGenerator:
+    """Generates node2vec walks over a weighted undirected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        p: float = 1.0,
+        q: float = 1.0,
+    ) -> None:
+        if p <= 0 or q <= 0:
+            raise ValueError(f"p and q must be positive, got p={p}, q={q}")
+        self.p = p
+        self.q = q
+        # Adjacency as sorted arrays for O(log d) membership tests.
+        self._neighbors: Dict[int, np.ndarray] = {}
+        self._weights: Dict[int, np.ndarray] = {}
+        for node in graph.nodes:
+            items = sorted(graph[node].items())
+            if items:
+                nbrs = np.array([v for v, _ in items], dtype=np.int64)
+                wts = np.array(
+                    [attrs.get("weight", 1.0) for _, attrs in items], dtype=np.float64
+                )
+            else:
+                nbrs = np.zeros(0, dtype=np.int64)
+                wts = np.zeros(0)
+            self._neighbors[node] = nbrs
+            self._weights[node] = wts
+        self.nodes = sorted(self._neighbors)
+
+    def _is_adjacent(self, node: int, candidates: np.ndarray) -> np.ndarray:
+        nbrs = self._neighbors.get(node)
+        if nbrs is None or nbrs.size == 0:
+            return np.zeros(candidates.shape, dtype=bool)
+        pos = np.searchsorted(nbrs, candidates)
+        pos = np.clip(pos, 0, nbrs.size - 1)
+        return nbrs[pos] == candidates
+
+    def walk_from(self, start: int, length: int, rng: np.random.Generator) -> List[int]:
+        """One biased walk of at most ``length`` nodes starting at ``start``."""
+        walk = [start]
+        if length <= 1:
+            return walk
+        nbrs = self._neighbors.get(start)
+        if nbrs is None or nbrs.size == 0:
+            return walk
+        # First step: plain weighted choice.
+        weights = self._weights[start]
+        first = int(rng.choice(nbrs, p=weights / weights.sum()))
+        walk.append(first)
+        while len(walk) < length:
+            prev, cur = walk[-2], walk[-1]
+            candidates = self._neighbors.get(cur)
+            if candidates is None or candidates.size == 0:
+                break
+            weights = self._weights[cur].copy()
+            bias = np.where(
+                candidates == prev,
+                1.0 / self.p,
+                np.where(self._is_adjacent(prev, candidates), 1.0, 1.0 / self.q),
+            )
+            probs = weights * bias
+            probs /= probs.sum()
+            walk.append(int(rng.choice(candidates, p=probs)))
+        return walk
+
+    def generate(
+        self,
+        num_walks: int,
+        walk_length: int,
+        rng: SeedLike = None,
+    ) -> List[List[int]]:
+        """``num_walks`` walks per node, each of length ``walk_length``.
+
+        Node order is shuffled between passes, as in the reference
+        implementation, so co-occurring pairs are not biased by node id.
+        """
+        if num_walks <= 0 or walk_length <= 0:
+            raise ValueError("num_walks and walk_length must be positive")
+        rng = new_rng(rng)
+        walks: List[List[int]] = []
+        nodes = list(self.nodes)
+        for _ in range(num_walks):
+            rng.shuffle(nodes)
+            for node in nodes:
+                walks.append(self.walk_from(node, walk_length, rng))
+        return walks

@@ -1,0 +1,108 @@
+"""Feature propagation for unseen nodes — paper Eqs. (4)–(5).
+
+Seen nodes keep their fitted (random or positional) features forever.  An
+unseen node starts from the zero vector; whenever a new edge touches it, the
+other endpoint's *pre-edge* feature is folded in by degree-weighted linear
+interpolation:
+
+    x_i(t_n) = (deg_i(t_{n-1}) · x_i(t_{n-1}) + x_j(t_{n-1})) / (deg_i(t_{n-1}) + 1)
+
+which is a running mean of the neighbour features seen so far.  The update
+is O(d_v) per edge, independent of graph size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.features.base import OnlineFeatureStore
+
+
+class PropagatedFeatureStore(OnlineFeatureStore):
+    """Static seen-node table + incremental propagation to unseen nodes."""
+
+    def __init__(self, base_table: np.ndarray, seen_mask: np.ndarray) -> None:
+        base_table = np.asarray(base_table, dtype=np.float64)
+        seen_mask = np.asarray(seen_mask, dtype=bool)
+        if base_table.ndim != 2:
+            raise ValueError(f"base_table must be 2-D, got {base_table.shape}")
+        if seen_mask.shape != (base_table.shape[0],):
+            raise ValueError(
+                f"seen_mask shape {seen_mask.shape} must be ({base_table.shape[0]},)"
+            )
+        self._base = base_table
+        self._seen = seen_mask
+        self.dim = int(base_table.shape[1])
+        self._unseen_features: Dict[int, np.ndarray] = {}
+        self._unseen_degrees: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> np.ndarray:
+        """The fitted seen-node feature table (read-only by convention)."""
+        return self._base
+
+    def is_seen(self, node: int) -> bool:
+        return bool(0 <= node < len(self._seen) and self._seen[node])
+
+    def feature_of(self, node: int) -> np.ndarray:
+        if self.is_seen(node):
+            return self._base[node]
+        stored = self._unseen_features.get(node)
+        if stored is None:
+            return np.zeros(self.dim)
+        return stored
+
+    def features_of(self, nodes: np.ndarray) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = np.zeros((len(nodes), self.dim))
+        in_range = (nodes >= 0) & (nodes < len(self._seen))
+        seen_rows = np.zeros(len(nodes), dtype=bool)
+        seen_rows[in_range] = self._seen[nodes[in_range]]
+        if np.any(seen_rows):
+            out[seen_rows] = self._base[nodes[seen_rows]]
+        for row in np.nonzero(~seen_rows)[0]:
+            stored = self._unseen_features.get(int(nodes[row]))
+            if stored is not None:
+                out[row] = stored
+        return out
+
+    # ------------------------------------------------------------------
+    def on_edge(
+        self,
+        index: int,
+        src: int,
+        dst: int,
+        time: float,
+        feature: Optional[np.ndarray],
+        weight: float,
+    ) -> None:
+        src_unseen = not self.is_seen(src)
+        dst_unseen = not self.is_seen(dst)
+        if not (src_unseen or dst_unseen):
+            return
+        # Both updates use pre-edge features (t_{n-1} in Eqs. 4-5), so read
+        # both endpoints before writing either.
+        src_feature = self.feature_of(src)
+        dst_feature = self.feature_of(dst)
+        if src_unseen:
+            self._propagate_into(src, dst_feature, pre_feature=src_feature)
+        if dst_unseen:
+            self._propagate_into(dst, src_feature, pre_feature=dst_feature)
+
+    def _propagate_into(
+        self, node: int, incoming: np.ndarray, pre_feature: np.ndarray
+    ) -> None:
+        degree = self._unseen_degrees.get(node, 0)
+        updated = (degree * pre_feature + incoming) / (degree + 1)
+        self._unseen_features[node] = updated
+        self._unseen_degrees[node] = degree + 1
+
+    def propagation_degree(self, node: int) -> int:
+        """Number of propagation updates applied to an unseen ``node``."""
+        return self._unseen_degrees.get(node, 0)
+
+    def num_unseen_tracked(self) -> int:
+        return len(self._unseen_features)

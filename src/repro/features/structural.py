@@ -1,0 +1,86 @@
+"""Structural feature augmentation — process S (paper Eq. 3).
+
+Node degree is encoded with a fixed sinusoidal map φ_d so that feature length
+is independent of the (growing) maximum degree:
+
+    [s_i(t)]_n = cos(α^{-(n/2)/√d_v} · deg_i(t))       n even
+    [s_i(t)]_n = sin(α^{-((n-1)/2)/√d_v} · deg_i(t))   n odd
+
+α controls resolution: larger α smooths small degree differences.  Unlike R
+and P, structural features change over time for *all* nodes and require no
+propagation — the degree itself is maintained incrementally (O(1)/edge).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.features.base import FeatureProcess, OnlineFeatureStore
+from repro.streams.ctdg import CTDG
+from repro.streams.degrees import DegreeTracker
+
+
+def degree_encoding(degrees: np.ndarray, dim: int, alpha: float = 10.0) -> np.ndarray:
+    """Vectorised φ_d over an array of degrees; output (..., dim)."""
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for decaying frequencies, got {alpha}")
+    degrees = np.asarray(degrees, dtype=np.float64)
+    pair_index = np.arange(dim) // 2
+    frequencies = alpha ** (-pair_index / np.sqrt(dim))
+    angles = degrees[..., None] * frequencies
+    encoding = np.empty(angles.shape)
+    even = np.arange(dim) % 2 == 0
+    encoding[..., even] = np.cos(angles[..., even])
+    encoding[..., ~even] = np.sin(angles[..., ~even])
+    return encoding
+
+
+class StructuralStore(OnlineFeatureStore):
+    """Streaming degree tracker + lazy φ_d encoding."""
+
+    def __init__(self, dim: int, alpha: float) -> None:
+        self.dim = dim
+        self.alpha = alpha
+        self._tracker = DegreeTracker()
+
+    def on_edge(self, index, src, dst, time, feature, weight) -> None:
+        self._tracker.observe_edge(src, dst)
+
+    def feature_of(self, node: int) -> np.ndarray:
+        return degree_encoding(
+            np.array(self._tracker.degree(node)), self.dim, self.alpha
+        )
+
+    def features_of(self, nodes: np.ndarray) -> np.ndarray:
+        degrees = self._tracker.degrees_of(np.asarray(nodes, dtype=np.int64))
+        return degree_encoding(degrees, self.dim, self.alpha)
+
+    def degree_of(self, node: int) -> int:
+        return self._tracker.degree(node)
+
+
+class StructuralFeatureProcess(FeatureProcess):
+    """Process S: sinusoidal degree encodings, identical for seen and unseen
+    nodes (unseen-node handling needs no propagation, §IV-A-3)."""
+
+    name = "structural"
+
+    def __init__(self, dim: int, alpha: float = 10.0) -> None:
+        super().__init__(dim)
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must be > 1, got {alpha}")
+        self.alpha = alpha
+
+    def fit(self, train_ctdg: CTDG, num_nodes: int) -> None:
+        # S has no trainable state; fitting only records the seen-node mask so
+        # diagnostics can distinguish seen/unseen nodes.
+        self._record_seen(train_ctdg, num_nodes)
+
+    def make_store(self) -> StructuralStore:
+        if not self.is_fitted():
+            raise RuntimeError("fit() must be called before make_store()")
+        return StructuralStore(self.dim, self.alpha)

@@ -1,0 +1,48 @@
+"""Fixed sinusoidal time encoding φ_t (paper Eq. 15, after GraphMixer).
+
+φ_t(t') = cos(t' · [α^{-0/β}, α^{-1/β}, ..., α^{-(d_t-1)/β}])
+
+The frequencies decay geometrically, so short and long time gaps activate
+different dimensions; the encoding is fixed (not learned), which GraphMixer
+showed to be both sufficient and more robust.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class TimeEncoder:
+    """Vectorised φ_t over scalar or array time deltas."""
+
+    def __init__(
+        self,
+        dim: int,
+        alpha: Optional[float] = None,
+        beta: Optional[float] = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"time encoding dim must be positive, got {dim}")
+        self.dim = dim
+        self.alpha = float(alpha) if alpha is not None else float(np.sqrt(dim))
+        self.beta = float(beta) if beta is not None else float(np.sqrt(dim))
+        if self.alpha <= 1.0 or self.beta <= 0:
+            raise ValueError(
+                f"need alpha > 1 and beta > 0, got alpha={self.alpha}, beta={self.beta}"
+            )
+        exponents = -np.arange(dim) / self.beta
+        self.frequencies = self.alpha**exponents  # ω_i = α^{-i/β}
+
+    def encode(self, deltas: np.ndarray) -> np.ndarray:
+        """Encode time gaps; output shape is ``deltas.shape + (dim,)``.
+
+        Negative deltas are clamped to zero: a query never looks at future
+        edges, so negative gaps only arise from floating-point jitter.
+        """
+        deltas = np.maximum(np.asarray(deltas, dtype=np.float64), 0.0)
+        return np.cos(deltas[..., None] * self.frequencies)
+
+    def __call__(self, deltas: np.ndarray) -> np.ndarray:
+        return self.encode(deltas)

@@ -1,0 +1,19 @@
+"""``repro.metrics`` — evaluation metrics used in the paper's experiments:
+AUC (anomaly detection), F1 (node classification), NDCG@10 (affinity), and
+silhouette (representation quality, Fig. 14)."""
+
+from repro.metrics.classification import accuracy, confusion_matrix, f1_score
+from repro.metrics.clustering import pairwise_euclidean, silhouette_score
+from repro.metrics.ranking import dcg_at_k, mean_ndcg_at_k, ndcg_at_k, roc_auc
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "pairwise_euclidean",
+    "silhouette_score",
+    "roc_auc",
+    "ndcg_at_k",
+    "mean_ndcg_at_k",
+    "dcg_at_k",
+]

@@ -1,0 +1,52 @@
+"""Silhouette score for representation-quality analysis (paper Fig. 14)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_euclidean(x: np.ndarray) -> np.ndarray:
+    """Dense (n, n) Euclidean distance matrix."""
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got {x.shape}")
+    squared = (x**2).sum(axis=1)
+    d2 = squared[:, None] + squared[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(np.maximum(d2, 0.0))
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over samples.
+
+    s(i) = (b(i) − a(i)) / max(a(i), b(i)) where a is the mean intra-cluster
+    distance and b the smallest mean distance to another cluster.  Singleton
+    clusters contribute 0, following the standard convention.
+    """
+    x = np.asarray(x, dtype=float)
+    labels = np.asarray(labels)
+    if len(x) != len(labels):
+        raise ValueError(f"{len(x)} samples but {len(labels)} labels")
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    if len(classes) >= len(x):
+        raise ValueError("silhouette requires n_clusters < n_samples")
+    distances = pairwise_euclidean(x)
+    scores = np.zeros(len(x))
+    masks = {c: labels == c for c in classes}
+    for i in range(len(x)):
+        own = masks[labels[i]]
+        own_count = own.sum() - 1
+        if own_count == 0:
+            scores[i] = 0.0
+            continue
+        a = distances[i][own].sum() / own_count
+        b = np.inf
+        for c in classes:
+            if c == labels[i]:
+                continue
+            other = masks[c]
+            b = min(b, distances[i][other].mean())
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

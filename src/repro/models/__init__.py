@@ -1,0 +1,152 @@
+"""``repro.models`` — SLIM (the paper's model) and all baseline TGNNs.
+
+The :func:`create_model` registry builds any method in the paper's Table III
+by name against a prepared :class:`~repro.models.context.ContextBundle`:
+
+* featureless baselines: ``jodie``, ``dysat``, ``tgat``, ``tgn``,
+  ``graphmixer``, ``dygformer``, ``freedyg``, ``slade`` (zero node features);
+* ``<baseline>+rf`` variants: fresh random features for every node;
+* SLIM ablations: ``slim+zf``, ``slim+rf``, ``slim+random``,
+  ``slim+positional``, ``slim+structural``, ``slim+joint``;
+* DTDG shift baselines: ``dida``, ``slid``.
+
+The full SPLASH method (selection + SLIM) lives in
+:class:`repro.pipeline.splash.Splash`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.base import (
+    ContextModel,
+    FitHistory,
+    ModelConfig,
+    StreamModel,
+    evaluate_model,
+)
+from repro.models.context import ContextBundle, build_context_bundle
+from repro.models.dtdg import DIDA, SLID, DTDGBaseline
+from repro.models.dygformer import DyGFormer
+from repro.models.dysat import DySAT
+from repro.models.freedyg import FreeDyG
+from repro.models.graphmixer import GraphMixer
+from repro.models.jodie import JODIE
+from repro.models.memory import MemoryModel
+from repro.models.slade import SLADE
+from repro.models.slim import SLIM
+from repro.models.tgat import TGAT
+from repro.models.tgn import TGN
+
+_CONTEXT_BASELINES = {
+    "dysat": DySAT,
+    "tgat": TGAT,
+    "graphmixer": GraphMixer,
+    "dygformer": DyGFormer,
+    "freedyg": FreeDyG,
+}
+_MEMORY_BASELINES = {"jodie": JODIE, "tgn": TGN, "slade": SLADE}
+_SLIM_VARIANTS = {
+    "slim+zf": "zero",
+    "slim+rf": "fresh_random",
+    "slim+random": "random",
+    "slim+positional": "positional",
+    "slim+structural": "structural",
+    "slim+joint": ContextBundle.JOINT_NAME,
+}
+
+
+def available_methods() -> list:
+    names = []
+    for base in list(_CONTEXT_BASELINES) + list(_MEMORY_BASELINES):
+        names.append(base)
+        names.append(base + "+rf")
+    names.extend(_SLIM_VARIANTS)
+    names.extend(["dida", "slid"])
+    return sorted(names)
+
+
+def create_model(
+    name: str,
+    bundle: ContextBundle,
+    config: Optional[ModelConfig] = None,
+) -> StreamModel:
+    """Instantiate the method ``name`` against ``bundle``.
+
+    The bundle must contain the feature processes the method needs:
+    ``zero``/``fresh_random`` for baselines, and the SPLASH candidates for
+    the SLIM ablations.
+    """
+    key = name.lower()
+    config = config or ModelConfig()
+
+    if key in _SLIM_VARIANTS:
+        feature = _SLIM_VARIANTS[key]
+        return SLIM(
+            feature_name=feature,
+            feature_dim=bundle.feature_dim(feature),
+            edge_feature_dim=bundle.edge_feature_dim,
+            config=config,
+        )
+
+    feature = "zero"
+    if key.endswith("+rf"):
+        feature = "fresh_random"
+        key = key[: -len("+rf")]
+
+    if key in _CONTEXT_BASELINES:
+        cls = _CONTEXT_BASELINES[key]
+        kwargs = dict(
+            feature_name=feature,
+            feature_dim=bundle.feature_dim(feature),
+            edge_feature_dim=bundle.edge_feature_dim,
+            config=config,
+        )
+        if cls in (GraphMixer, FreeDyG):
+            kwargs["k"] = bundle.k
+        return cls(**kwargs)
+
+    if key in _MEMORY_BASELINES:
+        cls = _MEMORY_BASELINES[key]
+        return cls(
+            feature_name=feature,
+            feature_dim=bundle.feature_dim(feature),
+            edge_feature_dim=bundle.edge_feature_dim,
+            num_nodes=bundle.ctdg.num_nodes,
+            config=config,
+        )
+
+    if key == "dida":
+        return DIDA(feature, bundle.feature_dim(feature), config=config)
+    if key == "slid":
+        return SLID(feature, bundle.feature_dim(feature), config=config)
+
+    raise KeyError(
+        f"unknown method {name!r}; available: {', '.join(available_methods())}"
+    )
+
+
+__all__ = [
+    "ModelConfig",
+    "StreamModel",
+    "ContextModel",
+    "MemoryModel",
+    "FitHistory",
+    "evaluate_model",
+    "ContextBundle",
+    "build_context_bundle",
+    "SLIM",
+    "TGAT",
+    "DySAT",
+    "GraphMixer",
+    "DyGFormer",
+    "FreeDyG",
+    "JODIE",
+    "TGN",
+    "SLADE",
+    "DIDA",
+    "SLID",
+    "DTDGBaseline",
+    "create_model",
+    "available_methods",
+]

@@ -1,0 +1,56 @@
+"""Shared input assembly for the baseline TGNN implementations.
+
+Every context-based TGNN consumes the same per-query token matrix — the k
+recent temporal edges rendered as [neighbour feature ‖ edge feature ‖ time
+encoding] rows — and differs only in the encoder applied on top.  Keeping
+assembly in one place guarantees all baselines see identical information.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.context import ContextBundle
+
+
+def assemble_tokens(
+    bundle: ContextBundle,
+    idx: np.ndarray,
+    feature_name: str,
+    time_encoder: TimeEncoder,
+    include_edge_features: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build (tokens, mask, target_features) for a query batch.
+
+    tokens: (B, k, d_token) with padded rows zeroed;
+    mask:   (B, k) bool;
+    target_features: (B, d_v) features of the target node at query time.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    neighbor_feats = bundle.get_neighbor_features(feature_name, idx)
+    target_feats = bundle.get_target_features(feature_name, idx)
+    time_enc = time_encoder(bundle.time_deltas(idx))
+    parts = [neighbor_feats]
+    if include_edge_features and bundle.edge_feature_dim:
+        parts.append(bundle.edge_features[idx])
+    parts.append(time_enc)
+    tokens = np.concatenate(parts, axis=-1)
+    mask = bundle.mask[idx]
+    tokens = tokens * mask[..., None]
+    return tokens, mask, target_feats
+
+
+def token_dim(
+    bundle: ContextBundle,
+    feature_name: str,
+    time_dim: int,
+    include_edge_features: bool = True,
+) -> int:
+    """Width of the token rows produced by :func:`assemble_tokens`."""
+    d = bundle.feature_dim(feature_name) + time_dim
+    if include_edge_features:
+        d += bundle.edge_feature_dim
+    return d

@@ -1,0 +1,321 @@
+"""Materialised query contexts: one chronological replay, many model runs.
+
+TGNNs make predictions at query time from the k most recent temporal edges
+of the target node (Eq. 6) plus streaming feature state.  For epoch-based
+training it is standard (DyGLib, TGL) to *materialise* each query's context
+once — this module performs that single replay, recording for every query:
+
+* the k-recent neighbour ids, edge times, edge features, and edge weights;
+* each neighbour's degree at edge time (for structural features);
+* per-feature-process snapshots x_j(t(l)) of neighbour features at edge
+  time, and x_i(t) of the target at query time (Eqs. 4-5 evolve features
+  over time, so snapshots cannot be recovered after the fact).
+
+The result, a :class:`ContextBundle`, is the common input to SLIM and every
+context-based baseline, guaranteeing all methods see identical information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.base import FeatureProcess, OnlineFeatureStore
+from repro.features.random_feat import StaticStore
+from repro.features.structural import StructuralFeatureProcess, degree_encoding
+from repro.streams.ctdg import CTDG
+from repro.streams.degrees import DegreeTracker
+from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
+from repro.streams.replay import replay
+from repro.tasks.base import QuerySet
+
+
+@dataclass
+class ContextBundle:
+    """Columnar per-query contexts over a full stream replay."""
+
+    ctdg: CTDG
+    queries: QuerySet
+    k: int
+    neighbor_nodes: np.ndarray  # (Q, k) int64, -1 where padded
+    neighbor_times: np.ndarray  # (Q, k) float
+    neighbor_degrees: np.ndarray  # (Q, k) int64: deg_j(t(l)) at edge time
+    edge_features: np.ndarray  # (Q, k, d_e)
+    edge_weights: np.ndarray  # (Q, k) float
+    mask: np.ndarray  # (Q, k) bool, True where a neighbour entry exists
+    target_degrees: np.ndarray  # (Q,) deg_i(t) at query time
+    target_last_times: np.ndarray  # (Q,) time of target's latest edge (or query time)
+    target_seen: np.ndarray  # (Q,) bool: target appeared during training period
+    target_features: Dict[str, np.ndarray] = field(default_factory=dict)
+    neighbor_features: Dict[str, np.ndarray] = field(default_factory=dict)
+    structural_params: Dict[str, float] = field(default_factory=dict)
+    static_tables: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    JOINT_NAME = "joint"
+
+    # ------------------------------------------------------------------
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return int(self.edge_features.shape[2])
+
+    @property
+    def feature_names(self) -> List[str]:
+        names = set(self.target_features) | set(self.static_tables)
+        if self.structural_params:
+            names.add("structural")
+        return sorted(names)
+
+    @property
+    def splash_candidates(self) -> List[str]:
+        """The SPLASH candidate processes present: {random, positional,
+        structural} ∩ available."""
+        wanted = ("random", "positional", "structural")
+        return [name for name in wanted if name in self.feature_names]
+
+    def feature_dim(self, name: str) -> int:
+        if name in self.target_features:
+            return int(self.target_features[name].shape[1])
+        if name in self.static_tables:
+            return int(self.static_tables[name].shape[1])
+        if name == "structural" and self.structural_params:
+            return int(self.structural_params["dim"])
+        if name == self.JOINT_NAME:
+            return sum(self.feature_dim(part) for part in self.splash_candidates)
+        raise KeyError(f"no feature process {name!r} in this bundle")
+
+    def get_target_features(
+        self, name: str, idx: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """(Q, d_v) features of the target node at query time for process ``name``.
+
+        Pass ``idx`` to restrict to a query subset (lazily computed
+        structural/static features are then only produced for those rows).
+        ``name`` may also be ``"joint"``: the concatenation of all SPLASH
+        candidate processes (for the SLIM+Joint ablation).
+        """
+        if name == self.JOINT_NAME:
+            return np.concatenate(
+                [self.get_target_features(part, idx) for part in self.splash_candidates],
+                axis=-1,
+            )
+        if name in self.target_features:
+            table = self.target_features[name]
+            return table if idx is None else table[idx]
+        if name in self.static_tables:
+            nodes = self.queries.nodes if idx is None else self.queries.nodes[idx]
+            return self.static_tables[name][nodes]
+        if name == "structural" and self.structural_params:
+            degrees = self.target_degrees if idx is None else self.target_degrees[idx]
+            return degree_encoding(
+                degrees,
+                int(self.structural_params["dim"]),
+                self.structural_params["alpha"],
+            )
+        raise KeyError(f"no feature process {name!r} in this bundle")
+
+    def get_neighbor_features(
+        self, name: str, idx: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """(Q, k, d_v) features of each buffered neighbour at its edge time."""
+        if name == self.JOINT_NAME:
+            return np.concatenate(
+                [
+                    self.get_neighbor_features(part, idx)
+                    for part in self.splash_candidates
+                ],
+                axis=-1,
+            )
+        if name in self.neighbor_features:
+            table = self.neighbor_features[name]
+            return table if idx is None else table[idx]
+        if name in self.static_tables:
+            nodes = self.neighbor_nodes if idx is None else self.neighbor_nodes[idx]
+            mask = self.mask if idx is None else self.mask[idx]
+            safe = np.maximum(nodes, 0)
+            gathered = self.static_tables[name][safe]
+            gathered[~mask] = 0.0
+            return gathered
+        if name == "structural" and self.structural_params:
+            degrees = (
+                self.neighbor_degrees if idx is None else self.neighbor_degrees[idx]
+            )
+            return degree_encoding(
+                degrees,
+                int(self.structural_params["dim"]),
+                self.structural_params["alpha"],
+            )
+        raise KeyError(f"no feature process {name!r} in this bundle")
+
+    def time_deltas(self, idx: Optional[np.ndarray] = None) -> np.ndarray:
+        """(Q, k) non-negative gaps between query time and each edge time."""
+        times = self.queries.times if idx is None else self.queries.times[idx]
+        neighbor_times = self.neighbor_times if idx is None else self.neighbor_times[idx]
+        mask = self.mask if idx is None else self.mask[idx]
+        deltas = times[:, None] - neighbor_times
+        deltas[~mask] = 0.0
+        return np.maximum(deltas, 0.0)
+
+    def neighbor_counts(self) -> np.ndarray:
+        return self.mask.sum(axis=1)
+
+
+class _BundleCollector:
+    """Stream processor that fills the bundle arrays during replay."""
+
+    def __init__(
+        self,
+        num_queries: int,
+        k: int,
+        edge_feature_dim: int,
+        stores: Dict[str, OnlineFeatureStore],
+        seen_mask: Optional[np.ndarray],
+    ) -> None:
+        self.k = k
+        self.stores = stores
+        self.seen_mask = seen_mask
+        self.buffer = RecentNeighborBuffer(k)
+        self.degrees = DegreeTracker()
+        q = num_queries
+        self.neighbor_nodes = np.full((q, k), -1, dtype=np.int64)
+        self.neighbor_times = np.zeros((q, k))
+        self.neighbor_degrees = np.zeros((q, k), dtype=np.int64)
+        self.edge_features = np.zeros((q, k, edge_feature_dim))
+        self.edge_weights = np.zeros((q, k))
+        self.mask = np.zeros((q, k), dtype=bool)
+        self.target_degrees = np.zeros(q, dtype=np.int64)
+        self.target_last_times = np.zeros(q)
+        self.target_seen = np.zeros(q, dtype=bool)
+        self.target_features = {
+            name: np.zeros((q, store.dim)) for name, store in stores.items()
+        }
+        self.neighbor_features = {
+            name: np.zeros((q, k, store.dim)) for name, store in stores.items()
+        }
+        self._store_names = sorted(stores)
+
+    # ------------------------------------------------------------------
+    def on_edge(self, index, src, dst, time, feature, weight) -> None:
+        # Degree and feature state become *inclusive* of this edge before
+        # snapshotting (deg_i(t) counts edges with t(l) ≤ t, Eq. 2).
+        self.degrees.observe_edge(src, dst)
+        for name in self._store_names:
+            self.stores[name].on_edge(index, src, dst, time, feature, weight)
+        src_snap = tuple(
+            self.stores[name].feature_of(src).copy() for name in self._store_names
+        )
+        dst_snap = tuple(
+            self.stores[name].feature_of(dst).copy() for name in self._store_names
+        )
+        src_degree = self.degrees.degree(src)
+        dst_degree = self.degrees.degree(dst)
+        self.buffer.insert(
+            src,
+            NeighborEntry(
+                neighbor=dst,
+                time=time,
+                edge_index=index,
+                weight=weight,
+                feature=feature,
+                neighbor_degree=dst_degree,
+                snapshot_features=dst_snap,
+            ),
+        )
+        self.buffer.insert(
+            dst,
+            NeighborEntry(
+                neighbor=src,
+                time=time,
+                edge_index=index,
+                weight=weight,
+                feature=feature,
+                neighbor_degree=src_degree,
+                snapshot_features=src_snap,
+            ),
+        )
+
+    def on_query(self, index, node, time) -> None:
+        entries = self.buffer.neighbors(node)
+        self.target_degrees[index] = self.degrees.degree(node)
+        self.target_last_times[index] = entries[-1].time if entries else time
+        if self.seen_mask is not None and 0 <= node < len(self.seen_mask):
+            self.target_seen[index] = self.seen_mask[node]
+        for name in self._store_names:
+            self.target_features[name][index] = self.stores[name].feature_of(node)
+        for slot, entry in enumerate(entries):
+            self.neighbor_nodes[index, slot] = entry.neighbor
+            self.neighbor_times[index, slot] = entry.time
+            self.neighbor_degrees[index, slot] = entry.neighbor_degree
+            self.edge_weights[index, slot] = entry.weight
+            self.mask[index, slot] = True
+            if entry.feature is not None and self.edge_features.shape[2]:
+                self.edge_features[index, slot] = entry.feature
+            for pos, name in enumerate(self._store_names):
+                self.neighbor_features[name][index, slot] = entry.snapshot_features[pos]
+
+
+def build_context_bundle(
+    ctdg: CTDG,
+    queries: QuerySet,
+    k: int,
+    processes: Sequence[FeatureProcess] = (),
+) -> ContextBundle:
+    """Replay ``ctdg`` once and materialise contexts for every query.
+
+    ``processes`` must already be fitted (their seen-node features learned on
+    the training prefix).  Structural processes are handled lazily — only
+    degrees are stored, and φ_d is applied on access — because their features
+    are a pure function of degree.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    stores: Dict[str, OnlineFeatureStore] = {}
+    structural_params: Dict[str, float] = {}
+    static_tables: Dict[str, np.ndarray] = {}
+    seen_mask: Optional[np.ndarray] = None
+    for process in processes:
+        if not process.is_fitted():
+            raise RuntimeError(f"feature process {process.name!r} is not fitted")
+        seen_mask = process.seen_mask
+        if isinstance(process, StructuralFeatureProcess):
+            structural_params = {"dim": float(process.dim), "alpha": process.alpha}
+            continue
+        store = process.make_store()
+        if isinstance(store, StaticStore):
+            # Static features never change, so x_j(t(l)) == table[j]; gather
+            # lazily from the table instead of storing (Q, k, d_v) snapshots.
+            static_tables[process.name] = store.table
+            continue
+        stores[process.name] = store
+
+    collector = _BundleCollector(
+        num_queries=len(queries),
+        k=k,
+        edge_feature_dim=ctdg.edge_feature_dim,
+        stores=stores,
+        seen_mask=seen_mask,
+    )
+    replay(ctdg, queries.nodes, queries.times, [collector])
+    return ContextBundle(
+        ctdg=ctdg,
+        queries=queries,
+        k=k,
+        neighbor_nodes=collector.neighbor_nodes,
+        neighbor_times=collector.neighbor_times,
+        neighbor_degrees=collector.neighbor_degrees,
+        edge_features=collector.edge_features,
+        edge_weights=collector.edge_weights,
+        mask=collector.mask,
+        target_degrees=collector.target_degrees,
+        target_last_times=collector.target_last_times,
+        target_seen=collector.target_seen,
+        target_features=collector.target_features,
+        neighbor_features=collector.neighbor_features,
+        structural_params=structural_params,
+        static_tables=static_tables,
+    )

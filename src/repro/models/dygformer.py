@@ -1,0 +1,120 @@
+"""DyGFormer baseline (Yu et al., NeurIPS 2023).
+
+DyGFormer's signature components are (a) a *neighbour co-occurrence
+encoding* — how often each neighbour appears in the target's recent
+history — and (b) a transformer over the resulting token sequence to
+capture long-term temporal dependencies.  For node-level tasks the single
+target sequence is encoded (the original encodes both endpoints of a
+candidate link); patching is unnecessary at k ≤ 32.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.base import ContextModel, ModelConfig
+from repro.models.common import assemble_tokens
+from repro.models.context import ContextBundle
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import MLP, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import spawn_rngs
+
+
+def cooccurrence_counts(neighbor_nodes: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """(B, k) count of each slot's neighbour id within its own row.
+
+    Repeated interaction partners receive higher counts — DyGFormer's
+    frequency signal; padded slots count 0.
+    """
+    batch, k = neighbor_nodes.shape
+    counts = np.zeros((batch, k))
+    for row in range(batch):
+        valid = mask[row]
+        if not valid.any():
+            continue
+        ids, inverse, freq = np.unique(
+            neighbor_nodes[row][valid], return_inverse=True, return_counts=True
+        )
+        counts[row][valid] = freq[inverse]
+    return counts
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block."""
+
+    def __init__(self, dim: int, num_heads: int, rng=None) -> None:
+        super().__init__()
+        rng_a, rng_f = spawn_rngs(rng, 2)
+        self.norm1 = LayerNorm(dim)
+        self.attention = MultiHeadAttention(dim, dim, dim, num_heads=num_heads, rng=rng_a)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = MLP([dim, dim * 2, dim], rng=rng_f)
+
+    def forward(self, tokens: Tensor, mask: np.ndarray) -> Tensor:
+        normed = self.norm1(tokens)
+        tokens = tokens + self.attention(normed, normed, normed, mask=~mask)
+        return tokens + self.ffn(self.norm2(tokens))
+
+
+class DyGFormer(ContextModel):
+    name = "DyGFormer"
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        config: Optional[ModelConfig] = None,
+        num_blocks: int = 2,
+        num_heads: int = 2,
+        cooccurrence_dim: int = 8,
+    ) -> None:
+        config = config or ModelConfig()
+        super().__init__(config)
+        self.feature_name = feature_name
+        self.feature_dim = feature_dim
+        self.edge_feature_dim = edge_feature_dim
+        d_h = config.hidden_dim
+        rng_c, rng_in, rng_b, rng_m, rng_d = spawn_rngs(config.seed, 5)
+
+        self.time_encoder = TimeEncoder(config.time_dim)
+        self.cooccurrence_proj = Linear(1, cooccurrence_dim, rng=rng_c)
+        token_width = feature_dim + edge_feature_dim + config.time_dim + cooccurrence_dim
+        self.input_proj = Linear(token_width, d_h, rng=rng_in)
+        self.blocks = [
+            TransformerBlock(d_h, num_heads, rng=int(rng_b.integers(2**31)))
+            for _ in range(num_blocks)
+        ]
+        for index, block in enumerate(self.blocks):
+            setattr(self, f"block{index}", block)
+        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m)
+        self._decoder_rng = rng_d
+
+    def build_decoder(self, output_dim: int) -> Module:
+        d_h = self.config.hidden_dim
+        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+
+    def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
+        idx = np.asarray(idx, dtype=np.int64)
+        tokens, mask, target_feats = assemble_tokens(
+            bundle, idx, self.feature_name, self.time_encoder
+        )
+        counts = cooccurrence_counts(bundle.neighbor_nodes[idx], mask)
+        co_enc = self.cooccurrence_proj(Tensor(counts[..., None]))
+        hidden = self.input_proj(concat([Tensor(tokens), co_enc], axis=-1))
+        # Guard: rows with zero valid keys would attend uniformly; keep them
+        # but mask their pooled output below.
+        safe_mask = mask.copy()
+        empty_rows = ~mask.any(axis=1)
+        safe_mask[empty_rows, 0] = True
+        for block in self.blocks:
+            hidden = block(hidden, safe_mask)
+        counts_valid = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (hidden * mask[..., None].astype(float)).sum(axis=1) * (
+            1.0 / counts_valid
+        )
+        return self.merge(concat([pooled, Tensor(target_feats)], axis=-1))

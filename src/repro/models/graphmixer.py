@@ -1,0 +1,91 @@
+"""GraphMixer baseline (Cong et al., ICLR 2023).
+
+"Do we really need complicated model architectures for temporal networks?"
+— GraphMixer answers with an all-MLP design: a *link encoder* applies
+MLP-Mixer blocks (token-mixing across the k recent edges, channel-mixing
+across features) to the [edge feature ‖ fixed time encoding] matrix, and a
+*node encoder* mean-pools neighbour features.  We reproduce both, with the
+same fixed (non-learnable) time encoding the original uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.base import ContextModel, ModelConfig
+from repro.models.common import assemble_tokens
+from repro.models.context import ContextBundle
+from repro.nn.layers import MLP, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import spawn_rngs
+
+
+class MixerBlock(Module):
+    """One MLP-Mixer block over a (B, k, d) token matrix."""
+
+    def __init__(self, num_tokens: int, dim: int, rng=None) -> None:
+        super().__init__()
+        rng_t, rng_c = spawn_rngs(None if rng is None else rng, 2)
+        self.token_norm = LayerNorm(dim)
+        self.token_mlp = MLP([num_tokens, num_tokens // 2 or 1, num_tokens], rng=rng_t)
+        self.channel_norm = LayerNorm(dim)
+        self.channel_mlp = MLP([dim, dim * 2, dim], rng=rng_c)
+
+    def forward(self, tokens: Tensor) -> Tensor:
+        # Token mixing operates along the k axis: transpose, MLP, transpose.
+        normed = self.token_norm(tokens)
+        mixed = self.token_mlp(normed.swapaxes(1, 2)).swapaxes(1, 2)
+        tokens = tokens + mixed
+        normed = self.channel_norm(tokens)
+        return tokens + self.channel_mlp(normed)
+
+
+class GraphMixer(ContextModel):
+    name = "GraphMixer"
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        k: int,
+        config: Optional[ModelConfig] = None,
+        num_blocks: int = 2,
+    ) -> None:
+        config = config or ModelConfig()
+        super().__init__(config)
+        self.feature_name = feature_name
+        self.feature_dim = feature_dim
+        self.edge_feature_dim = edge_feature_dim
+        self.k = k
+        d_h = config.hidden_dim
+        rng_in, rng_b, rng_out, rng_d = spawn_rngs(config.seed, 4)
+
+        self.time_encoder = TimeEncoder(config.time_dim)
+        token_width = feature_dim + edge_feature_dim + config.time_dim
+        self.input_proj = Linear(token_width, d_h, rng=rng_in)
+        self.blocks = [MixerBlock(k, d_h, rng=int(rng_b.integers(2**31))) for _ in range(num_blocks)]
+        for index, block in enumerate(self.blocks):
+            setattr(self, f"block{index}", block)
+        self.output_norm = LayerNorm(d_h)
+        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_out)
+        self._decoder_rng = rng_d
+
+    def build_decoder(self, output_dim: int) -> Module:
+        d_h = self.config.hidden_dim
+        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+
+    def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
+        tokens, mask, target_feats = assemble_tokens(
+            bundle, idx, self.feature_name, self.time_encoder
+        )
+        hidden = self.input_proj(Tensor(tokens))
+        for block in self.blocks:
+            hidden = block(hidden)
+        hidden = self.output_norm(hidden)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (hidden * mask[..., None].astype(float)).sum(axis=1) * (1.0 / counts)
+        return self.merge(concat([pooled, Tensor(target_feats)], axis=-1))

@@ -1,0 +1,106 @@
+"""JODIE baseline (Kumar et al., KDD 2019).
+
+JODIE maintains a dynamic embedding per node, updated by a pair of RNNs on
+every interaction (one for each endpoint role), and *projects* the
+embedding forward in time for prediction:  ĥ_u(t) = (1 + Δt · w) ⊙ h_u.
+Training uses JODIE's t-batching so each node appears once per vectorised
+level (see :mod:`repro.models.memory`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.context import ContextBundle
+from repro.models.memory import MemoryModel, tbatch_levels
+from repro.models.base import ModelConfig
+from repro.nn.layers import MLP, Parameter
+from repro.nn.rnn import RNNCell
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.rng import spawn_rngs
+
+
+class JODIE(MemoryModel):
+    name = "JODIE"
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        num_nodes: int,
+        config: Optional[ModelConfig] = None,
+    ) -> None:
+        super().__init__(feature_name, feature_dim, edge_feature_dim, num_nodes, config)
+        d_h = self.config.hidden_dim
+        rng_s, rng_d, self._decoder_rng = spawn_rngs(self.config.seed, 3)
+        self.time_encoder = TimeEncoder(self.config.time_dim)
+        rnn_input = d_h + edge_feature_dim + self.config.time_dim
+        self.rnn_src = RNNCell(rnn_input, d_h, rng=rng_s)
+        self.rnn_dst = RNNCell(rnn_input, d_h, rng=rng_d)
+        self.projection = Parameter(np.zeros(d_h), name="time_projection")
+        self._time_scale = 1.0
+
+    def build_decoder(self, output_dim: int) -> None:
+        d_h = self.config.hidden_dim
+        self.decoder = MLP(
+            [d_h + self.feature_dim, d_h, output_dim],
+            dropout=self.config.dropout,
+            rng=self._decoder_rng,
+        )
+
+    # ------------------------------------------------------------------
+    def update_block(
+        self, bundle: ContextBundle, edge_slice: slice, read_row
+    ) -> Tuple[Dict[int, Tensor], Optional[Tensor]]:
+        ctdg = bundle.ctdg
+        src = ctdg.src[edge_slice]
+        dst = ctdg.dst[edge_slice]
+        times = ctdg.times[edge_slice]
+        if self._time_scale == 1.0 and ctdg.end_time > ctdg.start_time:
+            self._time_scale = (ctdg.end_time - ctdg.start_time) / max(
+                ctdg.num_edges, 1
+            )
+        feats = (
+            ctdg.edge_features[edge_slice]
+            if ctdg.edge_features is not None
+            else np.zeros((len(src), 0))
+        )
+        pending: Dict[int, Tensor] = {}
+
+        def row(node: int) -> Tensor:
+            got = pending.get(node)
+            return got if got is not None else read_row(node)
+
+        for level in tbatch_levels(src, dst):
+            u = src[level]
+            v = dst[level]
+            t = times[level]
+            e_f = feats[level]
+            h_u = stack([row(int(n)) for n in u])
+            h_v = stack([row(int(n)) for n in v])
+            dt_u = self.time_encoder((t - self._last_update[u]) / self._time_scale)
+            dt_v = self.time_encoder((t - self._last_update[v]) / self._time_scale)
+            input_u = concat([h_v, Tensor(np.concatenate([e_f, dt_u], axis=-1))], axis=-1)
+            input_v = concat([h_u, Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1)
+            new_u = self.rnn_src(input_u, h_u)
+            new_v = self.rnn_dst(input_v, h_v)
+            for position, node in enumerate(u):
+                pending[int(node)] = new_u[position]
+            for position, node in enumerate(v):
+                pending[int(node)] = new_v[position]
+        return pending, None
+
+    # ------------------------------------------------------------------
+    def decode(self, bundle: ContextBundle, idx: np.ndarray, read_row) -> Tensor:
+        nodes = bundle.queries.nodes[idx]
+        times = bundle.queries.times[idx]
+        h = stack([read_row(int(n)) for n in nodes])
+        deltas = np.maximum(times - bundle.target_last_times[idx], 0.0)
+        deltas = (deltas / self._time_scale)[:, None]
+        projected = h * (self.projection * Tensor(deltas) + 1.0)
+        features = self.node_features(bundle, nodes)
+        return self.decoder(concat([projected, Tensor(features)], axis=-1))

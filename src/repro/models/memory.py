@@ -1,0 +1,260 @@
+"""Shared machinery for memory-based TGNNs (JODIE, TGN, SLADE).
+
+These models carry per-node *memory* that evolves along the stream, so they
+cannot train on shuffled query minibatches.  Training replays the stream in
+chronological edge blocks:
+
+1. the block's edges update memory **in-graph** (t-batched so each node
+   appears once per level, letting updates vectorise);
+2. queries falling in the block's time window are decoded against the
+   updated rows — gradients flow from the query loss through the in-block
+   update chain into the memory updater;
+3. after the optimiser step the rows are detached into the numpy memory
+   table and the next block begins.
+
+This mirrors how the original JODIE/TGN implementations train (batch-local
+gradient flow with memory detached across batches).  Block-granularity also
+means a query inside a block reads end-of-block memory — the same ≤ B-edge
+staleness/lookahead trade-off those systems make.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import FitHistory, ModelConfig, StreamModel
+from repro.models.context import ContextBundle
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad, stack
+from repro.tasks.base import Task
+from repro.utils.rng import new_rng
+
+
+def tbatch_levels(src: np.ndarray, dst: np.ndarray) -> List[np.ndarray]:
+    """Partition block edges into levels where no node repeats (JODIE's
+    t-batching).  Edges within a level update memory independently and can
+    be processed as one vectorised call; levels run sequentially."""
+    last_level: Dict[int, int] = {}
+    levels: List[List[int]] = []
+    for position, (u, v) in enumerate(zip(src, dst)):
+        level = max(last_level.get(int(u), -1), last_level.get(int(v), -1)) + 1
+        if level == len(levels):
+            levels.append([])
+        levels[level].append(position)
+        last_level[int(u)] = level
+        last_level[int(v)] = level
+    return [np.asarray(level, dtype=np.int64) for level in levels]
+
+
+class MemoryModel(StreamModel):
+    """Chronological-replay trainer for memory TGNNs."""
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        num_nodes: int,
+        config: Optional[ModelConfig] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or ModelConfig()
+        self.feature_name = feature_name
+        self.feature_dim = feature_dim
+        self.edge_feature_dim = edge_feature_dim
+        self.num_nodes = num_nodes
+        self.block_size = int(self.config.extra.get("block_size", 200))
+        self._task: Optional[Task] = None
+        self._rng = new_rng(self.config.seed)
+        self._memory = np.zeros((num_nodes, self.config.hidden_dim))
+        self._last_update = np.zeros(num_nodes)
+        self._logits_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def update_block(
+        self,
+        bundle: ContextBundle,
+        edge_slice: slice,
+        read_row,
+    ) -> Tuple[Dict[int, Tensor], Optional[Tensor]]:
+        """Apply one edge block to memory.
+
+        Returns (updated rows as in-graph tensors, optional unsupervised
+        loss term).  ``read_row(node)`` yields the node's current memory row
+        as a Tensor (in-graph if updated this block, constant otherwise).
+        """
+
+    @abstractmethod
+    def decode(
+        self,
+        bundle: ContextBundle,
+        idx: np.ndarray,
+        read_row,
+    ) -> Tensor:
+        """Logits for the queries at ``idx`` given current memory."""
+
+    def build_decoder(self, output_dim: int) -> None:
+        """Instantiate output heads (called once when the task is known)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def node_features(self, bundle: ContextBundle, nodes: np.ndarray) -> np.ndarray:
+        """Static node features for memory models (zero or fresh-random)."""
+        if self.feature_name in bundle.static_tables:
+            return bundle.static_tables[self.feature_name][np.maximum(nodes, 0)]
+        return np.zeros((len(nodes), self.feature_dim))
+
+    def _reset_memory(self) -> None:
+        self._memory = np.zeros((self.num_nodes, self.config.hidden_dim))
+        self._last_update = np.zeros(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        bundle: ContextBundle,
+        task: Task,
+        train_idx: np.ndarray,
+        val_idx: Optional[np.ndarray] = None,
+    ) -> FitHistory:
+        train_idx = np.asarray(train_idx, dtype=np.int64)
+        self._task = task
+        if not hasattr(self, "decoder_built"):
+            self.build_decoder(task.output_dim)
+            self.decoder_built = True
+        optimizer = Adam(
+            self.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+        train_set = set(int(i) for i in train_idx)
+        history = FitHistory()
+        best_state = None
+        stale = 0
+        for epoch in range(self.config.epochs):
+            self.train()
+            losses, logits_cache = self._replay_epoch(
+                bundle, task, train_set, optimizer
+            )
+            history.train_losses.append(float(np.mean(losses)) if losses else 0.0)
+            if val_idx is not None and len(val_idx):
+                val_idx = np.asarray(val_idx, dtype=np.int64)
+                scores = task.scores(logits_cache[val_idx])
+                try:
+                    score = task.evaluate(scores, val_idx)
+                except ValueError:
+                    score = -history.train_losses[-1]
+                history.val_scores.append(score)
+                if score > history.best_val_score + 1e-12:
+                    history.best_val_score = score
+                    history.best_epoch = epoch
+                    best_state = self.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale > self.config.patience:
+                        break
+        if best_state is not None:
+            self.load_state_dict(best_state)
+        # Final clean replay with the best parameters to cache predictions.
+        self.eval()
+        with no_grad():
+            _, self._logits_cache = self._replay_epoch(bundle, task, set(), None)
+        return history
+
+    # ------------------------------------------------------------------
+    def _replay_epoch(
+        self,
+        bundle: ContextBundle,
+        task: Task,
+        train_set: set,
+        optimizer: Optional[Adam],
+    ) -> Tuple[List[float], np.ndarray]:
+        ctdg = bundle.ctdg
+        queries = bundle.queries
+        num_edges = ctdg.num_edges
+        num_queries = len(queries)
+        logits_cache = np.zeros((num_queries, task.output_dim))
+        self._reset_memory()
+
+        losses: List[float] = []
+        edge_ptr = 0
+        query_ptr = 0
+        while edge_ptr < num_edges or query_ptr < num_queries:
+            block_stop = min(edge_ptr + self.block_size, num_edges)
+            if edge_ptr < num_edges:
+                window_end = (
+                    ctdg.times[block_stop] if block_stop < num_edges else np.inf
+                )
+            else:
+                window_end = np.inf
+
+            pending: Dict[int, Tensor] = {}
+
+            def read_row(node: int) -> Tensor:
+                row = pending.get(node)
+                if row is not None:
+                    return row
+                return Tensor(self._memory[node])
+
+            unsup_loss: Optional[Tensor] = None
+            if edge_ptr < block_stop:
+                pending_rows, unsup_loss = self.update_block(
+                    bundle, slice(edge_ptr, block_stop), read_row
+                )
+                pending.update(pending_rows)
+
+            # Queries whose time falls before the next block's first edge.
+            q_stop = query_ptr
+            while q_stop < num_queries and queries.times[q_stop] < window_end:
+                q_stop += 1
+            loss_terms: List[Tensor] = []
+            if unsup_loss is not None:
+                loss_terms.append(unsup_loss)
+            if q_stop > query_ptr:
+                idx = np.arange(query_ptr, q_stop)
+                logits = self.decode(bundle, idx, read_row)
+                logits_cache[idx] = logits.data
+                supervised = np.array(
+                    [int(i) in train_set for i in idx], dtype=bool
+                )
+                if supervised.any():
+                    sup_idx = idx[supervised]
+                    loss_terms.append(task.loss(logits[np.nonzero(supervised)[0]], sup_idx))
+            if optimizer is not None and loss_terms:
+                total = loss_terms[0]
+                for term in loss_terms[1:]:
+                    total = total + term
+                optimizer.zero_grad()
+                total.backward()
+                clip_grad_norm(self.parameters(), self.config.grad_clip)
+                optimizer.step()
+                losses.append(total.item())
+
+            # Detach block updates into the persistent memory table.
+            for node, row in pending.items():
+                self._memory[node] = row.data
+            if edge_ptr < block_stop:
+                for position in range(edge_ptr, block_stop):
+                    t = float(ctdg.times[position])
+                    self._last_update[int(ctdg.src[position])] = t
+                    self._last_update[int(ctdg.dst[position])] = t
+            edge_ptr = block_stop
+            query_ptr = q_stop
+
+        return losses, logits_cache
+
+    # ------------------------------------------------------------------
+    def predict_scores(self, bundle: ContextBundle, idx: np.ndarray) -> np.ndarray:
+        if self._task is None or self._logits_cache is None:
+            raise RuntimeError("predict_scores called before fit")
+        idx = np.asarray(idx, dtype=np.int64)
+        return self._task.scores(self._logits_cache[idx])
+
+    def predict_logits(self, bundle: ContextBundle, idx: np.ndarray) -> np.ndarray:
+        if self._logits_cache is None:
+            raise RuntimeError("predict_logits called before fit")
+        return self._logits_cache[np.asarray(idx, dtype=np.int64)]

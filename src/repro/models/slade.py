@@ -1,0 +1,185 @@
+"""SLADE baseline (Lee et al., KDD 2024) — self-supervised anomaly scoring.
+
+SLADE detects dynamic anomalies *without label supervision* by monitoring
+two self-supervised signals over a TGN-style node memory:
+
+* **temporal drift** — a node whose updated memory moves far from its
+  previous memory is deviating from its long-term pattern;
+* **memory generation error** — a predictor is trained to reconstruct the
+  node's current interaction message from its previous memory; normal
+  behaviour is predictable, anomalous behaviour is not.
+
+Training minimises a contrastive drift loss plus the generation loss over
+the stream (assumed mostly normal).  The anomaly score at query time is an
+exponential moving average of the two discrepancies, so it rises while a
+node behaves abnormally and decays back afterwards — the behaviour shown in
+the paper's Fig. 13.  Only used for the dynamic anomaly detection task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.base import FitHistory, ModelConfig
+from repro.models.context import ContextBundle
+from repro.models.memory import MemoryModel, tbatch_levels
+from repro.nn.layers import MLP
+from repro.nn.rnn import GRUCell
+from repro.nn.tensor import Tensor, concat, stack
+from repro.tasks.base import Task
+from repro.utils.rng import spawn_rngs
+
+
+class SLADE(MemoryModel):
+    name = "SLADE"
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        num_nodes: int,
+        config: Optional[ModelConfig] = None,
+        score_decay: float = 0.7,
+    ) -> None:
+        super().__init__(feature_name, feature_dim, edge_feature_dim, num_nodes, config)
+        d_h = self.config.hidden_dim
+        d_t = self.config.time_dim
+        rng_g, rng_p, _ = spawn_rngs(self.config.seed, 3)
+        self.time_encoder = TimeEncoder(d_t)
+        message_dim = d_h + edge_feature_dim + d_t
+        self.memory_updater = GRUCell(message_dim, d_h, rng=rng_g)
+        self.generator = MLP([d_h, d_h, message_dim], rng=rng_p)
+        self.score_decay = score_decay
+        self._scores = np.zeros(num_nodes)
+        self._time_scale = 1.0
+
+    def build_decoder(self, output_dim: int) -> None:
+        # SLADE has no supervised decoder; scores come from the SSL signals.
+        if output_dim != 2:
+            raise ValueError("SLADE only supports the binary anomaly task")
+
+    def _reset_memory(self) -> None:
+        super()._reset_memory()
+        self._scores = np.zeros(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        bundle: ContextBundle,
+        task: Task,
+        train_idx: np.ndarray,
+        val_idx: Optional[np.ndarray] = None,
+    ) -> FitHistory:
+        """Unsupervised: labels in ``train_idx`` are never read; the indices
+        only mark the stream region available for SSL training."""
+        self._task = task
+        self.build_decoder(task.output_dim)
+        from repro.nn.optim import Adam, clip_grad_norm  # local to avoid cycle
+        from repro.nn.tensor import no_grad
+
+        optimizer = Adam(self.parameters(), lr=self.config.lr)
+        history = FitHistory()
+        for epoch in range(self.config.epochs):
+            self.train()
+            losses, logits_cache = self._replay_epoch(bundle, task, set(), optimizer)
+            history.train_losses.append(float(np.mean(losses)) if losses else 0.0)
+            # Early-stopping criterion is the SSL loss itself (no labels).
+            score = -history.train_losses[-1]
+            history.val_scores.append(score)
+            if score > history.best_val_score + 1e-12:
+                history.best_val_score = score
+                history.best_epoch = epoch
+        self.eval()
+        with no_grad():
+            _, self._logits_cache = self._replay_epoch(bundle, task, set(), None)
+        return history
+
+    # ------------------------------------------------------------------
+    def update_block(
+        self, bundle: ContextBundle, edge_slice: slice, read_row
+    ) -> Tuple[Dict[int, Tensor], Optional[Tensor]]:
+        ctdg = bundle.ctdg
+        src = ctdg.src[edge_slice]
+        dst = ctdg.dst[edge_slice]
+        times = ctdg.times[edge_slice]
+        if self._time_scale == 1.0 and ctdg.end_time > ctdg.start_time:
+            self._time_scale = (ctdg.end_time - ctdg.start_time) / max(
+                ctdg.num_edges, 1
+            )
+        feats = (
+            ctdg.edge_features[edge_slice]
+            if ctdg.edge_features is not None
+            else np.zeros((len(src), 0))
+        )
+        pending: Dict[int, Tensor] = {}
+        loss_terms = []
+
+        def row(node: int) -> Tensor:
+            got = pending.get(node)
+            return got if got is not None else read_row(node)
+
+        for level in tbatch_levels(src, dst):
+            u, v, t, e_f = src[level], dst[level], times[level], feats[level]
+            h_u = stack([row(int(n)) for n in u])
+            h_v = stack([row(int(n)) for n in v])
+            dt_u = self.time_encoder((t - self._last_update[u]) / self._time_scale)
+            msg_u = concat([h_v, Tensor(np.concatenate([e_f, dt_u], axis=-1))], axis=-1)
+            new_u = self.memory_updater(msg_u, h_u)
+
+            # Generation loss: previous memory should predict the message.
+            predicted = self.generator(h_u)
+            gen_err = ((predicted - msg_u.detach()) ** 2).mean(axis=1)
+            # Contrastive drift: own update close, shuffled update far.
+            permutation = self._rng.permutation(len(level))
+            pos = (new_u * h_u).sum(axis=1) * (1.0 / self.config.hidden_dim)
+            neg = (new_u * h_u.detach()[permutation]).sum(axis=1) * (
+                1.0 / self.config.hidden_dim
+            )
+            from repro.nn import functional as F
+
+            contrast = (
+                -(F.log(F.sigmoid(pos) + 1e-9)).mean()
+                - (F.log(1.0 - F.sigmoid(neg) + 1e-9)).mean()
+            )
+            loss_terms.append(gen_err.mean() + contrast * 0.1)
+
+            # Anomaly score update (detached numpy arithmetic).
+            drift = 1.0 - _row_cosine(new_u.data, h_u.data)
+            gen_np = gen_err.data
+            instant = drift + gen_np / (1.0 + gen_np)
+            for position, node in enumerate(u):
+                node = int(node)
+                self._scores[node] = (
+                    self.score_decay * self._scores[node]
+                    + (1.0 - self.score_decay) * instant[position]
+                )
+            for position, node in enumerate(u):
+                pending[int(node)] = new_u[position]
+            # Destination side: memory update only (items carry no state label).
+            dt_v = self.time_encoder((t - self._last_update[v]) / self._time_scale)
+            msg_v = concat([h_u.detach(), Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1)
+            new_v = self.memory_updater(msg_v, h_v)
+            for position, node in enumerate(v):
+                pending[int(node)] = new_v[position]
+
+        total = loss_terms[0]
+        for term in loss_terms[1:]:
+            total = total + term
+        return pending, total * (1.0 / len(loss_terms))
+
+    # ------------------------------------------------------------------
+    def decode(self, bundle: ContextBundle, idx: np.ndarray, read_row) -> Tensor:
+        """Pseudo-logits [0, score] so AnomalyTask.scores is monotone in the
+        anomaly score."""
+        nodes = bundle.queries.nodes[idx]
+        scores = self._scores[nodes]
+        return Tensor(np.stack([np.zeros_like(scores), scores], axis=1))
+
+
+def _row_cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    denom = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    return np.where(denom > 0, (a * b).sum(axis=1) / np.maximum(denom, 1e-12), 0.0)

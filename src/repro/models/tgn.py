@@ -1,0 +1,132 @@
+"""TGN baseline (Rossi et al., 2020).
+
+TGN couples a GRU *memory module* — updated by messages built from the two
+endpoints' memories, the edge feature, and a time encoding — with a
+temporal graph attention *embedding module* that attends from the node's
+memory over its recent neighbours' memories at prediction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.features.time_encoding import TimeEncoder
+from repro.models.base import ModelConfig
+from repro.models.context import ContextBundle
+from repro.models.memory import MemoryModel, tbatch_levels
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import MLP
+from repro.nn.rnn import GRUCell
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.rng import spawn_rngs
+
+
+class TGN(MemoryModel):
+    name = "TGN"
+
+    def __init__(
+        self,
+        feature_name: str,
+        feature_dim: int,
+        edge_feature_dim: int,
+        num_nodes: int,
+        config: Optional[ModelConfig] = None,
+        num_heads: int = 2,
+    ) -> None:
+        super().__init__(feature_name, feature_dim, edge_feature_dim, num_nodes, config)
+        d_h = self.config.hidden_dim
+        d_t = self.config.time_dim
+        rng_g, rng_a, rng_m, self._decoder_rng = spawn_rngs(self.config.seed, 4)
+        self.time_encoder = TimeEncoder(d_t)
+        message_dim = d_h + edge_feature_dim + d_t  # other endpoint's memory ‖ e ‖ φ_t
+        self.memory_updater = GRUCell(message_dim, d_h, rng=rng_g)
+        query_dim = d_h + feature_dim
+        key_dim = d_h + feature_dim + edge_feature_dim + d_t
+        self.attention = MultiHeadAttention(
+            query_dim, key_dim, d_h, num_heads=num_heads, rng=rng_a
+        )
+        self.merge = MLP([d_h + d_h, d_h, d_h], dropout=self.config.dropout, rng=rng_m)
+        self._time_scale = 1.0
+
+    def build_decoder(self, output_dim: int) -> None:
+        d_h = self.config.hidden_dim
+        self.decoder = MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
+
+    # ------------------------------------------------------------------
+    def update_block(
+        self, bundle: ContextBundle, edge_slice: slice, read_row
+    ) -> Tuple[Dict[int, Tensor], Optional[Tensor]]:
+        ctdg = bundle.ctdg
+        src = ctdg.src[edge_slice]
+        dst = ctdg.dst[edge_slice]
+        times = ctdg.times[edge_slice]
+        if self._time_scale == 1.0 and ctdg.end_time > ctdg.start_time:
+            self._time_scale = (ctdg.end_time - ctdg.start_time) / max(
+                ctdg.num_edges, 1
+            )
+        feats = (
+            ctdg.edge_features[edge_slice]
+            if ctdg.edge_features is not None
+            else np.zeros((len(src), 0))
+        )
+        pending: Dict[int, Tensor] = {}
+
+        def row(node: int) -> Tensor:
+            got = pending.get(node)
+            return got if got is not None else read_row(node)
+
+        for level in tbatch_levels(src, dst):
+            u = src[level]
+            v = dst[level]
+            t = times[level]
+            e_f = feats[level]
+            h_u = stack([row(int(n)) for n in u])
+            h_v = stack([row(int(n)) for n in v])
+            dt_u = self.time_encoder((t - self._last_update[u]) / self._time_scale)
+            dt_v = self.time_encoder((t - self._last_update[v]) / self._time_scale)
+            msg_u = concat([h_v, Tensor(np.concatenate([e_f, dt_u], axis=-1))], axis=-1)
+            msg_v = concat([h_u, Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1)
+            new_u = self.memory_updater(msg_u, h_u)
+            new_v = self.memory_updater(msg_v, h_v)
+            for position, node in enumerate(u):
+                pending[int(node)] = new_u[position]
+            for position, node in enumerate(v):
+                pending[int(node)] = new_v[position]
+        return pending, None
+
+    # ------------------------------------------------------------------
+    def decode(self, bundle: ContextBundle, idx: np.ndarray, read_row) -> Tensor:
+        nodes = bundle.queries.nodes[idx]
+        h = stack([read_row(int(n)) for n in nodes])  # (B, d_h)
+        own_feats = self.node_features(bundle, nodes)
+        query = concat([h, Tensor(own_feats)], axis=-1).reshape(
+            len(nodes), 1, -1
+        )
+
+        neighbors = bundle.neighbor_nodes[idx]
+        mask = bundle.mask[idx]
+        safe = np.maximum(neighbors, 0)
+        # Neighbour memories are read from the persistent table (pre-block
+        # state) — the same approximation TGN's embedding module makes when
+        # it reads the memory bank.
+        neighbor_memory = self._memory[safe] * mask[..., None]
+        neighbor_feats = self.node_features(bundle, safe.reshape(-1)).reshape(
+            safe.shape[0], safe.shape[1], -1
+        ) * mask[..., None]
+        time_enc = self.time_encoder(bundle.time_deltas(idx) / self._time_scale)
+        key_parts = [neighbor_memory, neighbor_feats]
+        if bundle.edge_feature_dim:
+            key_parts.append(bundle.edge_features[idx])
+        key_parts.append(time_enc)
+        keys = np.concatenate(key_parts, axis=-1)
+
+        row_has_neighbors = mask.any(axis=1)
+        attended = self.attention(query, Tensor(keys), Tensor(keys), mask=~mask)
+        attended = attended.reshape(len(nodes), self.config.hidden_dim)
+        attended = attended * row_has_neighbors[:, None].astype(float)
+        merged = self.merge(concat([attended, h], axis=-1))
+        return self.decoder(merged)

@@ -1,0 +1,114 @@
+"""Loss functions.
+
+The paper trains with empirical risk minimisation (Eq. 20) using
+cross-entropy for classification/anomaly tasks, and a soft-target
+cross-entropy against normalised affinity vectors for node affinity
+prediction (following the TGB node-property-prediction protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weight: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets`` (N,).
+
+    ``weight`` optionally rescales each class (length C), the standard remedy
+    for the heavy label imbalance in the anomaly datasets.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D (N, C), got {logits.shape}")
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    n_classes = logits.shape[1]
+    if targets.size and (targets.min() < 0 or targets.max() >= n_classes):
+        raise ValueError(f"target labels out of range [0, {n_classes})")
+    log_probs = F.log_softmax(logits, axis=-1)
+    picked = F.gather_rows(log_probs, targets)
+    if weight is not None:
+        weight = np.asarray(weight, dtype=float)
+        if weight.shape != (n_classes,):
+            raise ValueError(f"weight must have shape ({n_classes},)")
+        sample_weight = weight[targets]
+        total = sample_weight.sum()
+        if total <= 0:
+            raise ValueError("class weights select no samples")
+        return -(picked * sample_weight).sum() * (1.0 / total)
+    return -picked.mean()
+
+
+def soft_cross_entropy(logits: Tensor, target_probs: np.ndarray) -> Tensor:
+    """Cross-entropy against a soft target distribution per row.
+
+    Rows of ``target_probs`` should sum to 1; rows summing to 0 (no future
+    affinity observed) are skipped.
+    """
+    logits = as_tensor(logits)
+    target = np.asarray(target_probs, dtype=float)
+    if target.shape != logits.shape:
+        raise ValueError(
+            f"target shape {target.shape} must match logits {logits.shape}"
+        )
+    row_mass = target.sum(axis=-1)
+    valid = row_mass > 0
+    if not np.any(valid):
+        raise ValueError("all target rows are empty")
+    log_probs = F.log_softmax(logits, axis=-1)
+    per_row = -(log_probs * target).sum(axis=-1)
+    mask = valid.astype(float)
+    return (per_row * mask).sum() * (1.0 / mask.sum())
+
+
+def bce_with_logits(
+    logits: Tensor,
+    targets: np.ndarray,
+    pos_weight: float = 1.0,
+) -> Tensor:
+    """Binary cross-entropy on logits, numerically stable.
+
+    Uses the identity ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    ``pos_weight`` rescales the positive-class term, as in torch.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=float)
+    if targets.shape != logits.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match logits {logits.shape}"
+        )
+    # Stable formulation: softplus(x) - x*y, with softplus(x) written in the
+    # shifted form max(x,0) + log(1 + exp(-|x|)) so exp never overflows.
+    max_part = F.relu(logits)
+    abs_logits = F.relu(logits) + F.relu(-logits)
+    softplus = max_part + F.log(F.exp(-abs_logits) + 1.0)
+    per = softplus - logits * targets
+    if pos_weight != 1.0:
+        per = per * (1.0 + (pos_weight - 1.0) * targets)
+    return per.mean()
+
+
+def mse_loss(prediction: Tensor, targets: np.ndarray) -> Tensor:
+    prediction = as_tensor(prediction)
+    targets = np.asarray(targets, dtype=float)
+    if targets.shape != prediction.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match prediction {prediction.shape}"
+        )
+    diff = prediction - targets
+    return (diff * diff).mean()
+
+
+__all__ = ["cross_entropy", "soft_cross_entropy", "bce_with_logits", "mse_loss"]

@@ -1,0 +1,32 @@
+"""Saving and loading model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` (``.npz`` appended if absent)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def load_into(module: Module, path: str) -> Module:
+    """Load parameters from ``path`` into ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

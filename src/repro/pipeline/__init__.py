@@ -1,0 +1,22 @@
+"""``repro.pipeline`` — end-to-end SPLASH and the experiment harness."""
+
+from repro.pipeline.evaluator import (
+    MethodResult,
+    PreparedExperiment,
+    format_results_table,
+    prepare_experiment,
+    run_method,
+    run_methods,
+)
+from repro.pipeline.splash import Splash, SplashConfig
+
+__all__ = [
+    "Splash",
+    "SplashConfig",
+    "MethodResult",
+    "PreparedExperiment",
+    "prepare_experiment",
+    "run_method",
+    "run_methods",
+    "format_results_table",
+]

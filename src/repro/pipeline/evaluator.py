@@ -1,0 +1,176 @@
+"""Experiment runner: one bundle, many methods, comparable results.
+
+Prepares a dataset once (fit feature processes, materialise contexts) and
+then runs any subset of the paper's methods against it, recording the task
+metric, wall-clock training/inference time, and parameter counts — the raw
+material for Tables III/IV and Figures 9-12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import StreamDataset
+from repro.features import default_processes
+from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
+from repro.models import ModelConfig, create_model
+from repro.models.context import ContextBundle, build_context_bundle
+from repro.pipeline.splash import Splash, SplashConfig
+from repro.streams.split import ChronoSplit
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rngs
+
+logger = get_logger("evaluator")
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one (method, dataset) run."""
+
+    method: str
+    dataset: str
+    metric_name: str
+    test_metric: float
+    train_seconds: float
+    inference_seconds: float
+    num_parameters: int
+    selected_process: Optional[str] = None
+    val_metric: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PreparedExperiment:
+    """A dataset with its fitted features, contexts, and split."""
+
+    dataset: StreamDataset
+    bundle: ContextBundle
+    split: ChronoSplit
+
+
+def prepare_experiment(
+    dataset: StreamDataset,
+    k: int = 10,
+    feature_dim: int = 32,
+    seed: int = 0,
+    split: Optional[ChronoSplit] = None,
+) -> PreparedExperiment:
+    """Fit all feature processes on the training stream and build the shared
+    context bundle (one replay serving every method)."""
+    split = split or dataset.split()
+    train_stream = dataset.train_stream(split)
+    rng_fresh, _ = spawn_rngs(seed + 1, 2)
+    processes = default_processes(feature_dim, seed=seed) + [
+        FreshRandomFeatureProcess(feature_dim, rng=rng_fresh),
+        ZeroFeatureProcess(feature_dim),
+    ]
+    for process in processes:
+        process.fit(train_stream, dataset.ctdg.num_nodes)
+    bundle = build_context_bundle(dataset.ctdg, dataset.queries, k, processes)
+    return PreparedExperiment(dataset=dataset, bundle=bundle, split=split)
+
+
+def run_method(
+    method: str,
+    prepared: PreparedExperiment,
+    config: Optional[ModelConfig] = None,
+    splash_config: Optional[SplashConfig] = None,
+) -> MethodResult:
+    """Train and evaluate one method on a prepared experiment."""
+    dataset, bundle, split = prepared.dataset, prepared.bundle, prepared.split
+    task = dataset.task
+    config = config or ModelConfig()
+
+    if method.lower() == "splash":
+        sp_config = splash_config or SplashConfig(
+            feature_dim=bundle.feature_dim("random"), k=bundle.k, model=config
+        )
+        splash = Splash(sp_config)
+        start = time.perf_counter()
+        splash.fit(dataset, split=split, bundle=bundle)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        test_metric = splash.evaluate(split.test_idx)
+        inference_seconds = time.perf_counter() - start
+        return MethodResult(
+            method="SPLASH",
+            dataset=dataset.name,
+            metric_name=task.metric_name,
+            test_metric=test_metric,
+            train_seconds=train_seconds,
+            inference_seconds=inference_seconds,
+            num_parameters=splash.num_parameters(),
+            selected_process=splash.selected_process,
+        )
+
+    model = create_model(method, bundle, config)
+    start = time.perf_counter()
+    history = model.fit(bundle, task, split.train_idx, split.val_idx)
+    train_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    scores = model.predict_scores(bundle, split.test_idx)
+    inference_seconds = time.perf_counter() - start
+    try:
+        test_metric = task.evaluate(scores, split.test_idx)
+    except ValueError:
+        test_metric = float("nan")
+    logger.info(
+        "%s on %s: %s=%.4f (train %.1fs)",
+        method,
+        dataset.name,
+        task.metric_name,
+        test_metric,
+        train_seconds,
+    )
+    return MethodResult(
+        method=method,
+        dataset=dataset.name,
+        metric_name=task.metric_name,
+        test_metric=test_metric,
+        train_seconds=train_seconds,
+        inference_seconds=inference_seconds,
+        num_parameters=model.num_parameters(),
+        val_metric=history.best_val_score if history.val_scores else None,
+    )
+
+
+def run_methods(
+    methods: Sequence[str],
+    prepared: PreparedExperiment,
+    config: Optional[ModelConfig] = None,
+) -> List[MethodResult]:
+    return [run_method(method, prepared, config) for method in methods]
+
+
+def format_results_table(results: Sequence[MethodResult]) -> str:
+    """Render results as an aligned text table (Table III style)."""
+    if not results:
+        return "(no results)"
+    headers = ["method", "dataset", "metric", "value", "train_s", "infer_s", "params"]
+    rows = [
+        [
+            r.method,
+            r.dataset,
+            r.metric_name,
+            f"{100 * r.test_metric:.1f}" if np.isfinite(r.test_metric) else "n/a",
+            f"{r.train_seconds:.1f}",
+            f"{r.inference_seconds:.2f}",
+            str(r.num_parameters),
+        ]
+        for r in results
+    ]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rows))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[c].ljust(widths[c]) for c in range(len(headers))),
+        "  ".join("-" * widths[c] for c in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)

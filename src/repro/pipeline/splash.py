@@ -1,0 +1,175 @@
+"""The end-to-end SPLASH method (paper §IV, Fig. 5).
+
+Training phase: (1) fit the three augmentation processes on the training
+stream, (2) materialise query contexts in one replay, (3) select the best
+process via linear empirical risks on multiple chronological splits, and
+(4) train SLIM on the selected features.  Test phase: features for unseen
+nodes are produced by propagation/degree-encoding inside the same replay,
+and the trained SLIM scores any query subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features import default_processes
+from repro.features.base import FeatureProcess
+from repro.models.base import FitHistory, ModelConfig, evaluate_model
+from repro.models.context import ContextBundle, build_context_bundle
+from repro.models.slim import SLIM
+from repro.selection.linear_model import LinearFitConfig
+from repro.selection.selector import FeatureSelector, SelectionResult
+from repro.datasets.base import StreamDataset
+from repro.streams.split import ChronoSplit
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+
+logger = get_logger("splash")
+
+
+@dataclass
+class SplashConfig:
+    """Hyperparameters of the full SPLASH pipeline."""
+
+    feature_dim: int = 32
+    k: int = 10
+    model: ModelConfig = field(default_factory=ModelConfig)
+    linear: LinearFitConfig = field(default_factory=LinearFitConfig)
+    split_fractions: Optional[List[float]] = None  # None → paper's five splits
+    force_process: Optional[str] = None  # ablations: "random"/"positional"/...
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.feature_dim <= 0 or self.k <= 0:
+            raise ValueError("feature_dim and k must be positive")
+
+
+class Splash:
+    """SPLASH: augment → select → SLIM.
+
+    Typical use::
+
+        splash = Splash(SplashConfig())
+        result = splash.fit(dataset)                  # 10/10/80 split
+        test_metric = splash.evaluate(splash.split.test_idx)
+    """
+
+    def __init__(self, config: Optional[SplashConfig] = None) -> None:
+        self.config = config or SplashConfig()
+        self.processes: List[FeatureProcess] = []
+        self.bundle: Optional[ContextBundle] = None
+        self.selection: Optional[SelectionResult] = None
+        self.model: Optional[SLIM] = None
+        self.split: Optional[ChronoSplit] = None
+        self.timer = Timer()
+        self._dataset: Optional[StreamDataset] = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: StreamDataset,
+        split: Optional[ChronoSplit] = None,
+        processes: Optional[Sequence[FeatureProcess]] = None,
+        bundle: Optional[ContextBundle] = None,
+    ) -> FitHistory:
+        """Run the full training phase on ``dataset``.
+
+        ``split`` defaults to the paper's chronological 10/10/80 over
+        queries; ``processes`` defaults to {R, P, S} at ``feature_dim``.
+        Pass a prebuilt ``bundle`` (containing the SPLASH candidates) to
+        reuse a shared context replay across methods in experiments.
+        """
+        cfg = self.config
+        self._dataset = dataset
+        self.split = split or dataset.split()
+
+        if bundle is not None:
+            missing = {"random", "positional", "structural"} - set(
+                bundle.feature_names
+            )
+            if missing:
+                raise ValueError(
+                    f"prebuilt bundle lacks SPLASH candidates: {sorted(missing)}"
+                )
+            self.bundle = bundle
+        else:
+            train_stream = dataset.train_stream(self.split)
+            with self.timer.section("feature_fit"):
+                self.processes = list(
+                    processes
+                    if processes is not None
+                    else default_processes(cfg.feature_dim, seed=cfg.seed)
+                )
+                for process in self.processes:
+                    process.fit(train_stream, dataset.ctdg.num_nodes)
+            with self.timer.section("context_build"):
+                self.bundle = build_context_bundle(
+                    dataset.ctdg, dataset.queries, cfg.k, self.processes
+                )
+
+        if cfg.force_process is None:
+            with self.timer.section("selection"):
+                selector = FeatureSelector(
+                    split_fractions=cfg.split_fractions,
+                    linear_config=cfg.linear,
+                    rng=cfg.seed,
+                )
+                available = np.concatenate(
+                    [self.split.train_idx, self.split.val_idx]
+                )
+                self.selection = selector.select(
+                    self.bundle,
+                    dataset.task,
+                    available,
+                    process_names=self.bundle.splash_candidates,
+                )
+                selected = self.selection.selected
+        else:
+            selected = cfg.force_process
+            self.selection = None
+
+        logger.info("SPLASH on %s: using process %r", dataset.name, selected)
+        with self.timer.section("train"):
+            self.model = SLIM(
+                feature_name=selected,
+                feature_dim=self.bundle.feature_dim(selected),
+                edge_feature_dim=self.bundle.edge_feature_dim,
+                config=cfg.model,
+            )
+            history = self.model.fit(
+                self.bundle,
+                dataset.task,
+                self.split.train_idx,
+                self.split.val_idx,
+            )
+        return history
+
+    # ------------------------------------------------------------------
+    @property
+    def selected_process(self) -> str:
+        if self.model is None:
+            raise RuntimeError("fit() has not been called")
+        return self.model.feature_name
+
+    def predict_scores(self, idx: np.ndarray) -> np.ndarray:
+        if self.model is None or self.bundle is None:
+            raise RuntimeError("fit() has not been called")
+        return self.model.predict_scores(self.bundle, idx)
+
+    def evaluate(self, idx: Optional[np.ndarray] = None) -> float:
+        """Task metric on ``idx`` (default: the held-out test queries)."""
+        if self.model is None or self.bundle is None or self._dataset is None:
+            raise RuntimeError("fit() has not been called")
+        if idx is None:
+            assert self.split is not None
+            idx = self.split.test_idx
+        with self.timer.section("inference"):
+            return evaluate_model(self.model, self.bundle, self._dataset.task, idx)
+
+    def num_parameters(self) -> int:
+        if self.model is None:
+            raise RuntimeError("fit() has not been called")
+        return self.model.num_parameters()

@@ -1,0 +1,14 @@
+"""``repro.selection`` — SPLASH's automatic node-feature selection (§IV-B):
+Eq.-7 encodings, linear ERM risk models, and multi-split selection."""
+
+from repro.selection.encoding import node_encodings
+from repro.selection.linear_model import LinearFitConfig, LinearRiskModel
+from repro.selection.selector import FeatureSelector, SelectionResult
+
+__all__ = [
+    "node_encodings",
+    "LinearFitConfig",
+    "LinearRiskModel",
+    "FeatureSelector",
+    "SelectionResult",
+]

@@ -1,0 +1,32 @@
+"""Node encodings with augmented features (paper Eq. 7).
+
+x^E_i(t) = [ x_i(t) ‖ mean over the k most recent temporal edges of x_j(t(l)) ]
+
+— the target's own feature concatenated with the mean of its recent
+neighbours' features at their edge times.  Deliberately encoder-free: this
+is the input to the *linear* risk models used for feature selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.context import ContextBundle
+
+
+def node_encodings(
+    bundle: ContextBundle, feature_name: str, idx: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """(Q, 2·d_v) Eq.-7 encodings for process ``feature_name``.
+
+    Rows with no buffered neighbours get a zero neighbour-mean block,
+    mirroring how TGNNs treat isolated query nodes.
+    """
+    target = bundle.get_target_features(feature_name, idx)
+    neighbors = bundle.get_neighbor_features(feature_name, idx)
+    mask = bundle.mask if idx is None else bundle.mask[idx]
+    counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+    mean_neighbors = (neighbors * mask[..., None]).sum(axis=1) / counts
+    return np.concatenate([target, mean_neighbors], axis=1)

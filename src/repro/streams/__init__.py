@@ -1,0 +1,47 @@
+"""``repro.streams`` — continuous-time dynamic graph (CTDG) substrate.
+
+Columnar edge streams, graph snapshots, k-recent neighbour summaries,
+incremental degree tracking, chronological splitting, stream replay, and
+file I/O.  These implement §II-A/§II-E of the paper and are the foundation
+for feature augmentation and all TGNN models.
+"""
+
+from repro.streams.batching import chronological_batches, minibatch_indices
+from repro.streams.ctdg import CTDG, merge_streams
+from repro.streams.degrees import DegreeTracker
+from repro.streams.edge import TemporalEdge
+from repro.streams.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
+from repro.streams.replay import StreamProcessor, replay
+from repro.streams.snapshot import GraphSnapshot, snapshot_sequence
+from repro.streams.split import (
+    ChronoSplit,
+    chronological_split,
+    selection_split_fractions,
+    split_at_fraction,
+    unseen_ratio_split,
+)
+
+__all__ = [
+    "CTDG",
+    "merge_streams",
+    "TemporalEdge",
+    "DegreeTracker",
+    "RecentNeighborBuffer",
+    "NeighborEntry",
+    "GraphSnapshot",
+    "snapshot_sequence",
+    "StreamProcessor",
+    "replay",
+    "ChronoSplit",
+    "chronological_split",
+    "selection_split_fractions",
+    "split_at_fraction",
+    "unseen_ratio_split",
+    "read_csv",
+    "write_csv",
+    "read_jsonl",
+    "write_jsonl",
+    "chronological_batches",
+    "minibatch_indices",
+]

@@ -1,0 +1,43 @@
+"""Minibatch index iteration for training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+def minibatch_indices(
+    n: int,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: SeedLike = None,
+    drop_last: bool = False,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n)`` in batches of ``batch_size``.
+
+    With ``shuffle`` the order is permuted each call; pass an explicit ``rng``
+    for reproducible epochs.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(n)
+    if shuffle:
+        new_rng(rng).shuffle(order)
+    for start in range(0, n, batch_size):
+        batch = order[start : start + batch_size]
+        if drop_last and len(batch) < batch_size:
+            return
+        yield batch
+
+
+def chronological_batches(n: int, batch_size: int) -> Iterator[np.ndarray]:
+    """Yield contiguous chronological batches (for memory-based TGNNs)."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    for start in range(0, n, batch_size):
+        yield np.arange(start, min(start + batch_size, n))

@@ -1,0 +1,204 @@
+"""Continuous-time dynamic graph container.
+
+Edges are stored *columnar* (parallel numpy arrays) for vectorised access,
+with :class:`~repro.streams.edge.TemporalEdge` views materialised on demand.
+This mirrors how streaming systems store edge logs and keeps memory linear in
+the stream length with small constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.streams.edge import TemporalEdge
+
+
+class CTDG:
+    """An ordered stream of temporal edges G = (δ(1), δ(2), ...).
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of endpoint ids, shape (E,).
+    times:
+        Non-decreasing float array of arrival timestamps, shape (E,).
+    edge_features:
+        Optional (E, d_e) float array.
+    weights:
+        Optional (E,) float array; defaults to all ones.
+    num_nodes:
+        Optional override for the node-id space size (ids may be sparse).
+    """
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        edge_features: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+        num_nodes: Optional[int] = None,
+    ) -> None:
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.times = np.asarray(times, dtype=np.float64)
+        if not (self.src.shape == self.dst.shape == self.times.shape):
+            raise ValueError(
+                "src, dst, times must share shape, got "
+                f"{self.src.shape}, {self.dst.shape}, {self.times.shape}"
+            )
+        if self.src.ndim != 1:
+            raise ValueError("edge arrays must be 1-D")
+        if self.num_edges and np.any(np.diff(self.times) < 0):
+            raise ValueError("timestamps must be non-decreasing")
+        if self.num_edges and min(self.src.min(), self.dst.min()) < 0:
+            raise ValueError("node ids must be non-negative")
+
+        if edge_features is not None:
+            edge_features = np.asarray(edge_features, dtype=np.float64)
+            if edge_features.shape[0] != self.num_edges or edge_features.ndim != 2:
+                raise ValueError(
+                    f"edge_features must be (E, d_e), got {edge_features.shape}"
+                )
+        self.edge_features = edge_features
+
+        if weights is None:
+            weights = np.ones(self.num_edges)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.shape != self.src.shape:
+            raise ValueError(f"weights must be (E,), got {self.weights.shape}")
+
+        observed = 0
+        if self.num_edges:
+            observed = int(max(self.src.max(), self.dst.max())) + 1
+        self.num_nodes = int(num_nodes) if num_nodes is not None else observed
+        if self.num_nodes < observed:
+            raise ValueError(
+                f"num_nodes={num_nodes} smaller than max node id + 1 = {observed}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return 0 if self.edge_features is None else int(self.edge_features.shape[1])
+
+    @property
+    def start_time(self) -> float:
+        return float(self.times[0]) if self.num_edges else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return float(self.times[-1]) if self.num_edges else 0.0
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __repr__(self) -> str:
+        return (
+            f"CTDG(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"d_e={self.edge_feature_dim}, span=[{self.start_time}, {self.end_time}])"
+        )
+
+    # ------------------------------------------------------------------
+    def edge(self, index: int) -> TemporalEdge:
+        """Materialise edge ``index`` as a :class:`TemporalEdge`."""
+        if not 0 <= index < self.num_edges:
+            raise IndexError(f"edge index {index} out of range [0, {self.num_edges})")
+        feature = None
+        if self.edge_features is not None:
+            feature = self.edge_features[index]
+        return TemporalEdge(
+            src=int(self.src[index]),
+            dst=int(self.dst[index]),
+            time=float(self.times[index]),
+            feature=feature,
+            weight=float(self.weights[index]),
+            index=index,
+        )
+
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        for index in range(self.num_edges):
+            yield self.edge(index)
+
+    # ------------------------------------------------------------------
+    def prefix_until(self, time: float, inclusive: bool = True) -> "CTDG":
+        """Return the sub-stream of edges with t ≤ ``time`` (or < if not inclusive)."""
+        side = "right" if inclusive else "left"
+        stop = int(np.searchsorted(self.times, time, side=side))
+        return self.slice(0, stop)
+
+    def slice(self, start: int, stop: int) -> "CTDG":
+        """Return edges [start, stop) as a new CTDG sharing node-id space."""
+        features = None
+        if self.edge_features is not None:
+            features = self.edge_features[start:stop]
+        return CTDG(
+            self.src[start:stop],
+            self.dst[start:stop],
+            self.times[start:stop],
+            edge_features=features,
+            weights=self.weights[start:stop],
+            num_nodes=self.num_nodes,
+        )
+
+    def nodes_seen(self) -> np.ndarray:
+        """Sorted unique node ids appearing in this stream (the set V)."""
+        return np.unique(np.concatenate([self.src, self.dst]))
+
+    def degrees(self) -> np.ndarray:
+        """Final degree per node id (both endpoints counted, Eq. 2)."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(deg, self.src, 1)
+        np.add.at(deg, self.dst, 1)
+        return deg
+
+    @staticmethod
+    def from_edges(edges: Sequence[TemporalEdge], num_nodes: Optional[int] = None) -> "CTDG":
+        """Build a CTDG from edge records (must already be time-sorted)."""
+        if not edges:
+            return CTDG(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0),
+                num_nodes=num_nodes or 0,
+            )
+        src = np.array([e.src for e in edges], dtype=np.int64)
+        dst = np.array([e.dst for e in edges], dtype=np.int64)
+        times = np.array([e.time for e in edges], dtype=np.float64)
+        weights = np.array([e.weight for e in edges], dtype=np.float64)
+        features = None
+        if edges[0].feature is not None:
+            features = np.stack([np.asarray(e.feature) for e in edges])
+        return CTDG(src, dst, times, edge_features=features, weights=weights, num_nodes=num_nodes)
+
+
+def merge_streams(streams: Sequence[CTDG]) -> CTDG:
+    """Merge several CTDGs (over the same node-id space) into one time-sorted stream."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    num_nodes = max(s.num_nodes for s in streams)
+    src = np.concatenate([s.src for s in streams])
+    dst = np.concatenate([s.dst for s in streams])
+    times = np.concatenate([s.times for s in streams])
+    weights = np.concatenate([s.weights for s in streams])
+    feature_dims = {s.edge_feature_dim for s in streams}
+    if len(feature_dims) != 1:
+        raise ValueError(f"inconsistent edge feature dims: {feature_dims}")
+    features = None
+    if feature_dims != {0}:
+        features = np.concatenate([s.edge_features for s in streams])
+    order = np.argsort(times, kind="stable")
+    return CTDG(
+        src[order],
+        dst[order],
+        times[order],
+        edge_features=None if features is None else features[order],
+        weights=weights[order],
+        num_nodes=num_nodes,
+    )

@@ -1,0 +1,43 @@
+"""Incremental node-degree tracking (Eq. 2 of the paper).
+
+deg_i(t) counts the temporal edges incident to node i that arrived up to
+time t; both endpoints of an edge gain one.  Self-loops add two, matching
+the multiset definition in Eq. (2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class DegreeTracker:
+    """O(1)-per-edge streaming degree counts over a dynamic node set."""
+
+    def __init__(self, num_nodes_hint: int = 0) -> None:
+        self._degrees: Dict[int, int] = {}
+        self._num_nodes_hint = num_nodes_hint
+
+    def observe_edge(self, src: int, dst: int) -> None:
+        self._degrees[src] = self._degrees.get(src, 0) + 1
+        self._degrees[dst] = self._degrees.get(dst, 0) + 1
+
+    def degree(self, node: int) -> int:
+        return self._degrees.get(node, 0)
+
+    def degrees_of(self, nodes: np.ndarray) -> np.ndarray:
+        return np.array([self._degrees.get(int(n), 0) for n in nodes], dtype=np.int64)
+
+    def as_array(self, num_nodes: int) -> np.ndarray:
+        out = np.zeros(num_nodes, dtype=np.int64)
+        for node, degree in self._degrees.items():
+            if node < num_nodes:
+                out[node] = degree
+        return out
+
+    def num_active_nodes(self) -> int:
+        return len(self._degrees)
+
+    def reset(self) -> None:
+        self._degrees.clear()

@@ -1,0 +1,50 @@
+"""The temporal-edge record type (paper §II-A, Definition of a CTDG)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TemporalEdge:
+    """One element δ(n) of an edge stream.
+
+    Attributes
+    ----------
+    src, dst:
+        Integer node ids (source and destination).
+    time:
+        Arrival timestamp ``t(n)``; the stream is non-decreasing in time.
+    feature:
+        Optional edge feature vector ``x_ij`` (``None`` for featureless
+        streams such as Email-EU).
+    weight:
+        Edge weight ``w_ij``; defaults to 1.0 when a dataset has no explicit
+        weights, matching footnote 2 of the paper.
+    index:
+        Position ``n`` in the stream (0-based), set by the containing CTDG.
+    """
+
+    src: int
+    dst: int
+    time: float
+    feature: Optional[np.ndarray] = None
+    weight: float = 1.0
+    index: int = field(default=-1, compare=False)
+
+    def endpoints(self) -> tuple:
+        return (self.src, self.dst)
+
+    def other(self, node: int) -> int:
+        """Return the endpoint that is not ``node``.
+
+        For self-loops returns ``node`` itself.
+        """
+        if node == self.src:
+            return self.dst
+        if node == self.dst:
+            return self.src
+        raise ValueError(f"node {node} is not an endpoint of {self}")

@@ -1,0 +1,111 @@
+"""Reading and writing edge streams as CSV or JSON-lines files.
+
+The on-disk CSV schema matches common temporal-graph releases (JODIE, TGB):
+``src,dst,time,weight[,f0,f1,...]`` with a header row.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.streams.ctdg import CTDG
+
+
+def write_csv(ctdg: CTDG, path: str) -> None:
+    """Write the stream to ``path`` in the src,dst,time,weight[,f*] schema."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    d_e = ctdg.edge_feature_dim
+    header = ["src", "dst", "time", "weight"] + [f"f{i}" for i in range(d_e)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(ctdg.num_edges):
+            row = [
+                int(ctdg.src[i]),
+                int(ctdg.dst[i]),
+                repr(float(ctdg.times[i])),
+                repr(float(ctdg.weights[i])),
+            ]
+            if d_e:
+                row.extend(repr(float(v)) for v in ctdg.edge_features[i])
+            writer.writerow(row)
+
+
+def read_csv(path: str, num_nodes: Optional[int] = None) -> CTDG:
+    """Read a stream written by :func:`write_csv` (or any matching CSV)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header[:4] != ["src", "dst", "time", "weight"]:
+            raise ValueError(
+                f"unexpected CSV header {header[:4]}; "
+                "expected ['src', 'dst', 'time', 'weight']"
+            )
+        d_e = len(header) - 4
+        src, dst, times, weights, features = [], [], [], [], []
+        for row in reader:
+            src.append(int(row[0]))
+            dst.append(int(row[1]))
+            times.append(float(row[2]))
+            weights.append(float(row[3]))
+            if d_e:
+                features.append([float(v) for v in row[4:]])
+    return CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        edge_features=np.array(features) if d_e else None,
+        weights=np.array(weights),
+        num_nodes=num_nodes,
+    )
+
+
+def write_jsonl(ctdg: CTDG, path: str) -> None:
+    """Write one JSON object per edge (streaming-friendly interchange)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        for i in range(ctdg.num_edges):
+            record = {
+                "src": int(ctdg.src[i]),
+                "dst": int(ctdg.dst[i]),
+                "time": float(ctdg.times[i]),
+                "weight": float(ctdg.weights[i]),
+            }
+            if ctdg.edge_features is not None:
+                record["feature"] = [float(v) for v in ctdg.edge_features[i]]
+            handle.write(json.dumps(record) + "\n")
+
+
+def read_jsonl(path: str, num_nodes: Optional[int] = None) -> CTDG:
+    src, dst, times, weights, features = [], [], [], [], []
+    has_features = None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            src.append(int(record["src"]))
+            dst.append(int(record["dst"]))
+            times.append(float(record["time"]))
+            weights.append(float(record.get("weight", 1.0)))
+            feature = record.get("feature")
+            if has_features is None:
+                has_features = feature is not None
+            if (feature is not None) != has_features:
+                raise ValueError("inconsistent presence of edge features in JSONL")
+            if feature is not None:
+                features.append([float(v) for v in feature])
+    return CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        edge_features=np.array(features) if has_features else None,
+        weights=np.array(weights),
+        num_nodes=num_nodes,
+    )

@@ -1,0 +1,72 @@
+"""k-most-recent neighbour buffers (the paper's N_i(t), Eq. 6).
+
+Each node keeps a bounded ring buffer of its most recent incident temporal
+edges.  This is the stream *summary* the paper relies on for sub-linear
+memory: total space is O(|V| · k), independent of the stream length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NeighborEntry:
+    """One buffered incident edge, as seen from a particular node.
+
+    ``snapshot_features`` holds per-feature-process copies of the neighbour's
+    feature vector *at the time the edge arrived* (the x_j(t(l)) of Eq. 14);
+    it is empty when the buffer is used without feature processes.
+    """
+
+    neighbor: int
+    time: float
+    edge_index: int
+    weight: float
+    feature: Optional[np.ndarray]
+    neighbor_degree: int
+    snapshot_features: Tuple[np.ndarray, ...] = ()
+
+
+class RecentNeighborBuffer:
+    """Maintains N_i(t): the k most recent temporal edges incident to each node.
+
+    Both endpoints of an edge record the edge (an edge stream is treated as
+    undirected for neighbourhood purposes, as in the TGNN literature).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._buffers: Dict[int, Deque[NeighborEntry]] = {}
+
+    def insert(self, node: int, entry: NeighborEntry) -> None:
+        buffer = self._buffers.get(node)
+        if buffer is None:
+            buffer = deque(maxlen=self.k)
+            self._buffers[node] = buffer
+        buffer.append(entry)
+
+    def neighbors(self, node: int) -> List[NeighborEntry]:
+        """Entries for ``node`` ordered oldest → newest (≤ k of them)."""
+        buffer = self._buffers.get(node)
+        return list(buffer) if buffer else []
+
+    def degree_in_buffer(self, node: int) -> int:
+        buffer = self._buffers.get(node)
+        return len(buffer) if buffer else 0
+
+    def num_tracked_nodes(self) -> int:
+        return len(self._buffers)
+
+    def memory_entries(self) -> int:
+        """Total buffered entries (bounded by k · #tracked nodes)."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()

@@ -1,0 +1,116 @@
+"""Chronological splitting of streams and query sets.
+
+The paper uses a 10/10/80 % chronological train/validation/test split over
+node-property *queries* (§V-A), plus multiple inner train/validation splits
+for feature selection (§IV-B, footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChronoSplit:
+    """Index sets of a chronological split over time-sorted items."""
+
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    test_idx: np.ndarray
+    train_end_time: float
+    val_end_time: float
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train_idx), len(self.val_idx), len(self.test_idx))
+
+
+def chronological_split(
+    times: np.ndarray,
+    train_frac: float = 0.1,
+    val_frac: float = 0.1,
+) -> ChronoSplit:
+    """Split time-sorted items into train/val/test by position.
+
+    Matches the paper's protocol: fractions apply to the *count* of items in
+    chronological order, and the boundary times are reported so edge streams
+    can be cut consistently with query streams.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1:
+        raise ValueError("times must be 1-D")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("times must be non-decreasing")
+    if not 0 < train_frac < 1 or not 0 <= val_frac < 1 or train_frac + val_frac >= 1:
+        raise ValueError(
+            f"invalid fractions train={train_frac}, val={val_frac}"
+        )
+    n = len(times)
+    if n == 0:
+        raise ValueError("cannot split an empty sequence")
+    train_stop = max(1, int(round(n * train_frac)))
+    val_stop = min(n - 1, train_stop + max(1, int(round(n * val_frac)))) if val_frac else train_stop
+    if val_stop <= train_stop and val_frac:
+        val_stop = min(n - 1, train_stop + 1)
+    indices = np.arange(n)
+    return ChronoSplit(
+        train_idx=indices[:train_stop],
+        val_idx=indices[train_stop:val_stop],
+        test_idx=indices[val_stop:],
+        train_end_time=float(times[train_stop - 1]),
+        val_end_time=float(times[val_stop - 1]) if val_stop > 0 else float(times[0]),
+    )
+
+
+def selection_split_fractions() -> List[float]:
+    """The five train fractions used by SPLASH's feature selection.
+
+    Footnote 1: 10/90, 30/70, 50/50, 70/30 and 90/10 % train/validation
+    splits of the available property set.
+    """
+    return [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def split_at_fraction(times: np.ndarray, train_frac: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Two-way chronological split at ``train_frac`` (for Eq. 9/12).
+
+    Returns (train indices, validation indices); both non-empty whenever the
+    input has at least two items.
+    """
+    times = np.asarray(times, dtype=float)
+    n = len(times)
+    if n < 2:
+        raise ValueError(f"need at least 2 items to split, got {n}")
+    if not 0 < train_frac < 1:
+        raise ValueError(f"train_frac must be in (0, 1), got {train_frac}")
+    stop = int(round(n * train_frac))
+    stop = min(max(stop, 1), n - 1)
+    indices = np.arange(n)
+    return indices[:stop], indices[stop:]
+
+
+def unseen_ratio_split(
+    times: np.ndarray, unseen_ratio: float, val_frac: float = 0.1
+) -> ChronoSplit:
+    """The Fig. 9 protocol: last ``unseen_ratio`` of items is the test set,
+    the 10 % before it is validation, the rest training."""
+    times = np.asarray(times, dtype=float)
+    n = len(times)
+    if not 0 < unseen_ratio < 1:
+        raise ValueError(f"unseen_ratio must be in (0, 1), got {unseen_ratio}")
+    test_start = int(round(n * (1.0 - unseen_ratio)))
+    val_start = max(0, test_start - max(1, int(round(n * val_frac))))
+    val_start = max(val_start, 1)
+    test_start = max(test_start, val_start + 1)
+    test_start = min(test_start, n - 1)
+    indices = np.arange(n)
+    return ChronoSplit(
+        train_idx=indices[:val_start],
+        val_idx=indices[val_start:test_start],
+        test_idx=indices[test_start:],
+        train_end_time=float(times[val_start - 1]),
+        val_end_time=float(times[test_start - 1]),
+    )

@@ -1,0 +1,22 @@
+"""``repro.tasks`` — the three node-property-prediction task instances of
+the paper: dynamic node classification, dynamic anomaly detection, and node
+affinity prediction."""
+
+from repro.tasks.affinity import (
+    AffinityLabelSpec,
+    AffinityTask,
+    build_affinity_queries,
+)
+from repro.tasks.anomaly import AnomalyTask
+from repro.tasks.base import QuerySet, Task
+from repro.tasks.classification import ClassificationTask
+
+__all__ = [
+    "Task",
+    "QuerySet",
+    "ClassificationTask",
+    "AnomalyTask",
+    "AffinityTask",
+    "AffinityLabelSpec",
+    "build_affinity_queries",
+]

@@ -1,0 +1,80 @@
+"""Task abstraction for node property prediction (paper §III).
+
+A :class:`Task` bundles the label queries of a dataset (which node, when),
+their ground-truth labels, the training loss, and the evaluation metric.
+The three concrete instances mirror the paper's task instances: dynamic
+node classification, dynamic anomaly detection, and node affinity
+prediction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class QuerySet:
+    """Time-sorted label queries: predict node ``nodes[i]`` at ``times[i]``."""
+
+    nodes: np.ndarray
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.int64)
+        self.times = np.asarray(self.times, dtype=np.float64)
+        if self.nodes.shape != self.times.shape or self.nodes.ndim != 1:
+            raise ValueError(
+                f"nodes {self.nodes.shape} and times {self.times.shape} "
+                "must be equal-length 1-D arrays"
+            )
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("query times must be non-decreasing")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class Task(ABC):
+    """Loss + metric + labels for one node-property-prediction instance."""
+
+    name: str = "abstract"
+    metric_name: str = "metric"
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = np.asarray(labels)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    @abstractmethod
+    def output_dim(self) -> int:
+        """Dimension of the decoder output (|C| for classification, d_a for
+        affinity)."""
+
+    @abstractmethod
+    def loss(self, logits: Tensor, idx: np.ndarray) -> Tensor:
+        """Empirical risk of ``logits`` against the labels at ``idx``."""
+
+    @abstractmethod
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        """Convert raw logits into metric-ready scores."""
+
+    @abstractmethod
+    def evaluate(self, scores: np.ndarray, idx: np.ndarray) -> float:
+        """Metric value of ``scores`` (already transformed) at ``idx``."""
+
+    def check_indices(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_queries):
+            raise IndexError(
+                f"query indices out of range [0, {self.num_queries})"
+            )
+        return idx

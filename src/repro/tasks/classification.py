@@ -1,0 +1,64 @@
+"""Dynamic node classification (paper §III, Example 1).
+
+Predict the class Y_i(t) ∈ C of a node at query time; classes may change
+over time.  Evaluated with the F1 score, as in the paper (Email-EU, GDELT).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.classification import f1_score
+from repro.nn.loss import cross_entropy
+from repro.nn.tensor import Tensor
+from repro.tasks.base import Task
+
+
+class ClassificationTask(Task):
+    """Multi-class dynamic node classification."""
+
+    name = "dynamic_node_classification"
+    metric_name = "f1"
+
+    def __init__(
+        self,
+        labels: np.ndarray,
+        num_classes: int,
+        average: str = "weighted",
+        class_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got {labels.shape}")
+        if num_classes <= 1:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+            raise ValueError(f"labels out of range [0, {num_classes})")
+        super().__init__(labels)
+        self.num_classes = num_classes
+        self.average = average
+        self.class_weights = (
+            np.asarray(class_weights, dtype=float) if class_weights is not None else None
+        )
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_classes
+
+    def loss(self, logits: Tensor, idx: np.ndarray) -> Tensor:
+        idx = self.check_indices(idx)
+        return cross_entropy(logits, self.labels[idx], weight=self.class_weights)
+
+    def scores(self, logits: np.ndarray) -> np.ndarray:
+        return np.asarray(logits)
+
+    def predictions(self, scores: np.ndarray) -> np.ndarray:
+        return np.argmax(scores, axis=-1)
+
+    def evaluate(self, scores: np.ndarray, idx: np.ndarray) -> float:
+        idx = self.check_indices(idx)
+        return f1_score(
+            self.labels[idx], self.predictions(scores), average=self.average
+        )

@@ -1,0 +1,28 @@
+"""Shared low-level utilities: seeding, timing, logging, validation.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngRegistry, new_rng, spawn_rngs
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "RngRegistry",
+    "new_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "get_logger",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,29 @@
+"""Minimal logging setup shared by the library, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_configured = False
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a namespaced logger, configuring the root handler once.
+
+    The library never configures logging at import time; the first explicit
+    ``get_logger`` call installs a single stderr handler, so applications that
+    configure logging themselves are left untouched.
+    """
+    global _configured
+    if not _configured:
+        root = logging.getLogger("repro")
+        if not root.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+            root.addHandler(handler)
+            root.setLevel(level)
+        _configured = True
+    full = name if name.startswith("repro") else f"repro.{name}"
+    return logging.getLogger(full)

@@ -1,0 +1,71 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library receives an explicit
+``numpy.random.Generator``.  Components never touch global numpy state, so a
+single top-level seed makes an entire experiment reproducible, and two
+components never share a stream (which would couple their randomness).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``Generator``; pass through if one is given.
+
+    ``None`` yields an OS-seeded generator (non-deterministic); an int yields
+    a PCG64 stream seeded with it.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Split one seed into ``n`` statistically independent generators."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+class RngRegistry:
+    """Named random streams derived from one master seed.
+
+    Components ask for streams by name (``registry.get("node2vec")``); the
+    same name always returns the same stream object, so repeated lookups do
+    not restart sequences, while distinct names are independent.
+    """
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._seed = seed
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self._seed
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator registered under ``name``."""
+        if name not in self._streams:
+            # Derive a child seed from the master seed and the name so that
+            # the stream for a given name is stable across runs and across
+            # the order in which names are first requested.  Python's built-in
+            # ``hash`` is salted per process, so use a stable digest instead.
+            digest = int.from_bytes(
+                hashlib.sha256(name.encode("utf-8")).digest()[:8], "little"
+            )
+            self._streams[name] = np.random.default_rng(
+                np.random.SeedSequence(entropy=self._seed or 0, spawn_key=(digest,))
+            )
+        return self._streams[name]
+
+    def reset(self) -> None:
+        """Drop all derived streams; subsequent ``get`` calls restart them."""
+        self._streams.clear()

@@ -1,0 +1,64 @@
+"""Wall-clock timing helpers used by the efficiency benchmarks (Fig. 10/11)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Tuple
+
+
+class Timer:
+    """Accumulating stopwatch with named sections.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("inference"):
+    ...     pass
+    >>> t.total("inference") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per entry of ``name`` (0.0 if never entered)."""
+        c = self._counts.get(name, 0)
+        return self._totals.get(name, 0.0) / c if c else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self._totals.items())
+
+
+def timed(fn: Callable, *args, repeats: int = 1, **kwargs) -> Tuple[object, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, mean seconds/call)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    result = None
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = fn(*args, **kwargs)
+    elapsed = (time.perf_counter() - start) / repeats
+    return result, elapsed

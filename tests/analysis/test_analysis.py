@@ -1,0 +1,120 @@
+"""Tests for t-SNE, drift diagnostics, and efficiency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ScalingPoint,
+    drift_report,
+    format_drift_report,
+    kl_divergence,
+    profile_inference,
+    scaling_slope,
+    tsne,
+)
+from repro.analysis.tsne import TSNEConfig
+from repro.datasets import email_eu_like, reddit_like
+from repro.metrics import silhouette_score
+
+
+class TestTSNE:
+    def _blobs(self, n_per=20, gap=20.0, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0.0, 1.0, size=(n_per, 8))
+        b = rng.normal(gap, 1.0, size=(n_per, 8))
+        return np.vstack([a, b]), np.array([0] * n_per + [1] * n_per)
+
+    def test_output_shape_and_centering(self):
+        x, _ = self._blobs()
+        emb = tsne(x, TSNEConfig(num_iterations=120), rng=0)
+        assert emb.shape == (40, 2)
+        np.testing.assert_allclose(emb.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_separates_blobs(self):
+        x, labels = self._blobs()
+        emb = tsne(x, TSNEConfig(num_iterations=250), rng=0)
+        assert silhouette_score(emb, labels) > 0.3
+
+    def test_better_than_random_projection(self):
+        x, _ = self._blobs()
+        emb = tsne(x, TSNEConfig(num_iterations=250), rng=0)
+        random_embedding = np.random.default_rng(1).normal(size=(40, 2))
+        assert kl_divergence(x, emb) < kl_divergence(x, random_embedding)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 4)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros(10))
+
+
+class TestDriftReport:
+    def test_report_shapes(self):
+        ds = reddit_like(seed=0, num_edges=800)
+        report = drift_report(ds, num_bins=4, embedding_dim=8)
+        assert report.num_bins == 4
+        assert report.group_embeddings.shape == (4, 8)
+        assert report.embedding_drift[0] == 0.0
+
+    def test_anomaly_ratio_series_defined_where_queries_exist(self):
+        ds = reddit_like(seed=0, num_edges=800)
+        report = drift_report(ds, num_bins=4, embedding_dim=8)
+        assert np.isfinite(report.property_positive_ratio).any()
+
+    def test_degree_series_positive(self):
+        ds = email_eu_like(seed=0, num_edges=600)
+        report = drift_report(ds, num_bins=3, embedding_dim=8)
+        assert np.all(report.average_degree > 0)
+
+    def test_format_text(self):
+        ds = email_eu_like(seed=0, num_edges=600)
+        text = format_drift_report(drift_report(ds, num_bins=3, embedding_dim=8))
+        assert "avg_degree" in text
+        assert len(text.splitlines()) == 4
+
+    def test_validation(self):
+        ds = email_eu_like(seed=0, num_edges=600)
+        with pytest.raises(ValueError):
+            drift_report(ds, num_bins=1)
+
+
+class TestEfficiency:
+    def test_scaling_slope_linear_series(self):
+        points = [
+            ScalingPoint(num_edges=n, num_queries=n, train_seconds=0.0, inference_seconds=n * 1e-4)
+            for n in (1000, 2000, 4000, 8000)
+        ]
+        assert scaling_slope(points) == pytest.approx(1.0, abs=1e-9)
+
+    def test_scaling_slope_quadratic_series(self):
+        points = [
+            ScalingPoint(num_edges=n, num_queries=n, train_seconds=0.0, inference_seconds=(n**2) * 1e-8)
+            for n in (1000, 2000, 4000)
+        ]
+        assert scaling_slope(points) == pytest.approx(2.0, abs=1e-9)
+
+    def test_scaling_slope_validation(self):
+        with pytest.raises(ValueError):
+            scaling_slope([ScalingPoint(1, 1, 0.0, 1.0)])
+
+    def test_profile_inference(self):
+        from repro.features import default_processes
+        from repro.models import ModelConfig, SLIM
+        from repro.models.context import build_context_bundle
+        from repro.tasks.classification import ClassificationTask
+        from tests.conftest import toy_ctdg, toy_queries
+
+        g = toy_ctdg(num_edges=80)
+        q = toy_queries(g, 30)
+        processes = default_processes(6, seed=0)
+        for p in processes:
+            p.fit(g.prefix_until(g.times[40]), g.num_nodes)
+        bundle = build_context_bundle(g, q, 4, processes)
+        task = ClassificationTask(np.zeros(30, dtype=int) + np.arange(30) % 2, 2)
+        model = SLIM("random", 6, 0, ModelConfig(hidden_dim=16, epochs=1, seed=0))
+        model.fit(bundle, task, np.arange(20))
+        profile = profile_inference(model, bundle, np.arange(20, 30), repeats=2)
+        assert profile.num_parameters == model.num_parameters()
+        assert profile.queries_per_second > 0

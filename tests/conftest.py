@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.ctdg import CTDG
+from repro.tasks.base import QuerySet
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of scalar ``fn()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = fn()
+        array[index] = original - eps
+        minus = fn()
+        array[index] = original
+        grad[index] = (plus - minus) / (2 * eps)
+        iterator.iternext()
+    return grad
+
+
+def toy_ctdg(num_nodes: int = 8, num_edges: int = 40, seed: int = 0, d_e: int = 0) -> CTDG:
+    """A small random CTDG for unit tests."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = (src + 1 + rng.integers(0, num_nodes - 1, size=num_edges)) % num_nodes
+    times = np.sort(rng.uniform(0, 100, size=num_edges))
+    features = rng.normal(size=(num_edges, d_e)) if d_e else None
+    return CTDG(src, dst, times, edge_features=features, num_nodes=num_nodes)
+
+
+def toy_queries(ctdg: CTDG, num_queries: int = 20, seed: int = 1) -> QuerySet:
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(ctdg.start_time, ctdg.end_time, size=num_queries))
+    nodes = rng.integers(0, ctdg.num_nodes, size=num_queries)
+    return QuerySet(nodes, times)

@@ -1,0 +1,194 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    StreamDataset,
+    email_eu_like,
+    format_statistics,
+    gdelt_like,
+    mooc_like,
+    reddit_like,
+    statistics_table,
+    synthetic_shift,
+    tgbn_genre_like,
+    tgbn_trade_like,
+    wiki_like,
+)
+from repro.datasets.generators import (
+    assign_communities,
+    drifting_preferences,
+    exponential_clock,
+    staggered_arrivals,
+    zipf_weights,
+)
+
+
+class TestGeneratorPrimitives:
+    def test_zipf_weights_normalised_and_heavy_tailed(self):
+        w = zipf_weights(100, exponent=1.0, rng=0)
+        assert w.sum() == pytest.approx(1.0)
+        assert w.max() / w.min() > 10
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, exponent=-1)
+
+    def test_assign_communities_balanced(self):
+        comm = assign_communities(100, 4, rng=0)
+        counts = np.bincount(comm)
+        assert counts.min() == 25 and counts.max() == 25
+
+    def test_exponential_clock_strictly_increasing(self):
+        t = exponential_clock(50, rate=2.0, rng=0)
+        assert np.all(np.diff(t) > 0)
+
+    def test_staggered_arrivals_fraction(self):
+        arrivals = staggered_arrivals(100, horizon=1000, late_fraction=0.3, late_start=0.5, rng=0)
+        late = arrivals > 0
+        assert late.sum() == 30
+        assert arrivals[late].min() >= 500
+
+    def test_drifting_preferences_stays_stochastic(self):
+        rng = np.random.default_rng(0)
+        base = rng.dirichlet(np.ones(5), size=3)
+        drifted = drifting_preferences(base, 0.3, rng)
+        np.testing.assert_allclose(drifted.sum(axis=1), 1.0)
+        assert not np.allclose(drifted, base)
+
+    def test_drift_zero_is_identity(self):
+        base = np.full((2, 4), 0.25)
+        out = drifting_preferences(base, 0.0, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, base)
+
+
+ALL_MAKERS = [
+    lambda: reddit_like(seed=0, num_edges=800),
+    lambda: wiki_like(seed=0, num_edges=800),
+    lambda: mooc_like(seed=0, num_edges=800),
+    lambda: email_eu_like(seed=0, num_edges=800),
+    lambda: gdelt_like(seed=0, num_edges=800),
+    lambda: tgbn_trade_like(seed=0),
+    lambda: tgbn_genre_like(seed=0),
+    lambda: synthetic_shift(70, seed=0, num_edges=800),
+]
+
+
+class TestDatasetInvariants:
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_well_formed(self, maker):
+        ds = maker()
+        assert isinstance(ds, StreamDataset)
+        assert ds.ctdg.num_edges > 0
+        assert len(ds.queries) == ds.task.num_queries
+        assert np.all(np.diff(ds.queries.times) >= 0)
+        assert np.all(np.diff(ds.ctdg.times) >= 0)
+        assert ds.queries.nodes.max() < ds.ctdg.num_nodes
+
+    @pytest.mark.parametrize("maker", ALL_MAKERS)
+    def test_deterministic_by_seed(self, maker):
+        a, b = maker(), maker()
+        np.testing.assert_array_equal(a.ctdg.src, b.ctdg.src)
+        np.testing.assert_array_equal(a.queries.times, b.queries.times)
+        np.testing.assert_array_equal(
+            np.asarray(a.task.labels), np.asarray(b.task.labels)
+        )
+
+    def test_different_seeds_differ(self):
+        a = email_eu_like(seed=0, num_edges=500)
+        b = email_eu_like(seed=1, num_edges=500)
+        assert not np.array_equal(a.ctdg.src, b.ctdg.src)
+
+
+class TestAnomalyDatasets:
+    def test_anomaly_ratio_in_plausible_band(self):
+        ds = reddit_like(seed=0, num_edges=2000)
+        ratio = ds.task.labels.mean()
+        assert 0.01 < ratio < 0.4
+
+    def test_abnormal_labels_match_episodes(self):
+        ds = reddit_like(seed=0, num_edges=1000)
+        episodes = ds.metadata["episodes"]
+        for i in range(len(ds.queries)):
+            node, t = int(ds.queries.nodes[i]), float(ds.queries.times[i])
+            expected = any(
+                start <= t < stop for start, stop in episodes.get(node, [])
+            )
+            assert bool(ds.task.labels[i]) == expected
+
+    def test_bipartite_structure(self):
+        ds = wiki_like(seed=0, num_edges=500)
+        n_users = ds.metadata["num_users"]
+        assert np.all(ds.ctdg.src < n_users)
+        assert np.all(ds.ctdg.dst >= n_users)
+        assert np.all(ds.queries.nodes < n_users)  # state queries are on users
+
+
+class TestClassificationDatasets:
+    def test_email_labels_follow_departments(self):
+        ds = email_eu_like(seed=0, num_edges=1000)
+        departments = ds.metadata["departments"]
+        migrators = set(ds.metadata["migrators"].tolist())
+        for i in range(len(ds.queries)):
+            node = int(ds.queries.nodes[i])
+            if node not in migrators:
+                assert ds.task.labels[i] == departments[node]
+
+    def test_gdelt_has_many_classes(self):
+        ds = gdelt_like(seed=0, num_edges=1500)
+        assert ds.task.num_classes == 20
+        assert len(np.unique(ds.task.labels)) > 5
+
+
+class TestAffinityDatasets:
+    def test_trade_labels_are_distributions(self):
+        ds = tgbn_trade_like(seed=0)
+        sums = np.asarray(ds.task.labels).sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_genre_bipartite_targets(self):
+        ds = tgbn_genre_like(seed=0)
+        targets = ds.metadata["targets"]
+        n_users = ds.metadata["config"].num_users
+        assert np.all(targets >= n_users)
+
+
+class TestSyntheticShift:
+    def test_intensity_bounds_validated(self):
+        with pytest.raises(ValueError):
+            synthetic_shift(150, seed=0)
+
+    def test_more_shift_more_unseen_test_nodes(self):
+        def unseen_test_fraction(intensity):
+            ds = synthetic_shift(intensity, seed=0, num_edges=2000)
+            split = ds.split()
+            train_nodes = set(ds.train_stream(split).nodes_seen().tolist())
+            test_nodes = ds.queries.nodes[split.test_idx]
+            return np.mean([int(n) not in train_nodes for n in test_nodes])
+
+        assert unseen_test_fraction(90) > unseen_test_fraction(30)
+
+    def test_zero_shift_keeps_core_nodes(self):
+        ds = synthetic_shift(0, seed=0, num_edges=1000)
+        n_core = ds.metadata["config"].num_core_nodes
+        assert np.all(ds.queries.nodes < n_core)
+
+
+class TestStatistics:
+    def test_table_rows(self):
+        ds = email_eu_like(seed=0, num_edges=500)
+        rows = statistics_table([ds])
+        assert rows[0]["name"] == "email-eu-like"
+        assert rows[0]["num_edges"] == 500
+
+    def test_format_is_aligned_text(self):
+        ds = email_eu_like(seed=0, num_edges=500)
+        text = format_statistics(statistics_table([ds]))
+        assert "email-eu-like" in text
+        assert "#edges" in text
+
+    def test_empty(self):
+        assert format_statistics([]) == "(no datasets)"

@@ -1,0 +1,128 @@
+"""Tests for time encoding (Eq. 15) and structural degree encoding (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.structural import (
+    StructuralFeatureProcess,
+    degree_encoding,
+)
+from repro.features.time_encoding import TimeEncoder
+from tests.conftest import toy_ctdg
+
+
+class TestTimeEncoder:
+    def test_zero_delta_is_all_ones(self):
+        encoder = TimeEncoder(8)
+        np.testing.assert_allclose(encoder(np.array(0.0)), 1.0)
+
+    def test_output_bounded(self):
+        encoder = TimeEncoder(16)
+        out = encoder(np.random.default_rng(0).uniform(0, 1e6, size=100))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_shape_appends_dim(self):
+        encoder = TimeEncoder(4)
+        assert encoder(np.zeros((3, 5))).shape == (3, 5, 4)
+
+    def test_frequencies_decay(self):
+        encoder = TimeEncoder(8)
+        assert np.all(np.diff(encoder.frequencies) < 0)
+
+    def test_negative_deltas_clamped(self):
+        encoder = TimeEncoder(4)
+        np.testing.assert_allclose(encoder(np.array(-5.0)), encoder(np.array(0.0)))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TimeEncoder(0)
+        with pytest.raises(ValueError):
+            TimeEncoder(4, alpha=0.5)
+
+    def test_distinguishes_scales(self):
+        encoder = TimeEncoder(16)
+        short = encoder(np.array(1.0))
+        long = encoder(np.array(1000.0))
+        assert not np.allclose(short, long)
+
+
+class TestDegreeEncoding:
+    def test_shape(self):
+        assert degree_encoding(np.array([0, 1, 2]), 8).shape == (3, 8)
+        assert degree_encoding(np.zeros((4, 5)), 6).shape == (4, 5, 6)
+
+    def test_degree_zero_pattern(self):
+        out = degree_encoding(np.array([0]), 6)
+        np.testing.assert_allclose(out[0, 0::2], 1.0)  # cos(0)
+        np.testing.assert_allclose(out[0, 1::2], 0.0)  # sin(0)
+
+    def test_bounded(self):
+        out = degree_encoding(np.arange(1000), 16)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_deterministic(self):
+        a = degree_encoding(np.array([7]), 8, alpha=10.0)
+        b = degree_encoding(np.array([7]), 8, alpha=10.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_equal_degrees_equal_features(self):
+        out = degree_encoding(np.array([5, 5, 9]), 8)
+        np.testing.assert_allclose(out[0], out[1])
+        assert not np.allclose(out[0], out[2])
+
+    def test_alpha_controls_resolution(self):
+        # Larger alpha → lower frequencies → nearby degrees more similar.
+        fine = degree_encoding(np.array([10, 11]), 16, alpha=2.0)
+        coarse = degree_encoding(np.array([10, 11]), 16, alpha=1000.0)
+        fine_gap = np.linalg.norm(fine[0] - fine[1])
+        coarse_gap = np.linalg.norm(coarse[0] - coarse[1])
+        assert coarse_gap < fine_gap
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            degree_encoding(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            degree_encoding(np.array([1]), 8, alpha=1.0)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_injective_on_moderate_degrees(self, a, b):
+        """Property: distinct degrees yield distinct encodings (dim 32)."""
+        if a == b:
+            return
+        out = degree_encoding(np.array([a, b]), 32)
+        assert not np.allclose(out[0], out[1], atol=1e-10)
+
+
+class TestStructuralProcess:
+    def test_store_tracks_degrees_online(self):
+        g = toy_ctdg(num_nodes=6, num_edges=20, seed=1)
+        process = StructuralFeatureProcess(8)
+        process.fit(g.slice(0, 10), num_nodes=6)
+        store = process.make_store()
+        for e in g:
+            store.on_edge(e.index, e.src, e.dst, e.time, e.feature, e.weight)
+        final = g.degrees()
+        for node in range(6):
+            assert store.degree_of(node) == final[node]
+            np.testing.assert_allclose(
+                store.feature_of(node),
+                degree_encoding(np.array(final[node]), 8, process.alpha),
+            )
+
+    def test_features_of_vectorised_matches_scalar(self):
+        g = toy_ctdg(num_nodes=5, num_edges=15)
+        process = StructuralFeatureProcess(4)
+        process.fit(g, num_nodes=5)
+        store = process.make_store()
+        for e in g:
+            store.on_edge(e.index, e.src, e.dst, e.time, e.feature, e.weight)
+        batch = store.features_of(np.arange(5))
+        for node in range(5):
+            np.testing.assert_allclose(batch[node], store.feature_of(node))
+
+    def test_requires_fit_before_store(self):
+        with pytest.raises(RuntimeError):
+            StructuralFeatureProcess(4).make_store()

@@ -1,0 +1,224 @@
+"""Tests for feature propagation (Eqs. 4-5) and the R/P/ZF processes.
+
+Includes the paper's worked Example 9 verified to the digit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.propagation import PropagatedFeatureStore
+from repro.features.random_feat import (
+    FreshRandomFeatureProcess,
+    RandomFeatureProcess,
+    StaticStore,
+    ZeroFeatureProcess,
+)
+from repro.features.positional import PositionalFeatureProcess
+from repro.features.node2vec import Node2VecConfig
+from tests.conftest import toy_ctdg
+
+
+class TestPaperExample9:
+    """Figure 6(c) of the paper, numbers verbatim."""
+
+    def setup_method(self):
+        # Seen nodes v1, v2 with given features; v11 unseen (index 11).
+        table = np.zeros((12, 2))
+        table[1] = [0.1, -0.2]  # r1
+        table[2] = [0.1, 0.3]  # r2
+        seen = np.zeros(12, dtype=bool)
+        seen[[1, 2]] = True
+        self.store = PropagatedFeatureStore(table, seen)
+
+    def test_initially_zero(self):
+        np.testing.assert_allclose(self.store.feature_of(11), [0.0, 0.0])
+
+    def test_after_first_interaction(self):
+        self.store.on_edge(0, 1, 11, 10.0, None, 1.0)
+        np.testing.assert_allclose(self.store.feature_of(11), [0.1, -0.2])
+
+    def test_after_second_interaction(self):
+        self.store.on_edge(0, 1, 11, 10.0, None, 1.0)
+        self.store.on_edge(1, 2, 11, 11.0, None, 1.0)
+        np.testing.assert_allclose(self.store.feature_of(11), [0.1, 0.05])
+
+    def test_positional_numbers_from_paper(self):
+        table = np.zeros((12, 2))
+        table[1] = [0.9, 0.7]  # p1
+        table[2] = [0.7, 0.8]  # p2
+        seen = np.zeros(12, dtype=bool)
+        seen[[1, 2]] = True
+        store = PropagatedFeatureStore(table, seen)
+        store.on_edge(0, 1, 11, 10.0, None, 1.0)
+        np.testing.assert_allclose(store.feature_of(11), [0.9, 0.7])
+        store.on_edge(1, 2, 11, 11.0, None, 1.0)
+        np.testing.assert_allclose(store.feature_of(11), [0.8, 0.75])
+
+
+class TestPropagationProperties:
+    def _store(self, num_seen=4, dim=3, seed=0):
+        rng = np.random.default_rng(seed)
+        table = np.zeros((10, dim))
+        table[:num_seen] = rng.normal(size=(num_seen, dim))
+        seen = np.zeros(10, dtype=bool)
+        seen[:num_seen] = True
+        return PropagatedFeatureStore(table, seen), table
+
+    def test_seen_nodes_never_change(self):
+        store, table = self._store()
+        before = store.feature_of(0).copy()
+        store.on_edge(0, 0, 7, 1.0, None, 1.0)
+        store.on_edge(1, 0, 1, 2.0, None, 1.0)
+        np.testing.assert_array_equal(store.feature_of(0), before)
+        np.testing.assert_array_equal(store.feature_of(1), table[1])
+
+    def test_unseen_to_unseen_propagates_zero(self):
+        store, _ = self._store()
+        store.on_edge(0, 8, 9, 1.0, None, 1.0)
+        np.testing.assert_allclose(store.feature_of(8), 0.0)
+        np.testing.assert_allclose(store.feature_of(9), 0.0)
+
+    def test_propagation_degree_counts(self):
+        store, _ = self._store()
+        store.on_edge(0, 0, 7, 1.0, None, 1.0)
+        store.on_edge(1, 1, 7, 2.0, None, 1.0)
+        assert store.propagation_degree(7) == 2
+        assert store.propagation_degree(0) == 0
+
+    def test_running_mean_identity(self):
+        """After n interactions with seen nodes, the unseen feature equals
+        the arithmetic mean of those neighbours' features."""
+        store, table = self._store()
+        partners = [0, 1, 2, 1]
+        for t, p in enumerate(partners):
+            store.on_edge(t, p, 6, float(t), None, 1.0)
+        np.testing.assert_allclose(
+            store.feature_of(6), table[partners].mean(axis=0)
+        )
+
+    def test_features_of_matches_scalar_lookup(self):
+        store, _ = self._store()
+        store.on_edge(0, 0, 7, 1.0, None, 1.0)
+        batch = store.features_of(np.array([0, 7, 9]))
+        for row, node in enumerate([0, 7, 9]):
+            np.testing.assert_allclose(batch[row], store.feature_of(node))
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_convex_hull_property(self, partners):
+        """Property: a propagated feature stays inside the axis-aligned
+        bounding box of {0} ∪ seen features (it is a running mean)."""
+        store, table = self._store()
+        for t, p in enumerate(partners):
+            store.on_edge(t, p, 8, float(t), None, 1.0)
+        feature = store.feature_of(8)
+        hull_points = np.vstack([table[:4], np.zeros(3)])
+        assert np.all(feature >= hull_points.min(axis=0) - 1e-12)
+        assert np.all(feature <= hull_points.max(axis=0) + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PropagatedFeatureStore(np.zeros(3), np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            PropagatedFeatureStore(np.zeros((3, 2)), np.zeros(4, dtype=bool))
+
+
+class TestRandomProcess:
+    def test_seen_nodes_get_features_unseen_zero(self):
+        g = toy_ctdg(num_nodes=6, num_edges=20)
+        process = RandomFeatureProcess(8, rng=0)
+        process.fit(g, num_nodes=10)
+        table = process.table
+        assert np.abs(table[g.nodes_seen()]).sum() > 0
+        np.testing.assert_allclose(table[6:], 0.0)
+
+    def test_deterministic_under_seed(self):
+        g = toy_ctdg()
+        a = RandomFeatureProcess(4, rng=3)
+        b = RandomFeatureProcess(4, rng=3)
+        a.fit(g, g.num_nodes)
+        b.fit(g, g.num_nodes)
+        np.testing.assert_array_equal(a.table, b.table)
+
+    def test_standard_normal_statistics(self):
+        g = toy_ctdg(num_nodes=50, num_edges=500, seed=2)
+        process = RandomFeatureProcess(64, rng=0)
+        process.fit(g, num_nodes=50)
+        seen_rows = process.table[process.seen_mask]
+        assert abs(seen_rows.mean()) < 0.05
+        assert abs(seen_rows.std() - 1.0) < 0.05
+
+    def test_store_is_propagating(self):
+        g = toy_ctdg(num_nodes=6)
+        process = RandomFeatureProcess(4, rng=0)
+        process.fit(g, num_nodes=8)
+        store = process.make_store()
+        assert isinstance(store, PropagatedFeatureStore)
+        assert not isinstance(store, StaticStore)
+
+
+class TestFreshRandomAndZero:
+    def test_fresh_random_covers_unseen(self):
+        g = toy_ctdg(num_nodes=6)
+        process = FreshRandomFeatureProcess(4, rng=0)
+        process.fit(g, num_nodes=10)
+        store = process.make_store()
+        assert np.abs(store.feature_of(9)).sum() > 0  # unseen has fresh noise
+
+    def test_fresh_random_static(self):
+        g = toy_ctdg(num_nodes=6)
+        process = FreshRandomFeatureProcess(4, rng=0)
+        process.fit(g, num_nodes=10)
+        store = process.make_store()
+        before = store.feature_of(2).copy()
+        store.on_edge(0, 2, 9, 1.0, None, 1.0)
+        np.testing.assert_array_equal(store.feature_of(2), before)
+
+    def test_zero_process(self):
+        g = toy_ctdg(num_nodes=6)
+        process = ZeroFeatureProcess(4)
+        process.fit(g, num_nodes=10)
+        store = process.make_store()
+        np.testing.assert_allclose(store.features_of(np.arange(10)), 0.0)
+
+
+class TestPositionalProcess:
+    def test_community_structure_captured(self):
+        # Two cliques joined by one edge: positional features must separate them.
+        rng = np.random.default_rng(0)
+        edges = []
+        t = 0.0
+        for _ in range(300):
+            block = rng.integers(0, 2)
+            a, b = rng.choice(np.arange(5) + 5 * block, size=2, replace=False)
+            t += 1.0
+            edges.append((int(a), int(b), t))
+        edges.append((0, 5, t + 1))
+        from repro.streams.ctdg import CTDG
+
+        g = CTDG(
+            np.array([e[0] for e in edges]),
+            np.array([e[1] for e in edges]),
+            np.array([e[2] for e in edges]),
+            num_nodes=12,
+        )
+        process = PositionalFeatureProcess(
+            16, node2vec_config=Node2VecConfig(dim=16, num_walks=8, walk_length=10, epochs=2), rng=0
+        )
+        process.fit(g, num_nodes=12)
+        table = process.table
+        normed = table[:10] / (np.linalg.norm(table[:10], axis=1, keepdims=True) + 1e-12)
+        sims = normed @ normed.T
+        intra = (sims[:5, :5].sum() - 5) / 20 + (sims[5:, 5:].sum() - 5) / 20
+        inter = sims[:5, 5:].mean()
+        assert intra / 2 > inter
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PositionalFeatureProcess(8, node2vec_config=Node2VecConfig(dim=16))
+
+    def test_unfitted_store_rejected(self):
+        with pytest.raises(RuntimeError):
+            PositionalFeatureProcess(8).make_store()

@@ -1,0 +1,115 @@
+"""Tests for F1 variants, confusion matrices, and silhouette scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.classification import accuracy, confusion_matrix, f1_score
+from repro.metrics.clustering import pairwise_euclidean, silhouette_score
+
+
+class TestAccuracyF1:
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(0), np.zeros(0))
+
+    def test_perfect_f1_is_one(self):
+        labels = np.array([0, 1, 2, 1])
+        for average in ("micro", "macro", "weighted"):
+            assert f1_score(labels, labels, average=average) == pytest.approx(1.0)
+
+    def test_micro_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=50)
+        preds = rng.integers(0, 4, size=50)
+        assert f1_score(labels, preds, average="micro") == pytest.approx(
+            accuracy(labels, preds)
+        )
+
+    def test_binary_f1_hand_computed(self):
+        labels = np.array([1, 1, 1, 0, 0])
+        preds = np.array([1, 0, 1, 1, 0])
+        # class 1: tp=2 fp=1 fn=1 → f1 = 4/6; class 0: tp=1 fp=1 fn=1 → 0.5
+        macro = (2 / 3 + 0.5) / 2
+        assert f1_score(labels, preds, average="macro") == pytest.approx(macro)
+        weighted = (3 * 2 / 3 + 2 * 0.5) / 5
+        assert f1_score(labels, preds, average="weighted") == pytest.approx(weighted)
+
+    def test_absent_class_contributes_zero(self):
+        labels = np.array([0, 0, 1])
+        preds = np.array([2, 0, 1])  # class 2 never in labels
+        value = f1_score(labels, preds, average="macro")
+        assert 0.0 < value < 1.0
+
+    def test_unknown_average_rejected(self):
+        with pytest.raises(ValueError):
+            f1_score(np.array([0]), np.array([0]), average="bogus")
+
+    @given(st.integers(1, 60), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_f1_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, size=n)
+        preds = rng.integers(0, 5, size=n)
+        for average in ("micro", "macro", "weighted"):
+            assert 0.0 <= f1_score(labels, preds, average=average) <= 1.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        labels = np.array([0, 1, 1, 2])
+        preds = np.array([0, 1, 2, 2])
+        matrix = confusion_matrix(labels, preds, 3)
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 1
+        assert matrix[1, 2] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([3]), np.array([0]), 3)
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_near_one(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, size=(20, 2))
+        b = rng.normal(10, 0.1, size=(20, 2))
+        x = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(x, labels) > 0.9
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert abs(silhouette_score(x, labels)) < 0.2
+
+    def test_requires_multiple_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5))
+
+    def test_requires_fewer_clusters_than_samples(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), np.zeros(4))
+
+    def test_pairwise_euclidean_matches_naive(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 3))
+        fast = pairwise_euclidean(x)
+        naive = np.array([[np.linalg.norm(a - b) for b in x] for a in x])
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 3, size=30)
+        value = silhouette_score(x, labels)
+        assert -1.0 <= value <= 1.0

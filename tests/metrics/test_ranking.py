@@ -1,0 +1,107 @@
+"""Tests for AUC and NDCG, cross-checked against brute-force definitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking import dcg_at_k, mean_ndcg_at_k, ndcg_at_k, roc_auc
+
+
+def brute_force_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """P(score_pos > score_neg) + 0.5 P(tie), averaged over all pairs."""
+    pos = scores[labels == 1]
+    neg = scores[labels == 0]
+    wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+    return wins / (len(pos) * len(neg))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_constant_scores_half(self):
+        assert roc_auc(np.array([0, 1, 0, 1]), np.zeros(4)) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(4), np.arange(4.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0, 1]), np.zeros(3))
+
+    @given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.choice([0.1, 0.3, 0.5, 0.9], size=n)  # force ties
+        assert roc_auc(labels, scores) == pytest.approx(
+            brute_force_auc(labels, scores)
+        )
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=30)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=30)
+        assert roc_auc(labels, scores) == pytest.approx(
+            roc_auc(labels, np.exp(scores))
+        )
+
+
+class TestNDCG:
+    def test_dcg_hand_computed(self):
+        rel = np.array([3.0, 2.0, 1.0])
+        expected = 3.0 + 2.0 / np.log2(3) + 1.0 / np.log2(4)
+        assert dcg_at_k(rel, 3) == pytest.approx(expected)
+
+    def test_perfect_ranking_is_one(self):
+        rel = np.array([0.0, 1.0, 0.5, 0.0])
+        scores = rel.copy()
+        assert ndcg_at_k(rel, scores, k=10) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        rel = np.array([1.0, 0.0, 0.0, 0.0])
+        scores = np.array([0.0, 1.0, 2.0, 3.0])
+        value = ndcg_at_k(rel, scores, k=4)
+        assert value == pytest.approx(1.0 / np.log2(5))
+
+    def test_truncation_at_k(self):
+        rel = np.zeros(20)
+        rel[10] = 1.0  # relevant item ranked at position 11 by scores
+        scores = -np.arange(20.0)
+        assert ndcg_at_k(rel, scores, k=10) == 0.0
+        assert ndcg_at_k(rel, scores, k=11) > 0.0
+
+    def test_zero_relevance_returns_zero(self):
+        assert ndcg_at_k(np.zeros(5), np.arange(5.0), k=3) == 0.0
+
+    def test_rejects_bad_k_and_shapes(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.ones(3), np.ones(3), k=0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(np.ones(3), np.ones(4))
+
+    def test_mean_ndcg_skips_empty_rows(self):
+        rel = np.array([[1.0, 0.0], [0.0, 0.0]])
+        scores = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert mean_ndcg_at_k(rel, scores, k=2) == pytest.approx(1.0)
+
+    def test_mean_ndcg_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ndcg_at_k(np.zeros((2, 3)), np.ones((2, 3)))
+
+    @given(st.integers(2, 10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_ndcg_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        rel = rng.uniform(0, 1, size=n)
+        scores = rng.normal(size=n)
+        assert 0.0 <= ndcg_at_k(rel, scores, k=5) <= 1.0 + 1e-12

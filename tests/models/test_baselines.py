@@ -1,0 +1,158 @@
+"""Tests for the baseline TGNN implementations (context + memory + DTDG)."""
+
+import numpy as np
+import pytest
+
+from repro.features import default_processes
+from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
+from repro.models import (
+    DIDA,
+    SLID,
+    ModelConfig,
+    available_methods,
+    create_model,
+)
+from repro.models.context import build_context_bundle
+from repro.models.dygformer import cooccurrence_counts
+from repro.models.memory import tbatch_levels
+from repro.tasks.classification import ClassificationTask
+from repro.tasks.anomaly import AnomalyTask
+from tests.conftest import toy_ctdg, toy_queries
+
+
+def make_prepared(num_edges=150, num_queries=50, dim=5, k=4, seed=0, d_e=2):
+    g = toy_ctdg(num_nodes=10, num_edges=num_edges, seed=seed, d_e=d_e)
+    q = toy_queries(g, num_queries, seed=seed + 1)
+    processes = default_processes(dim, seed=seed) + [
+        FreshRandomFeatureProcess(dim, rng=seed + 2),
+        ZeroFeatureProcess(dim),
+    ]
+    train = g.prefix_until(g.times[num_edges // 2])
+    for p in processes:
+        p.fit(train, g.num_nodes)
+    bundle = build_context_bundle(g, q, k, processes)
+    labels = np.random.default_rng(seed).integers(0, 2, size=num_queries)
+    return bundle, ClassificationTask(labels, 2)
+
+
+SMALL = ModelConfig(hidden_dim=16, epochs=2, batch_size=32, time_dim=8, seed=0)
+
+
+class TestRegistry:
+    def test_all_methods_listed(self):
+        methods = available_methods()
+        assert "tgat" in methods and "tgat+rf" in methods
+        assert "slim+joint" in methods and "dida" in methods
+
+    def test_unknown_method_rejected(self):
+        bundle, _ = make_prepared()
+        with pytest.raises(KeyError):
+            create_model("not-a-model", bundle)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["tgat", "tgat+rf", "dysat+rf", "graphmixer+rf", "dygformer+rf", "freedyg+rf"],
+    )
+    def test_context_baselines_fit_and_predict(self, name):
+        bundle, task = make_prepared()
+        model = create_model(name, bundle, SMALL)
+        history = model.fit(bundle, task, np.arange(30), np.arange(30, 40))
+        assert len(history.train_losses) >= 1
+        scores = model.predict_scores(bundle, np.arange(40, 50))
+        assert scores.shape[0] == 10
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("name", ["jodie+rf", "tgn+rf"])
+    def test_memory_baselines_fit_and_predict(self, name):
+        bundle, task = make_prepared()
+        model = create_model(name, bundle, SMALL)
+        model.fit(bundle, task, np.arange(30), np.arange(30, 40))
+        scores = model.predict_scores(bundle, np.arange(40, 50))
+        assert scores.shape[0] == 10
+        assert np.all(np.isfinite(scores))
+
+    def test_slim_variants_use_right_features(self):
+        bundle, _ = make_prepared()
+        model = create_model("slim+structural", bundle, SMALL)
+        assert model.feature_name == "structural"
+        joint = create_model("slim+joint", bundle, SMALL)
+        assert joint.feature_dim == bundle.feature_dim("joint")
+
+
+class TestContextBaselineDetails:
+    def test_training_reduces_loss(self):
+        bundle, task = make_prepared()
+        config = ModelConfig(hidden_dim=16, epochs=8, batch_size=32, time_dim=8, lr=5e-3, seed=0)
+        model = create_model("tgat+rf", bundle, config)
+        history = model.fit(bundle, task, np.arange(40))
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_cooccurrence_counts(self):
+        nodes = np.array([[1, 2, 1, -1], [3, 3, 3, 3]])
+        mask = np.array([[True, True, True, False], [True, True, True, True]])
+        counts = cooccurrence_counts(nodes, mask)
+        np.testing.assert_array_equal(counts[0], [2, 1, 2, 0])
+        np.testing.assert_array_equal(counts[1], [4, 4, 4, 4])
+
+    def test_featureless_stream_supported(self):
+        bundle, task = make_prepared(d_e=0)
+        model = create_model("graphmixer+rf", bundle, SMALL)
+        model.fit(bundle, task, np.arange(30))
+        assert np.all(np.isfinite(model.predict_scores(bundle, np.arange(5))))
+
+
+class TestMemoryMachinery:
+    def test_tbatch_levels_no_node_repeats_within_level(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 6, size=40)
+        dst = (src + 1 + rng.integers(0, 5, size=40)) % 6
+        levels = tbatch_levels(src, dst)
+        for level in levels:
+            nodes = np.concatenate([src[level], dst[level]])
+            assert len(np.unique(nodes)) == len(nodes)
+        # Every edge assigned exactly once.
+        assert sorted(np.concatenate(levels).tolist()) == list(range(40))
+
+    def test_tbatch_preserves_order_per_node(self):
+        src = np.array([0, 0, 0])
+        dst = np.array([1, 2, 3])
+        levels = tbatch_levels(src, dst)
+        assert [lvl.tolist() for lvl in levels] == [[0], [1], [2]]
+
+
+class TestSLADE:
+    def test_unsupervised_fit_and_scores(self):
+        bundle, _ = make_prepared()
+        labels = np.random.default_rng(1).integers(0, 2, size=50)
+        task = AnomalyTask(labels)
+        model = create_model("slade+rf", bundle, SMALL)
+        model.fit(bundle, task, np.arange(30), np.arange(30, 40))
+        scores = model.predict_scores(bundle, np.arange(40, 50))
+        assert scores.shape == (10,)
+        assert np.all(np.isfinite(scores))
+
+    def test_rejects_non_binary_task(self):
+        bundle, task = make_prepared()  # 2-class task is fine
+        three_class = ClassificationTask(
+            np.random.default_rng(0).integers(0, 3, size=50), 3
+        )
+        model = create_model("slade", bundle, SMALL)
+        with pytest.raises(ValueError):
+            model.fit(bundle, three_class, np.arange(30))
+
+
+class TestDTDGBaselines:
+    def test_dida_and_slid_run(self):
+        bundle, task = make_prepared()
+        for cls_name in ["dida", "slid"]:
+            model = create_model(cls_name, bundle, SMALL)
+            model.fit(bundle, task, np.arange(30), np.arange(30, 40))
+            scores = model.predict_scores(bundle, np.arange(40, 50))
+            assert scores.shape[0] == 10
+            assert np.all(np.isfinite(scores))
+
+    def test_num_parameters_positive(self):
+        bundle, task = make_prepared()
+        model = create_model("dida", bundle, SMALL)
+        model.fit(bundle, task, np.arange(30))
+        assert model.num_parameters() > 0

@@ -1,0 +1,157 @@
+"""Tests for the materialised context bundle — the shared model input."""
+
+import numpy as np
+import pytest
+
+from repro.features import default_processes
+from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
+from repro.models.context import ContextBundle, build_context_bundle
+from repro.streams.ctdg import CTDG
+from repro.tasks.base import QuerySet
+from tests.conftest import toy_ctdg, toy_queries
+
+
+def make_bundle(g, q, dim=6, k=4, extra_static=True, seed=0):
+    processes = default_processes(dim, seed=seed)
+    if extra_static:
+        processes += [
+            FreshRandomFeatureProcess(dim, rng=seed + 1),
+            ZeroFeatureProcess(dim),
+        ]
+    train = g.prefix_until(g.times[g.num_edges // 2])
+    for p in processes:
+        p.fit(train, g.num_nodes)
+    return build_context_bundle(g, q, k, processes)
+
+
+class TestBundleStructure:
+    def test_shapes(self):
+        g = toy_ctdg(num_edges=50, d_e=3)
+        q = toy_queries(g, 12)
+        bundle = make_bundle(g, q, dim=6, k=4)
+        assert bundle.neighbor_nodes.shape == (12, 4)
+        assert bundle.edge_features.shape == (12, 4, 3)
+        assert bundle.get_neighbor_features("random").shape == (12, 4, 6)
+        assert bundle.get_target_features("structural").shape == (12, 6)
+
+    def test_feature_names_and_dims(self):
+        g = toy_ctdg(num_edges=30)
+        q = toy_queries(g, 5)
+        bundle = make_bundle(g, q, dim=6)
+        assert set(bundle.feature_names) == {
+            "random",
+            "positional",
+            "structural",
+            "fresh_random",
+            "zero",
+        }
+        assert bundle.splash_candidates == ["random", "positional", "structural"]
+        assert bundle.feature_dim("joint") == 18
+
+    def test_unknown_feature_rejected(self):
+        g = toy_ctdg(num_edges=30)
+        bundle = make_bundle(g, toy_queries(g, 5))
+        with pytest.raises(KeyError):
+            bundle.get_target_features("bogus")
+
+    def test_requires_fitted_processes(self):
+        g = toy_ctdg(num_edges=30)
+        from repro.features import RandomFeatureProcess
+
+        with pytest.raises(RuntimeError):
+            build_context_bundle(g, toy_queries(g, 5), 4, [RandomFeatureProcess(4)])
+
+    def test_rejects_bad_k(self):
+        g = toy_ctdg(num_edges=30)
+        with pytest.raises(ValueError):
+            build_context_bundle(g, toy_queries(g, 5), 0, [])
+
+
+class TestBundleSemantics:
+    def test_neighbors_are_k_most_recent(self):
+        """The bundle row must match a brute-force scan of the stream."""
+        g = toy_ctdg(num_nodes=6, num_edges=60, seed=2)
+        q = toy_queries(g, 15, seed=3)
+        k = 4
+        bundle = make_bundle(g, q, dim=4, k=k)
+        for row in range(len(q)):
+            node, t = int(q.nodes[row]), float(q.times[row])
+            incident = [
+                (i, int(g.src[i]), int(g.dst[i]), float(g.times[i]))
+                for i in range(g.num_edges)
+                if g.times[i] <= t and node in (g.src[i], g.dst[i])
+            ]
+            expected = incident[-k:]
+            count = int(bundle.mask[row].sum())
+            assert count == len(expected)
+            for slot, (_, s, d, et) in enumerate(expected):
+                other = d if s == node else s
+                assert bundle.neighbor_nodes[row, slot] == other
+                assert bundle.neighbor_times[row, slot] == pytest.approx(et)
+
+    def test_edge_at_query_time_included(self):
+        g = CTDG(np.array([0]), np.array([1]), np.array([5.0]))
+        q = QuerySet(np.array([0]), np.array([5.0]))
+        bundle = make_bundle(g, q, dim=4, k=3)
+        assert bundle.mask[0, 0]
+        assert bundle.neighbor_nodes[0, 0] == 1
+
+    def test_target_degree_inclusive(self):
+        g = CTDG(np.array([0, 0]), np.array([1, 2]), np.array([1.0, 2.0]))
+        q = QuerySet(np.array([0, 0]), np.array([1.5, 2.0]))
+        bundle = make_bundle(g, q, dim=4, k=3)
+        assert bundle.target_degrees.tolist() == [1, 2]
+
+    def test_time_deltas_nonnegative_and_masked(self):
+        g = toy_ctdg(num_edges=40)
+        q = toy_queries(g, 10)
+        bundle = make_bundle(g, q, dim=4, k=5)
+        deltas = bundle.time_deltas()
+        assert np.all(deltas >= 0)
+        assert np.all(deltas[~bundle.mask] == 0)
+
+    def test_zero_features_are_zero(self):
+        g = toy_ctdg(num_edges=30)
+        bundle = make_bundle(g, toy_queries(g, 6), dim=4)
+        np.testing.assert_allclose(bundle.get_neighbor_features("zero"), 0.0)
+        np.testing.assert_allclose(bundle.get_target_features("zero"), 0.0)
+
+    def test_static_gather_masks_padded_slots(self):
+        g = toy_ctdg(num_edges=10, num_nodes=12)
+        bundle = make_bundle(g, toy_queries(g, 6), dim=4, k=8)
+        gathered = bundle.get_neighbor_features("fresh_random")
+        assert np.all(gathered[~bundle.mask] == 0.0)
+
+    def test_joint_is_concatenation(self):
+        g = toy_ctdg(num_edges=30)
+        q = toy_queries(g, 6)
+        bundle = make_bundle(g, q, dim=4)
+        joint = bundle.get_target_features("joint")
+        parts = [
+            bundle.get_target_features(name) for name in bundle.splash_candidates
+        ]
+        np.testing.assert_allclose(joint, np.concatenate(parts, axis=1))
+
+    def test_snapshot_features_frozen_at_edge_time(self):
+        """A neighbour's structural snapshot must reflect its degree at the
+        edge's time, not its final degree."""
+        g = CTDG(
+            np.array([0, 1, 1]),
+            np.array([1, 2, 3]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        q = QuerySet(np.array([0]), np.array([4.0]))
+        bundle = make_bundle(g, q, dim=4, k=3)
+        # Node 0's only edge is (0,1) at t=1, where node 1 had degree 1.
+        assert bundle.neighbor_degrees[0, 0] == 1
+
+    def test_target_seen_flags(self):
+        g = CTDG(np.array([0, 3]), np.array([1, 4]), np.array([1.0, 10.0]), num_nodes=6)
+        q = QuerySet(np.array([0, 3]), np.array([11.0, 11.0]))
+        processes = default_processes(4, seed=0)
+        train = g.prefix_until(5.0)  # only edge (0,1) is in training
+        for p in processes:
+            p.fit(train, g.num_nodes)
+        bundle = build_context_bundle(g, q, 3, processes)
+        assert bool(bundle.target_seen[0]) is True
+        assert bool(bundle.target_seen[1]) is False

@@ -1,0 +1,300 @@
+"""Property-based gradient verification against central finite differences.
+
+Every differentiable operation in the substrate is checked on random inputs
+drawn by hypothesis.  These tests are the foundation the rest of the
+reproduction stands on: if they pass, every model's training signal is
+exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.loss import bce_with_logits, cross_entropy, mse_loss, soft_cross_entropy
+from repro.nn.tensor import Tensor, concat, stack
+from tests.conftest import numerical_gradient
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+
+def check_unary(op, x_data, tolerance=1e-6):
+    x = Tensor(x_data, requires_grad=True)
+    op(x).sum().backward()
+    expected = numerical_gradient(lambda: op(Tensor(x_data)).sum().item(), x_data)
+    np.testing.assert_allclose(x.grad, expected, atol=tolerance, rtol=1e-4)
+
+
+@st.composite
+def small_arrays(draw, min_side=1, max_side=4, dims=(1, 2, 3)):
+    ndim = draw(st.sampled_from(dims))
+    shape = tuple(
+        draw(st.integers(min_value=min_side, max_value=max_side)) for _ in range(ndim)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestUnaryOps:
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_relu(self, x):
+        x = x + 0.05 * np.sign(x)  # step away from the kink
+        check_unary(F.relu, x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_tanh(self, x):
+        check_unary(F.tanh, x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_sigmoid(self, x):
+        check_unary(F.sigmoid, x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_exp(self, x):
+        check_unary(F.exp, x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_log_of_positive(self, x):
+        check_unary(F.log, np.abs(x) + 0.5)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_cos_sin(self, x):
+        check_unary(F.cos, x)
+        check_unary(F.sin, x)
+
+    @given(small_arrays(dims=(2,)))
+    @settings(**SETTINGS)
+    def test_softmax(self, x):
+        check_unary(lambda t: F.softmax(t, axis=-1) * Tensor(np.ones(x.shape)), x)
+
+    @given(small_arrays(dims=(2,)))
+    @settings(**SETTINGS)
+    def test_log_softmax(self, x):
+        # Weight rows so the gradient is not trivially zero (softmax rows sum to 1).
+        w = np.random.default_rng(0).normal(size=x.shape)
+        check_unary(lambda t: F.log_softmax(t, axis=-1) * Tensor(w), x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_power(self, x):
+        check_unary(lambda t: (t * t + 1.0) ** 1.5, x)
+
+    @given(small_arrays())
+    @settings(**SETTINGS)
+    def test_clip_values(self, x):
+        x = x + 0.07 * np.sign(x - 0.5)  # avoid clip boundaries
+        check_unary(lambda t: F.clip_values(t, -0.5, 0.5), x)
+
+
+class TestBinaryOps:
+    @given(small_arrays(dims=(2,)), st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_mul_broadcast(self, x, seed):
+        other = np.random.default_rng(seed).normal(size=x.shape[-1])
+
+        def op(t):
+            return t * Tensor(other)
+
+        check_unary(op, x)
+
+    @given(small_arrays(dims=(2,)), st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_div(self, x, seed):
+        denom = np.abs(np.random.default_rng(seed).normal(size=x.shape)) + 0.5
+
+        def op(t):
+            return t / Tensor(denom)
+
+        check_unary(op, x)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**31 - 1))
+    @settings(**SETTINGS)
+    def test_matmul_both_sides(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a_data = rng.normal(size=(m, k))
+        b_data = rng.normal(size=(k, n))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_gradient(
+            lambda: (Tensor(a_data) @ Tensor(b_data)).sum().item(), a_data
+        )
+        expected_b = numerical_gradient(
+            lambda: (Tensor(a_data) @ Tensor(b_data)).sum().item(), b_data
+        )
+        np.testing.assert_allclose(a.grad, expected_a, atol=1e-6)
+        np.testing.assert_allclose(b.grad, expected_b, atol=1e-6)
+
+    def test_batched_matmul_grad(self):
+        rng = np.random.default_rng(0)
+        a_data = rng.normal(size=(3, 2, 4))
+        b_data = rng.normal(size=(3, 4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        expected_a = numerical_gradient(
+            lambda: (Tensor(a_data) @ Tensor(b_data)).sum().item(), a_data
+        )
+        np.testing.assert_allclose(a.grad, expected_a, atol=1e-6)
+
+    def test_broadcast_batched_matmul_grad(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.normal(size=(5, 1, 3, 4))
+        b_data = rng.normal(size=(4, 2))
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        expected_b = numerical_gradient(
+            lambda: (Tensor(a_data) @ Tensor(b_data)).sum().item(), b_data
+        )
+        np.testing.assert_allclose(b.grad, expected_b, atol=1e-5)
+
+
+class TestShapeOps:
+    @given(small_arrays(dims=(2, 3)))
+    @settings(**SETTINGS)
+    def test_reshape(self, x):
+        check_unary(lambda t: (t.reshape(-1) * Tensor(np.arange(x.size))), x)
+
+    @given(small_arrays(dims=(2,)))
+    @settings(**SETTINGS)
+    def test_transpose(self, x):
+        w = np.random.default_rng(0).normal(size=x.T.shape)
+        check_unary(lambda t: t.T * Tensor(w), x)
+
+    @given(small_arrays(dims=(2,)))
+    @settings(**SETTINGS)
+    def test_sum_axis(self, x):
+        w = np.random.default_rng(0).normal(size=x.shape[1])
+        check_unary(lambda t: t.sum(axis=0) * Tensor(w), x)
+
+    @given(small_arrays(dims=(2,)))
+    @settings(**SETTINGS)
+    def test_mean_axis_keepdims(self, x):
+        check_unary(lambda t: t.mean(axis=1, keepdims=True) * 3.0, x)
+
+    def test_getitem_fancy_grad(self):
+        x_data = np.random.default_rng(0).normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        x = Tensor(x_data, requires_grad=True)
+        x[idx].sum().backward()
+        expected = numerical_gradient(
+            lambda: Tensor(x_data)[idx].sum().item(), x_data
+        )
+        np.testing.assert_allclose(x.grad, expected, atol=1e-6)
+
+
+class TestCompositeOps:
+    def test_layer_norm_grad(self):
+        rng = np.random.default_rng(3)
+        x_data = rng.normal(size=(4, 6))
+        gamma_data = rng.normal(size=6)
+        beta_data = rng.normal(size=6)
+        weights = rng.normal(size=(4, 6))
+
+        def value():
+            out = F.layer_norm(Tensor(x_data), Tensor(gamma_data), Tensor(beta_data))
+            return (out * Tensor(weights)).sum().item()
+
+        x = Tensor(x_data, requires_grad=True)
+        gamma = Tensor(gamma_data, requires_grad=True)
+        beta = Tensor(beta_data, requires_grad=True)
+        (F.layer_norm(x, gamma, beta) * Tensor(weights)).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, numerical_gradient(value, x_data), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            gamma.grad, numerical_gradient(value, gamma_data), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            beta.grad, numerical_gradient(value, beta_data), atol=1e-5
+        )
+
+    def test_embedding_grad_scatter(self):
+        w_data = np.random.default_rng(0).normal(size=(6, 4))
+        idx = np.array([1, 1, 3])
+        w = Tensor(w_data, requires_grad=True)
+        F.embedding(w, idx).sum().backward()
+        expected = np.zeros_like(w_data)
+        np.add.at(expected, idx, 1.0)
+        np.testing.assert_allclose(w.grad, expected)
+
+    def test_gather_rows_grad(self):
+        x_data = np.random.default_rng(0).normal(size=(4, 3))
+        cols = np.array([0, 2, 1, 1])
+        x = Tensor(x_data, requires_grad=True)
+        F.gather_rows(x, cols).sum().backward()
+        expected = np.zeros_like(x_data)
+        expected[np.arange(4), cols] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_masked_fill_blocks_grad(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        mask = np.array([[True, False, False], [False, False, True]])
+        F.masked_fill(x, mask, -9.0).sum().backward()
+        np.testing.assert_allclose(x.grad, (~mask).astype(float))
+
+
+class TestLossGradients:
+    def test_cross_entropy_grad(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        logits = Tensor(logits_data, requires_grad=True)
+        cross_entropy(logits, targets).backward()
+        expected = numerical_gradient(
+            lambda: cross_entropy(Tensor(logits_data), targets).item(), logits_data
+        )
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-6)
+
+    def test_weighted_cross_entropy_grad(self):
+        rng = np.random.default_rng(1)
+        logits_data = rng.normal(size=(5, 3))
+        targets = np.array([0, 1, 2, 1, 0])
+        weight = np.array([1.0, 2.0, 0.5])
+        logits = Tensor(logits_data, requires_grad=True)
+        cross_entropy(logits, targets, weight=weight).backward()
+        expected = numerical_gradient(
+            lambda: cross_entropy(Tensor(logits_data), targets, weight=weight).item(),
+            logits_data,
+        )
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-6)
+
+    def test_soft_cross_entropy_grad(self):
+        rng = np.random.default_rng(2)
+        logits_data = rng.normal(size=(4, 5))
+        target = rng.dirichlet(np.ones(5), size=4)
+        target[1] = 0.0  # one empty row must be skipped, not crash
+        logits = Tensor(logits_data, requires_grad=True)
+        soft_cross_entropy(logits, target).backward()
+        expected = numerical_gradient(
+            lambda: soft_cross_entropy(Tensor(logits_data), target).item(),
+            logits_data,
+        )
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-6)
+
+    def test_bce_with_logits_grad(self):
+        rng = np.random.default_rng(3)
+        logits_data = rng.normal(size=8) * 3
+        targets = rng.integers(0, 2, size=8).astype(float)
+        logits = Tensor(logits_data, requires_grad=True)
+        bce_with_logits(logits, targets, pos_weight=2.0).backward()
+        expected = numerical_gradient(
+            lambda: bce_with_logits(Tensor(logits_data), targets, pos_weight=2.0).item(),
+            logits_data,
+        )
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-6)
+
+    def test_mse_grad(self):
+        x_data = np.random.default_rng(4).normal(size=(3, 2))
+        target = np.zeros((3, 2))
+        x = Tensor(x_data, requires_grad=True)
+        mse_loss(x, target).backward()
+        np.testing.assert_allclose(x.grad, 2 * x_data / x_data.size, atol=1e-10)

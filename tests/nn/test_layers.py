@@ -1,0 +1,173 @@
+"""Tests for the Module system and standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    get_activation,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.inner = Linear(2, 2, rng=0)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "w" in names
+        assert "inner.weight" in names and "inner.bias" in names
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=0))
+        seq.eval()
+        assert not seq.training
+        for module in seq:
+            assert not module.training
+        seq.train()
+        assert seq.training
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        src = MLP([3, 5, 2], rng=0)
+        dst = MLP([3, 5, 2], rng=1)
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(src(x).data, dst(x).data)
+
+    def test_state_dict_rejects_mismatch(self):
+        with pytest.raises(KeyError):
+            MLP([3, 5, 2], rng=0).load_state_dict({"bogus": np.ones(2)})
+
+    def test_state_dict_rejects_bad_shape(self):
+        layer = Linear(2, 2, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.ones((3, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_reassignment_replaces_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(2, 2, rng=0)
+
+        net = Net()
+        net.layer = Linear(3, 3, rng=0)
+        assert dict(net.named_parameters())["layer.weight"].shape == (3, 3)
+
+
+class TestLinear:
+    def test_affine_map(self):
+        layer = Linear(3, 2, rng=0)
+        x = np.ones((4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert layer.num_parameters() == 6
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_seed_determinism(self):
+        a = Linear(3, 2, rng=7)
+        b = Linear(3, 2, rng=7)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestMLP:
+    def test_depth(self):
+        assert MLP([4, 8, 8, 2], rng=0).num_layers == 3
+
+    def test_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP([4, 2], activation="swishish")
+
+    def test_output_layer_is_linear(self):
+        # With tanh hiddens a linear output can exceed [-1, 1].
+        mlp = MLP([1, 4, 1], activation="tanh", rng=0)
+        for name in mlp._layer_names:
+            getattr(mlp, name).weight.data *= 100
+        out = mlp(Tensor(np.array([[5.0]])))
+        assert abs(out.item()) > 1.0
+
+    def test_forward_shape(self):
+        assert MLP([6, 12, 3], rng=0)(Tensor(np.ones((5, 6)))).shape == (5, 3)
+
+
+class TestDropoutLayerNormEmbedding:
+    def test_dropout_train_vs_eval(self):
+        drop = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 10)))
+        out_train = drop(x)
+        assert np.any(out_train.data == 0.0)
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_preserves_expectation(self):
+        drop = Dropout(0.3, rng=0)
+        x = Tensor(np.ones((200, 50)))
+        assert abs(drop(x).data.mean() - 1.0) < 0.05
+
+    def test_dropout_rejects_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_layer_norm_normalizes(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 8)))
+        out = norm(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layer_norm_shape_check(self):
+        with pytest.raises(ValueError):
+            LayerNorm(8)(Tensor(np.ones((2, 4))))
+
+    def test_embedding_lookup_and_range(self):
+        emb = Embedding(10, 4, rng=0)
+        out = emb(np.array([1, 5, 5]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[1], out.data[2])
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_get_activation(self):
+        assert get_activation("relu")(Tensor(np.array([-1.0, 2.0]))).data.tolist() == [0.0, 2.0]
+        with pytest.raises(ValueError):
+            get_activation("nope")

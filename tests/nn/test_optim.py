@@ -1,0 +1,102 @@
+"""Tests for optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_step(param: Parameter) -> None:
+    """Set grad of f(x) = ||x - 3||² / 2."""
+    param.grad = param.data - 3.0
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.2)
+        for _ in range(100):
+            quadratic_step(param)
+            optimizer.step()
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.zeros(1))
+            optimizer = SGD([param], lr=0.05, momentum=momentum)
+            for _ in range(20):
+                quadratic_step(param)
+                optimizer.step()
+            return abs(param.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.full(1, 10.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        param.grad = np.zeros(1)
+        optimizer.step()
+        assert param.data[0] < 10.0
+
+    def test_skips_params_without_grad(self):
+        param = Parameter(np.ones(2))
+        SGD([param], lr=0.1).step()  # no grad set — must not crash
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_validates_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            quadratic_step(param)
+            optimizer.step()
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        # After one step with constant grad g, Adam moves ≈ lr·sign(g).
+        param = Parameter(np.zeros(1))
+        optimizer = Adam([param], lr=0.01)
+        param.grad = np.array([5.0])
+        optimizer.step()
+        np.testing.assert_allclose(param.data, -0.01, atol=1e-6)
+
+    def test_validates_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(2))
+        param.grad = np.ones(2)
+        Adam([param]).zero_grad()
+        assert param.grad is None
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.ones(4))
+        param.grad = np.full(4, 0.01)
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, 0.01)
+
+    def test_rejects_nonpositive_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

@@ -1,0 +1,103 @@
+"""Tests for recurrent cells and attention."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention, scaled_dot_product_attention
+from repro.nn.rnn import GRUCell, RNNCell
+from repro.nn.tensor import Tensor
+
+
+class TestRNNCells:
+    def test_rnn_shape_and_bounds(self):
+        cell = RNNCell(4, 6, rng=0)
+        h = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+        assert np.all(np.abs(h.data) <= 1.0)  # tanh output
+
+    def test_gru_shape(self):
+        cell = GRUCell(4, 6, rng=0)
+        h = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_gru_interpolates_between_old_and_candidate(self):
+        # The GRU output is a convex combination of h and the tanh candidate,
+        # so it must stay within [-1, 1] when h does.
+        cell = GRUCell(2, 4, rng=1)
+        h = Tensor(np.random.default_rng(0).uniform(-1, 1, size=(5, 4)))
+        out = cell(Tensor(np.random.default_rng(1).normal(size=(5, 2))), h)
+        assert np.all(out.data <= 1.0 + 1e-9)
+        assert np.all(out.data >= -1.0 - 1e-9)
+
+    def test_gradients_reach_inputs(self):
+        cell = GRUCell(3, 5, rng=0)
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        h = Tensor(np.zeros((2, 5)), requires_grad=True)
+        cell(x, h).sum().backward()
+        assert x.grad is not None and h.grad is not None
+
+    def test_sequential_unroll_changes_state(self):
+        cell = GRUCell(2, 3, rng=0)
+        h = Tensor(np.zeros((1, 3)))
+        states = []
+        for step in range(3):
+            h = cell(Tensor(np.full((1, 2), float(step))), h)
+            states.append(h.data.copy())
+        assert not np.allclose(states[0], states[2])
+
+
+class TestScaledDotProductAttention:
+    def test_uniform_when_keys_identical(self):
+        q = Tensor(np.ones((1, 1, 4)))
+        k = Tensor(np.ones((1, 3, 4)))
+        v = Tensor(np.arange(6.0).reshape(1, 3, 2))
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0))
+
+    def test_mask_excludes_positions(self):
+        q = Tensor(np.ones((1, 1, 4)))
+        k = Tensor(np.random.default_rng(0).normal(size=(1, 3, 4)))
+        v = Tensor(np.eye(3)[None])
+        mask = np.array([[[False, True, True]]])
+        out = scaled_dot_product_attention(q, k, v, mask=mask)
+        np.testing.assert_allclose(out.data[0, 0], [1.0, 0.0, 0.0], atol=1e-6)
+
+    def test_attention_output_in_value_convex_hull(self):
+        rng = np.random.default_rng(0)
+        q = Tensor(rng.normal(size=(2, 1, 4)))
+        k = Tensor(rng.normal(size=(2, 5, 4)))
+        v = Tensor(rng.uniform(0, 1, size=(2, 5, 3)))
+        out = scaled_dot_product_attention(q, k, v).data
+        assert out.min() >= v.data.min() - 1e-9
+        assert out.max() <= v.data.max() + 1e-9
+
+
+class TestMultiHeadAttention:
+    def test_shapes(self):
+        mha = MultiHeadAttention(6, 9, 8, num_heads=2, rng=0)
+        out = mha(
+            Tensor(np.ones((3, 2, 6))),
+            Tensor(np.ones((3, 5, 9))),
+            Tensor(np.ones((3, 5, 9))),
+        )
+        assert out.shape == (3, 2, 8)
+
+    def test_head_divisibility_check(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(4, 4, 6, num_heads=4)
+
+    def test_mask_changes_output(self):
+        rng = np.random.default_rng(0)
+        mha = MultiHeadAttention(4, 4, 8, num_heads=2, rng=0)
+        q = Tensor(rng.normal(size=(1, 1, 4)))
+        k = Tensor(rng.normal(size=(1, 4, 4)))
+        unmasked = mha(q, k, k).data
+        masked = mha(q, k, k, mask=np.array([[False, False, True, True]])).data
+        assert not np.allclose(unmasked, masked)
+
+    def test_gradients_flow_to_all_projections(self):
+        mha = MultiHeadAttention(4, 4, 8, num_heads=2, rng=0)
+        q = Tensor(np.random.default_rng(0).normal(size=(2, 1, 4)))
+        mha(q, q, q).sum().backward()
+        for name, param in mha.named_parameters():
+            assert param.grad is not None, name

@@ -1,0 +1,169 @@
+"""Unit tests for the autograd Tensor: forward semantics and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, stack, where
+
+
+class TestConstruction:
+    def test_wraps_arrays(self):
+        t = Tensor(np.arange(6).reshape(2, 3))
+        assert t.shape == (2, 3)
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_scalar(self):
+        t = Tensor(3.0)
+        assert t.item() == 3.0
+
+    def test_item_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros(2)).item()
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+
+    def test_detach_shares_data_without_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+
+class TestArithmeticForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3))
+        assert np.allclose((a + b).data, 1 + np.arange(3))
+
+    def test_scalar_ops(self):
+        a = Tensor(np.full((2,), 4.0))
+        assert np.allclose((a * 2 + 1 - 3).data, 6.0)
+        assert np.allclose((1.0 / a).data, 0.25)
+        assert np.allclose((a**0.5).data, 2.0)
+
+    def test_matmul_shapes(self):
+        a = Tensor(np.ones((4, 3)))
+        b = Tensor(np.ones((3, 2)))
+        assert (a @ b).shape == (4, 2)
+
+    def test_batched_matmul(self):
+        a = Tensor(np.ones((5, 4, 3)))
+        b = Tensor(np.ones((5, 3, 2)))
+        assert (a @ b).shape == (5, 4, 2)
+
+    def test_reductions(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum().item() == 15.0
+        assert t.mean().item() == 2.5
+        assert np.allclose(t.sum(axis=0).data, [3, 5, 7])
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+        assert np.allclose(t.max(axis=1).data, [2, 5])
+
+    def test_reshape_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.reshape(3, 2).shape == (3, 2)
+        assert t.T.shape == (3, 2)
+        assert t.swapaxes(0, 1).shape == (3, 2)
+
+    def test_getitem(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4))
+        assert t[1].shape == (4,)
+        assert t[:, 2].shape == (3,)
+        assert t[np.array([0, 2])].shape == (2, 4)
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_across_uses(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2 + x * 3).sum()
+        y.backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert y._backward is None
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_backward_grad_shape_checked(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(ValueError):
+            y.backward(np.ones(4))
+
+    def test_diamond_graph(self):
+        # x → a, b → c uses both; gradient must flow through both paths once.
+        x = Tensor(np.full(2, 3.0), requires_grad=True)
+        a = x * 2
+        b = x + 1
+        c = (a * b).sum()  # d/dx (2x(x+1)) = 4x + 2 = 14
+        c.backward()
+        assert np.allclose(x.grad, 14.0)
+
+    def test_constant_parents_get_no_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        c = Tensor(np.ones(2))
+        (x * c).sum().backward()
+        assert c.grad is None
+
+    def test_broadcast_grad_reduces(self):
+        x = Tensor(np.ones((1, 3)), requires_grad=True)
+        y = Tensor(np.ones((4, 3)))
+        (x + y).sum().backward()
+        assert x.grad.shape == (1, 3)
+        assert np.allclose(x.grad, 4.0)
+
+    def test_second_backward_accumulates_into_leaf(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        assert np.allclose(x.grad, 4.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestCombinators:
+    def test_concat_forward_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        c = concat([a, b], axis=1)
+        assert c.shape == (2, 5)
+        (c * 2).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_stack(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        s.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        x = Tensor(np.full(3, 5.0), requires_grad=True)
+        y = Tensor(np.zeros(3), requires_grad=True)
+        z = where(cond, x, y)
+        assert np.allclose(z.data, [5, 0, 5])
+        z.sum().backward()
+        assert np.allclose(x.grad, [1, 0, 1])
+        assert np.allclose(y.grad, [0, 1, 0])
+
+    def test_max_splits_ties(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5, 0.0]])

@@ -1,0 +1,124 @@
+"""Tests for the CTDG container and temporal edges."""
+
+import numpy as np
+import pytest
+
+from repro.streams.ctdg import CTDG, merge_streams
+from repro.streams.edge import TemporalEdge
+from tests.conftest import toy_ctdg
+
+
+class TestTemporalEdge:
+    def test_other_endpoint(self):
+        edge = TemporalEdge(src=1, dst=2, time=0.5)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(ValueError):
+            edge.other(3)
+
+    def test_defaults(self):
+        edge = TemporalEdge(src=0, dst=1, time=1.0)
+        assert edge.weight == 1.0
+        assert edge.feature is None
+
+
+class TestCTDGValidation:
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            CTDG(np.array([0, 1]), np.array([1, 0]), np.array([2.0, 1.0]))
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            CTDG(np.array([-1]), np.array([0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CTDG(np.array([0]), np.array([1, 2]), np.array([0.0]))
+
+    def test_rejects_bad_feature_shape(self):
+        with pytest.raises(ValueError):
+            CTDG(
+                np.array([0]),
+                np.array([1]),
+                np.array([0.0]),
+                edge_features=np.ones((2, 3)),
+            )
+
+    def test_rejects_num_nodes_too_small(self):
+        with pytest.raises(ValueError):
+            CTDG(np.array([0]), np.array([5]), np.array([0.0]), num_nodes=3)
+
+    def test_equal_timestamps_allowed(self):
+        g = CTDG(np.array([0, 1]), np.array([1, 2]), np.array([1.0, 1.0]))
+        assert g.num_edges == 2
+
+
+class TestCTDGAccess:
+    def test_edge_materialisation(self):
+        g = toy_ctdg(d_e=3)
+        edge = g.edge(5)
+        assert edge.index == 5
+        assert edge.feature.shape == (3,)
+        with pytest.raises(IndexError):
+            g.edge(g.num_edges)
+
+    def test_iteration_chronological(self):
+        g = toy_ctdg()
+        times = [e.time for e in g]
+        assert times == sorted(times)
+
+    def test_prefix_until_inclusive_vs_exclusive(self):
+        g = CTDG(np.array([0, 1, 2]), np.array([1, 2, 0]), np.array([1.0, 2.0, 2.0]))
+        assert g.prefix_until(2.0).num_edges == 3
+        assert g.prefix_until(2.0, inclusive=False).num_edges == 1
+        assert g.prefix_until(0.5).num_edges == 0
+
+    def test_slice_preserves_node_space(self):
+        g = toy_ctdg(num_nodes=8)
+        sliced = g.slice(0, 3)
+        assert sliced.num_nodes == 8
+        assert sliced.num_edges == 3
+
+    def test_nodes_seen(self):
+        g = CTDG(np.array([0, 5]), np.array([3, 5]), np.array([0.0, 1.0]), num_nodes=10)
+        assert g.nodes_seen().tolist() == [0, 3, 5]
+
+    def test_degrees_counts_both_endpoints(self):
+        g = CTDG(np.array([0, 0]), np.array([1, 2]), np.array([0.0, 1.0]))
+        assert g.degrees().tolist() == [2, 1, 1]
+
+    def test_degrees_self_loop_counts_twice(self):
+        g = CTDG(np.array([0]), np.array([0]), np.array([0.0]))
+        assert g.degrees()[0] == 2
+
+    def test_from_edges_roundtrip(self):
+        g = toy_ctdg(d_e=2)
+        rebuilt = CTDG.from_edges(list(g), num_nodes=g.num_nodes)
+        np.testing.assert_array_equal(rebuilt.src, g.src)
+        np.testing.assert_allclose(rebuilt.edge_features, g.edge_features)
+
+    def test_empty_ctdg(self):
+        g = CTDG(np.zeros(0, dtype=int), np.zeros(0, dtype=int), np.zeros(0))
+        assert g.num_edges == 0
+        assert g.num_nodes == 0
+
+
+class TestMergeStreams:
+    def test_merge_sorts_by_time(self):
+        a = CTDG(np.array([0]), np.array([1]), np.array([5.0]), num_nodes=4)
+        b = CTDG(np.array([2]), np.array([3]), np.array([1.0]), num_nodes=4)
+        merged = merge_streams([a, b])
+        assert merged.times.tolist() == [1.0, 5.0]
+        assert merged.src.tolist() == [2, 0]
+
+    def test_merge_rejects_mixed_features(self):
+        a = CTDG(np.array([0]), np.array([1]), np.array([0.0]), edge_features=np.ones((1, 2)))
+        b = CTDG(np.array([0]), np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            merge_streams([a, b])
+
+    def test_merge_stable_on_ties(self):
+        a = CTDG(np.array([0]), np.array([1]), np.array([1.0]), num_nodes=4)
+        b = CTDG(np.array([2]), np.array([3]), np.array([1.0]), num_nodes=4)
+        merged = merge_streams([a, b])
+        assert merged.src.tolist() == [0, 2]  # stable: first stream first

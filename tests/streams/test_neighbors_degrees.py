@@ -1,0 +1,116 @@
+"""Tests for the k-recent neighbour buffer and degree tracking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.degrees import DegreeTracker
+from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
+
+
+def entry(neighbor: int, time: float) -> NeighborEntry:
+    return NeighborEntry(
+        neighbor=neighbor,
+        time=time,
+        edge_index=0,
+        weight=1.0,
+        feature=None,
+        neighbor_degree=0,
+    )
+
+
+class TestRecentNeighborBuffer:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            RecentNeighborBuffer(0)
+
+    def test_keeps_most_recent_k(self):
+        buffer = RecentNeighborBuffer(3)
+        for t in range(5):
+            buffer.insert(0, entry(t, float(t)))
+        kept = [e.neighbor for e in buffer.neighbors(0)]
+        assert kept == [2, 3, 4]
+
+    def test_order_oldest_to_newest(self):
+        buffer = RecentNeighborBuffer(4)
+        for t in [3.0, 7.0, 9.0]:
+            buffer.insert(1, entry(0, t))
+        times = [e.time for e in buffer.neighbors(1)]
+        assert times == sorted(times)
+
+    def test_unknown_node_empty(self):
+        assert RecentNeighborBuffer(2).neighbors(42) == []
+
+    def test_memory_bounded_by_k_times_nodes(self):
+        buffer = RecentNeighborBuffer(2)
+        for node in range(10):
+            for t in range(5):
+                buffer.insert(node, entry(t, float(t)))
+        assert buffer.memory_entries() == 20
+        assert buffer.num_tracked_nodes() == 10
+
+    def test_clear(self):
+        buffer = RecentNeighborBuffer(2)
+        buffer.insert(0, entry(1, 0.0))
+        buffer.clear()
+        assert buffer.num_tracked_nodes() == 0
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=50),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_buffer_is_suffix_of_insertions(self, neighbors, k):
+        """Property: buffered entries are exactly the last min(k, n) inserts."""
+        buffer = RecentNeighborBuffer(k)
+        for t, n in enumerate(neighbors):
+            buffer.insert(0, entry(n, float(t)))
+        stored = [e.neighbor for e in buffer.neighbors(0)]
+        assert stored == neighbors[-k:]
+
+
+class TestDegreeTracker:
+    def test_counts_both_endpoints(self):
+        tracker = DegreeTracker()
+        tracker.observe_edge(0, 1)
+        tracker.observe_edge(0, 2)
+        assert tracker.degree(0) == 2
+        assert tracker.degree(1) == 1
+        assert tracker.degree(2) == 1
+
+    def test_unknown_node_zero(self):
+        assert DegreeTracker().degree(99) == 0
+
+    def test_self_loop_counts_twice(self):
+        tracker = DegreeTracker()
+        tracker.observe_edge(3, 3)
+        assert tracker.degree(3) == 2
+
+    def test_degrees_of_vectorised(self):
+        tracker = DegreeTracker()
+        tracker.observe_edge(0, 1)
+        np.testing.assert_array_equal(
+            tracker.degrees_of(np.array([0, 1, 2])), [1, 1, 0]
+        )
+
+    def test_as_array(self):
+        tracker = DegreeTracker()
+        tracker.observe_edge(0, 4)
+        out = tracker.as_array(5)
+        assert out.tolist() == [1, 0, 0, 0, 1]
+
+    def test_matches_ctdg_degrees(self):
+        from tests.conftest import toy_ctdg
+
+        g = toy_ctdg(num_nodes=6, num_edges=30, seed=3)
+        tracker = DegreeTracker()
+        for e in g:
+            tracker.observe_edge(e.src, e.dst)
+        np.testing.assert_array_equal(tracker.as_array(6), g.degrees())
+
+    def test_reset(self):
+        tracker = DegreeTracker()
+        tracker.observe_edge(0, 1)
+        tracker.reset()
+        assert tracker.num_active_nodes() == 0

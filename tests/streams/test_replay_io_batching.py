@@ -1,0 +1,135 @@
+"""Tests for stream replay ordering, file I/O, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.streams.batching import chronological_batches, minibatch_indices
+from repro.streams.ctdg import CTDG
+from repro.streams.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.streams.replay import replay
+from tests.conftest import toy_ctdg
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_edge(self, index, src, dst, time, feature, weight):
+        self.events.append(("edge", index, time))
+
+    def on_query(self, index, node, time):
+        self.events.append(("query", index, time))
+
+
+class TestReplay:
+    def test_chronological_interleaving(self):
+        g = CTDG(np.array([0, 1, 2]), np.array([1, 2, 0]), np.array([1.0, 3.0, 5.0]))
+        recorder = Recorder()
+        replay(g, np.array([0, 1]), np.array([2.0, 4.0]), [recorder])
+        kinds = [e[0] for e in recorder.events]
+        assert kinds == ["edge", "query", "edge", "query", "edge"]
+
+    def test_edges_processed_before_queries_on_ties(self):
+        g = CTDG(np.array([0]), np.array([1]), np.array([2.0]))
+        recorder = Recorder()
+        replay(g, np.array([0]), np.array([2.0]), [recorder])
+        assert [e[0] for e in recorder.events] == ["edge", "query"]
+
+    def test_stop_time_halts(self):
+        g = toy_ctdg(num_edges=20)
+        recorder = Recorder()
+        mid = g.times[9]
+        replay(g, None, None, [recorder], stop_time=mid)
+        assert all(t <= mid for _, _, t in recorder.events)
+
+    def test_queries_require_both_arrays(self):
+        g = toy_ctdg()
+        with pytest.raises(ValueError):
+            replay(g, np.array([0]), None, [Recorder()])
+
+    def test_rejects_unsorted_queries(self):
+        g = toy_ctdg()
+        with pytest.raises(ValueError):
+            replay(g, np.array([0, 1]), np.array([5.0, 1.0]), [Recorder()])
+
+    def test_multiple_processors_see_same_stream(self):
+        g = toy_ctdg(num_edges=10)
+        a, b = Recorder(), Recorder()
+        replay(g, np.array([0]), np.array([g.end_time]), [a, b])
+        assert a.events == b.events
+
+    def test_edge_only_replay(self):
+        g = toy_ctdg(num_edges=7)
+        recorder = Recorder()
+        replay(g, None, None, [recorder])
+        assert len(recorder.events) == 7
+
+
+class TestIO:
+    def test_csv_roundtrip_with_features(self, tmp_path):
+        g = toy_ctdg(num_edges=15, d_e=3)
+        path = str(tmp_path / "stream.csv")
+        write_csv(g, path)
+        back = read_csv(path, num_nodes=g.num_nodes)
+        np.testing.assert_array_equal(back.src, g.src)
+        np.testing.assert_allclose(back.times, g.times)
+        np.testing.assert_allclose(back.edge_features, g.edge_features)
+
+    def test_csv_roundtrip_featureless(self, tmp_path):
+        g = toy_ctdg(num_edges=5)
+        path = str(tmp_path / "plain.csv")
+        write_csv(g, path)
+        back = read_csv(path)
+        assert back.edge_features is None
+        np.testing.assert_allclose(back.weights, g.weights)
+
+    def test_csv_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c,d\n1,2,3,4\n")
+        with pytest.raises(ValueError):
+            read_csv(str(path))
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        g = toy_ctdg(num_edges=8, d_e=2)
+        path = str(tmp_path / "stream.jsonl")
+        write_jsonl(g, path)
+        back = read_jsonl(path, num_nodes=g.num_nodes)
+        np.testing.assert_array_equal(back.dst, g.dst)
+        np.testing.assert_allclose(back.edge_features, g.edge_features)
+
+    def test_jsonl_rejects_inconsistent_features(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"src": 0, "dst": 1, "time": 0.0, "feature": [1.0]}\n'
+            '{"src": 1, "dst": 2, "time": 1.0}\n'
+        )
+        with pytest.raises(ValueError):
+            read_jsonl(str(path))
+
+
+class TestBatching:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(minibatch_indices(10, 3, shuffle=False)))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_shuffle_deterministic_with_rng(self):
+        a = list(minibatch_indices(20, 5, rng=0))
+        b = list(minibatch_indices(20, 5, rng=0))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_drop_last(self):
+        batches = list(minibatch_indices(10, 3, shuffle=False, drop_last=True))
+        assert all(len(b) == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(minibatch_indices(10, 0))
+
+    def test_chronological_batches_contiguous(self):
+        batches = list(chronological_batches(10, 4))
+        assert [b.tolist() for b in batches] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_empty_input(self):
+        assert list(minibatch_indices(0, 4)) == []

@@ -1,0 +1,88 @@
+"""Property-based invariants across the streams substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.ctdg import CTDG, merge_streams
+from repro.streams.replay import replay
+
+
+@st.composite
+def random_ctdg(draw):
+    n_edges = draw(st.integers(1, 40))
+    n_nodes = draw(st.integers(2, 10))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = rng.integers(0, n_nodes, size=n_edges)
+    times = np.sort(rng.uniform(0, 100, size=n_edges))
+    return CTDG(src, dst, times, num_nodes=n_nodes)
+
+
+class TestCTDGProperties:
+    @given(random_ctdg(), st.floats(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_until_partitions_stream(self, g, cut):
+        before = g.prefix_until(cut, inclusive=True)
+        assert before.num_edges == int(np.sum(g.times <= cut))
+        if before.num_edges:
+            assert before.times.max() <= cut
+
+    @given(random_ctdg(), random_ctdg())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_preserves_edges_and_order(self, a, b):
+        merged = merge_streams([a, b])
+        assert merged.num_edges == a.num_edges + b.num_edges
+        assert np.all(np.diff(merged.times) >= 0)
+        # Multiset of endpoints is preserved.
+        combined = sorted(
+            list(zip(a.src, a.dst, a.times)) + list(zip(b.src, b.dst, b.times))
+        )
+        merged_list = sorted(zip(merged.src, merged.dst, merged.times))
+        assert combined == merged_list
+
+    @given(random_ctdg())
+    @settings(max_examples=30, deadline=None)
+    def test_degrees_sum_to_twice_edges(self, g):
+        assert g.degrees().sum() == 2 * g.num_edges
+
+    @given(random_ctdg())
+    @settings(max_examples=30, deadline=None)
+    def test_replay_visits_every_edge_once_in_order(self, g):
+        seen = []
+
+        class Recorder:
+            def on_edge(self, index, src, dst, time, feature, weight):
+                seen.append((index, time))
+
+            def on_query(self, index, node, time):
+                pass
+
+        replay(g, None, None, [Recorder()])
+        assert [i for i, _ in seen] == list(range(g.num_edges))
+        times = [t for _, t in seen]
+        assert times == sorted(times)
+
+
+class TestAffinityBuilderProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(5, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_labels_always_normalised(self, seed, n_edges):
+        from repro.tasks.affinity import AffinityLabelSpec, build_affinity_queries
+
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, 5, size=n_edges)
+        dst = rng.integers(5, 10, size=n_edges)
+        times = np.sort(rng.uniform(0, 10, size=n_edges))
+        weights = rng.uniform(0.1, 5.0, size=n_edges)
+        ctdg = CTDG(src, dst, times, weights=weights, num_nodes=10)
+        try:
+            queries, labels, targets = build_affinity_queries(
+                ctdg, AffinityLabelSpec(period=2.0)
+            )
+        except ValueError:
+            return  # period larger than the span: acceptable rejection
+        np.testing.assert_allclose(labels.sum(axis=1), 1.0)
+        assert np.all(np.diff(queries.times) >= 0)
+        assert len(queries) == len(labels)

@@ -1,0 +1,174 @@
+"""Tests for the three task instances and the affinity label builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.streams.ctdg import CTDG
+from repro.tasks.affinity import (
+    AffinityLabelSpec,
+    AffinityTask,
+    build_affinity_queries,
+)
+from repro.tasks.anomaly import AnomalyTask
+from repro.tasks.base import QuerySet
+from repro.tasks.classification import ClassificationTask
+
+
+class TestQuerySet:
+    def test_validates_sorted_times(self):
+        with pytest.raises(ValueError):
+            QuerySet(np.array([0, 1]), np.array([2.0, 1.0]))
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            QuerySet(np.array([0]), np.array([1.0, 2.0]))
+
+    def test_len(self):
+        assert len(QuerySet(np.array([0, 1]), np.array([1.0, 2.0]))) == 2
+
+
+class TestClassificationTask:
+    def _task(self):
+        return ClassificationTask(np.array([0, 1, 2, 1, 0]), num_classes=3)
+
+    def test_output_dim(self):
+        assert self._task().output_dim == 3
+
+    def test_loss_decreases_with_correct_logits(self):
+        task = self._task()
+        idx = np.arange(5)
+        good = np.eye(3)[task.labels] * 10.0
+        bad = -np.eye(3)[task.labels] * 10.0
+        assert task.loss(Tensor(good), idx).item() < task.loss(Tensor(bad), idx).item()
+
+    def test_evaluate_perfect(self):
+        task = self._task()
+        logits = np.eye(3)[task.labels]
+        assert task.evaluate(task.scores(logits), np.arange(5)) == pytest.approx(1.0)
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValueError):
+            ClassificationTask(np.array([0, 3]), num_classes=3)
+        with pytest.raises(ValueError):
+            ClassificationTask(np.array([0, 1]), num_classes=1)
+
+    def test_index_bounds_checked(self):
+        task = self._task()
+        with pytest.raises(IndexError):
+            task.loss(Tensor(np.zeros((1, 3))), np.array([7]))
+
+
+class TestAnomalyTask:
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            AnomalyTask(np.array([0, 2]))
+
+    def test_scores_are_probabilities(self):
+        task = AnomalyTask(np.array([0, 1, 0, 1]))
+        logits = np.random.default_rng(0).normal(size=(4, 2))
+        scores = task.scores(logits)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_evaluate_auc(self):
+        task = AnomalyTask(np.array([0, 0, 1, 1]))
+        logits = np.array([[2.0, 0], [1.5, 0], [0, 2.0], [0, 3.0]])
+        assert task.evaluate(task.scores(logits), np.arange(4)) == 1.0
+
+    def test_balanced_loss_upweights_rare_class(self):
+        labels = np.array([0] * 99 + [1])
+        balanced = AnomalyTask(labels, balance_loss=True)
+        flat = AnomalyTask(labels, balance_loss=False)
+        # Logits that are wrong on the single positive example.
+        logits = np.zeros((100, 2))
+        logits[:, 0] = 3.0
+        idx = np.arange(100)
+        assert balanced.loss(Tensor(logits), idx).item() > flat.loss(
+            Tensor(logits), idx
+        ).item()
+
+    def test_one_class_auc_raises(self):
+        task = AnomalyTask(np.array([0, 0, 0, 1]))
+        with pytest.raises(ValueError):
+            task.evaluate(np.zeros(3), np.arange(3))  # slice has only normals
+
+
+class TestAffinityTask:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AffinityTask(np.zeros(5))
+        with pytest.raises(ValueError):
+            AffinityTask(-np.ones((2, 3)))
+
+    def test_perfect_ranking(self):
+        labels = np.array([[0.7, 0.3, 0.0], [0.0, 0.2, 0.8]])
+        task = AffinityTask(labels)
+        assert task.evaluate(labels.copy(), np.arange(2)) == pytest.approx(1.0)
+
+    def test_loss_prefers_matching_distribution(self):
+        labels = np.array([[0.9, 0.1], [0.1, 0.9]])
+        task = AffinityTask(labels)
+        idx = np.arange(2)
+        aligned = task.loss(Tensor(np.log(labels + 1e-9)), idx).item()
+        inverted = task.loss(Tensor(np.log(labels[::-1] + 1e-9)), idx).item()
+        assert aligned < inverted
+
+
+class TestAffinityLabelBuilder:
+    def _weighted_stream(self):
+        # Node 0 trades with 1 (weight 3) and 2 (weight 1) each period.
+        src, dst, t, w = [], [], [], []
+        for period in range(4):
+            src += [0, 0]
+            dst += [1, 2]
+            t += [period + 0.2, period + 0.4]
+            w += [3.0, 1.0]
+        return CTDG(
+            np.array(src), np.array(dst), np.array(t), weights=np.array(w), num_nodes=3
+        )
+
+    def test_labels_normalised_future_weights(self):
+        ctdg = self._weighted_stream()
+        queries, labels, targets = build_affinity_queries(
+            ctdg, AffinityLabelSpec(period=1.0)
+        )
+        assert targets.tolist() == [1, 2]
+        # Boundaries start at the first edge time (0.2): the first windows
+        # each catch one (dst=2, w=1) edge plus the next period's (dst=1,
+        # w=3) edge → [0.75, 0.25]; the final window only catches the last
+        # w=1 edge to node 2 → [0, 1].
+        np.testing.assert_allclose(labels[:-1], np.tile([0.75, 0.25], (len(labels) - 1, 1)))
+        np.testing.assert_allclose(labels[-1], [0.0, 1.0])
+
+    def test_queries_only_for_active_sources(self):
+        ctdg = self._weighted_stream()
+        queries, labels, _ = build_affinity_queries(ctdg, AffinityLabelSpec(period=1.0))
+        assert set(queries.nodes.tolist()) == {0}
+        assert len(queries) == len(labels)
+
+    def test_labels_use_strictly_future_edges(self):
+        # Edge exactly at the boundary time belongs to the *previous* window
+        # (window is (t, t+period]); verify via a single edge at t=1.0.
+        ctdg = CTDG(np.array([0, 0]), np.array([1, 1]), np.array([0.5, 1.0]),
+                    weights=np.array([1.0, 5.0]), num_nodes=2)
+        queries, labels, _ = build_affinity_queries(ctdg, AffinityLabelSpec(period=1.0))
+        # Query at t=0 covers (0, 1]: both edges fall inside.
+        assert len(queries) == 1
+        np.testing.assert_allclose(labels[0], [1.0])
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            build_affinity_queries(self._weighted_stream(), AffinityLabelSpec(period=0))
+
+    def test_custom_target_space(self):
+        ctdg = self._weighted_stream()
+        _, labels, targets = build_affinity_queries(
+            ctdg, AffinityLabelSpec(period=1.0, target_space=np.array([1]))
+        )
+        assert targets.tolist() == [1]
+        np.testing.assert_allclose(labels, 1.0)
+
+    def test_query_times_sorted(self):
+        ctdg = self._weighted_stream()
+        queries, _, _ = build_affinity_queries(ctdg, AffinityLabelSpec(period=1.0))
+        assert np.all(np.diff(queries.times) >= 0)

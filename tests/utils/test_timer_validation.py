@@ -1,0 +1,80 @@
+"""Tests for the timer and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestTimer:
+    def test_section_accumulates(self):
+        timer = Timer()
+        with timer.section("a"):
+            pass
+        with timer.section("a"):
+            pass
+        assert timer.count("a") == 2
+        assert timer.total("a") >= 0.0
+
+    def test_unknown_section_is_zero(self):
+        assert Timer().total("missing") == 0.0
+        assert Timer().mean("missing") == 0.0
+
+    def test_section_survives_exception(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            with timer.section("x"):
+                raise RuntimeError("boom")
+        assert timer.count("x") == 1
+
+    def test_timed_returns_result(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_timed_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            timed(lambda: None, repeats=0)
+
+
+class TestValidation:
+    def test_check_positive_strict(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_positive_nonstrict(self):
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_finite(self):
+        check_finite("a", np.ones(3))
+        with pytest.raises(ValueError):
+            check_finite("a", np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            check_finite("a", np.array([np.inf]))
+
+    def test_check_shape_exact(self):
+        assert check_shape("m", np.zeros((2, 3)), (2, 3)) == (2, 3)
+
+    def test_check_shape_wildcard(self):
+        check_shape("m", np.zeros((5, 3)), (None, 3))
+
+    def test_check_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            check_shape("m", np.zeros((2, 3)), (3, 2))
+        with pytest.raises(ValueError):
+            check_shape("m", np.zeros(4), (None, None))
