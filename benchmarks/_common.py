@@ -5,17 +5,41 @@ controlled by ``REPRO_BENCH_SCALE`` (default 1.0; raise it for closer-to-
 paper statistics, lower it for smoke runs).  Each benchmark prints its
 rows/series and also writes them under ``benchmarks/results/`` so the
 artifacts survive pytest's output capture.
+
+Knobs (environment variables, so pytest-driven runs can set them):
+
+* ``REPRO_BENCH_SCALE`` — edge-count multiplier (default 1.0);
+* ``REPRO_BENCH_FULL``  — ``1`` runs the paper's full method roster;
+* ``REPRO_BENCH_DTYPE`` — ``float32``/``float64`` working precision for
+  model training (applied process-wide at import; float32 is the fast
+  path, float64 the bit-exact reproduction default).
+
+Performance artifacts: machine-readable benchmark records are written as
+``BENCH_*.json`` via :func:`bench_json` — see ``benchmarks/README.md`` for
+how to compare them against committed baselines.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
+import time
 from typing import Iterable
 
+import numpy as np
+
 from repro.models import ModelConfig
+from repro.nn import set_default_dtype
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+DTYPE = os.environ.get("REPRO_BENCH_DTYPE", "float64")
+
+# Apply the requested precision process-wide so every entry point (models,
+# SPLASH, baselines) trains on the same fast path.
+set_default_dtype(DTYPE)
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
@@ -88,3 +112,34 @@ def emit(name: str, text: str) -> None:
     print(text)
     path = save_result(name, text)
     print(f"[saved to {path}]")
+
+
+def bench_environment() -> dict:
+    """Provenance stamped into every BENCH_*.json record."""
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "scale": SCALE,
+        "dtype": DTYPE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def bench_json(name: str, payload: dict, path: str | None = None) -> str:
+    """Write a machine-readable benchmark record (``BENCH_*.json``).
+
+    ``payload`` is augmented with :func:`bench_environment` provenance.
+    ``path`` overrides the destination (default: ``benchmarks/results/``);
+    CI's smoke job uses that to emit ``BENCH_pr.json`` at the repo root
+    for artifact upload.
+    """
+    record = {"name": name, "environment": bench_environment(), **payload}
+    if path is None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, name if name.endswith(".json") else name + ".json")
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"[bench json saved to {path}]")
+    return path

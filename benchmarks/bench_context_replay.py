@@ -1,0 +1,162 @@
+"""Context-materialisation engine benchmark: per-event vs batched replay.
+
+Times :func:`repro.models.context.build_context_bundle` under both replay
+engines on the synthetic generators, verifies the bundles are bit-for-bit
+identical, and records wall-clocks + speedups in a ``BENCH_*.json`` record
+(see ``benchmarks/README.md`` for how to compare records over time).
+
+Runs standalone (CI's benchmark smoke job invokes it directly)::
+
+    PYTHONPATH=src python benchmarks/bench_context_replay.py \
+        --preset smoke --output BENCH_pr.json
+
+or under pytest as part of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import DTYPE, SCALE, bench_json
+from repro.datasets import email_eu_like, gdelt_like, reddit_like
+from repro.features import default_processes
+from repro.models.context import ContextBundle, build_context_bundle
+
+PRESETS = {
+    # name -> (num_edges per generator, timing repeats)
+    "smoke": (3000, 2),
+    "default": (12000, 3),
+    "full": (40000, 3),
+}
+
+
+def generator_roster(num_edges: int, seed: int = 0):
+    """Synthetic generators ordered smallest to largest stream."""
+    return [
+        ("reddit-like", reddit_like(seed=seed, num_edges=num_edges // 2)),
+        ("email-eu-like", email_eu_like(seed=seed, num_edges=num_edges)),
+        ("gdelt-like", gdelt_like(seed=seed, num_edges=num_edges)),
+    ]
+
+
+def _bundles_equal(a: ContextBundle, b: ContextBundle) -> bool:
+    fields = [
+        "neighbor_nodes",
+        "neighbor_times",
+        "neighbor_degrees",
+        "edge_features",
+        "edge_weights",
+        "mask",
+        "target_degrees",
+        "target_last_times",
+        "target_seen",
+    ]
+    if not all(np.array_equal(getattr(a, f), getattr(b, f)) for f in fields):
+        return False
+    if set(a.target_features) != set(b.target_features):
+        return False
+    return all(
+        np.array_equal(a.target_features[n], b.target_features[n])
+        and np.array_equal(a.neighbor_features[n], b.neighbor_features[n])
+        for n in a.target_features
+    )
+
+
+def time_engine(dataset, processes, k: int, engine: str, repeats: int):
+    best = float("inf")
+    bundle = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        bundle = build_context_bundle(
+            dataset.ctdg, dataset.queries, k, processes, engine=engine
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, bundle
+
+
+def run_context_bench(preset: str = "default", k: int = 10, feature_dim: int = 32):
+    num_edges, repeats = PRESETS[preset]
+    rows = []
+    for name, dataset in generator_roster(num_edges):
+        split = dataset.split()
+        processes = default_processes(feature_dim, seed=0)
+        for process in processes:
+            process.fit(dataset.train_stream(split), dataset.ctdg.num_nodes)
+        event_s, event_bundle = time_engine(dataset, processes, k, "event", repeats)
+        batched_s, batched_bundle = time_engine(
+            dataset, processes, k, "batched", repeats
+        )
+        rows.append(
+            {
+                "generator": name,
+                "num_edges": dataset.ctdg.num_edges,
+                "num_queries": len(dataset.queries),
+                "num_nodes": dataset.ctdg.num_nodes,
+                "k": k,
+                "event_seconds": round(event_s, 4),
+                "batched_seconds": round(batched_s, 4),
+                "speedup": round(event_s / batched_s, 2),
+                "identical": _bundles_equal(event_bundle, batched_bundle),
+            }
+        )
+        print(
+            f"{name:16s} E={rows[-1]['num_edges']:>6d} Q={rows[-1]['num_queries']:>6d}  "
+            f"event {event_s:.3f}s  batched {batched_s:.3f}s  "
+            f"{rows[-1]['speedup']:.2f}x  identical={rows[-1]['identical']}"
+        )
+    return {"preset": preset, "rows": rows}
+
+
+def test_context_replay_speedup():
+    """Benchmark-suite entry: batched must match bit-for-bit and be faster."""
+    preset = "smoke" if SCALE < 1.0 else "default"
+    # Only the default preset regenerates the committed baseline record;
+    # smoke runs write a suffixed (gitignored) file so `pytest benchmarks/`
+    # at reduced scale cannot clobber the baseline in the working tree.
+    record = (
+        "BENCH_context_replay.json"
+        if preset == "default"
+        else f"BENCH_context_replay.{preset}.json"
+    )
+    payload = run_context_bench(preset=preset)
+    bench_json(record, payload)
+    for row in payload["rows"]:
+        assert row["identical"], f"{row['generator']}: bundles differ between engines"
+    largest = max(payload["rows"], key=lambda r: r["num_edges"])
+    # The 2x bar needs the default preset's stream sizes and best-of-3
+    # timing; smoke streams are too short for a stable ratio, so there the
+    # gate is only "not slower".
+    floor = 2.0 if preset == "default" else 1.0
+    assert largest["speedup"] >= floor, (
+        f"batched engine only {largest['speedup']}x faster on {largest['generator']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--feature-dim", type=int, default=32)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="destination JSON (default benchmarks/results/BENCH_context_replay.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_context_bench(
+        preset=args.preset, k=args.k, feature_dim=args.feature_dim
+    )
+    bench_json("BENCH_context_replay.json", payload, path=args.output)
+    print(f"[dtype={DTYPE} scale={SCALE}]")
+    if not all(row["identical"] for row in payload["rows"]):
+        print("ERROR: engines disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,15 @@ recovers much of it, and SPLASH is the best or tied-best on most datasets.
 """
 
 import pytest
-from _common import comparison_methods, edges, emit, model_config, FULL
+from _common import (
+    FULL,
+    SCALE,
+    bench_json,
+    comparison_methods,
+    edges,
+    emit,
+    model_config,
+)
 
 from repro.datasets import (
     email_eu_like,
@@ -59,6 +67,31 @@ def test_table3_main_comparison(benchmark):
         if r.selected_process
     ]
     emit("table3_main_comparison.txt", table + "\n\n" + "\n".join(notes))
+    bench_json(
+        "BENCH_table3.json",
+        {
+            "rows": [
+                {
+                    "method": r.method,
+                    "dataset": r.dataset,
+                    "metric": r.metric_name,
+                    "value": r.test_metric,
+                    "train_seconds": round(r.train_seconds, 3),
+                    "inference_seconds": round(r.inference_seconds, 4),
+                    "context_seconds": round(r.extra.get("context_seconds", 0.0), 4),
+                    "dtype": r.dtype,
+                    "params": r.num_parameters,
+                }
+                for r in results
+            ]
+        },
+    )
+
+    # The headline accuracy shape only holds with enough signal: at smoke
+    # scales (CI runs REPRO_BENCH_SCALE<1) the generators are too small for
+    # the paper's ordering, so reduced runs check plumbing and perf only.
+    if SCALE < 1.0:
+        pytest.skip(f"headline-shape assertions need SCALE>=1.0 (got {SCALE})")
 
     by_dataset = {}
     for r in results:

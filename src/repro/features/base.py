@@ -22,6 +22,36 @@ class OnlineFeatureStore(ABC):
 
     dim: int
 
+    def static_node_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of nodes whose features never change during replay.
+
+        The contract backing the vectorised context collector (see
+        ``repro.models.context``): for a static node ``n``,
+        ``feature_of(n)`` equals ``snapshot_table()[n]`` at every point of
+        the replay, and an edge whose endpoints are both static leaves the
+        store's state untouched (``on_edge`` is a no-op for it).  Returning
+        ``None`` (the default) declares no such nodes, which routes every
+        edge through the store's per-event path.
+
+        The batched collector additionally assumes *locality*: a node's
+        feature may change only when an edge incident to that node arrives,
+        and a non-static node that no edge has touched yet reads as the
+        zero vector (as feature propagation's unseen nodes do, Eqs. 4-5).
+        A store violating either assumption — nonzero untouched features,
+        or non-local updates such as global time decay/renormalisation in
+        ``on_edge`` — must be materialised with
+        ``build_context_bundle(..., engine="event")``.
+        """
+        return None
+
+    def snapshot_table(self) -> Optional[np.ndarray]:
+        """The ``(num_nodes, dim)`` feature table backing static nodes.
+
+        Required whenever :meth:`static_node_mask` returns a mask; rows of
+        non-static nodes may hold anything.
+        """
+        return None
+
     @abstractmethod
     def on_edge(
         self,

@@ -44,6 +44,15 @@ class PropagatedFeatureStore(OnlineFeatureStore):
         """The fitted seen-node feature table (read-only by convention)."""
         return self._base
 
+    def static_node_mask(self) -> np.ndarray:
+        # Seen nodes keep their fitted features forever and edges between
+        # two seen nodes early-return in on_edge, which is exactly the
+        # static contract of OnlineFeatureStore.
+        return self._seen
+
+    def snapshot_table(self) -> np.ndarray:
+        return self._base
+
     def is_seen(self, node: int) -> bool:
         return bool(0 <= node < len(self._seen) and self._seen[node])
 

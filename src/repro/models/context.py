@@ -13,12 +13,27 @@ once — this module performs that single replay, recording for every query:
 
 The result, a :class:`ContextBundle`, is the common input to SLIM and every
 context-based baseline, guaranteeing all methods see identical information.
+
+Two recorder implementations produce byte-identical bundles:
+
+* :class:`_BundleCollector` — the per-event reference, one Python callback
+  per edge/query (kept as the equivalence oracle and generic fallback);
+* :class:`_BatchedBundleCollector` — the production path.  It consumes
+  array blocks from :func:`repro.streams.replay.replay_batched`, appending
+  them to columnar *incidence logs* (two incidences per edge, one per
+  endpoint), and defers all per-query work to one vectorised ``finalize``
+  pass: degree tracking becomes a grouped cumulative count, the k-recent
+  neighbour buffers become a ``searchsorted`` over the owner-sorted log,
+  and feature snapshots become table gathers plus a compact log of the few
+  evolving (unseen-node) vectors — no per-edge ``.copy()`` calls.  Only
+  edges touching a non-static node (feature propagation, Eqs. 4-5) take a
+  per-event detour, preserving bit-for-bit equality with the reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +43,7 @@ from repro.features.structural import StructuralFeatureProcess, degree_encoding
 from repro.streams.ctdg import CTDG
 from repro.streams.degrees import DegreeTracker
 from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
-from repro.streams.replay import replay
+from repro.streams.replay import replay, replay_batched
 from repro.tasks.base import QuerySet
 
 
@@ -165,8 +180,8 @@ class ContextBundle:
         return self.mask.sum(axis=1)
 
 
-class _BundleCollector:
-    """Stream processor that fills the bundle arrays during replay."""
+class _QueryOutputs:
+    """The bundle's per-query output arrays, shared by both collectors."""
 
     def __init__(
         self,
@@ -174,13 +189,7 @@ class _BundleCollector:
         k: int,
         edge_feature_dim: int,
         stores: Dict[str, OnlineFeatureStore],
-        seen_mask: Optional[np.ndarray],
     ) -> None:
-        self.k = k
-        self.stores = stores
-        self.seen_mask = seen_mask
-        self.buffer = RecentNeighborBuffer(k)
-        self.degrees = DegreeTracker()
         q = num_queries
         self.neighbor_nodes = np.full((q, k), -1, dtype=np.int64)
         self.neighbor_times = np.zeros((q, k))
@@ -197,6 +206,25 @@ class _BundleCollector:
         self.neighbor_features = {
             name: np.zeros((q, k, store.dim)) for name, store in stores.items()
         }
+
+
+class _BundleCollector(_QueryOutputs):
+    """Per-event stream processor that fills the bundle arrays during replay."""
+
+    def __init__(
+        self,
+        num_queries: int,
+        k: int,
+        edge_feature_dim: int,
+        stores: Dict[str, OnlineFeatureStore],
+        seen_mask: Optional[np.ndarray],
+    ) -> None:
+        super().__init__(num_queries, k, edge_feature_dim, stores)
+        self.k = k
+        self.stores = stores
+        self.seen_mask = seen_mask
+        self.buffer = RecentNeighborBuffer(k)
+        self.degrees = DegreeTracker()
         self._store_names = sorted(stores)
 
     # ------------------------------------------------------------------
@@ -259,11 +287,306 @@ class _BundleCollector:
                 self.neighbor_features[name][index, slot] = entry.snapshot_features[pos]
 
 
+class _BatchedBundleCollector(_QueryOutputs):
+    """Block stream processor that fills the bundle arrays columnar-ly.
+
+    The replay phase only *appends*: edge blocks are retained as array views
+    and queries record how much of the stream precedes them.  ``finalize``
+    then reconstructs every query's context in a handful of vectorised
+    passes (see the module docstring).  Non-static store updates — the only
+    genuinely sequential part of the replay — run through the stores'
+    per-event code for exactly the edges that need them, so results are
+    bit-for-bit identical to :class:`_BundleCollector`.
+
+    Stores must honour the static-node contract of
+    :meth:`repro.features.base.OnlineFeatureStore.static_node_mask`,
+    including its locality and zero-start assumptions (features change
+    only on a node's own incident edges; untouched non-static nodes read
+    as zeros).  A store returning ``None`` is handled within that contract
+    by routing *every* edge through its per-event path; a store outside
+    the contract entirely needs ``engine="event"``.
+    """
+
+    def __init__(
+        self,
+        num_queries: int,
+        k: int,
+        edge_feature_dim: int,
+        stores: Dict[str, OnlineFeatureStore],
+        seen_mask: Optional[np.ndarray],
+        num_nodes: int,
+        edge_features: Optional[np.ndarray],
+    ) -> None:
+        super().__init__(num_queries, k, edge_feature_dim, stores)
+        self.k = k
+        self.stores = stores
+        self.seen_mask = seen_mask
+        self.num_nodes = num_nodes
+        self._edge_feature_table = edge_features
+        self._store_names = sorted(stores)
+        self._edge_blocks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._query_blocks: List[Tuple[np.ndarray, np.ndarray, int]] = []
+        self._edges_seen = 0
+
+    # -- replay phase: append-only ------------------------------------
+    def on_edge_block(self, start, stop, src, dst, times, features, weights) -> None:
+        self._edge_blocks.append((start, src, dst, times, weights))
+        self._edges_seen += stop - start
+
+    def on_query_block(self, start, stop, nodes, times) -> None:
+        # Two incidences per edge: the position marker doubles as the
+        # "log length at query time" used by finalize's searchsorted.
+        self._query_blocks.append((nodes, times, 2 * self._edges_seen))
+
+    # -- helpers -------------------------------------------------------
+    def _padded_mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        """Trim/zero-pad a store's static mask to the replay's id space."""
+        cover = np.zeros(self.num_nodes, dtype=bool)
+        if mask is not None:
+            limit = min(len(mask), self.num_nodes)
+            cover[:limit] = mask[:limit]
+        return cover
+
+    def _concat_edges(self):
+        if not self._edge_blocks:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0), np.zeros(0), empty
+        src = np.concatenate([b[1] for b in self._edge_blocks])
+        dst = np.concatenate([b[2] for b in self._edge_blocks])
+        times = np.concatenate([b[3] for b in self._edge_blocks])
+        weights = np.concatenate([b[4] for b in self._edge_blocks])
+        edge_idx = np.concatenate(
+            [np.arange(b[0], b[0] + len(b[1]), dtype=np.int64) for b in self._edge_blocks]
+        )
+        return src, dst, times, weights, edge_idx
+
+    def _run_store_updates(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        weights: np.ndarray,
+        edge_idx: np.ndarray,
+        static_all: np.ndarray,
+        num_incidences: int,
+    ):
+        """Sequentially update stores on edges touching non-static nodes.
+
+        Returns the per-incidence snapshot-log index (-1 where the
+        neighbour's feature is a static table row) and one ``(L, dim)``
+        snapshot log per store, holding the evolving vectors in the order
+        they were recorded.
+        """
+        snap_idx = np.full(num_incidences, -1, dtype=np.int64)
+        logs: Dict[str, List[np.ndarray]] = {name: [] for name in self._store_names}
+        if not self._store_names or not len(src):
+            return snap_idx, logs
+        pure = static_all[src] & static_all[dst]
+        log_len = 0
+        features = self._edge_feature_table
+        stores = self.stores
+        for e in np.nonzero(~pure)[0]:
+            s, d = int(src[e]), int(dst[e])
+            time, weight = float(times[e]), float(weights[e])
+            index = int(edge_idx[e])
+            feature = features[index] if features is not None else None
+            for name in self._store_names:
+                stores[name].on_edge(index, s, d, time, feature, weight)
+            # Post-edge snapshots, mirroring the per-event collector: the
+            # dst snapshot lands on src's incidence (position 2e) and vice
+            # versa.  Static endpoints need no log — their snapshot is a
+            # table row.
+            for endpoint, position in ((d, 2 * e), (s, 2 * e + 1)):
+                if not static_all[endpoint]:
+                    snap_idx[position] = log_len
+                    for name in self._store_names:
+                        logs[name].append(stores[name].feature_of(endpoint).copy())
+                    log_len += 1
+        return snap_idx, logs
+
+    # -- assembly ------------------------------------------------------
+    def finalize(self) -> None:
+        """Materialise all recorded queries from the incidence logs."""
+        src, dst, times_e, weights_e, edge_idx = self._concat_edges()
+        num_edges = len(src)
+        num_inc = 2 * num_edges
+
+        # Interleaved incidence log: position 2e is src's view of edge e
+        # (neighbour = dst), position 2e+1 is dst's view.  Concatenation
+        # order equals stream order, so positions are a time axis.
+        owner = np.empty(num_inc, dtype=np.int64)
+        nbr = np.empty(num_inc, dtype=np.int64)
+        owner[0::2], owner[1::2] = src, dst
+        nbr[0::2], nbr[1::2] = dst, src
+        inc_time = np.repeat(times_e, 2)
+        inc_weight = np.repeat(weights_e, 2)
+        inc_edge = np.repeat(edge_idx, 2)
+
+        # Owner-sorted view of the log (stable ⇒ ascending position within
+        # each owner).  ``incl[p]`` = #incidences of owner[p] at positions
+        # ≤ p, i.e. the owner's degree right after its p-th event.
+        order = np.argsort(owner, kind="stable")
+        incl = np.empty(num_inc, dtype=np.int64)
+        if num_inc:
+            sorted_owner = owner[order]
+            run_start = np.empty(num_inc, dtype=bool)
+            run_start[0] = True
+            run_start[1:] = sorted_owner[1:] != sorted_owner[:-1]
+            group_first = np.nonzero(run_start)[0]
+            group_id = np.cumsum(run_start) - 1
+            incl[order] = np.arange(num_inc) - group_first[group_id] + 1
+
+        # deg of the *neighbour* at edge time (Eq. 2, inclusive of this
+        # edge): the neighbour's own incidence is the partner position
+        # p ^ 1, except for a self-loop's dst-side view where the last
+        # occurrence is position p itself.
+        if num_inc:
+            partner = np.arange(num_inc) ^ 1
+            nbr_deg = incl[partner]
+            odd = np.arange(num_inc) % 2 == 1
+            selfloop = owner == nbr
+            nbr_deg[selfloop & odd] = incl[selfloop & odd]
+        else:
+            nbr_deg = np.zeros(0, dtype=np.int64)
+
+        # Static-node mask shared by all stores: an edge between two
+        # all-static endpoints cannot change any store's state.
+        if self._store_names:
+            static_all = np.ones(self.num_nodes, dtype=bool)
+            for name in self._store_names:
+                static_all &= self._padded_mask(self.stores[name].static_node_mask())
+        else:
+            static_all = np.ones(self.num_nodes, dtype=bool)
+
+        snap_idx, raw_logs = self._run_store_updates(
+            src, dst, times_e, weights_e, edge_idx, static_all, num_inc
+        )
+        snap_logs = {
+            name: (
+                np.asarray(raw_logs[name])
+                if raw_logs[name]
+                else np.zeros((0, self.stores[name].dim))
+            )
+            for name in self._store_names
+        }
+
+        # Queries, concatenated in stream order (a prefix when stop_time
+        # truncated the replay).
+        if not self._query_blocks:
+            return
+        q_nodes = np.concatenate([b[0] for b in self._query_blocks])
+        q_times = np.concatenate([b[1] for b in self._query_blocks])
+        q_cut = np.repeat(
+            np.array([b[2] for b in self._query_blocks], dtype=np.int64),
+            np.array([len(b[0]) for b in self._query_blocks]),
+        )
+        num_q = len(q_nodes)
+        if num_q == 0:
+            return
+
+        k = self.k
+        node_valid = (q_nodes >= 0) & (q_nodes < self.num_nodes)
+        q_safe = np.where(node_valid, q_nodes, 0)
+
+        # Segmented searchsorted via a combined (owner, position) key; the
+        # key is strictly increasing in the owner-sorted log.
+        stride = num_inc + 1
+        if self.num_nodes and self.num_nodes > (2**62) // stride:
+            raise OverflowError(
+                "stream too large for the batched context engine; "
+                "use build_context_bundle(..., engine='event')"
+            )
+        key_sorted = owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+        pos = np.searchsorted(key_sorted, q_safe * stride + q_cut, side="left")
+        base = np.searchsorted(key_sorted, q_safe * stride, side="left")
+        degrees = np.where(node_valid, pos - base, 0)
+        self.target_degrees[:num_q] = degrees
+
+        counts = np.minimum(degrees, k)
+        has_any = counts > 0
+        slots = np.arange(k)[None, :]
+        valid = slots < counts[:, None]
+        take = np.where(valid, (pos - counts)[:, None] + slots, 0)
+        last = np.where(has_any, pos - 1, 0)
+        if num_inc:
+            inc = order[take]  # (Q, k) incidence positions, oldest → newest
+            last_inc = order[last]
+        else:
+            inc = np.zeros((num_q, k), dtype=np.int64)
+            last_inc = np.zeros(num_q, dtype=np.int64)
+
+        self.mask[:num_q] = valid
+        if num_inc:
+            self.neighbor_nodes[:num_q] = np.where(valid, nbr[inc], -1)
+            self.neighbor_times[:num_q] = np.where(valid, inc_time[inc], 0.0)
+            self.neighbor_degrees[:num_q] = np.where(valid, nbr_deg[inc], 0)
+            self.edge_weights[:num_q] = np.where(valid, inc_weight[inc], 0.0)
+            if self._edge_feature_table is not None and self.edge_features.shape[2]:
+                # Gather straight into the output block: fancy indexing would
+                # materialise (and fault in) an extra (Q, k, d_e) temporary.
+                out = self.edge_features[:num_q]
+                np.take(
+                    self._edge_feature_table,
+                    np.where(valid, inc_edge[inc], 0),
+                    axis=0,
+                    out=out,
+                )
+                out[~valid] = 0.0
+            self.target_last_times[:num_q] = np.where(
+                has_any, inc_time[last_inc], q_times
+            )
+        else:
+            self.target_last_times[:num_q] = q_times
+
+        if self.seen_mask is not None:
+            in_range = (q_nodes >= 0) & (q_nodes < len(self.seen_mask))
+            seen = np.zeros(num_q, dtype=bool)
+            seen[in_range] = self.seen_mask[q_nodes[in_range]]
+            self.target_seen[:num_q] = seen
+
+        # Feature snapshots: static table gathers overridden by the
+        # evolving-vector log where the node was non-static.
+        slot_snap = np.where(valid, snap_idx[inc], -1) if num_inc else np.full((num_q, k), -1)
+        dynamic_slot = slot_snap >= 0
+        if num_inc:
+            # The owner's own post-edge snapshot lives on the partner
+            # incidence of the same edge.
+            target_snap = np.where(has_any, snap_idx[last_inc ^ 1], -1)
+        else:
+            target_snap = np.full(num_q, -1, dtype=np.int64)
+
+        any_dynamic = dynamic_slot.any()
+        for name in self._store_names:
+            store = self.stores[name]
+            table = store.snapshot_table()
+            log = snap_logs[name]
+            own_static = self._padded_mask(store.static_node_mask())
+
+            gathered = self.neighbor_features[name][:num_q]
+            if table is not None and len(table) and num_inc:
+                safe_nbr = np.clip(np.where(valid, nbr[inc], 0), 0, len(table) - 1)
+                np.take(table, safe_nbr, axis=0, out=gathered)
+                gathered[~valid] = 0.0
+            if any_dynamic:
+                gathered[dynamic_slot] = log[slot_snap[dynamic_slot]]
+
+            target = self.target_features[name][:num_q]
+            static_rows = node_valid & own_static[q_safe]
+            if table is not None and len(table) and static_rows.any():
+                target[static_rows] = table[
+                    np.clip(q_nodes[static_rows], 0, len(table) - 1)
+                ]
+            evolving = ~static_rows & (target_snap >= 0)
+            if evolving.any():
+                target[evolving] = log[target_snap[evolving]]
+
+
 def build_context_bundle(
     ctdg: CTDG,
     queries: QuerySet,
     k: int,
     processes: Sequence[FeatureProcess] = (),
+    engine: str = "batched",
 ) -> ContextBundle:
     """Replay ``ctdg`` once and materialise contexts for every query.
 
@@ -271,9 +594,20 @@ def build_context_bundle(
     the training prefix).  Structural processes are handled lazily — only
     degrees are stored, and φ_d is applied on access — because their features
     are a pure function of degree.
+
+    ``engine`` selects the replay implementation: ``"batched"`` (default)
+    uses the vectorised block engine, ``"event"`` the per-event reference.
+    They produce bit-identical bundles for every store honouring the
+    :meth:`~repro.features.base.OnlineFeatureStore.static_node_mask`
+    contract (including its zero-start assumption for untouched non-static
+    nodes — all in-repo stores qualify); a store outside that contract
+    must be materialised with ``engine="event"``, which also serves as the
+    oracle for equivalence tests.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if engine not in ("batched", "event"):
+        raise ValueError(f"unknown context engine {engine!r}; use 'batched' or 'event'")
     stores: Dict[str, OnlineFeatureStore] = {}
     structural_params: Dict[str, float] = {}
     static_tables: Dict[str, np.ndarray] = {}
@@ -293,14 +627,27 @@ def build_context_bundle(
             continue
         stores[process.name] = store
 
-    collector = _BundleCollector(
-        num_queries=len(queries),
-        k=k,
-        edge_feature_dim=ctdg.edge_feature_dim,
-        stores=stores,
-        seen_mask=seen_mask,
-    )
-    replay(ctdg, queries.nodes, queries.times, [collector])
+    if engine == "batched":
+        collector = _BatchedBundleCollector(
+            num_queries=len(queries),
+            k=k,
+            edge_feature_dim=ctdg.edge_feature_dim,
+            stores=stores,
+            seen_mask=seen_mask,
+            num_nodes=ctdg.num_nodes,
+            edge_features=ctdg.edge_features,
+        )
+        replay_batched(ctdg, queries.nodes, queries.times, [collector])
+        collector.finalize()
+    else:
+        collector = _BundleCollector(
+            num_queries=len(queries),
+            k=k,
+            edge_feature_dim=ctdg.edge_feature_dim,
+            stores=stores,
+            seen_mask=seen_mask,
+        )
+        replay(ctdg, queries.nodes, queries.times, [collector])
     return ContextBundle(
         ctdg=ctdg,
         queries=queries,

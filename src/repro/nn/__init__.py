@@ -30,7 +30,17 @@ from repro.nn.loss import bce_with_logits, cross_entropy, mse_loss, soft_cross_e
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.nn.rnn import GRUCell, RNNCell
 from repro.nn.serialize import load_into, load_state_dict, save_state_dict
-from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, stack, where
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+    stack,
+    where,
+)
 
 __all__ = [
     "Tensor",
@@ -39,6 +49,9 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "functional",
     "Module",
     "Parameter",

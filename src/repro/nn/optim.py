@@ -1,4 +1,10 @@
-"""Gradient-descent optimisers (SGD with momentum, Adam) and grad clipping."""
+"""Gradient-descent optimisers (SGD with momentum, Adam) and grad clipping.
+
+Optimiser state (momentum/moment buffers) is allocated with
+``np.zeros_like`` on the parameters, so it automatically adopts the
+backend precision the model was built under (float32 or float64; see
+:func:`repro.nn.set_default_dtype`) and all update arithmetic stays in
+that dtype."""
 
 from __future__ import annotations
 

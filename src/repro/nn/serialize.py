@@ -1,9 +1,16 @@
-"""Saving and loading model state dicts as ``.npz`` archives."""
+"""Saving and loading model state dicts as ``.npz`` archives.
+
+Archives keep whatever precision the module trained in; loading can recast
+(``dtype=...``) so float64-trained checkpoints restore into float32 modules
+and vice versa.  :meth:`Module.load_state_dict` additionally casts each
+array to the receiving parameter's dtype, so a checkpoint always adopts the
+precision of the module it is loaded into.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -18,12 +25,25 @@ def save_state_dict(module: Module, path: str) -> None:
     np.savez(path, **state)
 
 
-def load_state_dict(path: str) -> Dict[str, np.ndarray]:
-    """Read a state dict previously written by :func:`save_state_dict`."""
+def load_state_dict(path: str, dtype: Optional[object] = None) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`.
+
+    ``dtype`` recasts floating arrays on load (e.g. ``np.float32`` to restore
+    a float64 checkpoint into the fast-path precision).
+    """
     if not path.endswith(".npz"):
         path = path + ".npz"
     with np.load(path) as archive:
-        return {name: archive[name] for name in archive.files}
+        state = {name: archive[name] for name in archive.files}
+    if dtype is not None:
+        resolved = np.dtype(dtype)
+        state = {
+            name: value.astype(resolved)
+            if np.issubdtype(value.dtype, np.floating)
+            else value
+            for name, value in state.items()
+        }
+    return state
 
 
 def load_into(module: Module, path: str) -> Module:

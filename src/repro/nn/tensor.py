@@ -8,6 +8,12 @@ central finite differences in ``tests/nn/test_gradcheck.py``.
 Only the operations needed by the paper's models are implemented, but they
 are implemented fully: broadcasting, batched matmul, fancy indexing with
 scatter-add gradients, and reductions with ``axis``/``keepdims``.
+
+The backend's working precision is runtime-configurable: float64 (the
+default, used for bit-exact reproduction) or float32 (the fast path for
+SLIM/baseline training).  Use :func:`set_default_dtype` or the
+:func:`default_dtype` context manager; tensors created afterwards — and the
+parameters of layers constructed afterwards — use the active dtype.
 """
 
 from __future__ import annotations
@@ -17,9 +23,64 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+#: Backwards-compatible alias for the boot-time default; prefer
+#: :func:`get_default_dtype`, which reflects runtime reconfiguration.
 DEFAULT_DTYPE = np.float64
 
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+
+_default_dtype = np.dtype(DEFAULT_DTYPE)
+
 _GRAD_ENABLED = True
+
+
+def _coerce_dtype(dtype) -> np.dtype:
+    if dtype is None:
+        # np.dtype(None) would silently mean float64; callers using None as
+        # a "keep the ambient precision" sentinel must not reach this point.
+        raise ValueError("unsupported default dtype None; choose float32 or float64")
+    if isinstance(dtype, str):
+        dtype = {"float32": np.float32, "float64": np.float64}.get(dtype, dtype)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as error:
+        raise ValueError(
+            f"unsupported default dtype {dtype!r}; choose float32 or float64"
+        ) from error
+    if resolved not in (np.dtype(d) for d in _SUPPORTED_DTYPES):
+        raise ValueError(
+            f"unsupported default dtype {dtype!r}; choose float32 or float64"
+        )
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly created tensors (and layer parameters) use."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the backend working precision; returns the previous dtype.
+
+    Accepts ``"float32"``/``"float64"`` strings, numpy dtypes, or scalar
+    types.  Existing tensors are unaffected; mixing precisions across a
+    model boundary generally promotes to float64, so switch before
+    constructing the model.
+    """
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = _coerce_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype) -> Iterator[np.dtype]:
+    """Temporarily switch the backend precision inside a ``with`` block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)
 
 
 @contextlib.contextmanager
@@ -62,7 +123,7 @@ TensorLike = Union["Tensor", np.ndarray, float, int]
 def _as_array(value: TensorLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype or DEFAULT_DTYPE)
+    return np.asarray(value, dtype=dtype or _default_dtype)
 
 
 def as_tensor(value: TensorLike) -> "Tensor":
@@ -78,8 +139,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``np.asarray`` accepts.  Stored as ``DEFAULT_DTYPE`` unless
-        already a floating ndarray.
+        Anything ``np.asarray`` accepts.  Stored as the active default dtype
+        (see :func:`set_default_dtype`), so all tensors in a model share one
+        precision.
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` on backward.
     """
@@ -98,8 +160,8 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(DEFAULT_DTYPE)
+        if arr.dtype != _default_dtype:
+            arr = arr.astype(_default_dtype)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)

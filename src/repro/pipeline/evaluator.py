@@ -19,6 +19,7 @@ from repro.features import default_processes
 from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
 from repro.models import ModelConfig, create_model
 from repro.models.context import ContextBundle, build_context_bundle
+from repro.nn.tensor import default_dtype, get_default_dtype
 from repro.pipeline.splash import Splash, SplashConfig
 from repro.streams.split import ChronoSplit
 from repro.utils.logging import get_logger
@@ -40,6 +41,7 @@ class MethodResult:
     num_parameters: int
     selected_process: Optional[str] = None
     val_metric: Optional[float] = None
+    dtype: str = "float64"
     extra: Dict[str, float] = field(default_factory=dict)
 
 
@@ -50,6 +52,9 @@ class PreparedExperiment:
     dataset: StreamDataset
     bundle: ContextBundle
     split: ChronoSplit
+    context_engine: str = "batched"
+    feature_fit_seconds: float = 0.0
+    context_seconds: float = 0.0
 
 
 def prepare_experiment(
@@ -58,9 +63,17 @@ def prepare_experiment(
     feature_dim: int = 32,
     seed: int = 0,
     split: Optional[ChronoSplit] = None,
+    context_engine: str = "batched",
 ) -> PreparedExperiment:
     """Fit all feature processes on the training stream and build the shared
-    context bundle (one replay serving every method)."""
+    context bundle (one replay serving every method).
+
+    ``context_engine`` selects the replay implementation for the
+    materialisation step (``"batched"`` — the vectorised default — or
+    ``"event"``); both produce identical bundles.  Wall-clock of the
+    feature fit and the context replay is recorded on the result so
+    benchmarks can track the materialisation cost over time.
+    """
     split = split or dataset.split()
     train_stream = dataset.train_stream(split)
     rng_fresh, _ = spawn_rngs(seed + 1, 2)
@@ -68,10 +81,23 @@ def prepare_experiment(
         FreshRandomFeatureProcess(feature_dim, rng=rng_fresh),
         ZeroFeatureProcess(feature_dim),
     ]
+    start = time.perf_counter()
     for process in processes:
         process.fit(train_stream, dataset.ctdg.num_nodes)
-    bundle = build_context_bundle(dataset.ctdg, dataset.queries, k, processes)
-    return PreparedExperiment(dataset=dataset, bundle=bundle, split=split)
+    fit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    bundle = build_context_bundle(
+        dataset.ctdg, dataset.queries, k, processes, engine=context_engine
+    )
+    context_seconds = time.perf_counter() - start
+    return PreparedExperiment(
+        dataset=dataset,
+        bundle=bundle,
+        split=split,
+        context_engine=context_engine,
+        feature_fit_seconds=fit_seconds,
+        context_seconds=context_seconds,
+    )
 
 
 def run_method(
@@ -79,23 +105,40 @@ def run_method(
     prepared: PreparedExperiment,
     config: Optional[ModelConfig] = None,
     splash_config: Optional[SplashConfig] = None,
+    dtype: Optional[str] = None,
 ) -> MethodResult:
-    """Train and evaluate one method on a prepared experiment."""
+    """Train and evaluate one method on a prepared experiment.
+
+    ``dtype`` (``"float32"``/``"float64"``) selects the tensor backend's
+    working precision for this run; ``None`` keeps the ambient default.
+    The precision actually used and the shared context-materialisation
+    wall-clock are recorded on the result.
+    """
     dataset, bundle, split = prepared.dataset, prepared.bundle, prepared.split
     task = dataset.task
     config = config or ModelConfig()
+    run_dtype = dtype if dtype is not None else get_default_dtype().name
+    timings = {
+        "context_seconds": prepared.context_seconds,
+        "feature_fit_seconds": prepared.feature_fit_seconds,
+    }
 
     if method.lower() == "splash":
         sp_config = splash_config or SplashConfig(
             feature_dim=bundle.feature_dim("random"), k=bundle.k, model=config
         )
+        if sp_config.dtype is not None:
+            # A dtype on the SplashConfig wins inside Splash.fit; record
+            # the precision actually used, not the ambient one.
+            run_dtype = sp_config.dtype
         splash = Splash(sp_config)
-        start = time.perf_counter()
-        splash.fit(dataset, split=split, bundle=bundle)
-        train_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        test_metric = splash.evaluate(split.test_idx)
-        inference_seconds = time.perf_counter() - start
+        with default_dtype(run_dtype):
+            start = time.perf_counter()
+            splash.fit(dataset, split=split, bundle=bundle)
+            train_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            test_metric = splash.evaluate(split.test_idx)
+            inference_seconds = time.perf_counter() - start
         return MethodResult(
             method="SPLASH",
             dataset=dataset.name,
@@ -105,26 +148,30 @@ def run_method(
             inference_seconds=inference_seconds,
             num_parameters=splash.num_parameters(),
             selected_process=splash.selected_process,
+            dtype=run_dtype,
+            extra=dict(timings),
         )
 
-    model = create_model(method, bundle, config)
-    start = time.perf_counter()
-    history = model.fit(bundle, task, split.train_idx, split.val_idx)
-    train_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    scores = model.predict_scores(bundle, split.test_idx)
-    inference_seconds = time.perf_counter() - start
+    with default_dtype(run_dtype):
+        model = create_model(method, bundle, config)
+        start = time.perf_counter()
+        history = model.fit(bundle, task, split.train_idx, split.val_idx)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        scores = model.predict_scores(bundle, split.test_idx)
+        inference_seconds = time.perf_counter() - start
     try:
         test_metric = task.evaluate(scores, split.test_idx)
     except ValueError:
         test_metric = float("nan")
     logger.info(
-        "%s on %s: %s=%.4f (train %.1fs)",
+        "%s on %s: %s=%.4f (train %.1fs, %s)",
         method,
         dataset.name,
         task.metric_name,
         test_metric,
         train_seconds,
+        run_dtype,
     )
     return MethodResult(
         method=method,
@@ -135,6 +182,8 @@ def run_method(
         inference_seconds=inference_seconds,
         num_parameters=model.num_parameters(),
         val_metric=history.best_val_score if history.val_scores else None,
+        dtype=run_dtype,
+        extra=dict(timings),
     )
 
 
@@ -142,8 +191,9 @@ def run_methods(
     methods: Sequence[str],
     prepared: PreparedExperiment,
     config: Optional[ModelConfig] = None,
+    dtype: Optional[str] = None,
 ) -> List[MethodResult]:
-    return [run_method(method, prepared, config) for method in methods]
+    return [run_method(method, prepared, config, dtype=dtype) for method in methods]
 
 
 def format_results_table(results: Sequence[MethodResult]) -> str:

@@ -20,6 +20,7 @@ from repro.features.base import FeatureProcess
 from repro.models.base import FitHistory, ModelConfig, evaluate_model
 from repro.models.context import ContextBundle, build_context_bundle
 from repro.models.slim import SLIM
+from repro.nn.tensor import default_dtype, get_default_dtype
 from repro.selection.linear_model import LinearFitConfig
 from repro.selection.selector import FeatureSelector, SelectionResult
 from repro.datasets.base import StreamDataset
@@ -40,11 +41,22 @@ class SplashConfig:
     linear: LinearFitConfig = field(default_factory=LinearFitConfig)
     split_fractions: Optional[List[float]] = None  # None → paper's five splits
     force_process: Optional[str] = None  # ablations: "random"/"positional"/...
+    context_engine: str = "batched"  # replay engine for materialisation
+    dtype: Optional[str] = None  # None → ambient default; "float32" = fast path
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.feature_dim <= 0 or self.k <= 0:
             raise ValueError("feature_dim and k must be positive")
+        if self.context_engine not in ("batched", "event"):
+            raise ValueError(
+                f"context_engine must be 'batched' or 'event', got {self.context_engine!r}"
+            )
+        if self.dtype is not None and self.dtype not in ("float32", "float64"):
+            # Fail at construction, not minutes later inside fit().
+            raise ValueError(
+                f"dtype must be 'float32', 'float64' or None, got {self.dtype!r}"
+            )
 
 
 class Splash:
@@ -66,6 +78,7 @@ class Splash:
         self.split: Optional[ChronoSplit] = None
         self.timer = Timer()
         self._dataset: Optional[StreamDataset] = None
+        self._fit_dtype = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -85,6 +98,10 @@ class Splash:
         cfg = self.config
         self._dataset = dataset
         self.split = split or dataset.split()
+        # Freeze the training precision now: with cfg.dtype=None the model
+        # must keep the dtype that was ambient at *fit* time even if the
+        # ambient default changes before evaluate()/predict_scores().
+        self._fit_dtype = cfg.dtype if cfg.dtype is not None else get_default_dtype()
 
         if bundle is not None:
             missing = {"random", "positional", "structural"} - set(
@@ -107,11 +124,17 @@ class Splash:
                     process.fit(train_stream, dataset.ctdg.num_nodes)
             with self.timer.section("context_build"):
                 self.bundle = build_context_bundle(
-                    dataset.ctdg, dataset.queries, cfg.k, self.processes
+                    dataset.ctdg,
+                    dataset.queries,
+                    cfg.k,
+                    self.processes,
+                    engine=cfg.context_engine,
                 )
 
         if cfg.force_process is None:
-            with self.timer.section("selection"):
+            # Selection trains linear probes on the nn backend, so it must
+            # run at the same precision as the final SLIM training.
+            with self.timer.section("selection"), self._dtype_context():
                 selector = FeatureSelector(
                     split_fractions=cfg.split_fractions,
                     linear_config=cfg.linear,
@@ -132,7 +155,7 @@ class Splash:
             self.selection = None
 
         logger.info("SPLASH on %s: using process %r", dataset.name, selected)
-        with self.timer.section("train"):
+        with self.timer.section("train"), self._dtype_context():
             self.model = SLIM(
                 feature_name=selected,
                 feature_dim=self.bundle.feature_dim(selected),
@@ -154,10 +177,17 @@ class Splash:
             raise RuntimeError("fit() has not been called")
         return self.model.feature_name
 
+    def _dtype_context(self):
+        """Inference must run at the precision the model was trained in."""
+        if self._fit_dtype is None:
+            return default_dtype(get_default_dtype())  # before fit: no-op
+        return default_dtype(self._fit_dtype)
+
     def predict_scores(self, idx: np.ndarray) -> np.ndarray:
         if self.model is None or self.bundle is None:
             raise RuntimeError("fit() has not been called")
-        return self.model.predict_scores(self.bundle, idx)
+        with self._dtype_context():
+            return self.model.predict_scores(self.bundle, idx)
 
     def evaluate(self, idx: Optional[np.ndarray] = None) -> float:
         """Task metric on ``idx`` (default: the held-out test queries)."""
@@ -166,7 +196,7 @@ class Splash:
         if idx is None:
             assert self.split is not None
             idx = self.split.test_idx
-        with self.timer.section("inference"):
+        with self.timer.section("inference"), self._dtype_context():
             return evaluate_model(self.model, self.bundle, self._dataset.task, idx)
 
     def num_parameters(self) -> int:

@@ -12,7 +12,14 @@ from repro.streams.degrees import DegreeTracker
 from repro.streams.edge import TemporalEdge
 from repro.streams.io import read_csv, read_jsonl, write_csv, write_jsonl
 from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
-from repro.streams.replay import StreamProcessor, replay
+from repro.streams.replay import (
+    BatchStreamProcessor,
+    PerEventAdapter,
+    StreamProcessor,
+    as_batch_processor,
+    replay,
+    replay_batched,
+)
 from repro.streams.snapshot import GraphSnapshot, snapshot_sequence
 from repro.streams.split import (
     ChronoSplit,
@@ -32,7 +39,11 @@ __all__ = [
     "GraphSnapshot",
     "snapshot_sequence",
     "StreamProcessor",
+    "BatchStreamProcessor",
+    "PerEventAdapter",
+    "as_batch_processor",
     "replay",
+    "replay_batched",
     "ChronoSplit",
     "chronological_split",
     "selection_split_fractions",

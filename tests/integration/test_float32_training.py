@@ -1,0 +1,104 @@
+"""The float32 fast path must track float64 training on a real pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.models.context import build_context_bundle
+from repro.models.slim import SLIM
+from repro.features import default_processes
+from repro.nn import default_dtype, get_default_dtype, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def restore_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    dataset = email_eu_like(seed=0, num_edges=1200)
+    split = dataset.split()
+    processes = default_processes(8, seed=0)
+    for process in processes:
+        process.fit(dataset.train_stream(split), dataset.ctdg.num_nodes)
+    bundle = build_context_bundle(dataset.ctdg, dataset.queries, 5, processes)
+    return dataset, split, bundle
+
+
+def train_slim(dataset, split, bundle, dtype: str):
+    config = ModelConfig(
+        hidden_dim=24, epochs=8, batch_size=128, patience=8, time_dim=4, lr=3e-3, seed=0
+    )
+    with default_dtype(dtype):
+        model = SLIM(
+            feature_name="random",
+            feature_dim=bundle.feature_dim("random"),
+            edge_feature_dim=bundle.edge_feature_dim,
+            config=config,
+        )
+        model.fit(bundle, dataset.task, split.train_idx, split.val_idx)
+        scores = model.predict_scores(bundle, split.test_idx)
+        metric = dataset.task.evaluate(scores, split.test_idx)
+    return model, scores, metric
+
+
+class TestFloat32SlimTraining:
+    def test_float32_matches_float64_within_tolerance(self, prepared):
+        dataset, split, bundle = prepared
+        model64, scores64, metric64 = train_slim(dataset, split, bundle, "float64")
+        model32, scores32, metric32 = train_slim(dataset, split, bundle, "float32")
+
+        assert all(p.dtype == np.float64 for p in model64.parameters())
+        assert all(p.dtype == np.float32 for p in model32.parameters())
+        # Same data, same seeds: only rounding differs between precisions.
+        assert metric32 == pytest.approx(metric64, abs=0.05)
+        agreement = np.mean(
+            np.argmax(scores64, axis=-1) == np.argmax(scores32, axis=-1)
+        )
+        assert agreement >= 0.9
+
+    def test_float32_is_not_slower(self, prepared):
+        # Not a strict perf assertion (timing noise), just a sanity guard
+        # that the fast path runs end-to-end and produces finite scores.
+        dataset, split, bundle = prepared
+        _, scores32, metric32 = train_slim(dataset, split, bundle, "float32")
+        assert np.isfinite(scores32).all()
+        assert np.isfinite(metric32)
+
+
+class TestSplashDtype:
+    def test_invalid_dtype_rejected_at_construction(self):
+        from repro.pipeline import SplashConfig
+
+        with pytest.raises(ValueError, match="dtype"):
+            SplashConfig(dtype="float16")
+
+    def test_inference_keeps_fit_time_precision(self):
+        # With config.dtype=None the precision ambient at *fit* time must
+        # stick: evaluating later under a different ambient default must
+        # not mix float64 inputs into float32 weights.
+        from repro.pipeline import Splash, SplashConfig
+
+        dataset = email_eu_like(seed=1, num_edges=800)
+        config = SplashConfig(
+            feature_dim=8,
+            k=4,
+            model=ModelConfig(
+                hidden_dim=16, epochs=3, batch_size=128, patience=3, time_dim=4, seed=0
+            ),
+            force_process="random",
+        )
+        splash = Splash(config)
+        with default_dtype("float32"):
+            splash.fit(dataset)
+        assert all(p.dtype == np.float32 for p in splash.model.parameters())
+        # Ambient default is float64 again here.
+        scores = splash.predict_scores(splash.split.test_idx)
+        assert scores.dtype == np.float32
+        assert np.isfinite(splash.evaluate())

@@ -1,0 +1,200 @@
+"""Property-style equivalence: batched and per-event context materialisation.
+
+The batched engine must produce *bit-for-bit* identical ``ContextBundle``
+arrays on any stream — including equal-timestamp edge/query collisions
+(the §III inclusive-time rule), self-loops, unseen nodes driving feature
+propagation, and nodes receiving more than k edges between two queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.random_feat import (
+    FreshRandomFeatureProcess,
+    RandomFeatureProcess,
+    ZeroFeatureProcess,
+)
+from repro.features.structural import StructuralFeatureProcess
+from repro.models.context import ContextBundle, build_context_bundle
+from repro.streams.ctdg import CTDG
+from repro.tasks.base import QuerySet
+
+BUNDLE_ARRAYS = [
+    "neighbor_nodes",
+    "neighbor_times",
+    "neighbor_degrees",
+    "edge_features",
+    "edge_weights",
+    "mask",
+    "target_degrees",
+    "target_last_times",
+    "target_seen",
+]
+
+
+def random_stream(
+    seed: int,
+    num_nodes: int = 20,
+    num_edges: int = 150,
+    num_queries: int = 60,
+    d_e: int = 0,
+    selfloop_prob: float = 0.1,
+    quantize: bool = True,
+):
+    """A randomised stream with ties, self-loops and bursty nodes."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    loops = rng.random(num_edges) < selfloop_prob
+    dst[loops] = src[loops]
+    # A hub node keeps ~a third of all edges: bursts exceeding any small k.
+    hub_rows = rng.random(num_edges) < 0.3
+    src[hub_rows] = 0
+    times = rng.uniform(0, 50, size=num_edges)
+    if quantize:
+        times = np.round(times * 2) / 2.0  # force many equal timestamps
+    times = np.sort(times)
+    features = rng.normal(size=(num_edges, d_e)) if d_e else None
+    weights = rng.uniform(0.5, 2.0, size=num_edges)
+    g = CTDG(src, dst, times, edge_features=features, weights=weights, num_nodes=num_nodes)
+    q_times = rng.uniform(0, 50, size=num_queries)
+    if quantize:
+        q_times = np.round(q_times * 2) / 2.0  # collide with edge times
+    q_times = np.sort(q_times)
+    q_nodes = rng.integers(0, num_nodes, size=num_queries)
+    return g, QuerySet(q_nodes, q_times)
+
+
+def fitted_processes(g: CTDG, train_fraction: float = 0.6, dim: int = 6, seed: int = 0):
+    """Fit on a prefix so the suffix contains genuinely unseen nodes."""
+    stop = int(g.num_edges * train_fraction)
+    train = g.slice(0, stop)
+    processes = [
+        RandomFeatureProcess(dim, rng=seed),  # propagated (dynamic) store
+        FreshRandomFeatureProcess(dim, rng=seed + 1),  # static table
+        ZeroFeatureProcess(dim),  # static zeros
+        StructuralFeatureProcess(dim),  # lazy (degree-based)
+    ]
+    for process in processes:
+        process.fit(train, g.num_nodes)
+    return processes
+
+
+def assert_bundles_identical(a: ContextBundle, b: ContextBundle) -> None:
+    for name in BUNDLE_ARRAYS:
+        left, right = getattr(a, name), getattr(b, name)
+        assert np.array_equal(left, right), f"bundle field {name} differs"
+    assert set(a.target_features) == set(b.target_features)
+    assert set(a.neighbor_features) == set(b.neighbor_features)
+    for name in a.target_features:
+        assert np.array_equal(
+            a.target_features[name], b.target_features[name]
+        ), f"target_features[{name}] differs"
+        assert np.array_equal(
+            a.neighbor_features[name], b.neighbor_features[name]
+        ), f"neighbor_features[{name}] differs"
+    assert a.structural_params == b.structural_params
+    assert set(a.static_tables) == set(b.static_tables)
+    for name in a.static_tables:
+        assert np.array_equal(a.static_tables[name], b.static_tables[name])
+
+
+class TestBatchedContextEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_randomized_streams(self, seed, k):
+        g, queries = random_stream(seed, d_e=2 if seed % 2 else 0)
+        processes = fitted_processes(g, seed=seed)
+        event = build_context_bundle(g, queries, k, processes, engine="event")
+        batched = build_context_bundle(g, queries, k, processes, engine="batched")
+        assert_bundles_identical(event, batched)
+
+    def test_derived_accessors_agree(self):
+        g, queries = random_stream(9, d_e=3)
+        processes = fitted_processes(g, seed=9)
+        event = build_context_bundle(g, queries, 5, processes, engine="event")
+        batched = build_context_bundle(g, queries, 5, processes, engine="batched")
+        for name in event.feature_names:
+            assert np.array_equal(
+                event.get_target_features(name), batched.get_target_features(name)
+            )
+            assert np.array_equal(
+                event.get_neighbor_features(name), batched.get_neighbor_features(name)
+            )
+        assert np.array_equal(event.time_deltas(), batched.time_deltas())
+        assert np.array_equal(event.neighbor_counts(), batched.neighbor_counts())
+
+    def test_queries_at_exact_edge_times_inclusive(self):
+        # Queries colliding with edge arrivals must see those edges (§III).
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 2, 2])
+        times = np.array([1.0, 2.0, 2.0])
+        g = CTDG(src, dst, times, num_nodes=3)
+        queries = QuerySet(np.array([0, 2, 2]), np.array([1.0, 2.0, 3.0]))
+        processes = fitted_processes(g, train_fraction=1.0, dim=4)
+        event = build_context_bundle(g, queries, 4, processes, engine="event")
+        batched = build_context_bundle(g, queries, 4, processes, engine="batched")
+        assert_bundles_identical(event, batched)
+        assert batched.target_degrees.tolist() == [1, 2, 2]
+        assert batched.mask[1].sum() == 2  # both t=2.0 edges visible
+
+    def test_no_processes(self):
+        g, queries = random_stream(3)
+        event = build_context_bundle(g, queries, 4, (), engine="event")
+        batched = build_context_bundle(g, queries, 4, (), engine="batched")
+        assert_bundles_identical(event, batched)
+
+    def test_empty_stream(self):
+        g = CTDG(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            num_nodes=4,
+        )
+        queries = QuerySet(np.array([0, 1]), np.array([1.0, 2.0]))
+        event = build_context_bundle(g, queries, 3, (), engine="event")
+        batched = build_context_bundle(g, queries, 3, (), engine="batched")
+        assert_bundles_identical(event, batched)
+        assert np.array_equal(batched.target_last_times, queries.times)
+
+    def test_unknown_engine_rejected(self):
+        g, queries = random_stream(0)
+        with pytest.raises(ValueError, match="engine"):
+            build_context_bundle(g, queries, 3, (), engine="vectorised")
+
+    def test_generic_store_fallback_path(self):
+        """A store without a static mask routes every edge per-event."""
+        from repro.features.base import FeatureProcess, OnlineFeatureStore
+
+        class CountingStore(OnlineFeatureStore):
+            # Zero-start accumulator: x_i(t) = #edges incident to i so far.
+            def __init__(self, num_nodes: int) -> None:
+                self.dim = 1
+                self._counts = np.zeros((num_nodes, 1))
+
+            def on_edge(self, index, src, dst, time, feature, weight) -> None:
+                self._counts[src] += 1.0
+                self._counts[dst] += 1.0
+
+            def feature_of(self, node: int) -> np.ndarray:
+                if 0 <= node < len(self._counts):
+                    return self._counts[node]
+                return np.zeros(1)
+
+        class CountingProcess(FeatureProcess):
+            name = "counting"
+
+            def fit(self, train_ctdg, num_nodes):
+                self._record_seen(train_ctdg, num_nodes)
+
+            def make_store(self):
+                return CountingStore(self.num_nodes)
+
+        g, queries = random_stream(5, selfloop_prob=0.2)
+        process = CountingProcess(1)
+        process.fit(g.slice(0, g.num_edges // 2), g.num_nodes)
+        event = build_context_bundle(g, queries, 4, [process], engine="event")
+        batched = build_context_bundle(g, queries, 4, [process], engine="batched")
+        assert_bundles_identical(event, batched)

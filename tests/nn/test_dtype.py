@@ -1,0 +1,160 @@
+"""The runtime-configurable tensor-backend precision (float32 fast path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Linear,
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    load_into,
+    load_state_dict,
+    save_state_dict,
+    set_default_dtype,
+)
+from repro.nn import functional as F
+
+
+@pytest.fixture(autouse=True)
+def restore_dtype():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestDtypeConfiguration:
+    def test_boot_default_is_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_set_and_restore(self):
+        previous = set_default_dtype("float32")
+        assert previous == np.dtype(np.float64)
+        assert get_default_dtype() == np.dtype(np.float32)
+        set_default_dtype(previous)
+        assert get_default_dtype() == np.dtype(np.float64)
+
+    def test_accepts_many_spellings(self):
+        for spec in ("float32", np.float32, np.dtype(np.float32)):
+            set_default_dtype(spec)
+            assert get_default_dtype() == np.dtype(np.float32)
+            set_default_dtype("float64")
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            set_default_dtype("int64")
+        with pytest.raises(ValueError, match="float32 or float64"):
+            set_default_dtype(np.float16)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            # np.dtype(None) would silently mean float64; None must not
+            # reset an active float32 session.
+            set_default_dtype(None)
+        assert get_default_dtype() == np.dtype(np.float64)  # unchanged
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with default_dtype("float32"):
+                assert get_default_dtype() == np.dtype(np.float32)
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.dtype(np.float64)
+
+
+class TestTensorDtype:
+    def test_tensor_adopts_active_default(self):
+        with default_dtype("float32"):
+            t = Tensor(np.arange(4))
+            assert t.dtype == np.float32
+            u = Tensor(np.ones(3, dtype=np.float64))
+            assert u.dtype == np.float32
+        t64 = Tensor(np.ones(3, dtype=np.float32))
+        assert t64.dtype == np.float64
+
+    def test_ops_and_grads_stay_float32(self):
+        with default_dtype("float32"):
+            a = Tensor(np.random.randn(4, 3), requires_grad=True)
+            b = Tensor(np.random.randn(3, 2), requires_grad=True)
+            out = F.relu(a @ b) * 2.0 + 1.0
+            loss = (out * out).mean()
+            assert loss.dtype == np.float32
+            loss.backward()
+            assert a.grad.dtype == np.float32
+            assert b.grad.dtype == np.float32
+
+    def test_numpy_constant_operands_coerced(self):
+        with default_dtype("float32"):
+            a = Tensor(np.ones((2, 2)), requires_grad=True)
+            out = a * np.ones((2, 2))  # float64 ndarray operand
+            assert out.dtype == np.float32
+
+
+class TestModulesAndOptimizers:
+    def test_layer_parameters_follow_default(self):
+        with default_dtype("float32"):
+            layer = Linear(4, 3)
+            assert layer.weight.dtype == np.float32
+            assert layer.bias.dtype == np.float32
+        layer64 = Linear(4, 3)
+        assert layer64.weight.dtype == np.float64
+
+    def test_adam_step_preserves_float32(self):
+        with default_dtype("float32"):
+            mlp = MLP([5, 8, 2])
+            opt = Adam(mlp.parameters(), lr=1e-2)
+            x = Tensor(np.random.randn(6, 5))
+            loss = (mlp(x) ** 2).mean()
+            loss.backward()
+            opt.step()
+            for param in mlp.parameters():
+                assert param.dtype == np.float32
+
+    def test_training_float32_close_to_float64(self):
+        rng = np.random.default_rng(0)
+        x_np = rng.normal(size=(64, 6))
+        y_np = rng.normal(size=(64, 1))
+
+        def train(dtype):
+            with default_dtype(dtype):
+                mlp = MLP([6, 16, 1], rng=0)
+                opt = Adam(mlp.parameters(), lr=1e-2)
+                for _ in range(30):
+                    opt.zero_grad()
+                    pred = mlp(Tensor(x_np))
+                    loss = ((pred - Tensor(y_np)) ** 2).mean()
+                    loss.backward()
+                    opt.step()
+                return loss.item()
+
+        loss64 = train("float64")
+        loss32 = train("float32")
+        assert loss32 == pytest.approx(loss64, rel=1e-2, abs=1e-3)
+
+
+class TestSerializationDtype:
+    def test_roundtrip_recast(self, tmp_path):
+        with default_dtype("float32"):
+            module = MLP([3, 4, 2], rng=1)
+            path = str(tmp_path / "ckpt")
+            save_state_dict(module, path)
+        state = load_state_dict(path)
+        assert all(v.dtype == np.float32 for v in state.values())
+        recast = load_state_dict(path, dtype=np.float64)
+        assert all(v.dtype == np.float64 for v in recast.values())
+
+    def test_load_into_adopts_module_precision(self, tmp_path):
+        module64 = MLP([3, 4, 2], rng=1)
+        path = str(tmp_path / "ckpt64")
+        save_state_dict(module64, path)
+        with default_dtype("float32"):
+            module32 = MLP([3, 4, 2], rng=2)
+            load_into(module32, path)
+            for param in module32.parameters():
+                assert param.dtype == np.float32
+        # Values survive the down-cast within float32 resolution.
+        for (_, p64), (_, p32) in zip(
+            module64.named_parameters(), module32.named_parameters()
+        ):
+            np.testing.assert_allclose(p64.data, p32.data, rtol=1e-6, atol=1e-6)

@@ -1,0 +1,169 @@
+"""Equivalence of the batched replay engine with the per-event reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.ctdg import CTDG
+from repro.streams.replay import (
+    PerEventAdapter,
+    as_batch_processor,
+    replay,
+    replay_batched,
+)
+
+from tests.conftest import toy_ctdg
+
+
+class EventRecorder:
+    """Per-event processor logging the exact event sequence."""
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def on_edge(self, index, src, dst, time, feature, weight) -> None:
+        feat = None if feature is None else tuple(np.asarray(feature).tolist())
+        self.events.append(("edge", index, src, dst, time, feat, weight))
+
+    def on_query(self, index, node, time) -> None:
+        self.events.append(("query", index, node, time))
+
+
+class BlockRecorder:
+    """Batch processor logging the same flattened event sequence."""
+
+    def __init__(self) -> None:
+        self.events = []
+        self.block_sizes = []
+
+    def on_edge_block(self, start, stop, src, dst, times, features, weights) -> None:
+        self.block_sizes.append(("edges", stop - start))
+        for offset in range(stop - start):
+            feat = (
+                None
+                if features is None
+                else tuple(np.asarray(features[offset]).tolist())
+            )
+            self.events.append(
+                (
+                    "edge",
+                    start + offset,
+                    int(src[offset]),
+                    int(dst[offset]),
+                    float(times[offset]),
+                    feat,
+                    float(weights[offset]),
+                )
+            )
+
+    def on_query_block(self, start, stop, nodes, times) -> None:
+        self.block_sizes.append(("queries", stop - start))
+        for offset in range(stop - start):
+            self.events.append(
+                ("query", start + offset, int(nodes[offset]), float(times[offset]))
+            )
+
+
+def tied_stream():
+    """Edges and queries sharing timestamps, exercising the §III tie rule."""
+    src = np.array([0, 1, 2, 3, 0, 1])
+    dst = np.array([1, 2, 3, 0, 2, 3])
+    times = np.array([1.0, 1.0, 2.0, 2.0, 2.0, 5.0])
+    g = CTDG(src, dst, times, num_nodes=4)
+    query_nodes = np.array([0, 1, 2, 3])
+    query_times = np.array([1.0, 2.0, 2.0, 5.0])  # collide with edge times
+    return g, query_nodes, query_times
+
+
+class TestReplayBatched:
+    @pytest.mark.parametrize("d_e", [0, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_event_sequence(self, seed, d_e):
+        g = toy_ctdg(num_nodes=12, num_edges=80, seed=seed, d_e=d_e)
+        rng = np.random.default_rng(seed + 100)
+        q_times = np.sort(rng.uniform(g.start_time, g.end_time, size=37))
+        q_nodes = rng.integers(0, g.num_nodes, size=37)
+
+        reference = EventRecorder()
+        replay(g, q_nodes, q_times, [reference])
+        blocks = BlockRecorder()
+        replay_batched(g, q_nodes, q_times, [blocks])
+        assert blocks.events == reference.events
+
+    def test_equal_timestamps_edges_first(self):
+        g, q_nodes, q_times = tied_stream()
+        reference = EventRecorder()
+        replay(g, q_nodes, q_times, [reference])
+        blocks = BlockRecorder()
+        replay_batched(g, q_nodes, q_times, [blocks])
+        assert blocks.events == reference.events
+        # The inclusive-time rule: at t=2.0 all three edges precede both queries.
+        kinds = [e[0] for e in blocks.events]
+        t2 = [e for e in blocks.events if e[3] == 2.0 or (e[0] == "query" and e[3] == 2.0)]
+        assert kinds.count("edge") == 6 and kinds.count("query") == 4
+        edge_positions = [i for i, e in enumerate(blocks.events) if e[0] == "edge" and e[4] == 2.0]
+        query_positions = [i for i, e in enumerate(blocks.events) if e[0] == "query" and e[3] == 2.0]
+        assert max(edge_positions) < min(query_positions)
+
+    def test_per_event_adapter_bridges_old_processors(self):
+        g = toy_ctdg(num_nodes=10, num_edges=60, seed=3, d_e=2)
+        rng = np.random.default_rng(7)
+        q_times = np.sort(rng.uniform(g.start_time, g.end_time, size=20))
+        q_nodes = rng.integers(0, g.num_nodes, size=20)
+
+        reference = EventRecorder()
+        replay(g, q_nodes, q_times, [reference])
+        adapted = EventRecorder()
+        replay_batched(g, q_nodes, q_times, [adapted])  # auto-wrapped
+        assert adapted.events == reference.events
+        explicit = EventRecorder()
+        replay_batched(g, q_nodes, q_times, [PerEventAdapter(explicit)])
+        assert explicit.events == reference.events
+
+    def test_as_batch_processor_passthrough(self):
+        block = BlockRecorder()
+        assert as_batch_processor(block) is block
+        wrapped = as_batch_processor(EventRecorder())
+        assert isinstance(wrapped, PerEventAdapter)
+
+    def test_stop_time(self):
+        g = toy_ctdg(num_nodes=8, num_edges=50, seed=4)
+        rng = np.random.default_rng(11)
+        q_times = np.sort(rng.uniform(g.start_time, g.end_time, size=15))
+        q_nodes = rng.integers(0, g.num_nodes, size=15)
+        mid = float(np.median(g.times))
+
+        reference = EventRecorder()
+        replay(g, q_nodes, q_times, [reference], stop_time=mid)
+        blocks = BlockRecorder()
+        replay_batched(g, q_nodes, q_times, [blocks], stop_time=mid)
+        assert blocks.events == reference.events
+        assert all(e[4 if e[0] == "edge" else 3] <= mid for e in blocks.events)
+
+    def test_max_block_chunks_preserve_sequence(self):
+        g = toy_ctdg(num_nodes=8, num_edges=64, seed=5, d_e=1)
+        reference = EventRecorder()
+        replay(g, None, None, [reference])
+        blocks = BlockRecorder()
+        replay_batched(g, None, None, [blocks], max_block=7)
+        assert blocks.events == reference.events
+        edge_blocks = [n for kind, n in blocks.block_sizes if kind == "edges"]
+        assert max(edge_blocks) <= 7 and len(edge_blocks) > 1
+
+    def test_edge_only_replay_single_block(self):
+        g = toy_ctdg(num_nodes=8, num_edges=30, seed=6)
+        blocks = BlockRecorder()
+        replay_batched(g, None, None, [blocks])
+        assert blocks.block_sizes == [("edges", 30)]
+
+    def test_validation_errors(self):
+        g = toy_ctdg()
+        with pytest.raises(ValueError, match="together"):
+            replay_batched(g, np.array([0]), None, [BlockRecorder()])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            replay_batched(
+                g, np.array([0, 1]), np.array([5.0, 1.0]), [BlockRecorder()]
+            )
+        with pytest.raises(ValueError, match="max_block"):
+            replay_batched(g, None, None, [BlockRecorder()], max_block=0)
