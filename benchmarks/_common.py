@@ -120,6 +120,10 @@ def bench_environment() -> dict:
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        # Parallel-engine records are only comparable at similar core
+        # counts (a 1-CPU box shows the sharded engine's serial gains but
+        # no pool scaling).
+        "cpu_count": os.cpu_count(),
         "scale": SCALE,
         "dtype": DTYPE,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -1,0 +1,131 @@
+"""Perf regression gate: compare a PR's BENCH record against the committed baseline.
+
+Implements the ROADMAP item "Perf regression gate in CI": the benchmark
+smoke job emits ``BENCH_pr.json`` (same schema as
+``bench_context_replay.py``'s committed records) and this script fails the
+build when the hot path — ``batched_seconds`` per generator — regresses by
+more than ``--threshold`` (default 1.5x).  Two guards keep the gate from
+flaking on heterogeneous runners:
+
+* a regression must also exceed ``--min-delta`` seconds in absolute terms
+  (smoke-scale rows measure tens of milliseconds, where scheduler noise
+  alone can exceed any ratio);
+* records are only compared when their presets match; mismatched
+  environments (python/numpy/platform/cpu_count) are reported as a
+  warning next to the verdict, since cross-machine ratios are indicative,
+  not precise.
+
+``identical`` is a correctness bit, not a perf number — any ``false``
+fails the gate outright regardless of timings.
+
+Usage (CI)::
+
+    python benchmarks/check_perf_regression.py BENCH_pr.json \
+        --baseline benchmarks/results/BENCH_context_replay.smoke.json
+
+Pure stdlib: runnable before any dependencies are installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def environment_mismatches(pr: dict, baseline: dict) -> list:
+    keys = ("python", "numpy", "platform", "cpu_count", "scale", "dtype")
+    pr_env = pr.get("environment", {})
+    base_env = baseline.get("environment", {})
+    return [
+        f"{key}: baseline={base_env.get(key)!r} pr={pr_env.get(key)!r}"
+        for key in keys
+        if pr_env.get(key) != base_env.get(key)
+    ]
+
+
+def check(pr: dict, baseline: dict, threshold: float, min_delta: float) -> int:
+    if pr.get("preset") != baseline.get("preset"):
+        print(
+            f"ERROR: preset mismatch (baseline {baseline.get('preset')!r}, "
+            f"pr {pr.get('preset')!r}); records are not comparable",
+            file=sys.stderr,
+        )
+        return 2
+
+    base_rows = {row["generator"]: row for row in baseline.get("rows", [])}
+    failures = []
+    print(f"{'generator':18s} {'baseline':>9s} {'pr':>9s} {'ratio':>6s}  verdict")
+    for row in pr.get("rows", []):
+        name = row["generator"]
+        if not row.get("identical", True):
+            failures.append(f"{name}: engines produced non-identical bundles")
+            print(f"{name:18s} {'-':>9s} {'-':>9s} {'-':>6s}  FAIL (identical=false)")
+            continue
+        base = base_rows.get(name)
+        if base is None:
+            print(f"{name:18s} {'-':>9s} {row['batched_seconds']:9.4f} {'-':>6s}  "
+                  "skipped (no baseline row)")
+            continue
+        base_s = float(base["batched_seconds"])
+        pr_s = float(row["batched_seconds"])
+        ratio = pr_s / base_s if base_s else float("inf")
+        regressed = ratio > threshold and (pr_s - base_s) > min_delta
+        verdict = "FAIL" if regressed else "ok"
+        print(f"{name:18s} {base_s:9.4f} {pr_s:9.4f} {ratio:6.2f}  {verdict}")
+        if regressed:
+            failures.append(
+                f"{name}: batched_seconds {base_s:.4f} -> {pr_s:.4f} "
+                f"({ratio:.2f}x > {threshold}x and +{pr_s - base_s:.3f}s > "
+                f"{min_delta}s)"
+            )
+
+    mismatches = environment_mismatches(pr, baseline)
+    if mismatches:
+        print("note: environment differs from baseline "
+              "(ratios are indicative only):")
+        for line in mismatches:
+            print(f"  {line}")
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("pr_record", help="BENCH_*.json produced by this PR's run")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/BENCH_context_replay.smoke-baseline.json",
+        help="committed baseline record to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="fail when batched_seconds grows by more than this factor",
+    )
+    parser.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.05,
+        help="absolute seconds a regression must also exceed (noise floor)",
+    )
+    args = parser.parse_args(argv)
+    return check(
+        load(args.pr_record), load(args.baseline), args.threshold, args.min_delta
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

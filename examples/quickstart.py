@@ -6,9 +6,14 @@ reports the chronological test F1.
 
 Usage:  python examples/quickstart.py [--edges 3000] [--seed 0]
                                       [--dtype {float32,float64}]
+                                      [--engine {batched,event,sharded}]
+                                      [--num-workers N]
 
 ``--dtype float32`` selects the tensor backend's fast path (half the
 memory traffic during SLIM training); float64 is the bit-exact default.
+``--engine sharded --num-workers 4`` materialises query contexts from
+contiguous stream shards in parallel worker processes (all engines
+produce bit-identical contexts; see DESIGN.md §3).
 """
 
 import argparse
@@ -29,6 +34,18 @@ def main() -> None:
         default="float64",
         help="tensor backend precision (float32 = fast path)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["batched", "event", "sharded"],
+        default="batched",
+        help="context replay engine (all three produce identical bundles)",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=0,
+        help="worker processes for --engine sharded (0/1 = serial in-process)",
+    )
     args = parser.parse_args()
 
     set_default_dtype(args.dtype)
@@ -39,6 +56,8 @@ def main() -> None:
         feature_dim=32,
         k=10,
         model=ModelConfig(hidden_dim=64, epochs=50, patience=10, lr=3e-3, seed=args.seed),
+        context_engine=args.engine,
+        num_workers=args.num_workers,
         dtype=args.dtype,
         seed=args.seed,
     )
@@ -51,6 +70,8 @@ def main() -> None:
         print(f"selection risks (Eq. 13) : {risks}")
     print(f"model parameters         : {splash.num_parameters()}")
     print(f"training precision       : {args.dtype}")
+    print(f"context engine           : {args.engine}"
+          + (f" ({args.num_workers} workers)" if args.engine == "sharded" else ""))
     print(f"test {dataset.task.metric_name:<19}: {splash.evaluate():.4f}")
     print(f"stage timings (s)        : "
           f"{ {k: round(v, 2) for k, v in splash.timer.as_dict().items()} }")

@@ -28,10 +28,32 @@ Two recorder implementations produce byte-identical bundles:
   evolving (unseen-node) vectors — no per-edge ``.copy()`` calls.  Only
   edges touching a non-static node (feature propagation, Eqs. 4-5) take a
   per-event detour, preserving bit-for-bit equality with the reference.
+
+A third engine, ``engine="sharded"``, partitions the precomputed
+edge/query interleave (:func:`repro.streams.replay.plan_shards`) into
+contiguous time-window shards and runs the batched collection *per shard*,
+optionally in worker processes.  Each shard is collected against only its
+own incidence log; a sequential merge pass then stitches the shards
+together, carrying three pieces of state across every shard boundary:
+
+* per-node **degree offsets** (incidence counts accumulated by earlier
+  shards), which turn shard-local degrees into the global deg_i(t);
+* per-node **k-recent tails** (the last ≤ k incidences each node produced
+  in earlier shards), which fill query slots the local shard cannot; and
+* the **evolving unseen-node feature state** — the genuinely sequential
+  propagation of Eqs. 4-5 — which runs once over the full stream in the
+  parent (overlapped with the workers) and is spliced in by snapshot-log
+  index exactly as the batched engine does.
+
+The result is bit-for-bit identical to both other engines (see
+DESIGN.md §3 and ``tests/streams/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,7 +65,7 @@ from repro.features.structural import StructuralFeatureProcess, degree_encoding
 from repro.streams.ctdg import CTDG
 from repro.streams.degrees import DegreeTracker
 from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
-from repro.streams.replay import replay, replay_batched
+from repro.streams.replay import interleave_cuts, plan_shards, replay, replay_batched
 from repro.tasks.base import QuerySet
 
 
@@ -404,6 +426,38 @@ class _BatchedBundleCollector(_QueryOutputs):
                     log_len += 1
         return snap_idx, logs
 
+    def _sequential_store_pass(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        weights: np.ndarray,
+        edge_idx: np.ndarray,
+        static_all: np.ndarray,
+        num_incidences: int,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Run the store updates and densify the snapshot logs."""
+        snap_idx, raw_logs = self._run_store_updates(
+            src, dst, times, weights, edge_idx, static_all, num_incidences
+        )
+        snap_logs = {
+            name: (
+                np.asarray(raw_logs[name])
+                if raw_logs[name]
+                else np.zeros((0, self.stores[name].dim))
+            )
+            for name in self._store_names
+        }
+        return snap_idx, snap_logs
+
+    def _combined_static_mask(self) -> np.ndarray:
+        """Static-node mask shared by all stores: an edge between two
+        all-static endpoints cannot change any store's state."""
+        static_all = np.ones(self.num_nodes, dtype=bool)
+        for name in self._store_names:
+            static_all &= self._padded_mask(self.stores[name].static_node_mask())
+        return static_all
+
     # -- assembly ------------------------------------------------------
     def finalize(self) -> None:
         """Materialise all recorded queries from the incidence logs."""
@@ -449,26 +503,10 @@ class _BatchedBundleCollector(_QueryOutputs):
         else:
             nbr_deg = np.zeros(0, dtype=np.int64)
 
-        # Static-node mask shared by all stores: an edge between two
-        # all-static endpoints cannot change any store's state.
-        if self._store_names:
-            static_all = np.ones(self.num_nodes, dtype=bool)
-            for name in self._store_names:
-                static_all &= self._padded_mask(self.stores[name].static_node_mask())
-        else:
-            static_all = np.ones(self.num_nodes, dtype=bool)
-
-        snap_idx, raw_logs = self._run_store_updates(
+        static_all = self._combined_static_mask()
+        snap_idx, snap_logs = self._sequential_store_pass(
             src, dst, times_e, weights_e, edge_idx, static_all, num_inc
         )
-        snap_logs = {
-            name: (
-                np.asarray(raw_logs[name])
-                if raw_logs[name]
-                else np.zeros((0, self.stores[name].dim))
-            )
-            for name in self._store_names
-        }
 
         # Queries, concatenated in stream order (a prefix when stop_time
         # truncated the replay).
@@ -581,12 +619,671 @@ class _BatchedBundleCollector(_QueryOutputs):
                 target[evolving] = log[target_snap[evolving]]
 
 
+@dataclass
+class _ShardPayload:
+    """Read-only inputs every shard worker needs (fork-shared or pickled once)."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    times: np.ndarray
+    weights: np.ndarray
+    cuts: np.ndarray  # interleave_cuts over the full stream
+    query_nodes: np.ndarray
+    k: int
+    num_nodes: int
+    edge_features: Optional[np.ndarray]
+    # (name, static-mask over the id space, snapshot table or None, dim),
+    # ordered like _store_names.
+    stores_meta: List[Tuple[str, np.ndarray, Optional[np.ndarray], int]]
+    shards: List[Tuple[int, int, int, int]]
+    # Fork-shared zero-initialised output scratch (see _anon_shared_array):
+    # present only when workers can write their query-slices directly,
+    # sparing the large gathered arrays a trip through the result pipe.
+    shared: Optional[Dict[str, np.ndarray]] = None
+
+
+def _anon_shared_array(shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """Zero-initialised array backed by an anonymous MAP_SHARED mapping.
+
+    Forked worker processes inherit the mapping, so their writes are
+    visible to the parent without any serialisation; the mapping is freed
+    with the last referencing array.  Only meaningful under the ``fork``
+    start method.
+    """
+    import mmap
+
+    count = int(np.prod(shape, dtype=np.int64))
+    nbytes = count * np.dtype(dtype).itemsize
+    if nbytes == 0:
+        return np.zeros(shape, dtype=dtype)
+    buffer = mmap.mmap(-1, nbytes)
+    return np.frombuffer(buffer, dtype=dtype, count=count).reshape(shape)
+
+
+# Module-level slot read by forked workers: set in the parent immediately
+# before the pool is created, so fork children inherit the arrays without
+# any pickling.  Non-fork start methods receive the payload through the
+# pool initializer instead.
+_SHARD_PAYLOAD: Optional[_ShardPayload] = None
+
+
+def _set_shard_payload(payload: _ShardPayload) -> None:
+    global _SHARD_PAYLOAD
+    _SHARD_PAYLOAD = payload
+
+
+def _collect_shard_entry(shard_index: int) -> Dict[str, object]:
+    if _SHARD_PAYLOAD is None:
+        raise RuntimeError("shard worker started without a payload")
+    return _collect_shard(_SHARD_PAYLOAD, shard_index)
+
+
+def _collect_shard(payload: _ShardPayload, shard_index: int) -> Dict[str, object]:
+    """Batched-style collection restricted to one contiguous shard.
+
+    Pure function of the payload: builds the shard's incidence log, answers
+    its queries from that log alone (left-aligned slots, shard-local
+    degrees), gathers static feature tables for the slots it filled, and
+    exports the per-node tail (last ≤ k incidences) plus incidence counts
+    that the merge pass carries across the shard boundary.  All positions
+    in the result are *global* (``2 * edge_index + side``), so the merge
+    pass can index the sequential snapshot log directly.
+    """
+    e_lo, e_hi, q_lo, q_hi = payload.shards[shard_index]
+    k = payload.k
+    num_nodes = payload.num_nodes
+    src = payload.src[e_lo:e_hi]
+    dst = payload.dst[e_lo:e_hi]
+    times_e = payload.times[e_lo:e_hi]
+    weights_e = payload.weights[e_lo:e_hi]
+    q_nodes = payload.query_nodes[q_lo:q_hi]
+    # Incidences of this shard preceding each query, in local positions.
+    cut_local = 2 * (payload.cuts[q_lo:q_hi] - e_lo)
+
+    num_edges = e_hi - e_lo
+    num_inc = 2 * num_edges
+    num_q = q_hi - q_lo
+    slots = np.arange(k)[None, :]
+
+    # Shard-local interleaved incidence log (same layout as finalize()).
+    owner = np.empty(num_inc, dtype=np.int64)
+    nbr = np.empty(num_inc, dtype=np.int64)
+    owner[0::2], owner[1::2] = src, dst
+    nbr[0::2], nbr[1::2] = dst, src
+    inc_time = np.repeat(times_e, 2)
+    inc_weight = np.repeat(weights_e, 2)
+    inc_edge = np.repeat(np.arange(e_lo, e_hi, dtype=np.int64), 2)
+
+    order = np.argsort(owner, kind="stable")
+    incl = np.empty(num_inc, dtype=np.int64)
+    if num_inc:
+        sorted_owner = owner[order]
+        run_start = np.empty(num_inc, dtype=bool)
+        run_start[0] = True
+        run_start[1:] = sorted_owner[1:] != sorted_owner[:-1]
+        group_first = np.nonzero(run_start)[0]
+        group_id = np.cumsum(run_start) - 1
+        incl[order] = np.arange(num_inc) - group_first[group_id] + 1
+        partner = np.arange(num_inc) ^ 1
+        nbr_deg = incl[partner]
+        odd = np.arange(num_inc) % 2 == 1
+        selfloop = owner == nbr
+        nbr_deg[selfloop & odd] = incl[selfloop & odd]
+    else:
+        nbr_deg = np.zeros(0, dtype=np.int64)
+
+    node_valid = (q_nodes >= 0) & (q_nodes < num_nodes)
+    q_safe = np.where(node_valid, q_nodes, 0)
+    stride = num_inc + 1
+    if num_nodes and num_nodes > (2**62) // stride:
+        raise OverflowError(
+            "stream too large for the sharded context engine; "
+            "use build_context_bundle(..., engine='event')"
+        )
+    key_sorted = owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+    pos = np.searchsorted(key_sorted, q_safe * stride + cut_local, side="left")
+    base = np.searchsorted(key_sorted, q_safe * stride, side="left")
+    local_degree = np.where(node_valid, pos - base, 0)
+
+    counts = np.minimum(local_degree, k)
+    valid = slots < counts[:, None]
+    has_any = counts > 0
+    if num_inc:
+        take = np.where(valid, (pos - counts)[:, None] + slots, 0)
+        inc = order[take]
+        last_inc = order[np.where(has_any, pos - 1, 0)]
+        neighbor_nodes = np.where(valid, nbr[inc], -1)
+        neighbor_times = np.where(valid, inc_time[inc], 0.0)
+        neighbor_deg_local = np.where(valid, nbr_deg[inc], 0)
+        edge_weights = np.where(valid, inc_weight[inc], 0.0)
+        slot_edge = np.where(valid, inc_edge[inc], 0)
+        slot_pos = np.where(valid, inc + 2 * e_lo, -1)
+        last_time_local = np.where(has_any, inc_time[last_inc], 0.0)
+        last_pos_local = np.where(has_any, last_inc + 2 * e_lo, -1)
+    else:
+        neighbor_nodes = np.full((num_q, k), -1, dtype=np.int64)
+        neighbor_times = np.zeros((num_q, k))
+        neighbor_deg_local = np.zeros((num_q, k), dtype=np.int64)
+        edge_weights = np.zeros((num_q, k))
+        slot_edge = np.zeros((num_q, k), dtype=np.int64)
+        slot_pos = np.full((num_q, k), -1, dtype=np.int64)
+        last_time_local = np.zeros(num_q)
+        last_pos_local = np.full(num_q, -1, dtype=np.int64)
+
+    # Static feature gathers — the bulk of the engine's work, fanned out
+    # here so it runs inside the worker.  Dynamic (evolving) slots are
+    # overridden later by the merge pass, exactly as finalize() overrides
+    # its own table gathers.  With a shared scratch the gathers land
+    # straight in the parent-visible mapping (zero-initialised, so the
+    # no-table cases need no explicit clearing).
+    shared = payload.shared if num_q else None
+    qs = slice(q_lo, q_hi)
+
+    def _out3(key: str, dim: int) -> np.ndarray:
+        if shared is not None:
+            return shared[key][qs]
+        return np.zeros((num_q, k, dim))
+
+    edge_feature_block: Optional[np.ndarray] = None
+    table = payload.edge_features
+    if table is not None and table.shape[1]:
+        edge_feature_block = _out3("edge_features", table.shape[1])
+        if num_inc:
+            np.take(table, slot_edge, axis=0, out=edge_feature_block)
+            edge_feature_block[~valid] = 0.0
+
+    neighbor_features: Dict[str, np.ndarray] = {}
+    target_features: Dict[str, np.ndarray] = {}
+    for name, own_static, feat_table, dim in payload.stores_meta:
+        gathered = _out3(f"nbr::{name}", dim)
+        if feat_table is not None and len(feat_table) and num_inc:
+            safe_nbr = np.clip(np.maximum(neighbor_nodes, 0), 0, len(feat_table) - 1)
+            np.take(feat_table, safe_nbr, axis=0, out=gathered)
+            gathered[~valid] = 0.0
+        neighbor_features[name] = gathered
+        target = shared[f"tgt::{name}"][qs] if shared is not None else np.zeros((num_q, dim))
+        static_rows = node_valid & own_static[q_safe]
+        if feat_table is not None and len(feat_table) and static_rows.any():
+            target[static_rows] = feat_table[
+                np.clip(q_nodes[static_rows], 0, len(feat_table) - 1)
+            ]
+        target_features[name] = target
+
+    # Per-node exports for the merge pass: full incidence counts (degree
+    # offsets) and the last ≤ k incidences (tails), oldest → newest.
+    if num_inc:
+        group_sizes = np.diff(np.append(group_first, num_inc))
+        tail_nodes = sorted_owner[group_first]
+        tail_len = np.minimum(group_sizes, k)
+        tvalid = slots < tail_len[:, None]
+        group_end = group_first + group_sizes
+        tpos = np.where(tvalid, (group_end - tail_len)[:, None] + slots, 0)
+        tinc = order[tpos]
+        tail = {
+            "nodes": tail_nodes,
+            "len": tail_len,
+            "counts": group_sizes.astype(np.int64),
+            "nbr": np.where(tvalid, nbr[tinc], -1),
+            "time": np.where(tvalid, inc_time[tinc], 0.0),
+            "weight": np.where(tvalid, inc_weight[tinc], 0.0),
+            "edge": np.where(tvalid, inc_edge[tinc], 0),
+            "deg_local": np.where(tvalid, nbr_deg[tinc], 0),
+            "pos": np.where(tvalid, tinc + 2 * e_lo, -1),
+        }
+    else:
+        tail = None
+
+    result = {
+        "shard": shard_index,
+        "node_valid": node_valid,
+        "local_degree": local_degree,
+        "last_time_local": last_time_local,
+        "last_pos_local": last_pos_local,
+        "tail": tail,
+    }
+    if shared is not None:
+        # Slot arrays travel through the shared mapping as well; only the
+        # small per-query vectors and the tail ride the result pipe.
+        shared["neighbor_nodes"][qs] = neighbor_nodes
+        shared["neighbor_times"][qs] = neighbor_times
+        shared["neighbor_deg"][qs] = neighbor_deg_local
+        shared["edge_weights"][qs] = edge_weights
+        shared["slot_edge"][qs] = slot_edge
+        shared["slot_pos"][qs] = slot_pos
+    else:
+        result.update(
+            neighbor_nodes=neighbor_nodes,
+            neighbor_times=neighbor_times,
+            neighbor_deg_local=neighbor_deg_local,
+            edge_weights=edge_weights,
+            slot_edge=slot_edge,
+            slot_pos=slot_pos,
+            edge_feature_block=edge_feature_block,
+            neighbor_features=neighbor_features,
+            target_features=target_features,
+        )
+    return result
+
+
+class _ShardedBundleCollector(_BatchedBundleCollector):
+    """Shard-parallel variant of the batched collector.
+
+    The interleave is partitioned with :func:`plan_shards`; shards are
+    collected independently (worker processes when ``num_workers > 1``,
+    in-process otherwise) while the parent runs the sequential store
+    updates, and a merge pass stitches the per-shard results back into the
+    bundle arrays, carrying degree offsets, k-recent tails, and the
+    snapshot log across shard boundaries.  Output is bit-for-bit equal to
+    the other engines.
+    """
+
+    def collect(
+        self,
+        ctdg: CTDG,
+        queries: QuerySet,
+        num_workers: int,
+        num_shards: Optional[int] = None,
+        clamp_workers: bool = True,
+    ) -> None:
+        # A pool wider than the CPUs this process may run on is pure
+        # scheduling overhead (fork + context switches, no parallelism),
+        # so the requested worker count is clamped to the visible CPU
+        # budget — on a 1-CPU box every request degrades to the serial
+        # in-process path.  Tests disable the clamp to exercise the pool
+        # path regardless of the machine they run on.
+        if clamp_workers:
+            if hasattr(os, "sched_getaffinity"):
+                cpu_budget = len(os.sched_getaffinity(0))
+            else:  # pragma: no cover - non-Linux fallback
+                cpu_budget = os.cpu_count() or 1
+            num_workers = min(num_workers, cpu_budget)
+        if num_shards is None:
+            # Serial runs still shard (the merge path is identical either
+            # way and must stay exercised); parallel runs get one shard
+            # per worker.
+            num_shards = num_workers if num_workers > 1 else 4
+        cuts, _, _ = interleave_cuts(ctdg.times, queries.times)
+        shards = plan_shards(cuts, ctdg.num_edges, num_shards)
+        static_all = self._combined_static_mask()
+        stores_meta = [
+            (
+                name,
+                self._padded_mask(self.stores[name].static_node_mask()),
+                self.stores[name].snapshot_table(),
+                self.stores[name].dim,
+            )
+            for name in self._store_names
+        ]
+        payload = _ShardPayload(
+            src=ctdg.src,
+            dst=ctdg.dst,
+            times=ctdg.times,
+            weights=ctdg.weights,
+            cuts=cuts,
+            query_nodes=queries.nodes,
+            k=self.k,
+            num_nodes=self.num_nodes,
+            edge_features=self._edge_feature_table,
+            stores_meta=stores_meta,
+            shards=shards,
+        )
+
+        # Route the large gathered arrays through a zero-initialised output
+        # scratch that *becomes* the bundle storage: shard collection
+        # writes its query-slices in place, so nothing big is copied at
+        # merge time (or, under a pool, crosses the result pipe).  Shards
+        # partition the query range, so every row is written exactly once.
+        # In-process collection uses ordinary arrays; a worker pool needs
+        # an anonymous MAP_SHARED mapping, which only fork start methods
+        # inherit — without fork the pool falls back to pickled results.
+        num_q = len(queries)
+        use_pool = num_workers > 1 and len(shards) > 1
+        fork_shared = "fork" in multiprocessing.get_all_start_methods()
+        if num_q and (not use_pool or fork_shared):
+            def alloc(shape, dtype=np.float64):
+                if use_pool:
+                    return _anon_shared_array(shape, dtype)
+                return np.zeros(shape, dtype=dtype)
+
+            k = self.k
+            scratch: Dict[str, np.ndarray] = {
+                "neighbor_nodes": alloc((num_q, k), np.int64),
+                "neighbor_times": alloc((num_q, k)),
+                "neighbor_deg": alloc((num_q, k), np.int64),
+                "edge_weights": alloc((num_q, k)),
+                "slot_edge": alloc((num_q, k), np.int64),
+                "slot_pos": alloc((num_q, k), np.int64),
+            }
+            if self._edge_feature_table is not None and self.edge_features.shape[2]:
+                scratch["edge_features"] = alloc(
+                    (num_q, k, self.edge_features.shape[2])
+                )
+            for name in self._store_names:
+                dim = self.stores[name].dim
+                scratch[f"nbr::{name}"] = alloc((num_q, k, dim))
+                scratch[f"tgt::{name}"] = alloc((num_q, dim))
+            payload.shared = scratch
+            self.neighbor_nodes = scratch["neighbor_nodes"]
+            self.neighbor_times = scratch["neighbor_times"]
+            self.neighbor_degrees = scratch["neighbor_deg"]
+            self.edge_weights = scratch["edge_weights"]
+            if "edge_features" in scratch:
+                self.edge_features = scratch["edge_features"]
+            for name in self._store_names:
+                self.neighbor_features[name] = scratch[f"nbr::{name}"]
+                self.target_features[name] = scratch[f"tgt::{name}"]
+        edge_idx = np.arange(ctdg.num_edges, dtype=np.int64)
+        store_args = (
+            ctdg.src,
+            ctdg.dst,
+            ctdg.times,
+            ctdg.weights,
+            edge_idx,
+            static_all,
+            2 * ctdg.num_edges,
+        )
+
+        results = None
+        if num_workers > 1 and len(shards) > 1:
+            try:
+                results, snap_idx, snap_logs = self._collect_parallel(
+                    payload, num_workers, store_args
+                )
+            except OSError as error:
+                # Pool creation/submit failed before the store pass started;
+                # a serial run from scratch is still safe.
+                warnings.warn(
+                    f"sharded context engine: worker pool unavailable ({error}); "
+                    "falling back to in-process shard collection",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if results is None:
+            snap_idx, snap_logs = self._sequential_store_pass(*store_args)
+            results = [_collect_shard(payload, s) for s in range(len(shards))]
+
+        self._merge_shards(payload, results, snap_idx, snap_logs, queries)
+
+    # ------------------------------------------------------------------
+    def _collect_parallel(self, payload, num_workers, store_args):
+        """Fan shards out to worker processes, store updates in the parent.
+
+        The sequential store pass runs *between* submit and result
+        collection, so its wall-clock overlaps the workers'.
+        """
+        import concurrent.futures as cf
+
+        global _SHARD_PAYLOAD
+        try:
+            ctx = multiprocessing.get_context("fork")
+            initializer, initargs = None, ()
+        except ValueError:  # platform without fork: ship the payload once per worker
+            ctx = multiprocessing.get_context()
+            initializer, initargs = _set_shard_payload, (payload,)
+        from concurrent.futures.process import BrokenProcessPool
+
+        _SHARD_PAYLOAD = payload
+        try:
+            # Pool creation and submits may raise OSError; both happen
+            # before the store pass, so the caller's from-scratch serial
+            # fallback is still safe for them.
+            pool = cf.ProcessPoolExecutor(
+                max_workers=min(num_workers, len(payload.shards)),
+                mp_context=ctx,
+                initializer=initializer,
+                initargs=initargs,
+            )
+            try:
+                futures = [
+                    pool.submit(_collect_shard_entry, s)
+                    for s in range(len(payload.shards))
+                ]
+                snap_idx, snap_logs = self._sequential_store_pass(*store_args)
+                # From here on the stores have been advanced, so no
+                # exception that the caller would answer with a second
+                # store pass may escape: pool/worker failures are handled
+                # by redoing only the (pure, stateless) shard collection.
+                try:
+                    results = [f.result() for f in futures]
+                except (BrokenProcessPool, OSError) as error:
+                    warnings.warn(
+                        f"sharded context engine: worker pool died ({error}); "
+                        "recomputing shards in-process",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    results = [
+                        _collect_shard(payload, s)
+                        for s in range(len(payload.shards))
+                    ]
+            finally:
+                try:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                except Exception:
+                    pass  # results are in hand; reaping failures are moot
+        finally:
+            _SHARD_PAYLOAD = None
+        return results, snap_idx, snap_logs
+
+    # ------------------------------------------------------------------
+    def _merge_shards(self, payload, results, snap_idx, snap_logs, queries) -> None:
+        """Stitch per-shard collections into the global bundle arrays.
+
+        Sequential over shards.  Carried state: ``deg_off`` (per-node
+        incidence counts from earlier shards), and per-node tail arrays
+        holding each node's last ≤ k incidences with *globalised* values
+        (neighbour degree, snapshot position).  Query slots a shard could
+        not fill locally are spliced from the tail; evolving feature
+        vectors are spliced from the sequential snapshot log.
+        """
+        k = self.k
+        num_nodes = self.num_nodes
+        slots = np.arange(k)[None, :]
+        deg_off = np.zeros(num_nodes, dtype=np.int64)
+        t_len = np.zeros(num_nodes, dtype=np.int64)
+        t_nbr = np.full((num_nodes, k), -1, dtype=np.int64)
+        t_time = np.zeros((num_nodes, k))
+        t_weight = np.zeros((num_nodes, k))
+        t_edge = np.zeros((num_nodes, k), dtype=np.int64)
+        t_deg = np.zeros((num_nodes, k), dtype=np.int64)
+        t_pos = np.full((num_nodes, k), -1, dtype=np.int64)
+
+        feature_table = self._edge_feature_table
+        store_meta = {meta[0]: meta for meta in payload.stores_meta}
+        shared = payload.shared
+
+        for result in results:
+            shard = result["shard"]
+            e_lo, e_hi, q_lo, q_hi = payload.shards[shard]
+            num_q = q_hi - q_lo
+            if num_q:
+                qs = slice(q_lo, q_hi)
+                q_nodes_s = queries.nodes[qs]
+                q_times_s = queries.times[qs]
+                node_valid = result["node_valid"]
+                q_safe = np.where(node_valid, q_nodes_s, 0)
+                off_q = np.where(node_valid, deg_off[q_safe], 0)
+                local_degree = result["local_degree"]
+                degrees = local_degree + off_q
+                counts = np.minimum(degrees, k)
+                local_counts = np.minimum(local_degree, k)
+                need = counts - local_counts
+                final_valid = slots < counts[:, None]
+
+                # Views over the output arrays; workers already filled the
+                # shard's rows when a shared scratch was in use, otherwise
+                # the pickled per-shard arrays are copied in here.
+                nbr_nodes = self.neighbor_nodes[qs]
+                nbr_times = self.neighbor_times[qs]
+                nbr_deg = self.neighbor_degrees[qs]
+                weights = self.edge_weights[qs]
+                if shared is not None:
+                    slot_edge = shared["slot_edge"][qs]
+                    slot_pos = shared["slot_pos"][qs]
+                else:
+                    nbr_nodes[:] = result["neighbor_nodes"]
+                    nbr_times[:] = result["neighbor_times"]
+                    nbr_deg[:] = result["neighbor_deg_local"]
+                    weights[:] = result["edge_weights"]
+                    slot_edge = result["slot_edge"]
+                    slot_pos = result["slot_pos"]
+                # Globalise the shard-local neighbour degrees (a locally
+                # valid slot always has a positive local count).
+                nbr_deg += np.where(
+                    nbr_deg > 0, deg_off[np.maximum(nbr_nodes, 0)], 0
+                )
+
+                shift_rows = np.nonzero(need > 0)[0]
+                if len(shift_rows):
+                    n_r = need[shift_rows][:, None]
+                    lc_r = local_counts[shift_rows][:, None]
+                    src_slot = slots - n_r
+                    from_local = (src_slot >= 0) & (src_slot < lc_r)
+                    take_local = np.where(from_local, src_slot, 0)
+                    nodes_r = q_safe[shift_rows]
+                    tlen_r = t_len[nodes_r][:, None]
+                    from_tail = slots < n_r
+                    take_tail = np.clip(tlen_r - n_r + slots, 0, k - 1)
+
+                    def splice(local_arr, tail_arr, fill):
+                        loc = np.take_along_axis(
+                            local_arr[shift_rows], take_local, axis=1
+                        )
+                        tl = tail_arr[nodes_r[:, None], take_tail]
+                        return np.where(
+                            from_local, loc, np.where(from_tail, tl, fill)
+                        )
+
+                    nbr_nodes[shift_rows] = splice(nbr_nodes, t_nbr, -1)
+                    nbr_times[shift_rows] = splice(nbr_times, t_time, 0.0)
+                    nbr_deg[shift_rows] = splice(nbr_deg, t_deg, 0)
+                    weights[shift_rows] = splice(weights, t_weight, 0.0)
+                    slot_edge[shift_rows] = splice(slot_edge, t_edge, 0)
+                    slot_pos[shift_rows] = splice(slot_pos, t_pos, -1)
+
+                self.target_degrees[qs] = degrees
+                self.mask[qs] = final_valid
+
+                # Edge features: worker gathered the local slots; rows that
+                # received tail entries are re-gathered with the spliced
+                # edge ids (same table, same values — still bit-for-bit).
+                if feature_table is not None and self.edge_features.shape[2]:
+                    block = self.edge_features[qs]
+                    if shared is None and result["edge_feature_block"] is not None:
+                        block[:] = result["edge_feature_block"]
+                    if len(shift_rows):
+                        patched = feature_table[slot_edge[shift_rows]]
+                        patched[~final_valid[shift_rows]] = 0.0
+                        block[shift_rows] = patched
+
+                # Target chronology: newest local incidence, else the
+                # carried tail's newest, else the query time itself.
+                has_local = local_degree > 0
+                tlen_q = np.where(node_valid, t_len[q_safe], 0)
+                tail_last = np.maximum(tlen_q - 1, 0)
+                last_pos = np.where(
+                    has_local,
+                    result["last_pos_local"],
+                    np.where(tlen_q > 0, t_pos[q_safe, tail_last], -1),
+                )
+                self.target_last_times[qs] = np.where(
+                    has_local,
+                    result["last_time_local"],
+                    np.where(tlen_q > 0, t_time[q_safe, tail_last], q_times_s),
+                )
+
+                if len(snap_idx):
+                    snap_slot = np.where(
+                        final_valid & (slot_pos >= 0),
+                        snap_idx[np.maximum(slot_pos, 0)],
+                        -1,
+                    )
+                    target_snap = np.where(
+                        last_pos >= 0, snap_idx[np.maximum(last_pos, 0) ^ 1], -1
+                    )
+                else:
+                    snap_slot = np.full((num_q, k), -1, dtype=np.int64)
+                    target_snap = np.full(num_q, -1, dtype=np.int64)
+                dynamic_slot = snap_slot >= 0
+
+                for name in self._store_names:
+                    _, own_static, feat_table, _ = store_meta[name]
+                    log = snap_logs[name]
+                    gathered = self.neighbor_features[name][qs]
+                    if shared is None:
+                        gathered[:] = result["neighbor_features"][name]
+                    if len(shift_rows):
+                        # Re-gather spliced rows from the static table with
+                        # the final neighbour ids (identical values).
+                        if feat_table is not None and len(feat_table):
+                            safe = np.clip(
+                                np.maximum(nbr_nodes[shift_rows], 0),
+                                0,
+                                len(feat_table) - 1,
+                            )
+                            patched = feat_table[safe]
+                            patched[~final_valid[shift_rows]] = 0.0
+                        else:
+                            patched = np.zeros_like(gathered[shift_rows])
+                        gathered[shift_rows] = patched
+                    if dynamic_slot.any():
+                        gathered[dynamic_slot] = log[snap_slot[dynamic_slot]]
+
+                    target = self.target_features[name][qs]
+                    if shared is None:
+                        target[:] = result["target_features"][name]
+                    static_rows = node_valid & own_static[q_safe]
+                    evolving = ~static_rows & (target_snap >= 0)
+                    if evolving.any():
+                        target[evolving] = log[target_snap[evolving]]
+
+            # Advance the carried state past this shard's incidences.
+            tail = result["tail"]
+            if tail is not None:
+                nodes = tail["nodes"]
+                a = t_len[nodes]
+                b = tail["len"]
+                new_len = np.minimum(a + b, k)
+                deg_fix = tail["deg_local"] + np.where(
+                    tail["deg_local"] > 0, deg_off[np.maximum(tail["nbr"], 0)], 0
+                )
+                logical = (a + b)[:, None] - new_len[:, None] + slots
+                col = np.where(logical < a[:, None], logical, k + logical - a[:, None])
+                col = np.clip(col, 0, 2 * k - 1)
+                keep = slots < new_len[:, None]
+
+                def roll(tail_arr, local_arr, fill):
+                    cat = np.concatenate([tail_arr[nodes], local_arr], axis=1)
+                    merged = np.take_along_axis(cat, col, axis=1)
+                    return np.where(keep, merged, fill)
+
+                t_nbr[nodes] = roll(t_nbr, tail["nbr"], -1)
+                t_time[nodes] = roll(t_time, tail["time"], 0.0)
+                t_weight[nodes] = roll(t_weight, tail["weight"], 0.0)
+                t_edge[nodes] = roll(t_edge, tail["edge"], 0)
+                t_deg[nodes] = roll(t_deg, deg_fix, 0)
+                t_pos[nodes] = roll(t_pos, tail["pos"], -1)
+                t_len[nodes] = new_len
+                deg_off[nodes] += tail["counts"]
+
+        # Seen-at-training flags, vectorised over the whole query set.
+        if self.seen_mask is not None and len(queries):
+            q_nodes = queries.nodes
+            in_range = (q_nodes >= 0) & (q_nodes < len(self.seen_mask))
+            seen = np.zeros(len(q_nodes), dtype=bool)
+            seen[in_range] = self.seen_mask[q_nodes[in_range]]
+            self.target_seen[:] = seen
+
+
 def build_context_bundle(
     ctdg: CTDG,
     queries: QuerySet,
     k: int,
     processes: Sequence[FeatureProcess] = (),
     engine: str = "batched",
+    num_workers: int = 0,
+    num_shards: Optional[int] = None,
+    clamp_workers: bool = True,
 ) -> ContextBundle:
     """Replay ``ctdg`` once and materialise contexts for every query.
 
@@ -596,8 +1293,16 @@ def build_context_bundle(
     are a pure function of degree.
 
     ``engine`` selects the replay implementation: ``"batched"`` (default)
-    uses the vectorised block engine, ``"event"`` the per-event reference.
-    They produce bit-identical bundles for every store honouring the
+    uses the vectorised block engine, ``"event"`` the per-event reference,
+    and ``"sharded"`` partitions the interleave into contiguous shards
+    collected in parallel worker processes (``num_workers`` ≥ 2; ``0``/``1``
+    run the shards serially in-process) and merged back together.
+    ``num_shards`` overrides the partition granularity (defaults to the
+    worker count, or 4 for serial runs so the merge path stays exercised).
+    The worker count is clamped to the CPUs available to this process
+    (``clamp_workers=False`` disables that, for tests that must exercise
+    the pool on any machine).
+    All engines produce bit-identical bundles for every store honouring the
     :meth:`~repro.features.base.OnlineFeatureStore.static_node_mask`
     contract (including its zero-start assumption for untouched non-static
     nodes — all in-repo stores qualify); a store outside that contract
@@ -606,8 +1311,12 @@ def build_context_bundle(
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    if engine not in ("batched", "event"):
-        raise ValueError(f"unknown context engine {engine!r}; use 'batched' or 'event'")
+    if engine not in ("batched", "event", "sharded"):
+        raise ValueError(
+            f"unknown context engine {engine!r}; use 'batched', 'event' or 'sharded'"
+        )
+    if num_workers < 0:
+        raise ValueError(f"num_workers must be non-negative, got {num_workers}")
     stores: Dict[str, OnlineFeatureStore] = {}
     structural_params: Dict[str, float] = {}
     static_tables: Dict[str, np.ndarray] = {}
@@ -627,7 +1336,24 @@ def build_context_bundle(
             continue
         stores[process.name] = store
 
-    if engine == "batched":
+    if engine == "sharded":
+        collector = _ShardedBundleCollector(
+            num_queries=len(queries),
+            k=k,
+            edge_feature_dim=ctdg.edge_feature_dim,
+            stores=stores,
+            seen_mask=seen_mask,
+            num_nodes=ctdg.num_nodes,
+            edge_features=ctdg.edge_features,
+        )
+        collector.collect(
+            ctdg,
+            queries,
+            num_workers=num_workers,
+            num_shards=num_shards,
+            clamp_workers=clamp_workers,
+        )
+    elif engine == "batched":
         collector = _BatchedBundleCollector(
             num_queries=len(queries),
             k=k,

@@ -53,6 +53,7 @@ class PreparedExperiment:
     bundle: ContextBundle
     split: ChronoSplit
     context_engine: str = "batched"
+    num_workers: int = 0
     feature_fit_seconds: float = 0.0
     context_seconds: float = 0.0
 
@@ -64,15 +65,19 @@ def prepare_experiment(
     seed: int = 0,
     split: Optional[ChronoSplit] = None,
     context_engine: str = "batched",
+    num_workers: int = 0,
 ) -> PreparedExperiment:
     """Fit all feature processes on the training stream and build the shared
     context bundle (one replay serving every method).
 
     ``context_engine`` selects the replay implementation for the
-    materialisation step (``"batched"`` — the vectorised default — or
-    ``"event"``); both produce identical bundles.  Wall-clock of the
-    feature fit and the context replay is recorded on the result so
-    benchmarks can track the materialisation cost over time.
+    materialisation step: ``"batched"`` (the vectorised default),
+    ``"event"`` (the per-event reference), or ``"sharded"`` (contiguous
+    interleave shards collected in ``num_workers`` worker processes and
+    merged; ``num_workers <= 1`` collects the shards serially in-process).
+    All engines produce identical bundles.  Wall-clock of the feature fit
+    and the context replay is recorded on the result so benchmarks can
+    track the materialisation cost over time.
     """
     split = split or dataset.split()
     train_stream = dataset.train_stream(split)
@@ -87,7 +92,12 @@ def prepare_experiment(
     fit_seconds = time.perf_counter() - start
     start = time.perf_counter()
     bundle = build_context_bundle(
-        dataset.ctdg, dataset.queries, k, processes, engine=context_engine
+        dataset.ctdg,
+        dataset.queries,
+        k,
+        processes,
+        engine=context_engine,
+        num_workers=num_workers,
     )
     context_seconds = time.perf_counter() - start
     return PreparedExperiment(
@@ -95,6 +105,7 @@ def prepare_experiment(
         bundle=bundle,
         split=split,
         context_engine=context_engine,
+        num_workers=num_workers,
         feature_fit_seconds=fit_seconds,
         context_seconds=context_seconds,
     )

@@ -42,16 +42,29 @@ class SplashConfig:
     split_fractions: Optional[List[float]] = None  # None → paper's five splits
     force_process: Optional[str] = None  # ablations: "random"/"positional"/...
     context_engine: str = "batched"  # replay engine for materialisation
+    # Worker processes for the "sharded" engine.  0 and 1 both mean "no
+    # worker pool" (shards are still collected, serially, in-process); ≥ 2
+    # fans shard collection out to that many processes.  Ignored by the
+    # other engines.
+    num_workers: int = 0
     dtype: Optional[str] = None  # None → ambient default; "float32" = fast path
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.feature_dim <= 0 or self.k <= 0:
             raise ValueError("feature_dim and k must be positive")
-        if self.context_engine not in ("batched", "event"):
+        if self.context_engine not in ("batched", "event", "sharded"):
             raise ValueError(
-                f"context_engine must be 'batched' or 'event', got {self.context_engine!r}"
+                "context_engine must be 'batched', 'event' or 'sharded', "
+                f"got {self.context_engine!r}"
             )
+        if not isinstance(self.num_workers, int) or isinstance(self.num_workers, bool):
+            raise ValueError(f"num_workers must be an int, got {self.num_workers!r}")
+        if self.num_workers < 0:
+            # Fail at construction, mirroring the context_engine check; 0
+            # and 1 are the documented serial settings, so only negatives
+            # are nonsense.
+            raise ValueError(f"num_workers must be non-negative, got {self.num_workers}")
         if self.dtype is not None and self.dtype not in ("float32", "float64"):
             # Fail at construction, not minutes later inside fit().
             raise ValueError(
@@ -129,6 +142,7 @@ class Splash:
                     cfg.k,
                     self.processes,
                     engine=cfg.context_engine,
+                    num_workers=cfg.num_workers,
                 )
 
         if cfg.force_process is None:

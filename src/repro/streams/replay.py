@@ -22,7 +22,7 @@ Two replay engines share those semantics (see DESIGN.md §3):
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -125,6 +125,62 @@ def _normalize_queries(
     return query_nodes, query_times
 
 
+def interleave_cuts(
+    edge_times: np.ndarray,
+    query_times: np.ndarray,
+    stop_time: Optional[float] = None,
+) -> Tuple[np.ndarray, int, int]:
+    """The edge/query interleave shared by the batched and sharded engines.
+
+    Returns ``(cuts, edge_stop, query_stop)`` where ``cuts[q]`` is the
+    number of edges processed strictly before query ``q`` — edges win ties
+    at equal timestamps (the §III inclusive-time rule) — and the two stops
+    bound the replay when ``stop_time`` truncates it.  ``cuts`` is
+    non-decreasing, which is what makes contiguous partitions of the
+    interleave (see :func:`plan_shards`) well defined.
+    """
+    edge_stop = len(edge_times)
+    query_stop = len(query_times)
+    if stop_time is not None:
+        edge_stop = int(np.searchsorted(edge_times, stop_time, side="right"))
+        query_stop = int(np.searchsorted(query_times, stop_time, side="right"))
+    cuts = np.searchsorted(
+        edge_times[:edge_stop], query_times[:query_stop], side="right"
+    ).astype(np.int64)
+    return cuts, edge_stop, query_stop
+
+
+def plan_shards(
+    cuts: np.ndarray, num_edges: int, num_shards: int
+) -> List[Tuple[int, int, int, int]]:
+    """Partition the interleave into contiguous ``(e_lo, e_hi, q_lo, q_hi)`` shards.
+
+    Queries are split into ``num_shards`` near-equal contiguous ranges and
+    every shard receives exactly the edges that precede its successor's
+    first query: shard ``s`` owns edges ``[cuts[q_lo(s)], cuts[q_lo(s+1)))``
+    (the last shard additionally owns the trailing edges after the final
+    query).  Boundaries therefore fall on interaction points of the
+    interleave — a tie between an edge and a query is never split the wrong
+    way round, because ``cuts`` already resolved it edges-first.  Shards
+    with empty query ranges (``num_shards`` > #queries) or empty edge
+    ranges are legal and must be handled by consumers.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    num_queries = len(cuts)
+    q_bounds = np.linspace(0, num_queries, num_shards + 1).round().astype(np.int64)
+    e_bounds = np.empty(num_shards + 1, dtype=np.int64)
+    e_bounds[0] = 0
+    e_bounds[num_shards] = num_edges
+    for s in range(1, num_shards):
+        q = int(q_bounds[s])
+        e_bounds[s] = int(cuts[q]) if q < num_queries else num_edges
+    return [
+        (int(e_bounds[s]), int(e_bounds[s + 1]), int(q_bounds[s]), int(q_bounds[s + 1]))
+        for s in range(num_shards)
+    ]
+
+
 def replay(
     ctdg: CTDG,
     query_nodes: Optional[np.ndarray],
@@ -206,11 +262,7 @@ def replay_batched(
     if max_block is not None and max_block <= 0:
         raise ValueError(f"max_block must be positive, got {max_block}")
 
-    edge_stop = ctdg.num_edges
-    query_stop = len(query_times)
-    if stop_time is not None:
-        edge_stop = int(np.searchsorted(ctdg.times, stop_time, side="right"))
-        query_stop = int(np.searchsorted(query_times, stop_time, side="right"))
+    cuts, edge_stop, query_stop = interleave_cuts(ctdg.times, query_times, stop_time)
 
     batch_processors = [as_batch_processor(p) for p in processors]
     has_features = ctdg.edge_features is not None
@@ -232,9 +284,6 @@ def replay_batched(
                 )
 
     # cuts[q] = number of edges processed before query q (edges win ties).
-    cuts = np.searchsorted(
-        ctdg.times[:edge_stop], query_times[:query_stop], side="right"
-    )
     edge_ptr = 0
     q = 0
     while q < query_stop:

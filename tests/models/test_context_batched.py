@@ -11,94 +11,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.features.random_feat import (
-    FreshRandomFeatureProcess,
-    RandomFeatureProcess,
-    ZeroFeatureProcess,
-)
-from repro.features.structural import StructuralFeatureProcess
-from repro.models.context import ContextBundle, build_context_bundle
+from repro.models.context import build_context_bundle
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 
-BUNDLE_ARRAYS = [
-    "neighbor_nodes",
-    "neighbor_times",
-    "neighbor_degrees",
-    "edge_features",
-    "edge_weights",
-    "mask",
-    "target_degrees",
-    "target_last_times",
-    "target_seen",
-]
-
-
-def random_stream(
-    seed: int,
-    num_nodes: int = 20,
-    num_edges: int = 150,
-    num_queries: int = 60,
-    d_e: int = 0,
-    selfloop_prob: float = 0.1,
-    quantize: bool = True,
-):
-    """A randomised stream with ties, self-loops and bursty nodes."""
-    rng = np.random.default_rng(seed)
-    src = rng.integers(0, num_nodes, size=num_edges)
-    dst = rng.integers(0, num_nodes, size=num_edges)
-    loops = rng.random(num_edges) < selfloop_prob
-    dst[loops] = src[loops]
-    # A hub node keeps ~a third of all edges: bursts exceeding any small k.
-    hub_rows = rng.random(num_edges) < 0.3
-    src[hub_rows] = 0
-    times = rng.uniform(0, 50, size=num_edges)
-    if quantize:
-        times = np.round(times * 2) / 2.0  # force many equal timestamps
-    times = np.sort(times)
-    features = rng.normal(size=(num_edges, d_e)) if d_e else None
-    weights = rng.uniform(0.5, 2.0, size=num_edges)
-    g = CTDG(src, dst, times, edge_features=features, weights=weights, num_nodes=num_nodes)
-    q_times = rng.uniform(0, 50, size=num_queries)
-    if quantize:
-        q_times = np.round(q_times * 2) / 2.0  # collide with edge times
-    q_times = np.sort(q_times)
-    q_nodes = rng.integers(0, num_nodes, size=num_queries)
-    return g, QuerySet(q_nodes, q_times)
-
-
-def fitted_processes(g: CTDG, train_fraction: float = 0.6, dim: int = 6, seed: int = 0):
-    """Fit on a prefix so the suffix contains genuinely unseen nodes."""
-    stop = int(g.num_edges * train_fraction)
-    train = g.slice(0, stop)
-    processes = [
-        RandomFeatureProcess(dim, rng=seed),  # propagated (dynamic) store
-        FreshRandomFeatureProcess(dim, rng=seed + 1),  # static table
-        ZeroFeatureProcess(dim),  # static zeros
-        StructuralFeatureProcess(dim),  # lazy (degree-based)
-    ]
-    for process in processes:
-        process.fit(train, g.num_nodes)
-    return processes
-
-
-def assert_bundles_identical(a: ContextBundle, b: ContextBundle) -> None:
-    for name in BUNDLE_ARRAYS:
-        left, right = getattr(a, name), getattr(b, name)
-        assert np.array_equal(left, right), f"bundle field {name} differs"
-    assert set(a.target_features) == set(b.target_features)
-    assert set(a.neighbor_features) == set(b.neighbor_features)
-    for name in a.target_features:
-        assert np.array_equal(
-            a.target_features[name], b.target_features[name]
-        ), f"target_features[{name}] differs"
-        assert np.array_equal(
-            a.neighbor_features[name], b.neighbor_features[name]
-        ), f"neighbor_features[{name}] differs"
-    assert a.structural_params == b.structural_params
-    assert set(a.static_tables) == set(b.static_tables)
-    for name in a.static_tables:
-        assert np.array_equal(a.static_tables[name], b.static_tables[name])
+from tests.conftest import (
+    assert_bundles_identical,
+    fitted_context_processes as fitted_processes,
+    random_tied_stream as random_stream,
+)
 
 
 class TestBatchedContextEquivalence:

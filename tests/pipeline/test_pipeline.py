@@ -59,6 +59,39 @@ class TestSplashPipeline:
         with pytest.raises(ValueError):
             splash.fit(email_dataset, bundle=crippled)
 
+    def test_config_validates_engine_and_workers(self):
+        with pytest.raises(ValueError, match="context_engine"):
+            SplashConfig(context_engine="parallel")
+        with pytest.raises(ValueError, match="num_workers"):
+            SplashConfig(num_workers=-1)
+        with pytest.raises(ValueError, match="num_workers"):
+            SplashConfig(num_workers=2.5)  # type: ignore[arg-type]
+        # 0 and 1 are both documented serial settings; ≥ 2 enables the pool.
+        for workers in (0, 1, 4):
+            assert SplashConfig(num_workers=workers).num_workers == workers
+        assert SplashConfig(context_engine="sharded").context_engine == "sharded"
+
+    def test_sharded_engine_end_to_end(self, email_dataset):
+        config = SplashConfig(
+            feature_dim=12, k=8, model=FAST_MODEL, context_engine="sharded"
+        )
+        splash = Splash(config)
+        splash.fit(email_dataset)
+        metric = splash.evaluate()
+        assert 0.0 <= metric <= 1.0
+
+    def test_prepare_experiment_engines_agree(self, email_dataset):
+        from tests.conftest import assert_bundles_identical
+
+        batched = prepare_experiment(email_dataset, k=8, feature_dim=12, seed=0)
+        sharded = prepare_experiment(
+            email_dataset, k=8, feature_dim=12, seed=0,
+            context_engine="sharded", num_workers=2,
+        )
+        assert sharded.context_engine == "sharded"
+        assert sharded.num_workers == 2
+        assert_bundles_identical(batched.bundle, sharded.bundle)
+
     def test_predict_before_fit_rejected(self):
         with pytest.raises(RuntimeError):
             Splash().predict_scores(np.arange(3))

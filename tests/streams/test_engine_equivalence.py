@@ -1,0 +1,223 @@
+"""Cross-engine equivalence harness: event vs batched vs sharded replay.
+
+The three context-materialisation engines in ``repro.models.context`` must
+produce *bit-for-bit* identical ``ContextBundle``s on any stream.  This is
+the property the sharded engine's merge pass can silently break — a shard
+boundary carries degree offsets, k-recent tails, and evolving unseen-node
+feature state — so the harness drives randomized streams (equal-timestamp
+ties, self-loops, unseen nodes, >k bursts) through every engine across a
+matrix of shard counts, including degenerate partitions (one shard, more
+shards than queries/edges, boundaries landing inside a timestamp tie).
+
+The stream generator is shared via ``tests.conftest.random_tied_stream``
+(fixture: ``tied_stream_factory``) so future engines can reuse the exact
+same hazard matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.context import build_context_bundle
+from repro.streams.ctdg import CTDG
+from repro.streams.replay import interleave_cuts, plan_shards
+from repro.tasks.base import QuerySet
+
+from tests.conftest import (
+    assert_bundles_identical,
+    fitted_context_processes,
+    random_tied_stream,
+)
+
+ENGINES = ("event", "batched", "sharded")
+
+
+def bundles_for_all_engines(g, queries, k, processes, **sharded_kwargs):
+    """One bundle per engine; the per-event bundle is the oracle."""
+    return {
+        engine: build_context_bundle(
+            g,
+            queries,
+            k,
+            processes,
+            engine=engine,
+            **(sharded_kwargs if engine == "sharded" else {}),
+        )
+        for engine in ENGINES
+    }
+
+
+def assert_all_engines_agree(g, queries, k, processes, **sharded_kwargs):
+    bundles = bundles_for_all_engines(g, queries, k, processes, **sharded_kwargs)
+    for engine in ("batched", "sharded"):
+        assert_bundles_identical(bundles["event"], bundles[engine])
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 16])
+    def test_randomized_streams(self, seed, num_shards):
+        g, queries = random_tied_stream(seed, d_e=2 if seed % 2 else 0)
+        processes = fitted_context_processes(g, seed=seed)
+        assert_all_engines_agree(g, queries, 5, processes, num_shards=num_shards)
+
+    @pytest.mark.parametrize("k", [1, 3, 25])
+    def test_k_extremes(self, k):
+        # k=1 maximises tail churn; k=25 exceeds most node degrees, so
+        # almost every query must pull entries across shard boundaries.
+        g, queries = random_tied_stream(7, num_edges=120, num_queries=50)
+        processes = fitted_context_processes(g, seed=7)
+        assert_all_engines_agree(g, queries, k, processes, num_shards=6)
+
+    def test_boundaries_land_mid_tie(self):
+        """Every event shares one timestamp: any shard boundary splits a tie."""
+        rng = np.random.default_rng(11)
+        num_edges, num_queries = 60, 30
+        src = rng.integers(0, 8, size=num_edges)
+        dst = rng.integers(0, 8, size=num_edges)
+        g = CTDG(src, dst, np.full(num_edges, 3.0), num_nodes=8)
+        queries = QuerySet(
+            rng.integers(0, 8, size=num_queries), np.full(num_queries, 3.0)
+        )
+        processes = fitted_context_processes(g, train_fraction=0.5, dim=3)
+        for num_shards in (2, 3, 7):
+            assert_all_engines_agree(g, queries, 4, processes, num_shards=num_shards)
+
+    def test_empty_shards(self):
+        """More shards than queries (and than edges) leaves some shards empty."""
+        g, queries = random_tied_stream(3, num_edges=12, num_queries=5)
+        processes = fitted_context_processes(g, train_fraction=0.5, dim=3)
+        assert_all_engines_agree(g, queries, 3, processes, num_shards=40)
+
+    def test_no_queries(self):
+        g, _ = random_tied_stream(4)
+        queries = QuerySet(np.zeros(0, dtype=np.int64), np.zeros(0))
+        processes = fitted_context_processes(g)
+        assert_all_engines_agree(g, queries, 3, processes, num_shards=4)
+
+    def test_empty_stream(self):
+        g = CTDG(
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            num_nodes=4,
+        )
+        queries = QuerySet(np.array([0, 1, 3]), np.array([1.0, 2.0, 2.0]))
+        assert_all_engines_agree(g, queries, 3, (), num_shards=4)
+
+    def test_queries_before_any_edge_and_after_last(self):
+        g, _ = random_tied_stream(6, num_edges=40, num_queries=0)
+        nodes = np.array([0, 1, 0, 2], dtype=np.int64)
+        times = np.array([-5.0, g.start_time, g.end_time, g.end_time + 10.0])
+        queries = QuerySet(nodes, times)
+        processes = fitted_context_processes(g, train_fraction=0.5, dim=3)
+        assert_all_engines_agree(g, queries, 4, processes, num_shards=3)
+
+    def test_generic_store_without_static_mask(self):
+        """static_node_mask() → None routes every edge through the snapshot
+        log; the sharded merge must splice those logs across boundaries."""
+        from repro.features.base import FeatureProcess, OnlineFeatureStore
+
+        class CountingStore(OnlineFeatureStore):
+            def __init__(self, num_nodes: int) -> None:
+                self.dim = 1
+                self._counts = np.zeros((num_nodes, 1))
+
+            def on_edge(self, index, src, dst, time, feature, weight) -> None:
+                self._counts[src] += 1.0
+                self._counts[dst] += 1.0
+
+            def feature_of(self, node: int) -> np.ndarray:
+                if 0 <= node < len(self._counts):
+                    return self._counts[node]
+                return np.zeros(1)
+
+        class CountingProcess(FeatureProcess):
+            name = "counting"
+
+            def fit(self, train_ctdg, num_nodes):
+                self._record_seen(train_ctdg, num_nodes)
+
+            def make_store(self):
+                return CountingStore(self.num_nodes)
+
+        g, queries = random_tied_stream(8, selfloop_prob=0.25)
+        process = CountingProcess(1)
+        process.fit(g.slice(0, g.num_edges // 2), g.num_nodes)
+        assert_all_engines_agree(g, queries, 4, [process], num_shards=5)
+
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_worker_pool_matches_serial(self, num_workers):
+        """The process-pool path must equal both the serial-sharded run and
+        the per-event oracle (fork-shared scratch included).
+
+        ``clamp_workers=False`` forces the real pool even on machines whose
+        CPU budget would otherwise collapse the request to the serial path.
+        """
+        g, queries = random_tied_stream(12, num_edges=400, num_queries=150, d_e=3)
+        processes = fitted_context_processes(g, seed=12)
+        event = build_context_bundle(g, queries, 5, processes, engine="event")
+        serial = build_context_bundle(
+            g, queries, 5, processes, engine="sharded", num_workers=0,
+            num_shards=num_workers,
+        )
+        pooled = build_context_bundle(
+            g, queries, 5, processes, engine="sharded", num_workers=num_workers,
+            clamp_workers=False,
+        )
+        assert_bundles_identical(event, serial)
+        assert_bundles_identical(event, pooled)
+
+    def test_tied_stream_factory_fixture(self, tied_stream_factory):
+        g, queries = tied_stream_factory(0, num_edges=30, num_queries=10)
+        assert g.num_edges == 30 and len(queries) == 10
+        # The generator must actually produce the hazards it promises.
+        assert len(np.unique(g.times)) < g.num_edges  # timestamp ties
+        assert np.any(g.src == g.dst)  # self-loops
+
+
+class TestShardPlanning:
+    def test_plan_covers_interleave_exactly(self):
+        g, queries = random_tied_stream(2, num_edges=90, num_queries=33)
+        cuts, edge_stop, query_stop = interleave_cuts(g.times, queries.times)
+        for num_shards in (1, 2, 5, 50):
+            shards = plan_shards(cuts, g.num_edges, num_shards)
+            assert len(shards) == num_shards
+            assert shards[0][0] == 0 and shards[-1][1] == g.num_edges
+            assert shards[0][2] == 0 and shards[-1][3] == query_stop
+            for (e_lo, e_hi, q_lo, q_hi), nxt in zip(shards, shards[1:]):
+                assert e_hi == nxt[0] and q_hi == nxt[2]  # contiguous
+            for e_lo, e_hi, q_lo, q_hi in shards:
+                assert e_lo <= e_hi and q_lo <= q_hi
+                # Every query's cut falls inside its own shard's edge range.
+                for q in range(q_lo, q_hi):
+                    assert e_lo <= cuts[q] <= e_hi
+
+    def test_plan_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards(np.zeros(3, dtype=np.int64), 5, 0)
+
+    def test_interleave_cuts_edges_win_ties(self):
+        edge_times = np.array([1.0, 2.0, 2.0, 4.0])
+        query_times = np.array([0.5, 2.0, 4.0, 9.0])
+        cuts, edge_stop, query_stop = interleave_cuts(edge_times, query_times)
+        assert cuts.tolist() == [0, 3, 4, 4]
+        assert (edge_stop, query_stop) == (4, 4)
+        cuts, edge_stop, query_stop = interleave_cuts(
+            edge_times, query_times, stop_time=2.0
+        )
+        assert (edge_stop, query_stop) == (3, 2)
+        assert cuts.tolist() == [0, 3]
+
+
+class TestShardedEngineValidation:
+    def test_negative_workers_rejected(self):
+        g, queries = random_tied_stream(0, num_edges=20, num_queries=5)
+        with pytest.raises(ValueError, match="num_workers"):
+            build_context_bundle(g, queries, 3, (), engine="sharded", num_workers=-1)
+
+    def test_unknown_engine_lists_sharded(self):
+        g, queries = random_tied_stream(0, num_edges=20, num_queries=5)
+        with pytest.raises(ValueError, match="sharded"):
+            build_context_bundle(g, queries, 3, (), engine="parallel")
