@@ -1,0 +1,220 @@
+"""Serving benchmark: incremental context store vs full rematerialisation.
+
+Measures the three numbers the serving subsystem exists for, and records
+them in ``BENCH_serving.json``:
+
+* **ingest throughput** — events/sec through
+  :meth:`IncrementalContextStore.ingest` in micro-batches;
+* **query latency** — p50/p99 per-query milliseconds through
+  :class:`PredictionService` (materialise + SLIM forward), replaying the
+  query stream against live state;
+* **naive baseline** — the only way to answer a live query without this
+  subsystem: rebuild the full context with
+  :func:`build_context_bundle` over the stream prefix for every query.
+  The incremental path answers from O(k) state instead of an O(stream)
+  replay, so the gap widens linearly with stream length.
+
+The record's ``identical`` bit asserts the incremental path's contexts are
+bit-for-bit equal to the offline engines on the benchmark stream — a
+correctness gate (always ``true``), not a perf number.
+
+Runs standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_serving.py --preset default
+
+or under pytest as part of the benchmark suite (smoke-sized unless
+``REPRO_BENCH_SCALE`` >= 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import DTYPE, SCALE, bench_json
+from bench_context_replay import _bundles_equal as bundles_equal
+from repro.datasets import email_eu_like
+from repro.features import default_processes
+from repro.models import ModelConfig
+from repro.models.context import build_context_bundle
+from repro.models.slim import SLIM
+from repro.serving import (
+    IncrementalContextStore,
+    PredictionService,
+    incremental_context_bundle,
+)
+from repro.tasks.base import QuerySet
+
+PRESETS = {
+    # name -> (num_edges, naive-baseline query sample size)
+    "smoke": (20000, 12),
+    "default": (100000, 40),
+}
+INGEST_BATCH = 512
+K = 10
+
+
+def build_service(dataset, processes, feature_dim, micro_batch_size=256):
+    """An untrained SLIM over the R process: identical serving cost to a
+    trained one (same dims, same forward), no training time in the bench."""
+    model = SLIM(
+        feature_name="random",
+        feature_dim=feature_dim,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+        config=ModelConfig(hidden_dim=48, time_dim=8, seed=0),
+    )
+    model.decoder = model.build_decoder(dataset.task.output_dim)
+    model.eval()
+    store = IncrementalContextStore(
+        processes, K, dataset.ctdg.num_nodes, dataset.ctdg.edge_feature_dim
+    )
+    return PredictionService(
+        model, store, micro_batch_size=micro_batch_size, dtype=DTYPE
+    )
+
+
+def time_ingest(dataset, processes) -> float:
+    """Seconds to push the whole stream through a fresh store."""
+    store = IncrementalContextStore(
+        processes, K, dataset.ctdg.num_nodes, dataset.ctdg.edge_feature_dim
+    )
+    ctdg = dataset.ctdg
+    start = time.perf_counter()
+    for lo in range(0, ctdg.num_edges, INGEST_BATCH):
+        store.ingest_arrays(
+            ctdg.src[lo : lo + INGEST_BATCH],
+            ctdg.dst[lo : lo + INGEST_BATCH],
+            ctdg.times[lo : lo + INGEST_BATCH],
+            None if ctdg.edge_features is None
+            else ctdg.edge_features[lo : lo + INGEST_BATCH],
+            ctdg.weights[lo : lo + INGEST_BATCH],
+        )
+    return time.perf_counter() - start
+
+
+def time_naive_rematerialisation(dataset, processes, sample: int) -> dict:
+    """Per-query cost of the no-serving baseline: full prefix replay each."""
+    rng = np.random.default_rng(0)
+    queries = dataset.queries
+    picks = np.sort(rng.choice(len(queries), size=min(sample, len(queries)), replace=False))
+    latencies = []
+    for q in picks:
+        node = queries.nodes[q : q + 1]
+        t = queries.times[q : q + 1]
+        start = time.perf_counter()
+        prefix = dataset.ctdg.prefix_until(float(t[0]), inclusive=True)
+        build_context_bundle(prefix, QuerySet(node, t), K, processes, engine="batched")
+        latencies.append((time.perf_counter() - start) * 1000.0)
+    return {
+        "sampled_queries": int(len(picks)),
+        "naive_p50_ms": round(float(np.percentile(latencies, 50)), 4),
+        "naive_p99_ms": round(float(np.percentile(latencies, 99)), 4),
+    }
+
+
+def run_serving_bench(preset: str = "default", feature_dim: int = 32):
+    num_edges, naive_sample = PRESETS[preset]
+    dataset = email_eu_like(seed=0, num_edges=num_edges)
+    split = dataset.split()
+    processes = default_processes(feature_dim, seed=0)
+    for process in processes:
+        process.fit(dataset.train_stream(split), dataset.ctdg.num_nodes)
+
+    # Correctness bit: the incremental path must equal the offline engines.
+    offline = build_context_bundle(
+        dataset.ctdg, dataset.queries, K, processes, engine="batched"
+    )
+    online = incremental_context_bundle(
+        dataset.ctdg, dataset.queries, K, processes, ingest_batch=INGEST_BATCH
+    )
+    identical = bundles_equal(offline, online)
+
+    ingest_seconds = time_ingest(dataset, processes)
+
+    service = build_service(dataset, processes, feature_dim)
+    test_idx = split.test_idx
+    service.serve_stream(
+        dataset.ctdg,
+        dataset.queries.nodes,
+        dataset.queries.times,
+        ingest_batch=INGEST_BATCH,
+        background=True,
+    )
+    served = service.metrics.summary()
+
+    naive = time_naive_rematerialisation(dataset, processes, naive_sample)
+    speedup = (
+        naive["naive_p50_ms"] / served["query_p50_ms"]
+        if served["query_p50_ms"]
+        else float("inf")
+    )
+
+    row = {
+        "generator": "email-eu-like",
+        "num_edges": dataset.ctdg.num_edges,
+        "num_queries": len(dataset.queries),
+        "num_test_queries": int(len(test_idx)),
+        "k": K,
+        "identical": identical,
+        "ingest_events_per_s": round(dataset.ctdg.num_edges / ingest_seconds, 1),
+        "ingest_seconds": round(ingest_seconds, 4),
+        "query_p50_ms": served["query_p50_ms"],
+        "query_p99_ms": served["query_p99_ms"],
+        "queries_per_s": served["queries_per_s"],
+        **naive,
+        "speedup_vs_naive_p50": round(speedup, 1),
+    }
+    print(
+        f"serving  E={row['num_edges']}  ingest {row['ingest_events_per_s']:.0f} ev/s  "
+        f"query p50 {row['query_p50_ms']:.3f}ms p99 {row['query_p99_ms']:.3f}ms  "
+        f"naive p50 {row['naive_p50_ms']:.1f}ms  "
+        f"{row['speedup_vs_naive_p50']:.0f}x vs naive  identical={identical}"
+    )
+    return {"preset": preset, "rows": [row]}
+
+
+def test_serving_bench():
+    """Benchmark-suite entry: incremental must match offline bit-for-bit
+    and beat naive rematerialisation on per-query latency."""
+    preset = "smoke" if SCALE < 1.0 else "default"
+    record = (
+        "BENCH_serving.json" if preset == "default" else f"BENCH_serving.{preset}.json"
+    )
+    payload = run_serving_bench(preset=preset)
+    bench_json(record, payload)
+    row = payload["rows"][0]
+    assert row["identical"], "incremental context differs from offline replay"
+    assert row["query_p50_ms"] < row["naive_p50_ms"], (
+        "incremental serving did not beat naive rematerialisation: "
+        f"{row['query_p50_ms']}ms vs {row['naive_p50_ms']}ms"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument("--feature-dim", type=int, default=32)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="destination JSON (default benchmarks/results/BENCH_serving.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_serving_bench(preset=args.preset, feature_dim=args.feature_dim)
+    bench_json("BENCH_serving.json", payload, path=args.output)
+    print(f"[dtype={DTYPE} scale={SCALE}]")
+    row = payload["rows"][0]
+    if not row["identical"]:
+        print("ERROR: incremental and offline contexts disagree", file=sys.stderr)
+        return 1
+    if row["query_p50_ms"] >= row["naive_p50_ms"]:
+        print("ERROR: incremental path slower than naive baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

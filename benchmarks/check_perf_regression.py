@@ -18,10 +18,19 @@ flaking on heterogeneous runners:
 ``identical`` is a correctness bit, not a perf number — any ``false``
 fails the gate outright regardless of timings.
 
+``--metric`` selects which row key is compared (default
+``batched_seconds``); the serving smoke job uses it to gate per-query
+latency (``--metric query_p50_ms``, with ``--min-delta`` in the metric's
+own units) against ``BENCH_serving.smoke-baseline.json``.
+
 Usage (CI)::
 
     python benchmarks/check_perf_regression.py BENCH_pr.json \
         --baseline benchmarks/results/BENCH_context_replay.smoke.json
+
+    python benchmarks/check_perf_regression.py BENCH_serving_pr.json \
+        --baseline benchmarks/results/BENCH_serving.smoke-baseline.json \
+        --metric query_p50_ms --threshold 3.0 --min-delta 1.0
 
 Pure stdlib: runnable before any dependencies are installed.
 """
@@ -49,7 +58,13 @@ def environment_mismatches(pr: dict, baseline: dict) -> list:
     ]
 
 
-def check(pr: dict, baseline: dict, threshold: float, min_delta: float) -> int:
+def check(
+    pr: dict,
+    baseline: dict,
+    threshold: float,
+    min_delta: float,
+    metric: str = "batched_seconds",
+) -> int:
     if pr.get("preset") != baseline.get("preset"):
         print(
             f"ERROR: preset mismatch (baseline {baseline.get('preset')!r}, "
@@ -60,6 +75,8 @@ def check(pr: dict, baseline: dict, threshold: float, min_delta: float) -> int:
 
     base_rows = {row["generator"]: row for row in baseline.get("rows", [])}
     failures = []
+    compared = 0
+    print(f"[metric: {metric}]")
     print(f"{'generator':18s} {'baseline':>9s} {'pr':>9s} {'ratio':>6s}  verdict")
     for row in pr.get("rows", []):
         name = row["generator"]
@@ -68,21 +85,28 @@ def check(pr: dict, baseline: dict, threshold: float, min_delta: float) -> int:
             print(f"{name:18s} {'-':>9s} {'-':>9s} {'-':>6s}  FAIL (identical=false)")
             continue
         base = base_rows.get(name)
-        if base is None:
-            print(f"{name:18s} {'-':>9s} {row['batched_seconds']:9.4f} {'-':>6s}  "
+        if base is None or metric not in base:
+            shown = row.get(metric)
+            shown = f"{shown:9.4f}" if shown is not None else f"{'-':>9s}"
+            print(f"{name:18s} {'-':>9s} {shown} {'-':>6s}  "
                   "skipped (no baseline row)")
             continue
-        base_s = float(base["batched_seconds"])
-        pr_s = float(row["batched_seconds"])
+        if metric not in row:
+            failures.append(f"{name}: PR record has no {metric!r} measurement")
+            print(f"{name:18s} {'-':>9s} {'-':>9s} {'-':>6s}  FAIL (metric missing)")
+            continue
+        compared += 1
+        base_s = float(base[metric])
+        pr_s = float(row[metric])
         ratio = pr_s / base_s if base_s else float("inf")
         regressed = ratio > threshold and (pr_s - base_s) > min_delta
         verdict = "FAIL" if regressed else "ok"
         print(f"{name:18s} {base_s:9.4f} {pr_s:9.4f} {ratio:6.2f}  {verdict}")
         if regressed:
             failures.append(
-                f"{name}: batched_seconds {base_s:.4f} -> {pr_s:.4f} "
-                f"({ratio:.2f}x > {threshold}x and +{pr_s - base_s:.3f}s > "
-                f"{min_delta}s)"
+                f"{name}: {metric} {base_s:.4f} -> {pr_s:.4f} "
+                f"({ratio:.2f}x > {threshold}x and +{pr_s - base_s:.3f} > "
+                f"{min_delta})"
             )
 
     mismatches = environment_mismatches(pr, baseline)
@@ -97,6 +121,16 @@ def check(pr: dict, baseline: dict, threshold: float, min_delta: float) -> int:
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
+    if not compared:
+        # A gate that compared nothing must not pass: a misspelled --metric
+        # or a baseline from the wrong benchmark would otherwise disable
+        # the check silently.
+        print(
+            f"ERROR: no rows compared on {metric!r}; wrong --metric or "
+            "baseline file?",
+            file=sys.stderr,
+        )
+        return 2
     print("\nperf regression gate passed")
     return 0
 
@@ -119,11 +153,21 @@ def main(argv=None) -> int:
         "--min-delta",
         type=float,
         default=0.05,
-        help="absolute seconds a regression must also exceed (noise floor)",
+        help="absolute amount (in the metric's units) a regression must "
+        "also exceed (noise floor)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="batched_seconds",
+        help="row key to compare (e.g. batched_seconds, query_p50_ms)",
     )
     args = parser.parse_args(argv)
     return check(
-        load(args.pr_record), load(args.baseline), args.threshold, args.min_delta
+        load(args.pr_record),
+        load(args.baseline),
+        args.threshold,
+        args.min_delta,
+        metric=args.metric,
     )
 
 

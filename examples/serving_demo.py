@@ -1,0 +1,111 @@
+"""Serving demo: train once, persist, serve the stream live.
+
+The full production loop of the serving subsystem on a synthetic
+distribution-shift stream:
+
+1. train SPLASH on the training period (augment → select → SLIM);
+2. ``Splash.save`` the pipeline as a persistent artifact directory;
+3. ``Splash.load`` it into a fresh :class:`PredictionService` — the
+   trained session is gone, only the artifact remains;
+4. replay the edge/query stream through the service with background
+   ingestion, scoring the test-period queries from *live* incremental
+   state (bit-identical contexts to an offline replay);
+5. report ingest/query throughput, p50/p99 latency, and metric parity
+   with the offline evaluator.
+
+Usage:  python examples/serving_demo.py [--edges 4000] [--shift 70]
+                                        [--seed 0] [--dtype {float32,float64}]
+"""
+
+import argparse
+import os
+import tempfile
+
+import numpy as np
+
+from repro.datasets import synthetic_shift
+from repro.models import ModelConfig
+from repro.nn import set_default_dtype
+from repro.pipeline import Splash, SplashConfig
+from repro.serving import PredictionService
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=4000)
+    parser.add_argument("--shift", type=float, default=70.0,
+                        help="distribution-shift intensity in [0, 100]")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dtype", choices=["float32", "float64"], default="float64")
+    args = parser.parse_args()
+
+    set_default_dtype(args.dtype)
+    dataset = synthetic_shift(args.shift, seed=args.seed, num_edges=args.edges)
+    print(f"dataset: {dataset.summary()}")
+
+    # 1. Train on the stream's training period.
+    config = SplashConfig(
+        feature_dim=24,
+        k=10,
+        model=ModelConfig(hidden_dim=48, epochs=25, patience=6, lr=3e-3,
+                          batch_size=128, seed=args.seed),
+        dtype=args.dtype,
+        seed=args.seed,
+    )
+    splash = Splash(config)
+    splash.fit(dataset)
+    offline_metric = splash.evaluate()
+    print(f"selected process: {splash.selected_process}")
+    print(f"offline test {dataset.task.metric_name}: {offline_metric:.4f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # 2-3. Persist, then load into a service as a deployment would.
+        artifact = splash.save(os.path.join(tmp, "splash-artifact"))
+        print(f"artifact saved: {sorted(os.listdir(artifact))}")
+        loaded = Splash.load(artifact)
+        service = PredictionService.from_splash(
+            loaded,
+            num_nodes=dataset.ctdg.num_nodes,
+            edge_feature_dim=dataset.ctdg.edge_feature_dim,
+            task=dataset.task,
+        )
+
+        # 4. Replay the recorded stream as if it were arriving live:
+        # edges ingested in micro-batches on a background thread, queries
+        # scored against the state at their §III-correct position.
+        scores = service.serve_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            ingest_batch=512,
+            background=True,
+        )
+
+        # 5. Throughput/latency plus parity with the offline evaluator.
+        summary = service.metrics.summary()
+        print("\n--- serving metrics ---")
+        print(f"ingested          {summary['ingest_events']} events "
+              f"@ {summary['ingest_events_per_s']:.0f} ev/s")
+        print(f"queries scored    {summary['query_count']} "
+              f"({summary['batch_count']} micro-batches, "
+              f"{summary['queries_per_s']:.0f} q/s)")
+        print(f"query latency     p50 {summary['query_p50_ms']:.3f} ms   "
+              f"p99 {summary['query_p99_ms']:.3f} ms")
+        print(f"wall clock        {summary['wall_seconds']:.2f} s")
+
+        test_idx = splash.split.test_idx
+        served_metric = dataset.task.evaluate(scores[test_idx], test_idx)
+        print("\n--- parity with offline evaluation ---")
+        print(f"offline {dataset.task.metric_name}: {offline_metric:.6f}")
+        print(f"served  {dataset.task.metric_name}: {served_metric:.6f}")
+        drift = abs(served_metric - offline_metric)
+        print(f"|difference|: {drift:.2e} "
+              "(contexts are bit-identical; scores differ only by "
+              "forward-batch rounding)")
+        offline_scores = splash.predict_scores(np.arange(len(dataset.queries)))
+        print(f"max |score delta| vs offline: "
+              f"{np.max(np.abs(scores - offline_scores)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

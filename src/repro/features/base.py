@@ -10,7 +10,7 @@ handling (degree encoding or feature propagation) lives.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -131,3 +131,50 @@ class FeatureProcess(ABC):
 
     def is_fitted(self) -> bool:
         return self._seen_mask is not None
+
+    # ------------------------------------------------------------------
+    # Persistence (SPLASH artifacts, repro.serving.artifact)
+    # ------------------------------------------------------------------
+    def init_params(self) -> Dict[str, object]:
+        """JSON-serialisable constructor arguments that recreate this process.
+
+        Subclasses with extra hyperparameters (e.g. structural α) extend the
+        dict; everything here must be accepted by ``type(self)(**params)``.
+        """
+        return {"dim": self.dim}
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Fitted state as named arrays (the artifact's on-disk payload).
+
+        The base implementation captures the seen-node mask; subclasses add
+        their fitted tables.  Restoring via :meth:`restore_state` must yield
+        a process whose :meth:`make_store` behaves identically to the
+        original — bit-for-bit, since arrays round-trip ``.npz`` exactly.
+        """
+        if not self.is_fitted():
+            raise RuntimeError(f"process {self.name!r} is not fitted")
+        return {"seen_mask": self.seen_mask}
+
+    def restore_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`export_state`: mark fitted without refitting."""
+        seen_mask = np.asarray(arrays["seen_mask"], dtype=bool)
+        self._seen_mask = seen_mask
+        self._num_nodes = int(len(seen_mask))
+
+
+class TableStateMixin:
+    """Persistence for processes whose fitted state is a ``_table`` array.
+
+    Mix in before :class:`FeatureProcess`; the base ``export_state`` runs
+    first (raising on unfitted processes), so ``_table`` is guaranteed to
+    exist by the time it is read here.
+    """
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        state = super().export_state()
+        state["table"] = self._table
+        return state
+
+    def restore_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        super().restore_state(arrays)
+        self._table = np.asarray(arrays["table"], dtype=np.float64)

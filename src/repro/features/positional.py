@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.features.base import FeatureProcess
+from repro.features.base import FeatureProcess, TableStateMixin
 from repro.features.node2vec import Node2Vec, Node2VecConfig
 from repro.features.propagation import PropagatedFeatureStore
 from repro.streams.ctdg import CTDG
@@ -20,7 +20,7 @@ from repro.streams.snapshot import GraphSnapshot
 from repro.utils.rng import SeedLike, new_rng
 
 
-class PositionalFeatureProcess(FeatureProcess):
+class PositionalFeatureProcess(TableStateMixin, FeatureProcess):
     """Process P: node2vec over the accumulated training snapshot."""
 
     name = "positional"

@@ -13,13 +13,13 @@ from typing import Optional
 
 import numpy as np
 
-from repro.features.base import FeatureProcess
+from repro.features.base import FeatureProcess, TableStateMixin
 from repro.features.propagation import PropagatedFeatureStore
 from repro.streams.ctdg import CTDG
 from repro.utils.rng import SeedLike, new_rng
 
 
-class RandomFeatureProcess(FeatureProcess):
+class RandomFeatureProcess(TableStateMixin, FeatureProcess):
     """Process R: fixed Gaussian identities for seen nodes + propagation."""
 
     name = "random"
@@ -48,7 +48,7 @@ class RandomFeatureProcess(FeatureProcess):
         return self._table
 
 
-class FreshRandomFeatureProcess(FeatureProcess):
+class FreshRandomFeatureProcess(TableStateMixin, FeatureProcess):
     """The +RF baseline variant: *every* node, seen or unseen, gets a fresh
     random vector on first sight (no propagation).
 

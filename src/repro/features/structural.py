@@ -84,3 +84,8 @@ class StructuralFeatureProcess(FeatureProcess):
         if not self.is_fitted():
             raise RuntimeError("fit() must be called before make_store()")
         return StructuralStore(self.dim, self.alpha)
+
+    def init_params(self):
+        params = super().init_params()
+        params["alpha"] = self.alpha
+        return params

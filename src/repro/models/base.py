@@ -123,9 +123,7 @@ class ContextModel(StreamModel):
         train_idx = np.asarray(train_idx, dtype=np.int64)
         if train_idx.size == 0:
             raise ValueError("fit received an empty training index set")
-        self._task = task
-        if not hasattr(self, "decoder"):
-            self.decoder = self.build_decoder(task.output_dim)
+        self.bind_task(task)
         config = self.config
         optimizer = Adam(
             self.parameters(), lr=config.lr, weight_decay=config.weight_decay
@@ -178,6 +176,19 @@ class ContextModel(StreamModel):
             with no_grad():
                 logits = self.forward_queries(bundle, val_idx)
                 return -task.loss(logits, val_idx).item()
+
+    def bind_task(self, task: Task) -> "ContextModel":
+        """Attach a task for score conversion without (re)training.
+
+        A model restored from a serialized artifact (``repro.serving``) has
+        its weights — including the decoder's — but no task; binding one
+        enables :meth:`predict_scores`.  The decoder is built here only if
+        the model never had one (fresh, un-fitted instances).
+        """
+        self._task = task
+        if not hasattr(self, "decoder"):
+            self.decoder = self.build_decoder(task.output_dim)
+        return self
 
     def predict_scores(self, bundle: ContextBundle, idx: np.ndarray) -> np.ndarray:
         if self._task is None:

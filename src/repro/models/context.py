@@ -230,37 +230,41 @@ class _QueryOutputs:
         }
 
 
-class _BundleCollector(_QueryOutputs):
-    """Per-event stream processor that fills the bundle arrays during replay."""
+class ReplayState:
+    """The online state of a chronological replay, and its update rules.
 
-    def __init__(
-        self,
-        num_queries: int,
-        k: int,
-        edge_feature_dim: int,
-        stores: Dict[str, OnlineFeatureStore],
-        seen_mask: Optional[np.ndarray],
-    ) -> None:
-        super().__init__(num_queries, k, edge_feature_dim, stores)
+    One edge advances degrees (Eq. 2), the feature stores (Eqs. 4-5), and
+    the k-recent neighbour buffers (Eq. 6) — in that order, so snapshots
+    taken after the update are *inclusive* of the edge.  One query reads a
+    row of context from that state.  This is the single state-update core
+    shared by the per-event offline collector (:class:`_BundleCollector`)
+    and the serving layer's live store
+    (:class:`repro.serving.IncrementalContextStore`): both produce
+    bit-for-bit identical context because both execute exactly this code.
+    """
+
+    def __init__(self, k: int, stores: Dict[str, OnlineFeatureStore]) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
         self.k = k
         self.stores = stores
-        self.seen_mask = seen_mask
+        self.store_names = sorted(stores)
         self.buffer = RecentNeighborBuffer(k)
         self.degrees = DegreeTracker()
-        self._store_names = sorted(stores)
 
     # ------------------------------------------------------------------
-    def on_edge(self, index, src, dst, time, feature, weight) -> None:
+    def apply_edge(self, index, src, dst, time, feature, weight) -> None:
+        """Advance the state past one temporal edge."""
         # Degree and feature state become *inclusive* of this edge before
         # snapshotting (deg_i(t) counts edges with t(l) ≤ t, Eq. 2).
         self.degrees.observe_edge(src, dst)
-        for name in self._store_names:
+        for name in self.store_names:
             self.stores[name].on_edge(index, src, dst, time, feature, weight)
         src_snap = tuple(
-            self.stores[name].feature_of(src).copy() for name in self._store_names
+            self.stores[name].feature_of(src).copy() for name in self.store_names
         )
         dst_snap = tuple(
-            self.stores[name].feature_of(dst).copy() for name in self._store_names
+            self.stores[name].feature_of(dst).copy() for name in self.store_names
         )
         src_degree = self.degrees.degree(src)
         dst_degree = self.degrees.degree(dst)
@@ -289,24 +293,57 @@ class _BundleCollector(_QueryOutputs):
             ),
         )
 
-    def on_query(self, index, node, time) -> None:
+    def write_query(
+        self,
+        out: "_QueryOutputs",
+        row: int,
+        node: int,
+        time: float,
+        seen_mask: Optional[np.ndarray],
+    ) -> None:
+        """Materialise one query's context into row ``row`` of ``out``."""
         entries = self.buffer.neighbors(node)
-        self.target_degrees[index] = self.degrees.degree(node)
-        self.target_last_times[index] = entries[-1].time if entries else time
-        if self.seen_mask is not None and 0 <= node < len(self.seen_mask):
-            self.target_seen[index] = self.seen_mask[node]
-        for name in self._store_names:
-            self.target_features[name][index] = self.stores[name].feature_of(node)
+        out.target_degrees[row] = self.degrees.degree(node)
+        out.target_last_times[row] = entries[-1].time if entries else time
+        if seen_mask is not None and 0 <= node < len(seen_mask):
+            out.target_seen[row] = seen_mask[node]
+        for name in self.store_names:
+            out.target_features[name][row] = self.stores[name].feature_of(node)
         for slot, entry in enumerate(entries):
-            self.neighbor_nodes[index, slot] = entry.neighbor
-            self.neighbor_times[index, slot] = entry.time
-            self.neighbor_degrees[index, slot] = entry.neighbor_degree
-            self.edge_weights[index, slot] = entry.weight
-            self.mask[index, slot] = True
-            if entry.feature is not None and self.edge_features.shape[2]:
-                self.edge_features[index, slot] = entry.feature
-            for pos, name in enumerate(self._store_names):
-                self.neighbor_features[name][index, slot] = entry.snapshot_features[pos]
+            out.neighbor_nodes[row, slot] = entry.neighbor
+            out.neighbor_times[row, slot] = entry.time
+            out.neighbor_degrees[row, slot] = entry.neighbor_degree
+            out.edge_weights[row, slot] = entry.weight
+            out.mask[row, slot] = True
+            if entry.feature is not None and out.edge_features.shape[2]:
+                out.edge_features[row, slot] = entry.feature
+            for pos, name in enumerate(self.store_names):
+                out.neighbor_features[name][row, slot] = entry.snapshot_features[pos]
+
+
+class _BundleCollector(_QueryOutputs):
+    """Per-event stream processor that fills the bundle arrays during replay."""
+
+    def __init__(
+        self,
+        num_queries: int,
+        k: int,
+        edge_feature_dim: int,
+        stores: Dict[str, OnlineFeatureStore],
+        seen_mask: Optional[np.ndarray],
+    ) -> None:
+        super().__init__(num_queries, k, edge_feature_dim, stores)
+        self.k = k
+        self.stores = stores
+        self.seen_mask = seen_mask
+        self.state = ReplayState(k, stores)
+
+    # ------------------------------------------------------------------
+    def on_edge(self, index, src, dst, time, feature, weight) -> None:
+        self.state.apply_edge(index, src, dst, time, feature, weight)
+
+    def on_query(self, index, node, time) -> None:
+        self.state.write_query(self, index, node, time, self.seen_mask)
 
 
 class _BatchedBundleCollector(_QueryOutputs):
@@ -1275,6 +1312,45 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
             self.target_seen[:] = seen
 
 
+def partition_processes(
+    processes: Sequence[FeatureProcess],
+) -> Tuple[
+    Dict[str, OnlineFeatureStore],
+    Dict[str, float],
+    Dict[str, np.ndarray],
+    Optional[np.ndarray],
+]:
+    """Split fitted processes into the bundle's four feature mechanisms.
+
+    Returns ``(stores, structural_params, static_tables, seen_mask)``:
+    online stores that must be replayed event-by-event, lazily-encoded
+    structural parameters, static per-node tables gathered at access time,
+    and the last process's seen-node mask.  Shared by
+    :func:`build_context_bundle` and the serving layer's
+    :class:`repro.serving.IncrementalContextStore`, so both classify a
+    process the same way.
+    """
+    stores: Dict[str, OnlineFeatureStore] = {}
+    structural_params: Dict[str, float] = {}
+    static_tables: Dict[str, np.ndarray] = {}
+    seen_mask: Optional[np.ndarray] = None
+    for process in processes:
+        if not process.is_fitted():
+            raise RuntimeError(f"feature process {process.name!r} is not fitted")
+        seen_mask = process.seen_mask
+        if isinstance(process, StructuralFeatureProcess):
+            structural_params = {"dim": float(process.dim), "alpha": process.alpha}
+            continue
+        store = process.make_store()
+        if isinstance(store, StaticStore):
+            # Static features never change, so x_j(t(l)) == table[j]; gather
+            # lazily from the table instead of storing (Q, k, d_v) snapshots.
+            static_tables[process.name] = store.table
+            continue
+        stores[process.name] = store
+    return stores, structural_params, static_tables, seen_mask
+
+
 def build_context_bundle(
     ctdg: CTDG,
     queries: QuerySet,
@@ -1317,24 +1393,9 @@ def build_context_bundle(
         )
     if num_workers < 0:
         raise ValueError(f"num_workers must be non-negative, got {num_workers}")
-    stores: Dict[str, OnlineFeatureStore] = {}
-    structural_params: Dict[str, float] = {}
-    static_tables: Dict[str, np.ndarray] = {}
-    seen_mask: Optional[np.ndarray] = None
-    for process in processes:
-        if not process.is_fitted():
-            raise RuntimeError(f"feature process {process.name!r} is not fitted")
-        seen_mask = process.seen_mask
-        if isinstance(process, StructuralFeatureProcess):
-            structural_params = {"dim": float(process.dim), "alpha": process.alpha}
-            continue
-        store = process.make_store()
-        if isinstance(store, StaticStore):
-            # Static features never change, so x_j(t(l)) == table[j]; gather
-            # lazily from the table instead of storing (Q, k, d_v) snapshots.
-            static_tables[process.name] = store.table
-            continue
-        stores[process.name] = store
+    stores, structural_params, static_tables, seen_mask = partition_processes(
+        processes
+    )
 
     if engine == "sharded":
         collector = _ShardedBundleCollector(

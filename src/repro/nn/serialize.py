@@ -17,12 +17,31 @@ import numpy as np
 from repro.nn.layers import Module
 
 
-def save_state_dict(module: Module, path: str) -> None:
-    """Write ``module.state_dict()`` to ``path`` (``.npz`` appended if absent)."""
+def save_state_dict(module: Module, path: str) -> str:
+    """Write ``module.state_dict()`` to ``path`` (``.npz`` appended if absent).
+
+    Returns the path actually written (numpy appends the suffix itself),
+    so callers embedding the archive in a larger artifact can record it.
+    """
     state = module.state_dict()
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez(path, **state)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def archive_dtype(path: str) -> Optional[np.dtype]:
+    """The floating dtype a state-dict archive was saved in (None if it
+    holds no floating arrays) — lets loaders verify an artifact's declared
+    precision against its weights without materialising the whole archive."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        for name in archive.files:
+            value = archive[name]
+            if np.issubdtype(value.dtype, np.floating):
+                return value.dtype
+    return None
 
 
 def load_state_dict(path: str, dtype: Optional[object] = None) -> Dict[str, np.ndarray]:

@@ -10,6 +10,7 @@ and the trained SLIM scores any query subset.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -69,6 +70,16 @@ class SplashConfig:
             # Fail at construction, not minutes later inside fit().
             raise ValueError(
                 f"dtype must be 'float32', 'float64' or None, got {self.dtype!r}"
+            )
+        if self.num_workers >= 2 and self.context_engine != "sharded":
+            # Not an error — the config is valid and fit() runs fine — but
+            # silently ignoring the setting hides that no pool will exist.
+            warnings.warn(
+                f"num_workers={self.num_workers} has no effect with "
+                f"context_engine={self.context_engine!r}; only the 'sharded' "
+                "engine collects context in worker processes",
+                UserWarning,
+                stacklevel=2,
             )
 
 
@@ -190,6 +201,63 @@ class Splash:
         if self.model is None:
             raise RuntimeError("fit() has not been called")
         return self.model.feature_name
+
+    @property
+    def fit_dtype(self) -> Optional[str]:
+        """The precision the pipeline trained at (None before fit/load)."""
+        return self._fit_dtype
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.serving.artifact for the on-disk format)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Persist the fitted pipeline as a servable artifact directory.
+
+        Captures the selected process, every fitted feature process, the
+        SLIM weights at their trained precision, and the config — enough
+        to :meth:`load` and serve without the training data.
+        """
+        from repro.serving.artifact import save_artifact
+
+        return save_artifact(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "Splash":
+        """Reconstruct a pipeline saved with :meth:`save`.
+
+        The result scores immediately through
+        :class:`repro.serving.PredictionService`; for offline evaluation
+        against a dataset, call :meth:`attach` first.
+        """
+        from repro.serving.artifact import load_artifact
+
+        return load_artifact(path)
+
+    def attach(self, dataset: StreamDataset, split: Optional[ChronoSplit] = None) -> "Splash":
+        """Bind a loaded pipeline to a dataset without refitting anything.
+
+        Rebuilds the context bundle from the already-fitted processes
+        (identical to the one the original training session saw, since
+        process state round-trips exactly) and binds the dataset's task
+        for score conversion, after which :meth:`evaluate` and
+        :meth:`predict_scores` work as if ``fit`` had run here.
+        """
+        if self.model is None or not self.processes:
+            raise RuntimeError("attach() needs a fitted or loaded pipeline")
+        cfg = self.config
+        self._dataset = dataset
+        self.split = split or dataset.split()
+        with self.timer.section("context_build"):
+            self.bundle = build_context_bundle(
+                dataset.ctdg,
+                dataset.queries,
+                cfg.k,
+                self.processes,
+                engine=cfg.context_engine,
+                num_workers=cfg.num_workers,
+            )
+        self.model.bind_task(dataset.task)
+        return self
 
     def _dtype_context(self):
         """Inference must run at the precision the model was trained in."""

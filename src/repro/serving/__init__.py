@@ -1,0 +1,33 @@
+"""``repro.serving`` — the online serving subsystem.
+
+Offline, this repository answers queries by rematerialising the full
+context in one replay (:func:`repro.models.context.build_context_bundle`).
+Serving inverts that: edges arrive in micro-batches, state is maintained
+*incrementally*, and any query is answered from the current state in O(k)
+— with output **bit-for-bit identical** to an offline replay of the same
+edge prefix, because the live store and the offline engines share one
+state-update core (:class:`repro.models.context.ReplayState`).
+
+Three parts (see DESIGN.md §4):
+
+* :class:`IncrementalContextStore` — ``ingest(edges)`` / ``materialise``
+  over the shared replay state;
+* :class:`PredictionService` — micro-batched scoring with a trained SLIM,
+  background ingest overlap, and p50/p99 latency + throughput metrics;
+* :mod:`repro.serving.artifact` — persistent SPLASH artifacts
+  (``Splash.save`` / ``Splash.load``) so a pipeline trained once can be
+  loaded into the service and hot-swapped without downtime.
+"""
+
+from repro.serving.artifact import load_artifact, save_artifact
+from repro.serving.service import PredictionService, ServiceMetrics
+from repro.serving.store import IncrementalContextStore, incremental_context_bundle
+
+__all__ = [
+    "IncrementalContextStore",
+    "incremental_context_bundle",
+    "PredictionService",
+    "ServiceMetrics",
+    "save_artifact",
+    "load_artifact",
+]

@@ -1,0 +1,461 @@
+"""Micro-batched prediction service over an incremental context store.
+
+:class:`PredictionService` closes the serving loop: edge micro-batches are
+ingested into an :class:`~repro.serving.store.IncrementalContextStore`,
+concurrent queries are grouped into micro-batches, materialised against the
+live state, and scored with a trained SLIM — recording per-query latency
+percentiles (p50/p99) and ingest/query throughput along the way.
+
+Two execution modes share one code path:
+
+* **synchronous** — ingest and scoring alternate on the caller's thread;
+* **background** (``serve_stream(..., background=True)``) — a producer
+  thread drives the strictly-ordered state mutations (ingest + bundle
+  materialisation) while the caller's thread runs the model forward on
+  already-materialised bundles.  Materialised bundles are standalone
+  copies, so ingest of batch N+1 safely overlaps scoring of batch N: this
+  is the serving half of the ROADMAP's async-prefetch item.
+
+Both modes produce identical scores; the §III ordering (a query sees
+exactly the edges with t(l) ≤ t, edges winning ties) is enforced via the
+interleave's edge-count watermark, never wall-clock time.
+
+Hot swap: :meth:`PredictionService.hot_swap` replaces the scoring model
+between micro-batches under a lock — in-flight queries finish on the old
+weights, subsequent batches use the new ones, and the store (whose state
+depends only on the feature processes) keeps serving throughout.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue as queue_mod
+import threading
+import time as time_mod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.models.base import ContextModel
+from repro.models.context import ContextBundle
+from repro.nn.tensor import default_dtype, get_default_dtype
+from repro.serving.store import IncrementalContextStore
+from repro.streams.ctdg import CTDG
+from repro.streams.replay import iter_interleave
+from repro.tasks.base import Task
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving")
+
+
+@dataclass
+class ServiceMetrics:
+    """Running latency/throughput accounting for one service instance."""
+
+    ingest_events: int = 0
+    ingest_batches: int = 0
+    ingest_seconds: float = 0.0
+    query_count: int = 0
+    batch_count: int = 0
+    materialise_seconds: float = 0.0
+    score_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    # (latency_seconds, num_queries) per scored micro-batch; every query in
+    # a batch is assigned its batch's latency (materialise + score).  The
+    # window is bounded so a long-lived service's memory — and the cost of
+    # a percentile read — stays O(window), not O(queries ever served);
+    # percentiles describe the most recent LATENCY_WINDOW batches.
+    LATENCY_WINDOW = 65536
+    batch_latencies: Deque[Tuple[float, int]] = field(
+        default_factory=lambda: deque(maxlen=ServiceMetrics.LATENCY_WINDOW)
+    )
+
+    def record_ingest(self, events: int, seconds: float) -> None:
+        self.ingest_events += events
+        self.ingest_batches += 1
+        self.ingest_seconds += seconds
+
+    def record_batch(
+        self, queries: int, materialise_seconds: float, score_seconds: float
+    ) -> None:
+        self.query_count += queries
+        self.batch_count += 1
+        self.materialise_seconds += materialise_seconds
+        self.score_seconds += score_seconds
+        self.batch_latencies.append(
+            (materialise_seconds + score_seconds, queries)
+        )
+
+    # ------------------------------------------------------------------
+    def latency_ms(self, percentile: float) -> float:
+        """Per-query latency percentile in milliseconds."""
+        if not self.batch_latencies:
+            return 0.0
+        seconds = np.array([lat for lat, _ in self.batch_latencies])
+        counts = np.array([n for _, n in self.batch_latencies])
+        per_query = np.repeat(seconds, counts)
+        return float(np.percentile(per_query, percentile) * 1000.0)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.latency_ms(50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency_ms(99.0)
+
+    @property
+    def ingest_events_per_sec(self) -> float:
+        if self.ingest_seconds <= 0:
+            return 0.0
+        return self.ingest_events / self.ingest_seconds
+
+    @property
+    def queries_per_sec(self) -> float:
+        busy = self.materialise_seconds + self.score_seconds
+        if busy <= 0:
+            return 0.0
+        return self.query_count / busy
+
+    def summary(self) -> dict:
+        return {
+            "ingest_events": self.ingest_events,
+            "ingest_events_per_s": round(self.ingest_events_per_sec, 1),
+            "query_count": self.query_count,
+            "batch_count": self.batch_count,
+            "query_p50_ms": round(self.p50_ms, 4),
+            "query_p99_ms": round(self.p99_ms, 4),
+            "queries_per_s": round(self.queries_per_sec, 1),
+            "wall_seconds": round(self.wall_seconds, 4),
+        }
+
+
+class PredictionService:
+    """Scores live queries against an incremental context store.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.models.base.ContextModel` (typically SLIM).
+    store:
+        The incremental context store the model's features live in; its
+        ``k`` and feature processes must match what the model trained on.
+    task:
+        Optional task providing the logits→scores transform (bound via
+        :meth:`~repro.models.base.ContextModel.bind_task`); scoring then
+        runs the exact :meth:`predict_scores` path the offline evaluator
+        uses.  Without a task, raw logits (or ``scores_fn`` of them) are
+        returned.
+    micro_batch_size:
+        Upper bound on queries per materialise/forward round trip (query
+        runs shorter than this — queries interleaved with edges — score as
+        their own batch).  Defaults to the model's training ``batch_size``.
+        Materialised contexts are bit-identical to the offline bundle's
+        rows regardless; scores agree with the offline evaluator to
+        floating-point rounding (forward-pass batch boundaries differ, so
+        BLAS accumulation order may, too).
+    dtype:
+        Precision to score under ("float32"/"float64"); defaults to the
+        ambient default.  Pass the pipeline's fit dtype (artifacts record
+        it) so inference matches training precision.  Caveat: the nn
+        backend's default dtype is process-global, so when this differs
+        from the ambient default, scoring temporarily flips it — training
+        concurrently *in the same process* at a different precision is not
+        supported (run retraining in its own process, then hot-swap the
+        saved artifact in).
+    """
+
+    def __init__(
+        self,
+        model: ContextModel,
+        store: IncrementalContextStore,
+        *,
+        task: Optional[Task] = None,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        micro_batch_size: Optional[int] = None,
+        dtype: Optional[str] = None,
+    ) -> None:
+        if micro_batch_size is not None and micro_batch_size <= 0:
+            raise ValueError(
+                f"micro_batch_size must be positive, got {micro_batch_size}"
+            )
+        self.store = store
+        self.scores_fn = scores_fn
+        self.micro_batch_size = (
+            micro_batch_size
+            if micro_batch_size is not None
+            else model.config.batch_size
+        )
+        self._dtype = dtype
+        self._swap_lock = threading.Lock()
+        self._task = task
+        self.model = model
+        if task is not None:
+            model.bind_task(task)
+        self.metrics = ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_splash(
+        cls,
+        splash,
+        num_nodes: int,
+        edge_feature_dim: Optional[int] = None,
+        **kwargs,
+    ) -> "PredictionService":
+        """Service around a fitted (or loaded) :class:`~repro.pipeline.Splash`.
+
+        Builds a fresh store from the pipeline's fitted processes — ready
+        to ingest a live stream from t = 0 — and scores at the pipeline's
+        training precision.  ``edge_feature_dim`` defaults to what the
+        model trained on (artifacts record it).
+        """
+        if splash.model is None or not splash.processes:
+            raise RuntimeError(
+                "Splash has no trained model/processes; fit() or load() first"
+            )
+        if edge_feature_dim is None:
+            edge_feature_dim = splash.model.edge_feature_dim
+        store = IncrementalContextStore(
+            splash.processes, splash.config.k, num_nodes, edge_feature_dim
+        )
+        kwargs.setdefault("dtype", splash.fit_dtype)
+        return cls(splash.model, store, **kwargs)
+
+    # ------------------------------------------------------------------
+    def ingest(self, edges: CTDG) -> int:
+        """Timed ingest of one edge micro-batch."""
+        start = time_mod.perf_counter()
+        count = self.store.ingest(edges)
+        self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        return count
+
+    def _ingest_arrays(self, src, dst, times, features, weights) -> int:
+        start = time_mod.perf_counter()
+        count = self.store.ingest_arrays(src, dst, times, features, weights)
+        self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        return count
+
+    def hot_swap(
+        self,
+        model: ContextModel,
+        *,
+        dtype: Optional[str] = None,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> None:
+        """Replace the scoring model without interrupting service.
+
+        The replacement must consume the same feature space the store
+        serves — same selected process, feature dim, and edge-feature dim —
+        because the store's state cannot be retrofitted to different
+        features.  The swap itself is a pointer flip under the scoring
+        lock: queries already being scored finish on the old model, the
+        next micro-batch uses the new one; no queries are dropped.
+        """
+        current = self.model
+        for attr in ("feature_name", "feature_dim", "edge_feature_dim"):
+            new, old = getattr(model, attr, None), getattr(current, attr, None)
+            if new != old:
+                raise ValueError(
+                    f"hot_swap {attr} mismatch: service serves {old!r}, "
+                    f"replacement expects {new!r}"
+                )
+        # Output width must match too: serve_stream sizes its result array
+        # from the first chunk, so a mid-stream width change would discard
+        # every score already computed.
+        current_dims = getattr(getattr(current, "decoder", None), "dims", None)
+        new_dims = getattr(getattr(model, "decoder", None), "dims", None)
+        if current_dims and new_dims and current_dims[-1] != new_dims[-1]:
+            raise ValueError(
+                f"hot_swap output_dim mismatch: service serves "
+                f"{current_dims[-1]}, replacement produces {new_dims[-1]}"
+            )
+        with self._swap_lock:
+            if self._task is not None:
+                model.bind_task(self._task)
+            self.model = model
+            if dtype is not None:
+                self._dtype = dtype
+            if scores_fn is not None:
+                self.scores_fn = scores_fn
+        logger.info("hot-swapped model (dtype=%s)", self._dtype)
+
+    # ------------------------------------------------------------------
+    def _score_bundle(self, bundle: ContextBundle) -> np.ndarray:
+        """Model forward on one materialised micro-batch."""
+        idx = np.arange(bundle.num_queries, dtype=np.int64)
+        with self._swap_lock:
+            # Everything configuration-dependent — model, dtype, *and* the
+            # score transform — is captured under the one lock acquisition,
+            # so a concurrent hot_swap can never pair one model's logits
+            # with another's transform.
+            model = self.model
+            scores_fn = self.scores_fn
+            # The nn backend's precision is a process-wide default; only
+            # flip it when the service actually needs a different one, and
+            # note the caveat: scoring at a precision that differs from a
+            # concurrently-training thread's is not supported (the dtype
+            # switch is global, not thread-local).
+            if self._dtype and np.dtype(self._dtype) != get_default_dtype():
+                context = default_dtype(self._dtype)
+            else:
+                context = contextlib.nullcontext()
+            with context:
+                if self._task is not None:
+                    return model.predict_scores(bundle, idx)
+                logits = model.predict_logits(bundle, idx)
+        if scores_fn is not None:
+            return scores_fn(logits)
+        return logits
+
+    def _empty_scores(self) -> np.ndarray:
+        """Zero-query result with the decoder's true output width."""
+        decoder_dims = getattr(getattr(self.model, "decoder", None), "dims", None)
+        output_dim = int(decoder_dims[-1]) if decoder_dims else 1
+        return np.zeros((0, output_dim))
+
+    def predict(
+        self, nodes: np.ndarray, times: np.ndarray
+    ) -> np.ndarray:
+        """Score queries against the store's *current* state.
+
+        Splits into micro-batches of ``micro_batch_size``; each batch is
+        materialised then scored, and its wall-clock recorded as every
+        member query's latency.  The caller guarantees the prefix contract
+        (see :meth:`IncrementalContextStore.materialise`).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        times = np.broadcast_to(np.asarray(times, dtype=np.float64), nodes.shape)
+        outputs = []
+        for lo in range(0, len(nodes), self.micro_batch_size):
+            hi = min(lo + self.micro_batch_size, len(nodes))
+            t0 = time_mod.perf_counter()
+            bundle = self.store.materialise(nodes[lo:hi], times[lo:hi])
+            t1 = time_mod.perf_counter()
+            outputs.append(self._score_bundle(bundle))
+            self.metrics.record_batch(
+                hi - lo, t1 - t0, time_mod.perf_counter() - t1
+            )
+        if not outputs:
+            return self._empty_scores()
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------
+    def serve_stream(
+        self,
+        ctdg: CTDG,
+        query_nodes: np.ndarray,
+        query_times: np.ndarray,
+        *,
+        ingest_batch: int = 1024,
+        background: bool = True,
+        prefetch_depth: int = 4,
+    ) -> np.ndarray:
+        """Replay a recorded stream through the service, returning scores.
+
+        The edge/query interleave is planned with
+        :func:`repro.streams.replay.iter_interleave` (edges win timestamp
+        ties, §III), edges are ingested in micro-batches of
+        ``ingest_batch``, and each query block is scored in micro-batches
+        of ``micro_batch_size``.  With ``background=True`` the ordered
+        state mutations (ingest + materialise) run on a producer thread
+        while this thread runs the model forward — identical scores,
+        overlapped wall-clock.
+        """
+        if ingest_batch <= 0:
+            raise ValueError(f"ingest_batch must be positive, got {ingest_batch}")
+        query_nodes = np.asarray(query_nodes, dtype=np.int64)
+        query_times = np.asarray(query_times, dtype=np.float64)
+        has_features = ctdg.edge_features is not None
+        start_wall = time_mod.perf_counter()
+
+        def materialised_chunks():
+            """Ordered ingest + materialisation; yields scored-ready work."""
+            for kind, lo, hi in iter_interleave(
+                ctdg.times, query_times, max_block=ingest_batch
+            ):
+                if kind == "edges":
+                    self._ingest_arrays(
+                        ctdg.src[lo:hi],
+                        ctdg.dst[lo:hi],
+                        ctdg.times[lo:hi],
+                        ctdg.edge_features[lo:hi] if has_features else None,
+                        ctdg.weights[lo:hi],
+                    )
+                    continue
+                for c_lo in range(lo, hi, self.micro_batch_size):
+                    c_hi = min(c_lo + self.micro_batch_size, hi)
+                    t0 = time_mod.perf_counter()
+                    bundle = self.store.materialise(
+                        query_nodes[c_lo:c_hi], query_times[c_lo:c_hi]
+                    )
+                    yield c_lo, c_hi, bundle, time_mod.perf_counter() - t0
+
+        chunks: List[Tuple[int, int, np.ndarray]] = []
+
+        def consume(item) -> None:
+            c_lo, c_hi, bundle, materialise_s = item
+            t1 = time_mod.perf_counter()
+            scores = self._score_bundle(bundle)
+            self.metrics.record_batch(
+                c_hi - c_lo, materialise_s, time_mod.perf_counter() - t1
+            )
+            chunks.append((c_lo, c_hi, scores))
+
+        if background:
+            work: queue_mod.Queue = queue_mod.Queue(maxsize=max(prefetch_depth, 1))
+            _DONE = object()
+            stop = threading.Event()
+
+            def offer(item) -> bool:
+                """Put with a stop check, so a dead consumer (scoring
+                raised) never leaves this thread blocked on a full queue."""
+                while not stop.is_set():
+                    try:
+                        work.put(item, timeout=0.1)
+                        return True
+                    except queue_mod.Full:
+                        continue
+                return False
+
+            def producer() -> None:
+                try:
+                    for item in materialised_chunks():
+                        if not offer(item):
+                            return
+                    offer(_DONE)
+                except BaseException as error:  # surfaced on the consumer side
+                    offer(error)
+
+            thread = threading.Thread(
+                target=producer, name="serving-ingest", daemon=True
+            )
+            thread.start()
+            try:
+                while True:
+                    item = work.get()
+                    if item is _DONE:
+                        break
+                    if isinstance(item, BaseException):
+                        raise item
+                    consume(item)
+            finally:
+                stop.set()
+                thread.join(timeout=30.0)
+        else:
+            for item in materialised_chunks():
+                consume(item)
+
+        self.metrics.wall_seconds += time_mod.perf_counter() - start_wall
+        if not chunks:
+            return self._empty_scores()
+        first = chunks[0][2]
+        out_shape = (len(query_nodes),) + first.shape[1:]
+        scores_out = np.zeros(out_shape, dtype=first.dtype)
+        for c_lo, c_hi, scores in chunks:
+            scores_out[c_lo:c_hi] = scores
+        return scores_out
+
+

@@ -1,0 +1,312 @@
+"""Incremental context store: live ingestion of edge streams for serving.
+
+The offline engines replay a *complete* stream to materialise every query's
+context at once.  Serving cannot wait for the stream to end: edges arrive
+in micro-batches and queries must be answered from whatever prefix has
+arrived.  :class:`IncrementalContextStore` maintains exactly the online
+state the replay engines build — degrees (Eq. 2), the feature stores'
+propagation state (Eqs. 4-5, including unseen-node snapshots), and the
+k-recent neighbour tails (Eq. 6) — by driving the *same* state-update core
+(:class:`repro.models.context.ReplayState`) that the per-event offline
+collector uses.  Consequently :meth:`IncrementalContextStore.materialise`
+is bit-for-bit identical to an offline
+:func:`~repro.models.context.build_context_bundle` replay of the ingested
+prefix, a property asserted under fuzzing by
+``tests/serving/test_incremental_store.py`` and guarded in CI.
+
+Memory is the paper's summary bound: O(|V| · k) buffered incidences plus
+the per-process tables — independent of how many edges have been ingested.
+
+Thread-safety: ``ingest``/``materialise``/``write_queries`` serialise on an
+internal condition variable, so a background ingest thread and a scoring
+thread can share one store — how
+:class:`repro.serving.service.PredictionService` runs its background mode
+(which keeps ingest and materialisation strictly ordered on one producer
+thread).  For live setups where ingestion is driven *externally*,
+:meth:`wait_for_edges` additionally lets a scorer block on the edge-count
+watermark until enough of the stream has arrived.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.features.base import FeatureProcess, OnlineFeatureStore
+from repro.models.context import (
+    ContextBundle,
+    ReplayState,
+    _QueryOutputs,
+    partition_processes,
+)
+from repro.streams.ctdg import CTDG
+from repro.streams.replay import iter_interleave
+from repro.tasks.base import QuerySet
+
+
+class IncrementalContextStore:
+    """Online replay state with micro-batched ingest and O(k) query reads.
+
+    Parameters
+    ----------
+    processes:
+        Fitted feature processes (the SPLASH candidates, or any subset).
+        Classified exactly as :func:`build_context_bundle` classifies them
+        (online stores / static tables / lazy structural encoding).
+    k:
+        Neighbour buffer size (Eq. 6), matching the trained model's k.
+    num_nodes:
+        Size of the node-id space queries and edges may reference.
+    edge_feature_dim:
+        Dimension of per-edge features (0 for featureless streams).
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[FeatureProcess],
+        k: int,
+        num_nodes: int,
+        edge_feature_dim: int = 0,
+    ) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        if edge_feature_dim < 0:
+            raise ValueError(
+                f"edge_feature_dim must be non-negative, got {edge_feature_dim}"
+            )
+        stores, structural_params, static_tables, seen_mask = partition_processes(
+            processes
+        )
+        self.k = k
+        self.num_nodes = int(num_nodes)
+        self.edge_feature_dim = int(edge_feature_dim)
+        self._state = ReplayState(k, stores)
+        self._structural_params = structural_params
+        self._static_tables = static_tables
+        self._seen_mask = seen_mask
+        self._edges_ingested = 0
+        self._last_time = -np.inf
+        self._closed = False
+        self._progress = threading.Condition()
+
+    # ------------------------------------------------------------------
+    @property
+    def stores(self) -> Dict[str, OnlineFeatureStore]:
+        return self._state.stores
+
+    @property
+    def edges_ingested(self) -> int:
+        return self._edges_ingested
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the newest ingested edge (-inf before any)."""
+        return self._last_time
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def ingest(self, edges: CTDG) -> int:
+        """Apply one micro-batch of edges; returns the count ingested."""
+        return self.ingest_arrays(
+            edges.src, edges.dst, edges.times, edges.edge_features, edges.weights
+        )
+
+    def ingest_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> int:
+        """Column-array variant of :meth:`ingest` (views are fine).
+
+        Edges must continue the stream: times non-decreasing within the
+        batch and not before the newest edge already ingested.  A batch
+        boundary may land anywhere — including between edges sharing one
+        timestamp — without affecting the materialised contexts.
+        """
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        times = np.asarray(times)
+        count = len(times)
+        if not (len(src) == len(dst) == count):
+            raise ValueError("src, dst, times must have equal length")
+        if count and np.any(np.diff(times) < 0):
+            raise ValueError("edge times must be non-decreasing within a batch")
+        if features is None:
+            if self.edge_feature_dim:
+                raise ValueError(
+                    f"store expects {self.edge_feature_dim}-dim edge features"
+                )
+        elif len(features) != count or features.shape[1] != self.edge_feature_dim:
+            raise ValueError(
+                f"features must be ({count}, {self.edge_feature_dim}), "
+                f"got {features.shape}"
+            )
+        if weights is None:
+            weights = np.ones(count)
+        with self._progress:
+            if self._closed:
+                raise RuntimeError("store is closed to further ingestion")
+            if count and float(times[0]) < self._last_time:
+                raise ValueError(
+                    f"out-of-order ingest: batch starts at t={float(times[0])} "
+                    f"but the store has already seen t={self._last_time}"
+                )
+            base = self._edges_ingested
+            apply_edge = self._state.apply_edge
+            for offset in range(count):
+                feature = features[offset] if features is not None else None
+                apply_edge(
+                    base + offset,
+                    int(src[offset]),
+                    int(dst[offset]),
+                    float(times[offset]),
+                    feature,
+                    float(weights[offset]),
+                )
+            self._edges_ingested = base + count
+            if count:
+                self._last_time = float(times[-1])
+            self._progress.notify_all()
+        return count
+
+    def close(self) -> None:
+        """Declare the stream finished; wakes any waiting scorers."""
+        with self._progress:
+            self._closed = True
+            self._progress.notify_all()
+
+    def wait_for_edges(self, count: int, timeout: Optional[float] = None) -> bool:
+        """Block until ≥ ``count`` edges are ingested (or the store closes).
+
+        Returns True when the watermark was reached — the edge-count
+        watermark (not a time watermark) is what makes queries tied with
+        in-flight edges exact: the interleave's ``cuts[q]`` says precisely
+        how many edges must precede query ``q``.
+        """
+        with self._progress:
+            reached = self._progress.wait_for(
+                lambda: self._edges_ingested >= count or self._closed,
+                timeout=timeout,
+            )
+            return bool(reached and self._edges_ingested >= count)
+
+    # ------------------------------------------------------------------
+    def write_queries(
+        self,
+        out: _QueryOutputs,
+        rows: Iterable[int],
+        nodes: np.ndarray,
+        times: np.ndarray,
+    ) -> None:
+        """Materialise query rows into a caller-owned output block.
+
+        The low-level primitive behind :meth:`materialise`; used directly
+        when assembling one large bundle across many micro-batches
+        (:func:`incremental_context_bundle`).
+        """
+        with self._progress:
+            write_query = self._state.write_query
+            for row, node, time in zip(rows, nodes, times):
+                write_query(out, int(row), int(node), float(time), self._seen_mask)
+
+    def materialise(
+        self,
+        nodes: np.ndarray,
+        times: Union[np.ndarray, float],
+    ) -> ContextBundle:
+        """Contexts for ``nodes`` at ``times`` against the current state.
+
+        ``times`` may be a scalar (all queries at one instant) or a
+        non-decreasing array.  The caller is responsible for the §III
+        prefix contract: the ingested prefix must be exactly the edges
+        with t(l) ≤ each query's time — then the output equals the offline
+        replay bit for bit.  Ingesting beyond a query's time would leak
+        future edges into its context, exactly as it would offline.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64).ravel()
+        times = np.broadcast_to(
+            np.asarray(times, dtype=np.float64), nodes.shape
+        ).copy()
+        queries = QuerySet(nodes, times)
+        out = _QueryOutputs(len(nodes), self.k, self.edge_feature_dim, self.stores)
+        self.write_queries(out, range(len(nodes)), nodes, times)
+        return self.bundle_from(out, queries)
+
+    def bundle_from(
+        self,
+        out: _QueryOutputs,
+        queries: QuerySet,
+        ctdg: Optional[CTDG] = None,
+    ) -> ContextBundle:
+        """Wrap a filled output block as a :class:`ContextBundle`."""
+        if ctdg is None:
+            empty = np.zeros(0, dtype=np.int64)
+            ctdg = CTDG(empty, empty, np.zeros(0), num_nodes=self.num_nodes)
+        return ContextBundle(
+            ctdg=ctdg,
+            queries=queries,
+            k=self.k,
+            neighbor_nodes=out.neighbor_nodes,
+            neighbor_times=out.neighbor_times,
+            neighbor_degrees=out.neighbor_degrees,
+            edge_features=out.edge_features,
+            edge_weights=out.edge_weights,
+            mask=out.mask,
+            target_degrees=out.target_degrees,
+            target_last_times=out.target_last_times,
+            target_seen=out.target_seen,
+            target_features=out.target_features,
+            neighbor_features=out.neighbor_features,
+            structural_params=dict(self._structural_params),
+            static_tables=dict(self._static_tables),
+        )
+
+
+def incremental_context_bundle(
+    ctdg: CTDG,
+    queries: QuerySet,
+    k: int,
+    processes: Sequence[FeatureProcess] = (),
+    ingest_batch: Optional[int] = None,
+) -> ContextBundle:
+    """Materialise a full bundle through the *incremental* path.
+
+    Replays the edge/query interleave of ``ctdg``/``queries`` through a
+    fresh :class:`IncrementalContextStore`, ingesting edges in micro-batches
+    of at most ``ingest_batch`` (None = maximal runs) and answering each
+    query block against the state at that point.  The result must be — and
+    is tested to be — bit-for-bit identical to
+    :func:`repro.models.context.build_context_bundle` with any engine;
+    this function exists for exactly that equivalence check (tests, the
+    serving benchmark's ``identical`` bit) and as executable documentation
+    of the serving replay protocol.
+    """
+    store = IncrementalContextStore(
+        processes, k, ctdg.num_nodes, ctdg.edge_feature_dim
+    )
+    out = _QueryOutputs(len(queries), k, ctdg.edge_feature_dim, store.stores)
+    has_features = ctdg.edge_features is not None
+    for kind, lo, hi in iter_interleave(
+        ctdg.times, queries.times, max_block=ingest_batch
+    ):
+        if kind == "edges":
+            store.ingest_arrays(
+                ctdg.src[lo:hi],
+                ctdg.dst[lo:hi],
+                ctdg.times[lo:hi],
+                ctdg.edge_features[lo:hi] if has_features else None,
+                ctdg.weights[lo:hi],
+            )
+        else:
+            store.write_queries(
+                out, range(lo, hi), queries.nodes[lo:hi], queries.times[lo:hi]
+            )
+    return store.bundle_from(out, queries, ctdg=ctdg)

@@ -181,6 +181,50 @@ def plan_shards(
     ]
 
 
+def iter_interleave(
+    edge_times: np.ndarray,
+    query_times: np.ndarray,
+    stop_time: Optional[float] = None,
+    max_block: Optional[int] = None,
+):
+    """Yield the edge/query interleave as ``(kind, lo, hi)`` block tuples.
+
+    ``kind`` is ``"edges"`` or ``"queries"`` and ``[lo, hi)`` indexes the
+    respective array.  Blocks arrive in replay order — maximal runs of
+    consecutive edges, then the queries they precede — with edges winning
+    ties at equal timestamps (the §III inclusive-time rule).  ``max_block``
+    splits long edge runs into chunks of at most that many edges; chunk
+    boundaries may land anywhere, including between two edges sharing one
+    timestamp, without changing the overall order.
+
+    This is the block plan shared by :func:`replay_batched` and the serving
+    layer's micro-batched ingest/score driver
+    (:mod:`repro.serving.service`).
+    """
+    if max_block is not None and max_block <= 0:
+        raise ValueError(f"max_block must be positive, got {max_block}")
+    cuts, edge_stop, query_stop = interleave_cuts(edge_times, query_times, stop_time)
+
+    def edge_chunks(start: int, stop: int):
+        step = max_block or (stop - start)
+        for lo in range(start, stop, step):
+            yield ("edges", lo, min(lo + step, stop))
+
+    # cuts[q] = number of edges processed before query q (edges win ties).
+    edge_ptr = 0
+    q = 0
+    while q < query_stop:
+        cut = int(cuts[q])
+        if cut > edge_ptr:
+            yield from edge_chunks(edge_ptr, cut)
+            edge_ptr = cut
+        q_end = int(np.searchsorted(cuts, cut, side="right"))
+        yield ("queries", q, q_end)
+        q = q_end
+    if edge_ptr < edge_stop:
+        yield from edge_chunks(edge_ptr, edge_stop)
+
+
 def replay(
     ctdg: CTDG,
     query_nodes: Optional[np.ndarray],
@@ -259,43 +303,27 @@ def replay_batched(
         edge-only replays, where the whole stream is a single run).
     """
     query_nodes, query_times = _normalize_queries(query_nodes, query_times)
-    if max_block is not None and max_block <= 0:
-        raise ValueError(f"max_block must be positive, got {max_block}")
-
-    cuts, edge_stop, query_stop = interleave_cuts(ctdg.times, query_times, stop_time)
 
     batch_processors = [as_batch_processor(p) for p in processors]
     has_features = ctdg.edge_features is not None
 
-    def dispatch_edges(start: int, stop: int) -> None:
-        step = max_block or (stop - start)
-        for chunk in range(start, stop, step):
-            hi = min(chunk + step, stop)
-            features = ctdg.edge_features[chunk:hi] if has_features else None
+    for kind, lo, hi in iter_interleave(
+        ctdg.times, query_times, stop_time, max_block
+    ):
+        if kind == "edges":
+            features = ctdg.edge_features[lo:hi] if has_features else None
             for processor in batch_processors:
                 processor.on_edge_block(
-                    chunk,
+                    lo,
                     hi,
-                    ctdg.src[chunk:hi],
-                    ctdg.dst[chunk:hi],
-                    ctdg.times[chunk:hi],
+                    ctdg.src[lo:hi],
+                    ctdg.dst[lo:hi],
+                    ctdg.times[lo:hi],
                     features,
-                    ctdg.weights[chunk:hi],
+                    ctdg.weights[lo:hi],
                 )
-
-    # cuts[q] = number of edges processed before query q (edges win ties).
-    edge_ptr = 0
-    q = 0
-    while q < query_stop:
-        cut = int(cuts[q])
-        if cut > edge_ptr:
-            dispatch_edges(edge_ptr, cut)
-            edge_ptr = cut
-        q_end = int(np.searchsorted(cuts, cut, side="right"))
-        for processor in batch_processors:
-            processor.on_query_block(
-                q, q_end, query_nodes[q:q_end], query_times[q:q_end]
-            )
-        q = q_end
-    if edge_ptr < edge_stop:
-        dispatch_edges(edge_ptr, edge_stop)
+        else:
+            for processor in batch_processors:
+                processor.on_query_block(
+                    lo, hi, query_nodes[lo:hi], query_times[lo:hi]
+                )

@@ -67,9 +67,24 @@ class TestSplashPipeline:
         with pytest.raises(ValueError, match="num_workers"):
             SplashConfig(num_workers=2.5)  # type: ignore[arg-type]
         # 0 and 1 are both documented serial settings; ≥ 2 enables the pool.
-        for workers in (0, 1, 4):
+        for workers in (0, 1):
             assert SplashConfig(num_workers=workers).num_workers == workers
+        config = SplashConfig(context_engine="sharded", num_workers=4)
+        assert config.num_workers == 4
         assert SplashConfig(context_engine="sharded").context_engine == "sharded"
+
+    def test_config_warns_on_workers_without_sharded_engine(self):
+        # Workers only exist in the sharded engine; asking for them with
+        # another engine is accepted but must not be silently ignored.
+        for engine in ("batched", "event"):
+            with pytest.warns(UserWarning, match="no effect"):
+                SplashConfig(context_engine=engine, num_workers=2)
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")  # any warning would fail
+            SplashConfig(context_engine="sharded", num_workers=2)
+            SplashConfig(context_engine="batched", num_workers=1)
 
     def test_sharded_engine_end_to_end(self, email_dataset):
         config = SplashConfig(

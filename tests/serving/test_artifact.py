@@ -1,0 +1,154 @@
+"""SPLASH artifact persistence: save → load → predict round-trips.
+
+Covers both precisions, exact metric reproduction against the golden
+pipeline fixture, and artifact-format error handling.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.nn.serialize import archive_dtype
+from repro.pipeline import Splash, SplashConfig
+from repro.serving.artifact import load_artifact, save_artifact
+
+FAST_MODEL = ModelConfig(
+    hidden_dim=16, epochs=4, batch_size=64, patience=3, time_dim=8, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return email_eu_like(seed=0, num_edges=900)
+
+
+def fit_splash(dataset, dtype):
+    config = SplashConfig(
+        feature_dim=10, k=6, model=FAST_MODEL, dtype=dtype, seed=0
+    )
+    splash = Splash(config)
+    splash.fit(dataset)
+    return splash
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_save_load_predict(self, dataset, dtype, tmp_path):
+        splash = fit_splash(dataset, dtype)
+        path = str(tmp_path / "artifact")
+        assert splash.save(path) == path
+
+        loaded = Splash.load(path)
+        assert loaded.fit_dtype == dtype
+        assert loaded.selected_process == splash.selected_process
+        assert loaded.config.k == splash.config.k
+        assert loaded.model.num_parameters() == splash.model.num_parameters()
+        # Weights persist in the trained precision (DESIGN.md §2).
+        assert archive_dtype(str(tmp_path / "artifact" / "slim_weights")) == np.dtype(
+            dtype
+        )
+
+        loaded.attach(dataset, split=splash.split)
+        idx = splash.split.test_idx
+        np.testing.assert_array_equal(
+            splash.predict_scores(idx), loaded.predict_scores(idx)
+        )
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_loaded_metric_is_exact(self, dataset, dtype, tmp_path):
+        splash = fit_splash(dataset, dtype)
+        metric = splash.evaluate()
+        loaded = Splash.load(splash.save(str(tmp_path / "artifact")))
+        loaded.attach(dataset, split=splash.split)
+        assert loaded.evaluate() == metric
+
+    def test_selection_metadata_round_trips(self, dataset, tmp_path):
+        splash = fit_splash(dataset, "float64")
+        loaded = Splash.load(splash.save(str(tmp_path / "artifact")))
+        assert loaded.selection is not None
+        assert loaded.selection.selected == splash.selection.selected
+        assert loaded.selection.total_risks == pytest.approx(
+            splash.selection.total_risks
+        )
+        assert loaded.selection.ranking() == splash.selection.ranking()
+
+    def test_processes_restore_bitwise(self, dataset, tmp_path):
+        splash = fit_splash(dataset, "float64")
+        loaded = Splash.load(splash.save(str(tmp_path / "artifact")))
+        by_name = {p.name: p for p in loaded.processes}
+        for process in splash.processes:
+            restored = by_name[process.name]
+            np.testing.assert_array_equal(process.seen_mask, restored.seen_mask)
+            if hasattr(process, "table"):
+                np.testing.assert_array_equal(process.table, restored.table)
+
+
+class TestGoldenPipelineParity:
+    """A loaded artifact reproduces the golden pipeline's metric exactly."""
+
+    def test_golden_metric_exact(self, tmp_path):
+        # Reuses the committed golden fixture stream and its expectations
+        # (tests/pipeline) so artifact persistence is pinned to the same
+        # behavioural anchor as the training pipeline itself.
+        from tests.pipeline.test_golden_pipeline import (
+            EXPECTED_FILE,
+            GOLDEN_MODEL,
+            METRIC_ATOL,
+            load_golden_dataset,
+        )
+
+        dataset = load_golden_dataset()
+        config = SplashConfig(
+            feature_dim=12, k=8, model=GOLDEN_MODEL, dtype="float64", seed=0
+        )
+        splash = Splash(config)
+        splash.fit(dataset)
+        metric = splash.evaluate()
+
+        loaded = Splash.load(splash.save(str(tmp_path / "golden-artifact")))
+        loaded.attach(dataset, split=splash.split)
+        assert loaded.selected_process == splash.selected_process
+        assert loaded.evaluate() == metric  # exact, not approx
+
+        with open(EXPECTED_FILE) as handle:
+            expected = json.load(handle)["float64"]
+        assert loaded.selected_process == expected["selected"]
+        assert loaded.evaluate() == pytest.approx(
+            expected["test_metric"], abs=METRIC_ATOL["float64"]
+        )
+
+
+class TestArtifactErrors:
+    def test_unfitted_pipeline_refuses_save(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            save_artifact(Splash(SplashConfig()), str(tmp_path / "nope"))
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_artifact(str(tmp_path / "absent"))
+
+    def test_foreign_meta_rejected(self, tmp_path):
+        path = tmp_path / "bogus"
+        path.mkdir()
+        (path / "meta.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a SPLASH artifact"):
+            load_artifact(str(path))
+
+    def test_newer_version_rejected(self, dataset, tmp_path):
+        splash = fit_splash(dataset, "float64")
+        path = splash.save(str(tmp_path / "artifact"))
+        meta_file = tmp_path / "artifact" / "meta.json"
+        meta = json.loads(meta_file.read_text())
+        meta["version"] = 999
+        meta_file.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="newer"):
+            load_artifact(path)
+
+    def test_attach_requires_model(self, dataset):
+        with pytest.raises(RuntimeError, match="attach"):
+            Splash(SplashConfig()).attach(dataset)
