@@ -1,0 +1,314 @@
+"""Adaptation benchmark: drift-aware serving vs a frozen artifact.
+
+The end-to-end drill of the ``repro.adapt`` subsystem on a
+``scheduled_shift_stream`` (one planted mid-stream regime change), and the
+three numbers the subsystem must defend, recorded in
+``BENCH_adaptation.json``:
+
+* **recovered accuracy** — post-shift F1 of the adaptive service
+  (monitor → trigger → windowed re-fit → shadow gate → hot swap) vs the
+  frozen-artifact baseline serving its original SPLASH model forever.
+  The adaptive service must win (the gate makes losing impossible modulo
+  trigger starvation, which the bench would surface as zero promotions);
+* **monitor ingest overhead** — wall-clock added to store ingest by the
+  attached :class:`~repro.adapt.DriftMonitor` (a vectorised ring append
+  per batch), gated at < 10% of baseline ingest throughput and tracked in
+  CI via ``check_perf_regression.py --metric ingest_overhead_ms``;
+* **online/offline drift consistency** — the record's ``identical`` bit:
+  at several checkpoints, the live monitor's window snapshot and scores
+  must equal a batch computation over the same recorded slice bit for
+  bit.  Like the serving benchmark's bit, it is a correctness gate, not a
+  perf number.
+
+Runs standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_adaptation.py --preset smoke
+
+or under pytest as part of the benchmark suite (smoke-sized unless
+``REPRO_BENCH_SCALE`` >= 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from _common import DTYPE, SCALE, bench_json
+from repro.adapt import AdaptationConfig, AdaptiveService, DriftMonitor
+from repro.adapt.stats import drift_score, window_snapshot
+from repro.datasets import scheduled_shift_stream
+from repro.models import ModelConfig
+from repro.pipeline import Splash, SplashConfig
+from repro.serving import IncrementalContextStore, PredictionService
+
+PRESETS = {
+    # name -> (num_edges, window_edges, epochs)
+    "smoke": (3000, 900, 8),
+    "default": (10000, 2500, 12),
+}
+INGEST_BATCH = 256
+SHIFT_AT = 0.5
+INTENSITY = 80.0
+
+
+def splash_config(epochs: int, seed: int = 0) -> SplashConfig:
+    return SplashConfig(
+        feature_dim=16,
+        k=10,
+        model=ModelConfig(
+            hidden_dim=32, epochs=epochs, patience=4, batch_size=128,
+            lr=3e-3, seed=seed,
+        ),
+        split_fractions=[0.5, 0.7],
+        dtype=DTYPE,
+        seed=seed,
+    )
+
+
+def _ingest_stream(store, ctdg) -> float:
+    start = time.perf_counter()
+    for lo in range(0, ctdg.num_edges, INGEST_BATCH):
+        hi = lo + INGEST_BATCH
+        store.ingest_arrays(
+            ctdg.src[lo:hi], ctdg.dst[lo:hi], ctdg.times[lo:hi],
+            None, ctdg.weights[lo:hi],
+        )
+    return time.perf_counter() - start
+
+
+def time_ingest_overhead(dataset, processes, window_edges: int, repeats: int = 3):
+    """Best-of-N ingest wall-clock, bare vs monitored (same store setup)."""
+
+    def build_store(with_monitor: bool):
+        store = IncrementalContextStore(
+            processes, 10, dataset.ctdg.num_nodes, dataset.ctdg.edge_feature_dim
+        )
+        if with_monitor:
+            store.attach_monitor(
+                DriftMonitor(
+                    window_edges=window_edges,
+                    window_queries=window_edges,
+                    seen_mask=processes[0].seen_mask,
+                    num_classes=dataset.task.output_dim,
+                )
+            )
+        return store
+
+    bare = min(
+        _ingest_stream(build_store(False), dataset.ctdg) for _ in range(repeats)
+    )
+    monitored = min(
+        _ingest_stream(build_store(True), dataset.ctdg) for _ in range(repeats)
+    )
+    return bare, monitored
+
+
+def check_drift_consistency(dataset, processes, window_edges: int) -> bool:
+    """Live-monitor snapshots vs batch slices: bit-for-bit at checkpoints."""
+    ctdg = dataset.ctdg
+    seen_mask = processes[0].seen_mask
+    num_classes = dataset.task.output_dim
+    store = IncrementalContextStore(
+        processes, 10, ctdg.num_nodes, ctdg.edge_feature_dim
+    )
+    monitor = DriftMonitor(
+        window_edges=window_edges,
+        window_queries=window_edges,
+        seen_mask=seen_mask,
+        num_classes=num_classes,
+    )
+    store.attach_monitor(monitor)
+    reference = window_snapshot(
+        ctdg.src[:window_edges], ctdg.dst[:window_edges], seen_mask=seen_mask,
+        labels=np.zeros(0, dtype=np.int64), num_classes=num_classes,
+    )
+    monitor.reference = reference
+    # Checkpoints aligned to ingest-batch boundaries (where comparisons
+    # can actually happen), spread from the first full window to the end.
+    checkpoints = {
+        min(
+            ctdg.num_edges,
+            int(np.ceil(c / INGEST_BATCH)) * INGEST_BATCH,
+        )
+        for c in np.linspace(window_edges, ctdg.num_edges, 5)
+    }
+    ok = True
+    for lo in range(0, ctdg.num_edges, INGEST_BATCH):
+        hi = min(lo + INGEST_BATCH, ctdg.num_edges)
+        store.ingest_arrays(
+            ctdg.src[lo:hi], ctdg.dst[lo:hi], ctdg.times[lo:hi],
+            None, ctdg.weights[lo:hi],
+        )
+        if hi in checkpoints:
+            offline = window_snapshot(
+                ctdg.src[hi - window_edges : hi],
+                ctdg.dst[hi - window_edges : hi],
+                seen_mask=seen_mask,
+                labels=np.zeros(0, dtype=np.int64),
+                num_classes=num_classes,
+            )
+            online = monitor.snapshot()
+            off_scores = drift_score(offline, reference)
+            on_scores = monitor.score(record=False)
+            ok = ok and online == offline
+            ok = ok and (
+                on_scores.degree_js == off_scores.degree_js
+                and on_scores.label_js == off_scores.label_js
+                and on_scores.unseen_delta == off_scores.unseen_delta
+            )
+    return ok
+
+
+def run_adaptation_bench(preset: str = "default"):
+    num_edges, window_edges, epochs = PRESETS[preset]
+    dataset = scheduled_shift_stream(
+        shift_at=SHIFT_AT, intensity=INTENSITY, seed=0, num_edges=num_edges
+    )
+    shift_time = dataset.metadata["shift_times"][0]
+    split = dataset.split()
+    post_shift = split.test_idx[dataset.queries.times[split.test_idx] > shift_time]
+
+    # Train once on the (pre-shift) training period; both services start
+    # from this same pipeline.
+    config = splash_config(epochs)
+    frozen_splash = Splash(config)
+    frozen_splash.fit(dataset, split=split)
+    processes = frozen_splash.processes
+
+    # Frozen baseline: serve the whole stream on the never-updated model.
+    frozen_service = PredictionService.from_splash(
+        frozen_splash, dataset.ctdg.num_nodes
+    )
+    start = time.perf_counter()
+    frozen_scores = frozen_service.serve_stream(
+        dataset.ctdg, dataset.queries.nodes, dataset.queries.times,
+        ingest_batch=INGEST_BATCH, background=False,
+    )
+    frozen_seconds = time.perf_counter() - start
+    frozen_post = dataset.task.evaluate(frozen_scores[post_shift], post_shift)
+
+    # Adaptive: same starting pipeline, full monitor->refit->gate loop.
+    adaptive_splash = Splash(splash_config(epochs))
+    adaptive_splash.fit(dataset, split=split)
+    adaptive = AdaptiveService(
+        adaptive_splash,
+        dataset.ctdg.num_nodes,
+        config=AdaptationConfig(
+            window_edges=window_edges,
+            window_queries=window_edges,
+            check_every=INGEST_BATCH,
+            threshold=0.12,
+            min_window_queries=80,
+            background=False,
+        ),
+    )
+    start = time.perf_counter()
+    adaptive_scores = adaptive.serve_labeled_stream(
+        dataset.ctdg,
+        dataset.queries.nodes,
+        dataset.queries.times,
+        dataset.task.labels,
+        ingest_batch=INGEST_BATCH,
+    )
+    adaptive_seconds = time.perf_counter() - start
+    adaptive_post = dataset.task.evaluate(adaptive_scores[post_shift], post_shift)
+    adapt_summary = adaptive.summary()
+
+    bare_s, monitored_s = time_ingest_overhead(dataset, processes, window_edges)
+    identical = check_drift_consistency(dataset, processes, window_edges)
+
+    row = {
+        "generator": "scheduled-shift",
+        "num_edges": dataset.ctdg.num_edges,
+        "num_queries": len(dataset.queries),
+        "num_post_shift_queries": int(len(post_shift)),
+        "shift_time": round(float(shift_time), 1),
+        "window_edges": window_edges,
+        "identical": bool(identical),
+        "frozen_post_shift_f1": round(float(frozen_post), 4),
+        "adaptive_post_shift_f1": round(float(adaptive_post), 4),
+        "adaptation_gain": round(float(adaptive_post - frozen_post), 4),
+        "refit_attempts": adapt_summary["refit_attempts"],
+        "promotions": adapt_summary["promotions"],
+        "frozen_serve_seconds": round(frozen_seconds, 4),
+        "adaptive_serve_seconds": round(adaptive_seconds, 4),
+        "ingest_seconds": round(bare_s, 4),
+        "ingest_monitored_seconds": round(monitored_s, 4),
+        "ingest_overhead_ms": round(max(monitored_s - bare_s, 0.0) * 1000.0, 4),
+        "ingest_overhead_frac": round(max(monitored_s - bare_s, 0.0) / bare_s, 4),
+    }
+    print(
+        f"adaptation  E={row['num_edges']}  post-shift F1 frozen "
+        f"{row['frozen_post_shift_f1']:.3f} -> adaptive "
+        f"{row['adaptive_post_shift_f1']:.3f} (+{row['adaptation_gain']:.3f})  "
+        f"promotions {row['promotions']}/{row['refit_attempts']}  "
+        f"monitor overhead {row['ingest_overhead_ms']:.1f}ms "
+        f"({100 * row['ingest_overhead_frac']:.1f}%)  identical={identical}"
+    )
+    return {"preset": preset, "rows": [row]}
+
+
+def _verdict(row) -> int:
+    if not row["identical"]:
+        print("ERROR: online and offline drift scores disagree", file=sys.stderr)
+        return 1
+    if row["adaptive_post_shift_f1"] < row["frozen_post_shift_f1"]:
+        print(
+            "ERROR: adaptive service lost to the frozen baseline post-shift: "
+            f"{row['adaptive_post_shift_f1']} vs {row['frozen_post_shift_f1']}",
+            file=sys.stderr,
+        )
+        return 1
+    if row["ingest_overhead_frac"] >= 0.10:
+        print(
+            "ERROR: monitor ingest overhead "
+            f"{100 * row['ingest_overhead_frac']:.1f}% >= 10%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_adaptation_bench():
+    """Benchmark-suite entry: the adaptive service must beat the frozen
+    baseline post-shift, keep monitor overhead under 10%, and keep online
+    and offline drift scores bit-for-bit equal."""
+    preset = "smoke" if SCALE < 1.0 else "default"
+    record = (
+        "BENCH_adaptation.json"
+        if preset == "default"
+        else f"BENCH_adaptation.{preset}.json"
+    )
+    payload = run_adaptation_bench(preset=preset)
+    bench_json(record, payload)
+    row = payload["rows"][0]
+    assert row["identical"], "online/offline drift scores diverged"
+    assert row["adaptive_post_shift_f1"] >= row["frozen_post_shift_f1"], (
+        "adaptation lost to the frozen baseline: "
+        f"{row['adaptive_post_shift_f1']} vs {row['frozen_post_shift_f1']}"
+    )
+    assert row["ingest_overhead_frac"] < 0.10, (
+        f"monitor overhead {row['ingest_overhead_frac']:.3f} >= 10%"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="destination JSON (default benchmarks/results/BENCH_adaptation.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_adaptation_bench(preset=args.preset)
+    bench_json("BENCH_adaptation.json", payload, path=args.output)
+    print(f"[dtype={DTYPE} scale={SCALE}]")
+    return _verdict(payload["rows"][0])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,8 @@ Subpackages
 ``repro.pipeline``   end-to-end SPLASH and the experiment harness
 ``repro.metrics``    AUC, F1, NDCG@k, silhouette
 ``repro.analysis``   t-SNE, drift diagnostics, efficiency accounting
+``repro.serving``    online serving: incremental store, prediction service
+``repro.adapt``      drift-aware continual adaptation of the serving loop
 
 Quickstart
 ----------

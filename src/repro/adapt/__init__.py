@@ -1,0 +1,68 @@
+"""``repro.adapt`` — drift-aware continual adaptation for the serving loop.
+
+The paper's thesis is that node property prediction on edge streams
+degrades under distribution shift; this subsystem makes shift a *runtime*
+concern instead of a post-hoc analysis (see DESIGN.md §5):
+
+* :class:`DriftMonitor` — sliding-window stream statistics maintained
+  during :meth:`~repro.serving.IncrementalContextStore.ingest`, scored
+  with the same binned core (:mod:`repro.adapt.stats`) as the offline
+  :func:`repro.analysis.drift.drift_report` — bit-for-bit consistent on
+  identical windows;
+* :class:`RefitScheduler` + trigger policies (threshold, hysteresis,
+  cooldown, periodic) — decide *when* drift warrants a re-fit, and run it
+  on a background worker;
+* :func:`repro.pipeline.splash.fit_window` — the windowed SPLASH re-fit
+  (selection + SLIM) the scheduler launches;
+* :class:`ModelRegistry` — versioned ``Splash.save`` artifacts annotated
+  with drift/metric context, promoted atomically;
+* :class:`AdaptiveService` — the full loop wired around a
+  :class:`~repro.serving.PredictionService`: monitor → trigger → re-fit →
+  shadow-evaluation gate → hot swap of the winning model *with* its
+  window-warmed store.
+"""
+
+from repro.adapt.controller import (
+    AdaptationConfig,
+    AdaptiveService,
+    RefitOutcome,
+)
+from repro.adapt.monitor import DriftMonitor
+from repro.adapt.registry import ModelRegistry, ModelVersion
+from repro.adapt.scheduler import (
+    CooldownTrigger,
+    HysteresisTrigger,
+    PeriodicTrigger,
+    RefitScheduler,
+    ThresholdTrigger,
+    TriggerPolicy,
+)
+from repro.adapt.stats import (
+    DriftScores,
+    StreamWindow,
+    WindowSnapshot,
+    drift_score,
+    js_divergence,
+    window_snapshot,
+)
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptiveService",
+    "RefitOutcome",
+    "DriftMonitor",
+    "ModelRegistry",
+    "ModelVersion",
+    "RefitScheduler",
+    "TriggerPolicy",
+    "ThresholdTrigger",
+    "HysteresisTrigger",
+    "CooldownTrigger",
+    "PeriodicTrigger",
+    "DriftScores",
+    "StreamWindow",
+    "WindowSnapshot",
+    "window_snapshot",
+    "drift_score",
+    "js_divergence",
+]

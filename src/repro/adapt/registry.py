@@ -1,0 +1,181 @@
+"""Versioned SPLASH model registry with atomic promotion.
+
+Every adaptation produces a candidate pipeline; the registry is where
+candidates become auditable artifacts.  Layout under ``root``::
+
+    root/
+      registry.json   index: versions, metrics, drift context, active id
+      v0001/          Splash.save artifact directory (meta.json, *.npz)
+      v0002/
+      ...
+
+Each entry records *why* the version exists — the drift scores that
+triggered it and the shadow-evaluation metrics that judged it — so a
+promotion decision can be reconstructed later.  The index is rewritten
+atomically (temp file + ``os.replace``), and promotion is a single index
+update: a reader either sees the old active version or the new one, never
+a half-written state.  Artifacts themselves are immutable once
+registered.
+
+The registry is storage, not policy: the shadow gate that decides
+*whether* a candidate deserves promotion lives in
+:class:`repro.adapt.AdaptiveService`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time as time_mod
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("adapt")
+
+INDEX_FILE = "registry.json"
+REGISTRY_FORMAT = "splash-registry"
+REGISTRY_VERSION = 1
+
+
+@dataclass
+class ModelVersion:
+    """One registered artifact plus the context it was produced in."""
+
+    version: int
+    path: str  # artifact directory, relative to the registry root
+    created_at: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    drift: Dict[str, float] = field(default_factory=dict)
+    note: str = ""
+
+
+class ModelRegistry:
+    """Append-only store of versioned SPLASH artifacts.
+
+    ``register`` saves an artifact and indexes it; ``promote`` marks one
+    version as the actively-served model.  Both persist the index
+    atomically, so a crash between the two leaves a registered-but-not-
+    promoted candidate — safe to garbage collect or retry, never a
+    corrupted index.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._versions: List[ModelVersion] = []
+        self._active: Optional[int] = None
+        os.makedirs(root, exist_ok=True)
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    @property
+    def versions(self) -> List[ModelVersion]:
+        return list(self._versions)
+
+    @property
+    def active_version(self) -> Optional[int]:
+        return self._active
+
+    def active(self) -> Optional[ModelVersion]:
+        if self._active is None:
+            return None
+        return self.get(self._active)
+
+    def get(self, version: int) -> ModelVersion:
+        for entry in self._versions:
+            if entry.version == version:
+                return entry
+        raise KeyError(f"no version {version} in registry at {self.root!r}")
+
+    def latest(self) -> Optional[ModelVersion]:
+        return self._versions[-1] if self._versions else None
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        splash,
+        *,
+        metrics: Optional[Dict[str, float]] = None,
+        drift: Optional[Dict[str, float]] = None,
+        note: str = "",
+    ) -> ModelVersion:
+        """Persist ``splash`` as the next version; does not promote it."""
+        number = self._versions[-1].version + 1 if self._versions else 1
+        rel_path = f"v{number:04d}"
+        splash.save(os.path.join(self.root, rel_path))
+        entry = ModelVersion(
+            version=number,
+            path=rel_path,
+            created_at=time_mod.strftime("%Y-%m-%dT%H:%M:%S"),
+            metrics={k: float(v) for k, v in (metrics or {}).items()},
+            drift={k: float(v) for k, v in (drift or {}).items()},
+            note=note,
+        )
+        self._versions.append(entry)
+        self._write_index()
+        logger.info("registered model version %d at %s", number, rel_path)
+        return entry
+
+    def promote(self, version: int) -> ModelVersion:
+        """Atomically mark ``version`` as the actively-served model."""
+        entry = self.get(version)  # raises on unknown versions
+        self._active = entry.version
+        self._write_index()
+        logger.info("promoted model version %d", entry.version)
+        return entry
+
+    def load_version(self, version: Optional[int] = None):
+        """Reconstruct a registered pipeline (default: the active one)."""
+        from repro.pipeline.splash import Splash
+
+        if version is None:
+            if self._active is None:
+                raise RuntimeError(
+                    f"registry at {self.root!r} has no promoted version"
+                )
+            version = self._active
+        entry = self.get(version)
+        return Splash.load(os.path.join(self.root, entry.path))
+
+    # ------------------------------------------------------------------
+    def _index_path(self) -> str:
+        return os.path.join(self.root, INDEX_FILE)
+
+    def _load_index(self) -> None:
+        path = self._index_path()
+        if not os.path.exists(path):
+            return
+        with open(path) as handle:
+            data = json.load(handle)
+        if data.get("format") != REGISTRY_FORMAT:
+            raise ValueError(
+                f"not a model registry index: format={data.get('format')!r}"
+            )
+        self._versions = [ModelVersion(**entry) for entry in data["versions"]]
+        self._active = data.get("active")
+
+    def _write_index(self) -> None:
+        payload = {
+            "format": REGISTRY_FORMAT,
+            "version": REGISTRY_VERSION,
+            "active": self._active,
+            "versions": [asdict(entry) for entry in self._versions],
+        }
+        # Atomic replace: a concurrent reader sees the old or the new
+        # index in full, never a torn write.
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".registry-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp_path, self._index_path())
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise

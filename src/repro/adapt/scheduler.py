@@ -1,0 +1,271 @@
+"""Re-fit scheduling: from drift scores to adaptation work.
+
+A :class:`RefitScheduler` periodically reads its
+:class:`~repro.adapt.DriftMonitor`'s divergence score and asks a
+:class:`TriggerPolicy` whether to act.  On an alarm it launches the
+supplied re-fit callable — synchronously, or on a dedicated background
+worker thread so serving ingest never blocks on training.  At most one
+re-fit is in flight at a time; alarms raised while one runs are counted
+but not acted on (the running re-fit is already consuming the window that
+raised them).
+
+The re-fit itself (windowed SPLASH selection + SLIM training, shadow
+gating, hot swap) lives in :class:`repro.adapt.AdaptiveService`; the
+scheduler only decides *when*.  Heavy re-fit work parallelises through
+the existing engine seam: a windowed fit inherits its
+:class:`~repro.pipeline.splash.SplashConfig`'s ``context_engine`` /
+``num_workers``, so context materialisation for the re-fit window can fan
+out to the sharded engine's worker processes while the serving thread
+keeps ingesting.
+
+Trigger policies are deliberately tiny state machines over the scalar
+score series — composable, unit-testable, and explicit about the three
+production concerns: *when to fire* (threshold), *when to re-arm*
+(hysteresis), and *how often at most* (cooldown, periodic).
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.adapt.monitor import DriftMonitor
+from repro.adapt.stats import DriftScores
+from repro.utils.logging import get_logger
+
+logger = get_logger("adapt")
+
+
+class TriggerPolicy(ABC):
+    """Decides, per score observation, whether to request a re-fit."""
+
+    @abstractmethod
+    def update(self, scores: DriftScores, edges_observed: int) -> bool:
+        """Consume one score observation; True requests a re-fit."""
+
+    def notify_refit(self, edges_observed: int) -> None:
+        """Called when a re-fit is actually launched (for cooldown state)."""
+
+
+class ThresholdTrigger(TriggerPolicy):
+    """Alarm whenever the combined score reaches ``threshold``."""
+
+    def __init__(self, threshold: float) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    def update(self, scores: DriftScores, edges_observed: int) -> bool:
+        return scores.total >= self.threshold
+
+
+class HysteresisTrigger(TriggerPolicy):
+    """Alarm at ``high``; stay disarmed until the score falls below ``low``.
+
+    Prevents alarm storms while a shift is in progress: one alarm per
+    excursion above the band, re-armed only after the (post-adaptation)
+    score recovers.
+    """
+
+    def __init__(self, high: float, low: float) -> None:
+        if not 0 < low < high:
+            raise ValueError(
+                f"need 0 < low < high, got low={low}, high={high}"
+            )
+        self.high = high
+        self.low = low
+        self._armed = True
+
+    def update(self, scores: DriftScores, edges_observed: int) -> bool:
+        if self._armed and scores.total >= self.high:
+            self._armed = False
+            return True
+        if not self._armed and scores.total < self.low:
+            self._armed = True
+        return False
+
+
+class PeriodicTrigger(TriggerPolicy):
+    """Alarm every ``every_edges`` ingested edges, drift or not.
+
+    The belt-and-braces policy for streams whose shifts the score may not
+    capture; usually composed under a :class:`CooldownTrigger` with a
+    score-based policy.
+    """
+
+    def __init__(self, every_edges: int) -> None:
+        if every_edges <= 0:
+            raise ValueError(f"every_edges must be positive, got {every_edges}")
+        self.every_edges = every_edges
+        self._next_at = every_edges
+
+    def update(self, scores: DriftScores, edges_observed: int) -> bool:
+        if edges_observed >= self._next_at:
+            while self._next_at <= edges_observed:
+                self._next_at += self.every_edges
+            return True
+        return False
+
+
+class CooldownTrigger(TriggerPolicy):
+    """Wrap another policy, suppressing alarms within ``cooldown_edges`` of
+    the last *launched* re-fit.
+
+    The cooldown anchors on :meth:`notify_refit` rather than on the inner
+    alarm, so alarms that were skipped (a re-fit already in flight) do not
+    push the window out.  Every observation is still forwarded to the
+    inner policy (a hysteresis must see in-cooldown dips to re-arm), but
+    an alarm the inner raises *during* the cooldown is **latched**, not
+    discarded, and released at the first post-cooldown observation —
+    otherwise a one-shot inner (hysteresis fires once per excursion)
+    would consume its excursion while suppressed and never re-fire under
+    sustained drift.  A launched re-fit clears the latch.
+    """
+
+    def __init__(self, inner: TriggerPolicy, cooldown_edges: int) -> None:
+        if cooldown_edges < 0:
+            raise ValueError(
+                f"cooldown_edges must be non-negative, got {cooldown_edges}"
+            )
+        self.inner = inner
+        self.cooldown_edges = cooldown_edges
+        self._last_refit_at: Optional[int] = None
+        self._pending = False
+
+    def update(self, scores: DriftScores, edges_observed: int) -> bool:
+        fired = self.inner.update(scores, edges_observed)
+        in_cooldown = (
+            self._last_refit_at is not None
+            and edges_observed - self._last_refit_at < self.cooldown_edges
+        )
+        if in_cooldown:
+            self._pending = self._pending or fired
+            return False
+        if fired or self._pending:
+            self._pending = False
+            return True
+        return False
+
+    def notify_refit(self, edges_observed: int) -> None:
+        self._last_refit_at = edges_observed
+        self._pending = False  # the launched re-fit answers any latched alarm
+        self.inner.notify_refit(edges_observed)
+
+
+class RefitScheduler:
+    """Polls the monitor, consults the policy, launches re-fits.
+
+    Parameters
+    ----------
+    monitor:
+        The :class:`DriftMonitor` whose score series drives decisions.
+    policy:
+        Any :class:`TriggerPolicy` (compose with :class:`CooldownTrigger`
+        for rate limiting).
+    refit:
+        Zero-argument callable performing the actual adaptation (windowed
+        re-fit, shadow gate, swap).  Exceptions it raises are caught,
+        logged, and counted — a failed re-fit must never take ingest down.
+    check_every:
+        Score cadence in ingested edges: :meth:`poll` is cheap enough to
+        call after every ingest batch, and only computes a score each time
+        another ``check_every`` edges have been observed.
+    background:
+        True runs ``refit`` on a daemon worker thread (one at a time);
+        False runs it inline on the polling thread — deterministic, used
+        by tests and benchmarks.
+    """
+
+    def __init__(
+        self,
+        monitor: DriftMonitor,
+        policy: TriggerPolicy,
+        refit: Callable[[], None],
+        *,
+        check_every: int = 512,
+        background: bool = True,
+    ) -> None:
+        if check_every <= 0:
+            raise ValueError(f"check_every must be positive, got {check_every}")
+        self.monitor = monitor
+        self.policy = policy
+        self.refit = refit
+        self.check_every = check_every
+        self.background = background
+        self.alarms = 0
+        self.refits_launched = 0
+        self.refits_failed = 0
+        self.last_scores: Optional[DriftScores] = None
+        self._next_check = check_every
+        self._worker: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def refit_in_flight(self) -> bool:
+        worker = self._worker
+        return worker is not None and worker.is_alive()
+
+    def poll(self) -> bool:
+        """Score if due, consult the policy, maybe launch a re-fit.
+
+        Returns True when a re-fit was launched.  Call after every ingest
+        batch; sub-cadence calls return immediately.
+        """
+        edges = self.monitor.edges_observed
+        if edges < self._next_check:
+            return False
+        while self._next_check <= edges:
+            self._next_check += self.check_every
+        scores = self.monitor.score()
+        self.last_scores = scores
+        if not self.policy.update(scores, edges):
+            return False
+        self.alarms += 1
+        if self.refit_in_flight:
+            logger.info(
+                "drift alarm at %d edges (score %.4f) skipped: refit in flight",
+                edges,
+                scores.total,
+            )
+            return False
+        self.policy.notify_refit(edges)
+        logger.info(
+            "drift alarm at %d edges (score %.4f): launching refit",
+            edges,
+            scores.total,
+        )
+        self.refits_launched += 1
+        if self.background:
+            self._worker = threading.Thread(
+                target=self._run_refit, name="adapt-refit", daemon=True
+            )
+            self._worker.start()
+        else:
+            self._run_refit()
+        return True
+
+    def _run_refit(self) -> None:
+        try:
+            self.refit()
+        except Exception:
+            with self._lock:
+                self.refits_failed += 1
+            logger.exception("refit failed; keeping the current model")
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for an in-flight background re-fit to finish."""
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout)
+
+    def summary(self) -> dict:
+        return {
+            "alarms": self.alarms,
+            "refits_launched": self.refits_launched,
+            "refits_failed": self.refits_failed,
+            "last_score": (
+                round(self.last_scores.total, 6) if self.last_scores else None
+            ),
+        }

@@ -1,0 +1,421 @@
+"""Shared incremental drift statistics: one core, two consumers.
+
+The paper's premise is that node property prediction degrades when the
+stream's distribution moves (§II, Fig. 3).  This module holds the *binned
+statistics core* both drift consumers compute from:
+
+* the offline diagnostic :func:`repro.analysis.drift.drift_report`, which
+  slices a recorded stream into chronological bins; and
+* the online :class:`repro.adapt.DriftMonitor`, which maintains a sliding
+  window over a *live* stream during
+  :meth:`~repro.serving.IncrementalContextStore.ingest`.
+
+Both call :func:`window_snapshot` on their window's raw arrays and
+:func:`drift_score` on the resulting snapshots, so an online window and an
+offline bin covering the same edges produce **bit-for-bit identical**
+scores (``tests/adapt/test_drift_consistency.py`` fuzzes this at float32
+and float64 ambient precision — all statistics here are integer counts and
+float64 arithmetic, independent of the nn backend's dtype).
+
+Statistics per window (all derivable from the window alone, so a sliding
+monitor needs O(window) memory):
+
+* **degree/activity histogram** — per active node, the number of window
+  incidences it owns, bucketed on a log2 scale.  Captures structural
+  shift: a change in activity skew moves mass across buckets (Eq. 2
+  semantics restricted to the window).
+* **label histogram** — class counts of the window's labelled queries
+  (property shift).
+* **unseen-endpoint ratio** — the fraction of edge endpoints not present
+  in a reference ``seen_mask`` (typically nodes seen during training):
+  the paper's positional-shift signal (Fig. 9).
+
+The divergence between two snapshots (:func:`drift_score`) combines
+Jensen-Shannon divergence over the histograms with the absolute
+unseen-ratio delta; each term is bounded, so the total is a stable alarm
+signal for :class:`repro.adapt.RefitScheduler` trigger policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Default number of log2 activity buckets: bucket ``b`` holds nodes with
+#: window incidence count in ``[2**b, 2**(b+1))``; the last bucket is open.
+DEFAULT_NUM_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Frozen integer statistics of one edge/query window.
+
+    Everything is a count, so two snapshots over identical windows are
+    equal array-for-array regardless of how the window was accumulated.
+    """
+
+    num_edges: int
+    num_queries: int
+    degree_hist: np.ndarray  # (B,) int64 log2-bucketed node activity
+    label_hist: np.ndarray  # (C,) int64 class counts (empty when unlabelled)
+    unseen_endpoints: int  # endpoints outside the seen_mask (0 without one)
+    total_endpoints: int  # 2 * num_edges
+
+    # ------------------------------------------------------------------
+    @property
+    def unseen_ratio(self) -> float:
+        if self.total_endpoints == 0:
+            return 0.0
+        return self.unseen_endpoints / self.total_endpoints
+
+    @property
+    def active_nodes(self) -> int:
+        return int(self.degree_hist.sum())
+
+    def degree_distribution(self) -> np.ndarray:
+        """Normalised activity histogram (uniform when the window is empty)."""
+        return _normalise(self.degree_hist)
+
+    def label_distribution(self) -> np.ndarray:
+        """Normalised label histogram (uniform when no labels arrived)."""
+        return _normalise(self.label_hist)
+
+    def __eq__(self, other: object) -> bool:  # dataclass arrays need array_equal
+        if not isinstance(other, WindowSnapshot):
+            return NotImplemented
+        return (
+            self.num_edges == other.num_edges
+            and self.num_queries == other.num_queries
+            and self.unseen_endpoints == other.unseen_endpoints
+            and self.total_endpoints == other.total_endpoints
+            and np.array_equal(self.degree_hist, other.degree_hist)
+            and np.array_equal(self.label_hist, other.label_hist)
+        )
+
+
+@dataclass(frozen=True)
+class DriftScores:
+    """Per-facet divergence of a window against a reference window.
+
+    Each component lies in a bounded range (JS divergence in [0, ln 2],
+    ratio deltas in [0, 1]); ``total`` is their sum, the scalar trigger
+    policies consume.
+    """
+
+    degree_js: float  # structural: activity-histogram divergence
+    label_js: float  # property: label-histogram divergence
+    unseen_delta: float  # positional: |unseen ratio - reference's|
+
+    @property
+    def total(self) -> float:
+        return self.degree_js + self.label_js + self.unseen_delta
+
+    def as_dict(self) -> dict:
+        return {
+            "degree_js": self.degree_js,
+            "label_js": self.label_js,
+            "unseen_delta": self.unseen_delta,
+            "total": self.total,
+        }
+
+
+# ----------------------------------------------------------------------
+def _normalise(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0 or counts.size == 0:
+        return (
+            np.full(counts.size, 1.0 / counts.size) if counts.size else counts
+        )
+    return counts / total
+
+
+def activity_buckets(counts: np.ndarray, num_buckets: int) -> np.ndarray:
+    """log2 bucket index of each positive incidence count (vectorised)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    positive = counts[counts > 0]
+    if positive.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    # bit_length(c) - 1 == floor(log2(c)) exactly, with no float rounding.
+    buckets = np.frexp(positive.astype(np.float64))[1] - 1
+    return np.minimum(buckets.astype(np.int64), num_buckets - 1)
+
+
+def window_snapshot(
+    src: np.ndarray,
+    dst: np.ndarray,
+    *,
+    seen_mask: Optional[np.ndarray] = None,
+    labels: Optional[np.ndarray] = None,
+    num_classes: int = 0,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+    num_nodes: Optional[int] = None,
+) -> WindowSnapshot:
+    """Batch statistics of one window of edges (and optional query labels).
+
+    This is the single implementation behind both drift consumers: the
+    offline report calls it on a bin's array slices, the online monitor on
+    its ring-buffer views.  All arithmetic is integer, so equal windows
+    yield equal snapshots bit for bit.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError(f"src {src.shape} and dst {dst.shape} must match")
+    endpoints = np.concatenate([src, dst])
+
+    minlength = int(num_nodes) if num_nodes is not None else 0
+    node_counts = np.bincount(endpoints, minlength=minlength) if endpoints.size else np.zeros(minlength, dtype=np.int64)
+    buckets = activity_buckets(node_counts, num_buckets)
+    degree_hist = np.bincount(buckets, minlength=num_buckets).astype(np.int64)
+
+    unseen = 0
+    if seen_mask is not None and endpoints.size:
+        seen_mask = np.asarray(seen_mask, dtype=bool)
+        in_range = endpoints < len(seen_mask)
+        unseen = int(np.sum(~in_range) + np.sum(~seen_mask[endpoints[in_range]]))
+
+    if labels is not None and num_classes > 0:
+        labels = np.asarray(labels, dtype=np.int64)
+        label_hist = np.bincount(
+            labels[(labels >= 0) & (labels < num_classes)], minlength=num_classes
+        ).astype(np.int64)
+        num_queries = int(len(labels))
+    else:
+        label_hist = np.zeros(0, dtype=np.int64)
+        num_queries = 0 if labels is None else int(len(labels))
+
+    return WindowSnapshot(
+        num_edges=int(len(src)),
+        num_queries=num_queries,
+        degree_hist=degree_hist,
+        label_hist=label_hist,
+        unseen_endpoints=unseen,
+        total_endpoints=int(endpoints.size),
+    )
+
+
+def js_divergence(p_counts: np.ndarray, q_counts: np.ndarray) -> float:
+    """Jensen-Shannon divergence (natural log, in [0, ln 2]) of two count
+    vectors, compared as distributions.  Deterministic float64 arithmetic:
+    equal inputs give bit-equal outputs on any platform following IEEE 754.
+    """
+    p = _normalise(p_counts)
+    q = _normalise(q_counts)
+    if p.size != q.size:
+        # Pad the shorter histogram; a class absent from one window is a
+        # zero-count bucket, not an error.
+        size = max(p.size, q.size)
+        p = np.pad(p, (0, size - p.size))
+        q = np.pad(q, (0, size - q.size))
+    if p.size == 0:
+        return 0.0
+    m = 0.5 * (p + q)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        kl_pm = np.where(p > 0, p * np.log(p / m), 0.0)
+        kl_qm = np.where(q > 0, q * np.log(q / m), 0.0)
+    return float(0.5 * kl_pm.sum() + 0.5 * kl_qm.sum())
+
+
+def drift_score(current: WindowSnapshot, reference: WindowSnapshot) -> DriftScores:
+    """Divergence of ``current`` against a frozen ``reference`` window.
+
+    Pure function of the two snapshots; both drift consumers call exactly
+    this, which is what makes online and offline scores comparable — and,
+    on identical windows, bit-for-bit equal.
+    """
+    return DriftScores(
+        degree_js=js_divergence(current.degree_hist, reference.degree_hist),
+        label_js=js_divergence(current.label_hist, reference.label_hist),
+        unseen_delta=abs(current.unseen_ratio - reference.unseen_ratio),
+    )
+
+
+# ----------------------------------------------------------------------
+class _RingColumns:
+    """Fixed-capacity ring over parallel columns with vectorised appends."""
+
+    def __init__(self, capacity: int, columns: dict) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._columns = {
+            name: np.zeros((capacity,) + tuple(extra), dtype=dtype)
+            for name, (dtype, extra) in columns.items()
+        }
+        self._size = 0
+        self._head = 0  # next write position
+        self.total_appended = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, **arrays) -> None:
+        count = None
+        for name, values in arrays.items():
+            values = np.asarray(values)
+            if count is None:
+                count = len(values)
+            elif len(values) != count:
+                raise ValueError("ring columns must be appended in lockstep")
+        if not count:
+            return
+        self.total_appended += count
+        if count >= self.capacity:
+            # The batch alone overwrites the whole ring: keep its tail.
+            for name, values in arrays.items():
+                self._columns[name][:] = np.asarray(values)[-self.capacity :]
+            self._size = self.capacity
+            self._head = 0
+            return
+        first = min(count, self.capacity - self._head)
+        for name, values in arrays.items():
+            values = np.asarray(values)
+            self._columns[name][self._head : self._head + first] = values[:first]
+            if first < count:
+                self._columns[name][: count - first] = values[first:]
+        self._head = (self._head + count) % self.capacity
+        self._size = min(self._size + count, self.capacity)
+
+    def view(self, name: str) -> np.ndarray:
+        """The column's window contents in chronological order (a copy)."""
+        column = self._columns[name]
+        if self._size < self.capacity:
+            return column[: self._size].copy()
+        return np.concatenate([column[self._head :], column[: self._head]])
+
+
+class StreamWindow:
+    """Sliding window over a live stream: the last W edges and Q labelled
+    queries, in chronological order.
+
+    Doubles as the re-fit buffer: :meth:`edge_arrays` / :meth:`query_arrays`
+    expose exactly the raw columns a windowed SPLASH re-fit
+    (:func:`repro.pipeline.splash.fit_window`) needs, and
+    :meth:`snapshot` feeds the same arrays to :func:`window_snapshot`, so
+    the monitor's scores describe precisely the data a triggered re-fit
+    would train on.
+    """
+
+    def __init__(
+        self,
+        window_edges: int,
+        window_queries: int,
+        *,
+        edge_feature_dim: int = 0,
+    ) -> None:
+        if edge_feature_dim < 0:
+            raise ValueError(
+                f"edge_feature_dim must be non-negative, got {edge_feature_dim}"
+            )
+        self.edge_feature_dim = int(edge_feature_dim)
+        edge_columns = {
+            "src": (np.int64, ()),
+            "dst": (np.int64, ()),
+            "times": (np.float64, ()),
+            "weights": (np.float64, ()),
+        }
+        if edge_feature_dim:
+            edge_columns["features"] = (np.float64, (edge_feature_dim,))
+        self._edges = _RingColumns(window_edges, edge_columns)
+        self._queries = _RingColumns(
+            window_queries,
+            {
+                "nodes": (np.int64, ()),
+                "times": (np.float64, ()),
+                "labels": (np.int64, ()),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self._queries)
+
+    @property
+    def edges_observed(self) -> int:
+        return self._edges.total_appended
+
+    @property
+    def queries_observed(self) -> int:
+        return self._queries.total_appended
+
+    def observe_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        features: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        columns = {"src": src, "dst": dst, "times": times}
+        columns["weights"] = (
+            np.ones(len(np.asarray(times))) if weights is None else weights
+        )
+        if self.edge_feature_dim:
+            if features is None:
+                raise ValueError(
+                    f"window expects {self.edge_feature_dim}-dim edge features"
+                )
+            columns["features"] = features
+        self._edges.append(**columns)
+
+    def observe_queries(
+        self, nodes: np.ndarray, times: np.ndarray, labels: np.ndarray
+    ) -> None:
+        self._queries.append(nodes=nodes, times=times, labels=labels)
+
+    # ------------------------------------------------------------------
+    def edge_arrays(self) -> Tuple[np.ndarray, ...]:
+        """``(src, dst, times, features_or_None, weights)`` of the window."""
+        features = (
+            self._edges.view("features") if self.edge_feature_dim else None
+        )
+        return (
+            self._edges.view("src"),
+            self._edges.view("dst"),
+            self._edges.view("times"),
+            features,
+            self._edges.view("weights"),
+        )
+
+    def query_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(nodes, times, labels)`` of the window's labelled queries."""
+        return (
+            self._queries.view("nodes"),
+            self._queries.view("times"),
+            self._queries.view("labels"),
+        )
+
+    def snapshot(
+        self,
+        *,
+        seen_mask: Optional[np.ndarray] = None,
+        num_classes: int = 0,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+    ) -> WindowSnapshot:
+        """Statistics of the current window via the shared batch core."""
+        src, dst, _, _, _ = self.edge_arrays()
+        if num_classes > 0:
+            # Always pass the (possibly empty) label window: an empty
+            # labelled window is a (C,) zero histogram, matching what the
+            # offline binned path produces for a query-free bin.
+            _, _, labels = self.query_arrays()
+        else:
+            labels = None
+        return window_snapshot(
+            src,
+            dst,
+            seen_mask=seen_mask,
+            labels=labels,
+            num_classes=num_classes,
+            num_buckets=num_buckets,
+        )

@@ -2,7 +2,12 @@
 (Fig. 14), distribution-shift diagnostics (Fig. 3), and inference/scaling
 profiling (Figs. 10-11)."""
 
-from repro.analysis.drift import DriftReport, drift_report, format_drift_report
+from repro.analysis.drift import (
+    DriftReport,
+    binned_snapshots,
+    drift_report,
+    format_drift_report,
+)
 from repro.analysis.efficiency import (
     EfficiencyProfile,
     ScalingPoint,
@@ -13,6 +18,7 @@ from repro.analysis.tsne import TSNEConfig, kl_divergence, tsne
 
 __all__ = [
     "DriftReport",
+    "binned_snapshots",
     "drift_report",
     "format_drift_report",
     "EfficiencyProfile",

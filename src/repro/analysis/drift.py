@@ -7,15 +7,30 @@ Three time series over equal-count stream bins:
   moving (visualised with t-SNE in the paper);
 * **structural drift** — average node degree per bin;
 * **property drift** — the label distribution (e.g., anomaly ratio) per bin.
+
+The per-bin *windowed statistics* (activity histograms, label histograms,
+unseen-endpoint ratios, divergence scores) are computed by the shared
+incremental core in :mod:`repro.adapt.stats` — the same code the online
+:class:`repro.adapt.DriftMonitor` runs during live ingest — so an offline
+bin and an online window covering the same edges score **bit-for-bit
+identically**.  That consistency is what lets monitor alarm thresholds be
+tuned from an offline :func:`drift_report` of a recorded stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
+from repro.adapt.stats import (
+    DEFAULT_NUM_BUCKETS,
+    DriftScores,
+    WindowSnapshot,
+    drift_score,
+    window_snapshot,
+)
 from repro.datasets.base import StreamDataset
 from repro.features.node2vec import Node2Vec, Node2VecConfig
 from repro.streams.snapshot import GraphSnapshot
@@ -31,10 +46,60 @@ class DriftReport:
     property_positive_ratio: np.ndarray  # (B,) label mean per bin (NaN if none)
     group_embeddings: np.ndarray  # (B, d) mean embedding by appearance bin
     embedding_drift: np.ndarray  # (B,) distance of each group to group 0
+    # Shared-core windowed statistics (repro.adapt.stats): one snapshot per
+    # bin and its divergence against bin 0 — identical, on equal windows,
+    # to what the online DriftMonitor computes during ingest.
+    window_snapshots: List[WindowSnapshot] = field(default_factory=list)
+    window_scores: List[DriftScores] = field(default_factory=list)
 
     @property
     def num_bins(self) -> int:
         return len(self.average_degree)
+
+    @property
+    def divergence_total(self) -> np.ndarray:
+        """(B,) combined drift score of each bin against bin 0."""
+        return np.array([scores.total for scores in self.window_scores])
+
+
+def binned_snapshots(
+    dataset: StreamDataset,
+    bin_edges: np.ndarray,
+    seen_mask: Optional[np.ndarray] = None,
+    num_buckets: int = DEFAULT_NUM_BUCKETS,
+) -> List[WindowSnapshot]:
+    """Shared-core statistics of each ``[bin_edges[b], bin_edges[b+1])`` window.
+
+    Slices the recorded stream per bin and hands the raw arrays to
+    :func:`repro.adapt.stats.window_snapshot` — exactly what a
+    :class:`repro.adapt.DriftMonitor` whose ring window holds the same
+    edges/labels computes online.
+    """
+    ctdg = dataset.ctdg
+    labels = dataset.task.labels
+    labelled = labels.ndim == 1 and np.issubdtype(labels.dtype, np.integer)
+    num_classes = int(labels.max()) + 1 if labelled and labels.size else 0
+    snapshots = []
+    for b in range(len(bin_edges) - 1):
+        lo = int(np.searchsorted(ctdg.times, bin_edges[b], side="left"))
+        hi = int(np.searchsorted(ctdg.times, bin_edges[b + 1], side="left"))
+        bin_labels = None
+        if labelled:
+            in_bin = (dataset.queries.times >= bin_edges[b]) & (
+                dataset.queries.times < bin_edges[b + 1]
+            )
+            bin_labels = labels[in_bin]
+        snapshots.append(
+            window_snapshot(
+                ctdg.src[lo:hi],
+                ctdg.dst[lo:hi],
+                seen_mask=seen_mask,
+                labels=bin_labels,
+                num_classes=num_classes,
+                num_buckets=num_buckets,
+            )
+        )
+    return snapshots
 
 
 def drift_report(
@@ -42,8 +107,14 @@ def drift_report(
     num_bins: int = 5,
     embedding_dim: int = 32,
     rng: SeedLike = 0,
+    seen_mask: Optional[np.ndarray] = None,
 ) -> DriftReport:
-    """Compute the Fig.-3 style drift diagnostics for ``dataset``."""
+    """Compute the Fig.-3 style drift diagnostics for ``dataset``.
+
+    ``seen_mask`` (per-node booleans, e.g. a fitted process's
+    :attr:`~repro.features.base.FeatureProcess.seen_mask`) enables the
+    unseen-endpoint facet of the shared-core window statistics.
+    """
     if num_bins < 2:
         raise ValueError(f"num_bins must be >= 2, got {num_bins}")
     ctdg = dataset.ctdg
@@ -101,22 +172,33 @@ def drift_report(
             group_embeddings[b] = embeddings[members].mean(axis=0)
     embedding_drift = np.linalg.norm(group_embeddings - group_embeddings[0], axis=1)
 
+    snapshots = binned_snapshots(dataset, bin_edges, seen_mask=seen_mask)
+    window_scores = [drift_score(snap, snapshots[0]) for snap in snapshots]
+
     return DriftReport(
         bin_edges=bin_edges,
         average_degree=average_degree,
         property_positive_ratio=ratios,
         group_embeddings=group_embeddings,
         embedding_drift=embedding_drift,
+        window_snapshots=snapshots,
+        window_scores=window_scores,
     )
 
 
 def format_drift_report(report: DriftReport) -> str:
-    lines = ["bin  avg_degree  positive_ratio  embedding_drift"]
+    lines = ["bin  avg_degree  positive_ratio  embedding_drift  window_drift"]
+    totals = (
+        report.divergence_total
+        if report.window_scores
+        else np.full(report.num_bins, np.nan)
+    )
     for b in range(report.num_bins):
         ratio = report.property_positive_ratio[b]
         ratio_text = f"{ratio:.3f}" if np.isfinite(ratio) else "  n/a"
+        drift_text = f"{totals[b]:.4f}" if np.isfinite(totals[b]) else "  n/a"
         lines.append(
             f"{b:>3}  {report.average_degree[b]:>10.2f}  {ratio_text:>14}  "
-            f"{report.embedding_drift[b]:>15.3f}"
+            f"{report.embedding_drift[b]:>15.3f}  {drift_text:>12}"
         )
     return "\n".join(lines)

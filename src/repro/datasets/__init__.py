@@ -18,8 +18,11 @@ from repro.datasets.email_eu_like import (
 from repro.datasets.gdelt_like import GdeltStreamConfig, gdelt_like, generate_gdelt_stream
 from repro.datasets.statistics import format_statistics, statistics_table
 from repro.datasets.synthetic_shift import (
+    ScheduledShiftConfig,
     ShiftStreamConfig,
+    generate_scheduled_shift_stream,
     generate_shift_stream,
+    scheduled_shift_stream,
     synthetic_shift,
 )
 from repro.datasets.tgbn_like import (
@@ -53,6 +56,9 @@ __all__ = [
     "ShiftStreamConfig",
     "generate_shift_stream",
     "synthetic_shift",
+    "ScheduledShiftConfig",
+    "generate_scheduled_shift_stream",
+    "scheduled_shift_stream",
     "statistics_table",
     "format_statistics",
 ]

@@ -16,7 +16,7 @@ exactly the stress test of Fig. 12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -134,4 +134,191 @@ def synthetic_shift(intensity: float, seed: int = 0, num_edges: int = 5000) -> S
     """Synthetic-{50,70,90} of the paper (any intensity in [0, 100] works)."""
     return generate_shift_stream(
         ShiftStreamConfig(shift_intensity=intensity, num_edges=num_edges, seed=seed)
+    )
+
+
+@dataclass
+class ScheduledShiftConfig:
+    """Scenario streams with *scheduled* mid-stream shift points.
+
+    Where :class:`ShiftStreamConfig` plants one shift at the train/test
+    boundary (the paper's Fig.-12 protocol), this generator places any
+    number of shifts at chosen fractions of the stream horizon — the
+    end-to-end drill for the adaptation loop (``repro.adapt``): a serving
+    system sees a stationary prefix, then one or more abrupt regime
+    changes whose times are recorded in ``metadata["shift_times"]`` so
+    drills can score pre/post-shift windows separately.
+
+    Each shift of intensity s ∈ [0, 100] applies the same three facets as
+    the boundary shift: a fraction of existing nodes migrate to new
+    communities (property), a fresh cohort of previously-unseen nodes
+    captures a share s of subsequent activity (positional), and the
+    activity skew over existing nodes is re-drawn (structural).
+    """
+
+    shift_points: Sequence[float] = (0.5,)  # fractions of the horizon, ascending
+    intensities: Sequence[float] = (70.0,)  # one per shift point
+    num_core_nodes: int = 150
+    new_nodes_per_shift: int = 120
+    num_classes: int = 6
+    num_edges: int = 6000
+    intra_prob: float = 0.9
+    query_prob: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        points = list(self.shift_points)
+        if len(points) != len(self.intensities):
+            raise ValueError(
+                f"{len(points)} shift points but {len(self.intensities)} intensities"
+            )
+        if not points:
+            raise ValueError("need at least one shift point")
+        if any(not 0 < p < 1 for p in points):
+            raise ValueError(f"shift points must lie in (0, 1), got {points}")
+        if any(b <= a for a, b in zip(points, points[1:])):
+            raise ValueError(f"shift points must be strictly ascending, got {points}")
+        if any(not 0 <= s <= 100 for s in self.intensities):
+            raise ValueError(
+                f"intensities must be in [0, 100], got {list(self.intensities)}"
+            )
+
+
+@dataclass
+class _Regime:
+    """Sampling state of one inter-shift segment."""
+
+    communities: np.ndarray  # label of every node (id space grows per shift)
+    core_activity: np.ndarray  # activity over the established pool
+    established: int  # nodes active before this segment's shift
+    cohort_lo: int  # the segment's fresh cohort [cohort_lo, cohort_hi)
+    cohort_hi: int
+    cohort_activity: np.ndarray
+    unseen_share: float  # share of activity the fresh cohort carries
+
+
+def generate_scheduled_shift_stream(
+    config: Optional[ScheduledShiftConfig] = None, name: Optional[str] = None
+) -> StreamDataset:
+    cfg = config or ScheduledShiftConfig()
+    rng = new_rng(cfg.seed)
+    num_shifts = len(cfg.shift_points)
+    n = cfg.num_core_nodes + num_shifts * cfg.new_nodes_per_shift
+    horizon = float(cfg.num_edges)
+    shift_times = [float(p) * horizon for p in cfg.shift_points]
+
+    communities = assign_communities(n, cfg.num_classes, rng)
+    regimes: List[_Regime] = [
+        _Regime(
+            communities=communities,
+            core_activity=zipf_weights(cfg.num_core_nodes, exponent=0.8, rng=rng),
+            established=cfg.num_core_nodes,
+            cohort_lo=0,
+            cohort_hi=0,
+            cohort_activity=np.zeros(0),
+            unseen_share=0.0,
+        )
+    ]
+    for shift, intensity in enumerate(cfg.intensities):
+        s = float(intensity) / 100.0
+        previous = regimes[-1]
+        established = previous.established
+        # Property shift: a fraction of established nodes migrate class.
+        migrated = previous.communities.copy()
+        movers = rng.choice(established, size=int(established * 0.25 * s), replace=False)
+        for node in movers:
+            migrated[node] = int(
+                (migrated[node] + 1 + rng.integers(0, cfg.num_classes - 1))
+                % cfg.num_classes
+            )
+        cohort_lo = cfg.num_core_nodes + shift * cfg.new_nodes_per_shift
+        cohort_hi = cohort_lo + cfg.new_nodes_per_shift
+        regimes.append(
+            _Regime(
+                communities=migrated,
+                # Structural shift: skew re-drawn over the established pool.
+                core_activity=zipf_weights(
+                    established, exponent=0.8 + 0.8 * s, rng=rng
+                ),
+                established=cohort_hi,
+                cohort_lo=cohort_lo,
+                cohort_hi=cohort_hi,
+                cohort_activity=zipf_weights(
+                    cfg.new_nodes_per_shift, exponent=0.8, rng=rng
+                ),
+                # Positional shift: the fresh cohort carries share s.
+                unseen_share=s,
+            )
+        )
+
+    src, dst, times = [], [], []
+    q_nodes, q_times, q_labels = [], [], []
+    t = 0.0
+    while len(src) < cfg.num_edges:
+        t += rng.exponential(1.0)
+        segment = int(np.searchsorted(shift_times, t, side="right"))
+        regime = regimes[segment]
+        comm = regime.communities
+        if regime.unseen_share and rng.random() < regime.unseen_share:
+            sender = regime.cohort_lo + int(
+                rng.choice(len(regime.cohort_activity), p=regime.cohort_activity)
+            )
+            pool = np.arange(regime.established)  # cohort mixes with everyone
+        else:
+            sender = int(
+                rng.choice(len(regime.core_activity), p=regime.core_activity)
+            )
+            pool = np.arange(regime.established)
+        same = pool[(comm[pool] == comm[sender]) & (pool != sender)]
+        other = pool[comm[pool] != comm[sender]]
+        if same.size and (rng.random() < cfg.intra_prob or other.size == 0):
+            receiver = int(rng.choice(same))
+        elif other.size:
+            receiver = int(rng.choice(other))
+        else:
+            continue
+        src.append(sender)
+        dst.append(receiver)
+        times.append(t)
+        if rng.random() < cfg.query_prob:
+            q_nodes.append(sender)
+            q_times.append(t)
+            q_labels.append(int(comm[sender]))
+
+    ctdg = CTDG(
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.array(times),
+        num_nodes=n,
+    )
+    queries = QuerySet(np.array(q_nodes, dtype=np.int64), np.array(q_times))
+    task = ClassificationTask(np.array(q_labels, dtype=np.int64), cfg.num_classes)
+    return StreamDataset(
+        name=name or f"scheduled-shift-{num_shifts}",
+        ctdg=ctdg,
+        queries=queries,
+        task=task,
+        metadata={
+            "shift_times": shift_times,
+            "intensities": [float(s) for s in cfg.intensities],
+            "communities_per_regime": [r.communities for r in regimes],
+            "config": cfg,
+        },
+    )
+
+
+def scheduled_shift_stream(
+    shift_at: float = 0.5,
+    intensity: float = 70.0,
+    seed: int = 0,
+    num_edges: int = 6000,
+) -> StreamDataset:
+    """One scheduled mid-stream shift — the adaptation drill's default."""
+    return generate_scheduled_shift_stream(
+        ScheduledShiftConfig(
+            shift_points=(shift_at,),
+            intensities=(intensity,),
+            num_edges=num_edges,
+            seed=seed,
+        )
     )

@@ -4,18 +4,21 @@ from repro.pipeline.evaluator import (
     MethodResult,
     PreparedExperiment,
     format_results_table,
+    iter_prepared,
     prepare_experiment,
     run_method,
     run_methods,
 )
-from repro.pipeline.splash import Splash, SplashConfig
+from repro.pipeline.splash import Splash, SplashConfig, fit_window
 
 __all__ = [
     "Splash",
     "SplashConfig",
+    "fit_window",
     "MethodResult",
     "PreparedExperiment",
     "prepare_experiment",
+    "iter_prepared",
     "run_method",
     "run_methods",
     "format_results_table",

@@ -9,8 +9,9 @@ material for Tables III/IV and Figures 9-12.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -109,6 +110,54 @@ def prepare_experiment(
         feature_fit_seconds=fit_seconds,
         context_seconds=context_seconds,
     )
+
+
+def iter_prepared(
+    datasets: Iterable[StreamDataset],
+    splash_config: SplashConfig,
+    seed: int = 0,
+) -> Iterator[PreparedExperiment]:
+    """Yield :func:`prepare_experiment` results for a dataset sweep.
+
+    With ``splash_config.prefetch`` set, dataset N+1's feature fit and
+    context materialisation run on a background thread while the caller
+    trains on dataset N — the training half of the ROADMAP's async-prefetch
+    item (the serving half landed with
+    ``PredictionService.serve_stream(background=True)``).  Preparation is
+    pure numpy (it never touches the nn backend's process-global dtype),
+    so overlapping it with training changes *when* bundles are built,
+    never their contents: results are identical with the flag on or off
+    (``tests/pipeline/test_prefetch.py``).
+
+    The prefetch depth is one — bundles are large, so materialising the
+    whole sweep ahead would trade the win for memory.
+    """
+
+    def prepare(dataset: StreamDataset) -> PreparedExperiment:
+        return prepare_experiment(
+            dataset,
+            k=splash_config.k,
+            feature_dim=splash_config.feature_dim,
+            seed=seed,
+            context_engine=splash_config.context_engine,
+            num_workers=splash_config.num_workers,
+        )
+
+    iterator = iter(datasets)
+    if not splash_config.prefetch:
+        for dataset in iterator:
+            yield prepare(dataset)
+        return
+
+    with ThreadPoolExecutor(max_workers=1, thread_name_prefix="prefetch") as pool:
+        pending = None
+        for dataset in iterator:
+            future = pool.submit(prepare, dataset)
+            if pending is not None:
+                yield pending.result()
+            pending = future
+        if pending is not None:
+            yield pending.result()
 
 
 def run_method(

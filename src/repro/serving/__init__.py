@@ -17,6 +17,12 @@ Three parts (see DESIGN.md §4):
 * :mod:`repro.serving.artifact` — persistent SPLASH artifacts
   (``Splash.save`` / ``Splash.load``) so a pipeline trained once can be
   loaded into the service and hot-swapped without downtime.
+
+The drift-aware adaptation loop that keeps a long-running service
+accurate under distribution shift — monitor, re-fit scheduler, shadow
+gate, model registry — lives in :mod:`repro.adapt` (DESIGN.md §5) and
+plugs in through two seams here: ``IncrementalContextStore.attach_monitor``
+and ``PredictionService.hot_swap(model, store=...)``.
 """
 
 from repro.serving.artifact import load_artifact, save_artifact

@@ -242,25 +242,68 @@ class PredictionService:
         self,
         model: ContextModel,
         *,
+        store: Optional[IncrementalContextStore] = None,
         dtype: Optional[str] = None,
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> None:
         """Replace the scoring model without interrupting service.
 
-        The replacement must consume the same feature space the store
-        serves — same selected process, feature dim, and edge-feature dim —
-        because the store's state cannot be retrofitted to different
-        features.  The swap itself is a pointer flip under the scoring
-        lock: queries already being scored finish on the old model, the
-        next micro-batch uses the new one; no queries are dropped.
+        Without ``store``, the replacement must consume the same feature
+        space the current store serves — same selected process, feature
+        dim, and edge-feature dim — because the store's state cannot be
+        retrofitted to different features.  With ``store``, a
+        model+store *pair* is swapped in together (the adaptation loop's
+        promotion path: a windowed re-fit may select a different process,
+        so it arrives with its own warmed store); the pair must be
+        self-consistent instead — the new store must materialise the new
+        model's feature space and edge-feature width, and its ``k`` must
+        match.
+
+        Either way the swap is a pointer flip under the scoring lock:
+        queries already being scored finish on the old model, the next
+        micro-batch uses the new one; no queries are dropped.  A batch
+        materialised from the old store may score on the new model (both
+        feature spaces are validated compatible); use an external ingest
+        lock (as :class:`repro.adapt.AdaptiveService` does) when even that
+        one-batch overlap must be excluded.
         """
         current = self.model
-        for attr in ("feature_name", "feature_dim", "edge_feature_dim"):
-            new, old = getattr(model, attr, None), getattr(current, attr, None)
-            if new != old:
+        if store is None:
+            for attr in ("feature_name", "feature_dim", "edge_feature_dim"):
+                new, old = getattr(model, attr, None), getattr(current, attr, None)
+                if new != old:
+                    raise ValueError(
+                        f"hot_swap {attr} mismatch: service serves {old!r}, "
+                        f"replacement expects {new!r}"
+                    )
+        else:
+            if store.k != self.store.k:
                 raise ValueError(
-                    f"hot_swap {attr} mismatch: service serves {old!r}, "
-                    f"replacement expects {new!r}"
+                    f"hot_swap k mismatch: service serves k={self.store.k}, "
+                    f"replacement store has k={store.k}"
+                )
+            feature_name = getattr(model, "feature_name", None)
+            if feature_name is not None and feature_name not in store.feature_names:
+                raise ValueError(
+                    f"hot_swap store cannot materialise {feature_name!r}; "
+                    f"it serves {store.feature_names}"
+                )
+            model_dim = getattr(model, "feature_dim", None)
+            if (
+                feature_name is not None
+                and model_dim is not None
+                and store.feature_dim(feature_name) != model_dim
+            ):
+                raise ValueError(
+                    f"hot_swap feature_dim mismatch: replacement model "
+                    f"expects {model_dim}-dim {feature_name!r} features, its "
+                    f"store materialises {store.feature_dim(feature_name)}-dim"
+                )
+            if getattr(model, "edge_feature_dim", 0) != store.edge_feature_dim:
+                raise ValueError(
+                    f"hot_swap edge_feature_dim mismatch: replacement model "
+                    f"expects {getattr(model, 'edge_feature_dim', 0)}, its "
+                    f"store serves {store.edge_feature_dim}"
                 )
         # Output width must match too: serve_stream sizes its result array
         # from the first chunk, so a mid-stream width change would discard
@@ -276,11 +319,17 @@ class PredictionService:
             if self._task is not None:
                 model.bind_task(self._task)
             self.model = model
+            if store is not None:
+                self.store = store
             if dtype is not None:
                 self._dtype = dtype
             if scores_fn is not None:
                 self.scores_fn = scores_fn
-        logger.info("hot-swapped model (dtype=%s)", self._dtype)
+        logger.info(
+            "hot-swapped model (dtype=%s%s)",
+            self._dtype,
+            ", with store" if store is not None else "",
+        )
 
     # ------------------------------------------------------------------
     def _score_bundle(self, bundle: ContextBundle) -> np.ndarray:

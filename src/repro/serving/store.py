@@ -90,6 +90,7 @@ class IncrementalContextStore:
         self._last_time = -np.inf
         self._closed = False
         self._progress = threading.Condition()
+        self._monitor = None
 
     # ------------------------------------------------------------------
     @property
@@ -108,6 +109,41 @@ class IncrementalContextStore:
     @property
     def is_closed(self) -> bool:
         return self._closed
+
+    @property
+    def feature_names(self) -> list:
+        """Names of the feature spaces this store can materialise."""
+        names = set(self._state.stores) | set(self._static_tables)
+        if self._structural_params:
+            names.add("structural")
+        return sorted(names)
+
+    def feature_dim(self, name: str) -> int:
+        """Width of the vectors this store materialises for ``name``."""
+        if name in self._state.stores:
+            return int(self._state.stores[name].dim)
+        if name in self._static_tables:
+            return int(self._static_tables[name].shape[1])
+        if name == "structural" and self._structural_params:
+            return int(self._structural_params["dim"])
+        raise KeyError(f"no feature process {name!r} in this store")
+
+    @property
+    def monitor(self):
+        return self._monitor
+
+    def attach_monitor(self, monitor) -> None:
+        """Feed every subsequently ingested batch to a drift monitor.
+
+        ``monitor`` is anything with the
+        :meth:`repro.adapt.DriftMonitor.observe_edges` signature; it is
+        called under the store's lock, after the replay state has
+        advanced, with the exact arrays of the batch.  Keep the observer
+        O(batch) cheap — it sits on the ingest hot path (the adaptation
+        benchmark gates this overhead at < 10% of ingest throughput).
+        """
+        with self._progress:
+            self._monitor = monitor
 
     # ------------------------------------------------------------------
     def ingest(self, edges: CTDG) -> int:
@@ -174,6 +210,8 @@ class IncrementalContextStore:
             self._edges_ingested = base + count
             if count:
                 self._last_time = float(times[-1])
+            if self._monitor is not None and count:
+                self._monitor.observe_edges(src, dst, times, features, weights)
             self._progress.notify_all()
         return count
 

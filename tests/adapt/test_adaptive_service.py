@@ -1,0 +1,260 @@
+"""End-to-end adaptation drills: monitor → trigger → re-fit → gate → swap."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    AdaptationConfig,
+    AdaptiveService,
+    ModelRegistry,
+    ThresholdTrigger,
+)
+from repro.datasets import scheduled_shift_stream
+from repro.models import ModelConfig
+from repro.pipeline import Splash, SplashConfig
+
+
+def _small_config(seed=0, epochs=6):
+    return SplashConfig(
+        feature_dim=12,
+        k=8,
+        model=ModelConfig(
+            hidden_dim=24, epochs=epochs, patience=3, batch_size=128,
+            lr=3e-3, seed=seed,
+        ),
+        split_fractions=[0.5, 0.7],
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def shift_drill():
+    """A stream with one scheduled mid-stream shift plus a trained pipeline."""
+    dataset = scheduled_shift_stream(
+        shift_at=0.5, intensity=85, seed=0, num_edges=2600
+    )
+    splash = Splash(_small_config())
+    splash.fit(dataset)
+    return dataset, splash
+
+
+def _adaptation_config(**overrides):
+    base = dict(
+        window_edges=900,
+        window_queries=700,
+        check_every=150,
+        threshold=0.12,
+        min_window_queries=80,
+        background=False,
+    )
+    base.update(overrides)
+    return AdaptationConfig(**base)
+
+
+def _fresh_splash(dataset):
+    splash = Splash(_small_config())
+    splash.fit(dataset)
+    return splash
+
+
+class TestAdaptiveService:
+    def test_shift_triggers_gated_promotion_and_swap(self, shift_drill, tmp_path):
+        dataset, _ = shift_drill
+        splash = _fresh_splash(dataset)
+        registry = ModelRegistry(str(tmp_path / "registry"))
+        adaptive = AdaptiveService(
+            splash,
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(),
+            registry=registry,
+        )
+        initial_model = adaptive.service.model
+        initial_store = adaptive.service.store
+        scores = adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        assert scores.shape == (len(dataset.queries), dataset.task.output_dim)
+        summary = adaptive.summary()
+        assert summary["promotions"] >= 1
+        # The promoted pair replaced both the model and its store.
+        assert adaptive.service.model is not initial_model
+        assert adaptive.service.store is not initial_store
+        # Stream position survived the swap (catch-up replay).
+        assert adaptive.service.store.last_time == dataset.ctdg.times[-1]
+        # The monitor follows the swapped-in store.
+        assert adaptive.service.store.monitor is adaptive.monitor
+        assert adaptive.monitor.edges_observed == dataset.ctdg.num_edges
+        # Every promotion passed the shadow gate and is in the registry.
+        promoted = [o for o in adaptive.outcomes if o.promoted]
+        for outcome in promoted:
+            assert outcome.candidate_metric >= outcome.current_metric
+            assert outcome.drift  # drift context recorded
+        assert registry.active() is not None
+        assert registry.active_version == promoted[-1].registry_version
+
+    def test_adaptation_beats_frozen_post_shift(self, shift_drill, tmp_path):
+        dataset, frozen_splash = shift_drill
+        from repro.serving import PredictionService
+
+        frozen = PredictionService.from_splash(frozen_splash, dataset.ctdg.num_nodes)
+        frozen_scores = frozen.serve_stream(
+            dataset.ctdg, dataset.queries.nodes, dataset.queries.times,
+            background=False,
+        )
+        adaptive = AdaptiveService(
+            _fresh_splash(dataset),
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(),
+        )
+        adaptive_scores = adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        shift_time = dataset.metadata["shift_times"][0]
+        split = dataset.split()
+        post = split.test_idx[dataset.queries.times[split.test_idx] > shift_time]
+        frozen_metric = dataset.task.evaluate(frozen_scores[post], post)
+        adaptive_metric = dataset.task.evaluate(adaptive_scores[post], post)
+        assert adaptive.summary()["promotions"] >= 1
+        assert adaptive_metric > frozen_metric
+
+    def test_shadow_gate_rejects_unbeatable_bar(self, shift_drill, tmp_path):
+        """With an impossible improvement bar every candidate is rejected:
+        the service must keep its original model and store."""
+        dataset, _ = shift_drill
+        splash = _fresh_splash(dataset)
+        registry = ModelRegistry(str(tmp_path / "rejects"))
+        adaptive = AdaptiveService(
+            splash,
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(min_improvement=10.0),
+            registry=registry,
+        )
+        initial_model = adaptive.service.model
+        initial_store = adaptive.service.store
+        adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        summary = adaptive.summary()
+        assert summary["refit_attempts"] >= 1
+        assert summary["promotions"] == 0
+        assert adaptive.service.model is initial_model
+        assert adaptive.service.store is initial_store
+        # Rejected candidates are still registered for audit — none active.
+        assert len(registry.versions) == summary["refit_attempts"]
+        assert registry.active() is None
+        for outcome in adaptive.outcomes:
+            assert "shadow gate rejected" in outcome.reason
+
+    def test_thin_window_skips_refit(self, shift_drill):
+        dataset, _ = shift_drill
+        adaptive = AdaptiveService(
+            _fresh_splash(dataset),
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(min_window_queries=10**9),
+        )
+        adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        assert adaptive.summary()["promotions"] == 0
+        assert all("window too thin" in o.reason for o in adaptive.outcomes)
+
+    def test_explicit_policy_and_reference(self, shift_drill):
+        dataset, _ = shift_drill
+        adaptive = AdaptiveService(
+            _fresh_splash(dataset),
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(
+                policy=ThresholdTrigger(10.0),  # never fires
+                reference_edges=100,
+            ),
+        )
+        adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        assert adaptive.monitor.reference is not None
+        assert adaptive.summary()["refit_attempts"] == 0
+        # Scores were still recorded for observability.
+        assert len(adaptive.monitor.history) > 0
+
+    def test_unfitted_splash_rejected(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveService(Splash(_small_config()), 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdaptationConfig(window_edges=0)
+        with pytest.raises(ValueError):
+            AdaptationConfig(refit_train_frac=0.9, refit_val_frac=0.2)
+
+
+class TestHotSwapStore:
+    def test_store_swap_validates_k(self, shift_drill):
+        dataset, splash = shift_drill
+        from repro.serving import IncrementalContextStore, PredictionService
+
+        service = PredictionService.from_splash(splash, dataset.ctdg.num_nodes)
+        wrong_k = IncrementalContextStore(
+            splash.processes, splash.config.k + 1, dataset.ctdg.num_nodes, 0
+        )
+        with pytest.raises(ValueError, match="k mismatch"):
+            service.hot_swap(splash.model, store=wrong_k)
+
+    def test_store_swap_validates_feature_space(self, shift_drill):
+        dataset, splash = shift_drill
+        from repro.serving import IncrementalContextStore, PredictionService
+
+        service = PredictionService.from_splash(splash, dataset.ctdg.num_nodes)
+        empty = IncrementalContextStore([], splash.config.k, dataset.ctdg.num_nodes, 0)
+        with pytest.raises(ValueError, match="cannot materialise"):
+            service.hot_swap(splash.model, store=empty)
+
+    def test_store_swap_validates_feature_dim(self, shift_drill):
+        """A store materialising the right process at the wrong width must
+        be rejected at swap time, not crash at the first prediction."""
+        dataset, splash = shift_drill
+        from repro.features import default_processes
+        from repro.serving import IncrementalContextStore, PredictionService
+
+        service = PredictionService.from_splash(splash, dataset.ctdg.num_nodes)
+        narrow_processes = default_processes(
+            splash.config.feature_dim // 2, seed=0
+        )
+        split = dataset.split()
+        for process in narrow_processes:
+            process.fit(dataset.train_stream(split), dataset.ctdg.num_nodes)
+        narrow = IncrementalContextStore(
+            narrow_processes, splash.config.k, dataset.ctdg.num_nodes, 0
+        )
+        with pytest.raises(ValueError, match="feature_dim mismatch"):
+            service.hot_swap(splash.model, store=narrow)
+
+    def test_store_swap_accepts_consistent_pair(self, shift_drill):
+        dataset, splash = shift_drill
+        from repro.serving import IncrementalContextStore, PredictionService
+
+        service = PredictionService.from_splash(splash, dataset.ctdg.num_nodes)
+        fresh = IncrementalContextStore(
+            splash.processes, splash.config.k, dataset.ctdg.num_nodes, 0
+        )
+        service.hot_swap(splash.model, store=fresh)
+        assert service.store is fresh

@@ -1,0 +1,161 @@
+"""The online/offline drift-consistency invariant, under fuzzing.
+
+A :class:`repro.adapt.DriftMonitor` whose sliding window holds exactly the
+edges/labels of an offline :func:`repro.analysis.drift.drift_report` bin
+must produce the *bit-for-bit same* snapshot and divergence scores — the
+invariant that lets monitor thresholds be tuned from offline reports.
+Fuzzed over random tied streams (shared hazard generator: timestamp ties,
+self-loops, hubs), random ingest micro-batch sizes, and both ambient
+precisions (the statistics core is integer/float64 arithmetic and must be
+unaffected by the nn backend's process-global dtype).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adapt import DriftMonitor
+from repro.adapt.stats import drift_score
+from repro.analysis import binned_snapshots, drift_report
+from repro.datasets.base import StreamDataset
+from repro.nn import default_dtype
+from repro.tasks.classification import ClassificationTask
+from tests.conftest import random_tied_stream
+
+NUM_CLASSES = 3
+
+
+def _tied_dataset(seed: int, num_edges: int = 150, num_queries: int = 60):
+    g, queries = random_tied_stream(
+        seed, num_nodes=20, num_edges=num_edges, num_queries=num_queries
+    )
+    labels = np.random.default_rng(seed + 7).integers(
+        0, NUM_CLASSES, size=num_queries
+    )
+    return StreamDataset(
+        name=f"tied-{seed}",
+        ctdg=g,
+        queries=queries,
+        task=ClassificationTask(labels, NUM_CLASSES),
+    )
+
+
+def _feed_monitor_prefix(dataset, seen_mask, edge_hi, query_hi, window_edges,
+                         window_queries, rng):
+    """A monitor whose ring window ends exactly at (edge_hi, query_hi)."""
+    monitor = DriftMonitor(
+        window_edges=window_edges,
+        window_queries=max(window_queries, 1),
+        seen_mask=seen_mask,
+        num_classes=NUM_CLASSES,
+    )
+    ctdg, queries = dataset.ctdg, dataset.queries
+    labels = dataset.task.labels
+    lo = 0
+    while lo < edge_hi:  # random micro-batch sizes, boundaries anywhere
+        hi = min(edge_hi, lo + int(rng.integers(1, 40)))
+        monitor.observe_edges(ctdg.src[lo:hi], ctdg.dst[lo:hi], ctdg.times[lo:hi])
+        lo = hi
+    # A query-free bin means an *empty* label window, not the stream's
+    # stale tail — feed nothing in that case.
+    lo = 0 if window_queries else query_hi
+    while lo < query_hi:
+        hi = min(query_hi, lo + int(rng.integers(1, 20)))
+        monitor.observe_queries(
+            queries.nodes[lo:hi], queries.times[lo:hi], labels[lo:hi]
+        )
+        lo = hi
+    return monitor
+
+
+def _assert_scores_bitwise_equal(left, right):
+    assert left.degree_js == right.degree_js
+    assert left.label_js == right.label_js
+    assert left.unseen_delta == right.unseen_delta
+    assert left.total == right.total
+
+
+def _check_bins_against_monitor(dataset, bin_edges, snapshots, seen_mask, rng):
+    """Every non-empty bin must be reproduced exactly by a sliding monitor."""
+    ctdg, queries = dataset.ctdg, dataset.queries
+    compared = 0
+    for b in range(len(bin_edges) - 1):
+        e_lo = int(np.searchsorted(ctdg.times, bin_edges[b], side="left"))
+        e_hi = int(np.searchsorted(ctdg.times, bin_edges[b + 1], side="left"))
+        q_lo = int(np.searchsorted(queries.times, bin_edges[b], side="left"))
+        q_hi = int(np.searchsorted(queries.times, bin_edges[b + 1], side="left"))
+        if e_hi == e_lo:
+            continue  # ties can produce empty bins; ring windows can't be empty
+        monitor = _feed_monitor_prefix(
+            dataset, seen_mask, e_hi, q_hi, e_hi - e_lo, q_hi - q_lo, rng
+        )
+        assert monitor.snapshot() == snapshots[b], f"bin {b} snapshot differs"
+        monitor.reference = snapshots[0]
+        _assert_scores_bitwise_equal(
+            monitor.score(), drift_score(snapshots[b], snapshots[0])
+        )
+        compared += 1
+    assert compared >= 2  # the fuzz must actually exercise multiple windows
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_monitor_matches_offline_bins(seed):
+    dataset = _tied_dataset(seed)
+    rng = np.random.default_rng(seed + 100)
+    seen_mask = rng.random(dataset.ctdg.num_nodes) < 0.6
+    num_bins = 4
+    # Equal-count chronological bins, the drift_report protocol.
+    edges_per_bin = dataset.ctdg.num_edges // num_bins
+    boundaries = [
+        dataset.ctdg.times[min(b * edges_per_bin, dataset.ctdg.num_edges - 1)]
+        for b in range(num_bins)
+    ]
+    boundaries.append(dataset.ctdg.times[-1] + 1e-9)
+    bin_edges = np.asarray(boundaries)
+    snapshots = binned_snapshots(dataset, bin_edges, seen_mask=seen_mask)
+    _check_bins_against_monitor(dataset, bin_edges, snapshots, seen_mask, rng)
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+def test_consistency_independent_of_ambient_dtype(dtype):
+    """The invariant holds — with identical numbers — at both precisions."""
+    dataset = _tied_dataset(11)
+    rng = np.random.default_rng(42)
+    seen_mask = rng.random(dataset.ctdg.num_nodes) < 0.5
+    with default_dtype(dtype):
+        report = drift_report(dataset, num_bins=3, embedding_dim=8,
+                              seen_mask=seen_mask)
+        _check_bins_against_monitor(
+            dataset,
+            report.bin_edges,
+            report.window_snapshots,
+            seen_mask,
+            np.random.default_rng(7),
+        )
+        # Report-side scores come from the same shared core.
+        for b, scores in enumerate(report.window_scores):
+            _assert_scores_bitwise_equal(
+                scores,
+                drift_score(report.window_snapshots[b], report.window_snapshots[0]),
+            )
+
+
+def test_float32_and_float64_scores_bitwise_identical():
+    """One score series, computed under each ambient dtype, is identical."""
+    dataset = _tied_dataset(21)
+    seen_mask = np.random.default_rng(3).random(dataset.ctdg.num_nodes) < 0.5
+    results = {}
+    for dtype in ("float32", "float64"):
+        with default_dtype(dtype):
+            monitor = DriftMonitor(
+                window_edges=64, window_queries=32,
+                seen_mask=seen_mask, num_classes=NUM_CLASSES,
+            )
+            ctdg = dataset.ctdg
+            monitor.observe_edges(ctdg.src[:80], ctdg.dst[:80], ctdg.times[:80])
+            monitor.freeze_reference()
+            monitor.observe_edges(ctdg.src[80:], ctdg.dst[80:], ctdg.times[80:])
+            monitor.observe_queries(
+                dataset.queries.nodes, dataset.queries.times, dataset.task.labels
+            )
+            results[dtype] = monitor.score()
+    _assert_scores_bitwise_equal(results["float32"], results["float64"])

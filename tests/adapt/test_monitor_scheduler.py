@@ -1,0 +1,210 @@
+"""DriftMonitor store hook, trigger policies, and the RefitScheduler."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.adapt import (
+    CooldownTrigger,
+    DriftMonitor,
+    HysteresisTrigger,
+    PeriodicTrigger,
+    RefitScheduler,
+    ThresholdTrigger,
+)
+from repro.adapt.stats import DriftScores
+from repro.serving import IncrementalContextStore
+from tests.conftest import fitted_context_processes, random_tied_stream
+
+
+def _scores(total: float) -> DriftScores:
+    return DriftScores(degree_js=total, label_js=0.0, unseen_delta=0.0)
+
+
+class TestStoreHook:
+    def test_monitor_observes_exactly_the_ingested_stream(self):
+        g, _ = random_tied_stream(5, num_edges=120)
+        processes = fitted_context_processes(g)
+        store = IncrementalContextStore(processes, 4, g.num_nodes, 0)
+        monitor = DriftMonitor(window_edges=200, window_queries=10)
+        store.attach_monitor(monitor)
+        assert store.monitor is monitor
+        for lo in range(0, g.num_edges, 17):
+            hi = min(lo + 17, g.num_edges)
+            store.ingest_arrays(
+                g.src[lo:hi], g.dst[lo:hi], g.times[lo:hi], None, g.weights[lo:hi]
+            )
+        assert monitor.edges_observed == g.num_edges
+        src, dst, times, _, weights = monitor.window.edge_arrays()
+        np.testing.assert_array_equal(src, g.src)
+        np.testing.assert_array_equal(dst, g.dst)
+        np.testing.assert_array_equal(times, g.times)
+        np.testing.assert_array_equal(weights, g.weights)
+
+    def test_store_feature_names(self):
+        g, _ = random_tied_stream(6, num_edges=60)
+        processes = fitted_context_processes(g)
+        store = IncrementalContextStore(processes, 4, g.num_nodes, 0)
+        assert store.feature_names == ["fresh_random", "random", "structural", "zero"]
+
+    def test_monitor_reference_and_history(self):
+        monitor = DriftMonitor(window_edges=8, window_queries=4)
+        monitor.observe_edges([0, 1], [1, 2], [0.0, 1.0])
+        assert monitor.score().total == 0.0  # no reference yet -> no alarm
+        monitor.freeze_reference()
+        monitor.observe_edges([5] * 8, [5] * 8, np.arange(2.0, 10.0))
+        assert monitor.score().total > 0.0
+        assert len(monitor.history) == 2
+        assert monitor.history[-1][0] == monitor.edges_observed
+
+
+class TestPolicies:
+    def test_threshold(self):
+        policy = ThresholdTrigger(0.5)
+        assert not policy.update(_scores(0.49), 100)
+        assert policy.update(_scores(0.5), 200)
+        with pytest.raises(ValueError):
+            ThresholdTrigger(0.0)
+
+    def test_hysteresis_one_alarm_per_excursion(self):
+        policy = HysteresisTrigger(high=0.5, low=0.2)
+        assert policy.update(_scores(0.6), 1)
+        assert not policy.update(_scores(0.7), 2)  # still high: disarmed
+        assert not policy.update(_scores(0.3), 3)  # below high, above low
+        assert not policy.update(_scores(0.1), 4)  # re-arms, no alarm
+        assert policy.update(_scores(0.8), 5)  # next excursion fires again
+        with pytest.raises(ValueError):
+            HysteresisTrigger(high=0.2, low=0.5)
+
+    def test_periodic(self):
+        policy = PeriodicTrigger(100)
+        assert not policy.update(_scores(0.0), 99)
+        assert policy.update(_scores(0.0), 100)
+        assert not policy.update(_scores(0.0), 150)
+        assert policy.update(_scores(0.0), 350)  # catches up past misses
+        assert not policy.update(_scores(0.0), 399)
+        assert policy.update(_scores(0.0), 400)
+
+    def test_cooldown_anchors_on_launched_refits(self):
+        policy = CooldownTrigger(ThresholdTrigger(0.5), cooldown_edges=100)
+        assert policy.update(_scores(0.9), 10)
+        policy.notify_refit(10)
+        assert not policy.update(_scores(0.9), 50)  # within cooldown
+        assert policy.update(_scores(0.9), 110)  # cooldown expired
+        # Alarms suppressed by the cooldown do NOT reset it.
+        policy.notify_refit(110)
+        assert not policy.update(_scores(0.9), 150)
+        assert policy.update(_scores(0.9), 210)
+
+    def test_cooldown_latches_one_shot_inner_alarms(self):
+        """A hysteresis excursion that fires *inside* the cooldown must be
+        latched and released at expiry — not consumed-and-lost, which
+        under sustained drift would disarm adaptation forever."""
+        policy = CooldownTrigger(
+            HysteresisTrigger(high=0.5, low=0.2), cooldown_edges=100
+        )
+        assert policy.update(_scores(0.9), 10)  # excursion 1 launches a refit
+        policy.notify_refit(10)
+        assert not policy.update(_scores(0.1), 40)  # dip re-arms the inner
+        # Excursion 2 fires during the cooldown: suppressed but latched.
+        assert not policy.update(_scores(0.9), 60)
+        # Score stays >= low from here on (persistent shift) — the inner
+        # can never re-fire on its own; the latch must carry the alarm.
+        assert not policy.update(_scores(0.9), 90)
+        assert policy.update(_scores(0.9), 120)  # released at expiry
+        # Launching that refit clears the latch; no double-fire.
+        policy.notify_refit(120)
+        assert not policy.update(_scores(0.9), 150)
+
+
+class TestScheduler:
+    def _monitor_with_drift(self, window=16):
+        monitor = DriftMonitor(window_edges=window, window_queries=4)
+        monitor.observe_edges([0, 1], [1, 2], [0.0, 0.5])
+        monitor.freeze_reference()
+        return monitor
+
+    def test_inline_refit_fires_once_per_alarm(self):
+        monitor = self._monitor_with_drift()
+        calls = []
+        scheduler = RefitScheduler(
+            monitor,
+            CooldownTrigger(ThresholdTrigger(0.05), cooldown_edges=1000),
+            lambda: calls.append(monitor.edges_observed),
+            check_every=8,
+            background=False,
+        )
+        # Hub takeover: drives the score far above threshold.
+        for _ in range(4):
+            monitor.observe_edges([9] * 4, [9] * 4, np.arange(4.0))
+            scheduler.poll()
+        assert scheduler.alarms == 1  # cooldown suppresses the rest
+        assert calls and scheduler.refits_launched == 1
+        assert scheduler.summary()["refits_failed"] == 0
+
+    def test_refit_failure_is_contained(self):
+        monitor = self._monitor_with_drift()
+
+        def bad_refit():
+            raise RuntimeError("boom")
+
+        scheduler = RefitScheduler(
+            monitor, ThresholdTrigger(0.05), bad_refit,
+            check_every=4, background=False,
+        )
+        monitor.observe_edges([9] * 8, [9] * 8, np.arange(8.0))
+        scheduler.poll()  # must not raise
+        assert scheduler.refits_failed == 1
+
+    def test_background_single_flight(self):
+        monitor = self._monitor_with_drift()
+        release = threading.Event()
+        started = []
+
+        def slow_refit():
+            started.append(True)
+            release.wait(5.0)
+
+        scheduler = RefitScheduler(
+            monitor, ThresholdTrigger(0.05), slow_refit,
+            check_every=4, background=True,
+        )
+        monitor.observe_edges([9] * 8, [9] * 8, np.arange(8.0))
+        assert scheduler.poll()
+        for _ in range(50):
+            if started:
+                break
+            time.sleep(0.01)
+        assert started and scheduler.refit_in_flight
+        # Further alarms while the worker runs are counted, not launched.
+        monitor.observe_edges([9] * 8, [9] * 8, np.arange(8.0, 16.0))
+        assert not scheduler.poll()
+        assert scheduler.refits_launched == 1
+        assert scheduler.alarms == 2
+        release.set()
+        scheduler.join(5.0)
+        assert not scheduler.refit_in_flight
+
+    def test_poll_cadence(self):
+        monitor = self._monitor_with_drift()
+        scheduler = RefitScheduler(
+            monitor, ThresholdTrigger(0.05), lambda: None,
+            check_every=100, background=False,
+        )
+        monitor.observe_edges([9], [9], [1.0])
+        scheduler.poll()
+        assert scheduler.last_scores is None  # below cadence: nothing scored
+        monitor.observe_edges([9] * 100, [9] * 100, np.arange(100.0))
+        scheduler.poll()
+        assert scheduler.last_scores is not None
+
+    def test_validation(self):
+        monitor = self._monitor_with_drift()
+        with pytest.raises(ValueError):
+            RefitScheduler(monitor, ThresholdTrigger(1.0), lambda: None, check_every=0)
+        with pytest.raises(ValueError):
+            PeriodicTrigger(0)
+        with pytest.raises(ValueError):
+            CooldownTrigger(ThresholdTrigger(1.0), -1)

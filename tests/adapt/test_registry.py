@@ -1,0 +1,109 @@
+"""ModelRegistry: versioning, atomic promotion, reload, round trips."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.adapt import ModelRegistry
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.pipeline import Splash, SplashConfig
+
+
+@pytest.fixture(scope="module")
+def fitted_splash():
+    dataset = email_eu_like(seed=0, num_edges=600)
+    splash = Splash(
+        SplashConfig(
+            feature_dim=8,
+            k=4,
+            model=ModelConfig(hidden_dim=12, epochs=2, batch_size=64, seed=0),
+            split_fractions=[0.5, 0.7],
+            seed=0,
+        )
+    )
+    splash.fit(dataset)
+    return splash, dataset
+
+
+class TestRegistry:
+    def test_register_promote_reload(self, fitted_splash, tmp_path):
+        splash, dataset = fitted_splash
+        registry = ModelRegistry(str(tmp_path / "reg"))
+        assert registry.active() is None
+        assert registry.latest() is None
+
+        entry = registry.register(
+            splash,
+            metrics={"shadow_candidate": 0.9},
+            drift={"total": 0.31},
+            note="initial",
+        )
+        assert entry.version == 1
+        assert registry.latest().version == 1
+        assert registry.active() is None  # registration does not promote
+
+        registry.promote(1)
+        assert registry.active_version == 1
+
+        # A fresh instance over the same root sees the same state.
+        reopened = ModelRegistry(str(tmp_path / "reg"))
+        assert reopened.active_version == 1
+        assert reopened.get(1).metrics["shadow_candidate"] == pytest.approx(0.9)
+        assert reopened.get(1).drift["total"] == pytest.approx(0.31)
+        assert reopened.get(1).note == "initial"
+
+        # The artifact round-trips into an equivalent pipeline.
+        loaded = reopened.load_version()
+        loaded.attach(dataset)
+        original_metric = splash.evaluate()
+        assert loaded.evaluate() == pytest.approx(original_metric)
+
+    def test_versions_are_monotone(self, fitted_splash, tmp_path):
+        splash, _ = fitted_splash
+        registry = ModelRegistry(str(tmp_path / "reg2"))
+        first = registry.register(splash)
+        second = registry.register(splash)
+        assert (first.version, second.version) == (1, 2)
+        assert [entry.version for entry in registry.versions] == [1, 2]
+        registry.promote(2)
+        assert registry.active().version == 2
+
+    def test_unknown_version_rejected(self, fitted_splash, tmp_path):
+        splash, _ = fitted_splash
+        registry = ModelRegistry(str(tmp_path / "reg3"))
+        registry.register(splash)
+        with pytest.raises(KeyError):
+            registry.promote(99)
+        with pytest.raises(RuntimeError):
+            registry.load_version()  # nothing promoted yet
+
+    def test_index_is_valid_json_after_every_write(self, fitted_splash, tmp_path):
+        splash, _ = fitted_splash
+        root = tmp_path / "reg4"
+        registry = ModelRegistry(str(root))
+        registry.register(splash)
+        registry.promote(1)
+        with open(root / "registry.json") as handle:
+            data = json.load(handle)
+        assert data["format"] == "splash-registry"
+        assert data["active"] == 1
+        assert len(data["versions"]) == 1
+        # No temp files left behind by the atomic replace.
+        assert not [p for p in os.listdir(root) if p.endswith(".tmp")]
+
+    def test_non_registry_index_rejected(self, tmp_path):
+        root = tmp_path / "not-a-registry"
+        os.makedirs(root)
+        with open(root / "registry.json", "w") as handle:
+            json.dump({"format": "something-else"}, handle)
+        with pytest.raises(ValueError):
+            ModelRegistry(str(root))
+
+    def test_metrics_coerced_to_float(self, fitted_splash, tmp_path):
+        splash, _ = fitted_splash
+        registry = ModelRegistry(str(tmp_path / "reg5"))
+        entry = registry.register(splash, metrics={"m": np.float64(0.5)})
+        assert isinstance(entry.metrics["m"], float)

@@ -1,0 +1,163 @@
+"""Unit tests for the shared drift-statistics core (repro.adapt.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.adapt.stats import (
+    DriftScores,
+    StreamWindow,
+    activity_buckets,
+    drift_score,
+    js_divergence,
+    window_snapshot,
+)
+
+
+class TestWindowSnapshot:
+    def test_counts_by_hand(self):
+        # Node 1 appears 3x, node 2 3x, nodes 3/4 once each.
+        snap = window_snapshot(
+            [1, 2, 1], [2, 3, 4],
+            seen_mask=np.array([True, True, True, False, False]),
+            labels=np.array([0, 0, 2]),
+            num_classes=3,
+        )
+        assert snap.num_edges == 3
+        assert snap.total_endpoints == 6
+        assert snap.unseen_endpoints == 2  # nodes 3 and 4, once each
+        assert snap.unseen_ratio == pytest.approx(2 / 6)
+        # counts {1:3, 2:3, 3:1, 4:1} -> buckets {bucket1: two nodes, bucket0: two}
+        assert snap.degree_hist[0] == 2 and snap.degree_hist[1] == 2
+        assert snap.degree_hist[2:].sum() == 0
+        assert snap.active_nodes == 4
+        np.testing.assert_array_equal(snap.label_hist, [2, 0, 1])
+
+    def test_empty_window(self):
+        snap = window_snapshot([], [], num_classes=2)
+        assert snap.num_edges == 0
+        assert snap.unseen_ratio == 0.0
+        assert snap.degree_hist.sum() == 0
+
+    def test_out_of_range_endpoints_count_as_unseen(self):
+        snap = window_snapshot([0, 9], [1, 9], seen_mask=np.array([True, True]))
+        assert snap.unseen_endpoints == 2  # node 9 is beyond the mask
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            window_snapshot([1, 2], [3])
+
+    def test_activity_buckets_log2_exact(self):
+        counts = np.array([0, 1, 2, 3, 4, 7, 8, 1023, 1024])
+        buckets = activity_buckets(counts, 16)
+        np.testing.assert_array_equal(buckets, [0, 1, 1, 2, 2, 3, 9, 10])
+
+    def test_activity_buckets_clamp_to_last(self):
+        assert activity_buckets(np.array([2**40]), 8)[0] == 7
+
+
+class TestDivergence:
+    def test_js_zero_on_equal(self):
+        assert js_divergence(np.array([3, 1, 0]), np.array([3, 1, 0])) == 0.0
+
+    def test_js_bounded_and_symmetric(self):
+        p, q = np.array([10, 0, 0]), np.array([0, 0, 10])
+        assert js_divergence(p, q) == pytest.approx(np.log(2))
+        assert js_divergence(p, q) == js_divergence(q, p)
+
+    def test_js_pads_shorter_histogram(self):
+        # A class absent from one window is a zero bucket, not an error.
+        assert js_divergence(np.array([1, 1]), np.array([1, 1, 0])) == 0.0
+
+    def test_drift_score_zero_on_identical_windows(self):
+        snap = window_snapshot([1, 2], [2, 3], labels=np.array([0, 1]), num_classes=2)
+        scores = drift_score(snap, snap)
+        assert scores.total == 0.0
+
+    def test_drift_score_detects_each_facet(self):
+        seen = np.array([True] * 4 + [False] * 4)
+        ref = window_snapshot([0, 1, 2], [1, 2, 3], seen_mask=seen,
+                              labels=np.array([0, 0, 0]), num_classes=2)
+        # Positional: unseen nodes flood in.
+        pos = window_snapshot([4, 5, 6], [5, 6, 7], seen_mask=seen,
+                              labels=np.array([0, 0, 0]), num_classes=2)
+        assert drift_score(pos, ref).unseen_delta == pytest.approx(1.0)
+        # Property: labels flip.
+        prop = window_snapshot([0, 1, 2], [1, 2, 3], seen_mask=seen,
+                               labels=np.array([1, 1, 1]), num_classes=2)
+        assert drift_score(prop, ref).label_js > 0.5
+        # Structural: all activity concentrates on one hub.
+        hub = window_snapshot([0] * 8, [0] * 8, seen_mask=seen,
+                              labels=np.array([0, 0, 0]), num_classes=2)
+        assert drift_score(hub, ref).degree_js > 0.1
+
+    def test_scores_as_dict_round(self):
+        scores = DriftScores(0.1, 0.2, 0.3)
+        d = scores.as_dict()
+        assert d["total"] == pytest.approx(0.6)
+
+
+class TestStreamWindow:
+    def _reference_tail(self, events, capacity):
+        return events[-capacity:] if len(events) > capacity else events
+
+    @pytest.mark.parametrize("capacity", [1, 3, 7, 64])
+    def test_ring_equals_naive_tail(self, capacity, rng):
+        window = StreamWindow(capacity, capacity)
+        all_src, all_dst, all_t = [], [], []
+        t = 0.0
+        for _ in range(20):
+            n = int(rng.integers(0, 9))
+            src = rng.integers(0, 50, size=n)
+            dst = rng.integers(0, 50, size=n)
+            times = t + np.sort(rng.random(n))
+            t += 1.0
+            window.observe_edges(src, dst, times)
+            all_src.extend(src); all_dst.extend(dst); all_t.extend(times)
+            got_src, got_dst, got_t, feats, weights = window.edge_arrays()
+            np.testing.assert_array_equal(
+                got_src, self._reference_tail(np.array(all_src, dtype=np.int64), capacity)
+            )
+            np.testing.assert_array_equal(
+                got_dst, self._reference_tail(np.array(all_dst, dtype=np.int64), capacity)
+            )
+            np.testing.assert_array_equal(
+                got_t, self._reference_tail(np.array(all_t), capacity)
+            )
+            assert feats is None
+            np.testing.assert_array_equal(weights, np.ones(len(got_src)))
+
+    def test_oversized_batch_keeps_tail(self):
+        window = StreamWindow(4, 4)
+        window.observe_edges(np.arange(10), np.arange(10), np.arange(10.0))
+        src, _, times, _, _ = window.edge_arrays()
+        np.testing.assert_array_equal(src, [6, 7, 8, 9])
+        assert window.edges_observed == 10
+        assert window.num_edges == 4
+
+    def test_edge_features_buffered(self, rng):
+        window = StreamWindow(5, 5, edge_feature_dim=3)
+        features = rng.normal(size=(8, 3))
+        window.observe_edges(np.zeros(8, int), np.ones(8, int), np.arange(8.0), features)
+        _, _, _, got, _ = window.edge_arrays()
+        np.testing.assert_array_equal(got, features[-5:])
+        with pytest.raises(ValueError):
+            window.observe_edges([0], [1], [9.0])  # features required
+
+    def test_query_window(self):
+        window = StreamWindow(4, 3)
+        window.observe_queries([1, 2, 3, 4], [0.0, 1.0, 2.0, 3.0], [0, 1, 0, 1])
+        nodes, times, labels = window.query_arrays()
+        np.testing.assert_array_equal(nodes, [2, 3, 4])
+        np.testing.assert_array_equal(labels, [1, 0, 1])
+        assert window.queries_observed == 4
+
+    def test_lockstep_violation_rejected(self):
+        window = StreamWindow(4, 4)
+        with pytest.raises(ValueError):
+            window.observe_edges([1, 2], [3], [0.0, 1.0])
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            StreamWindow(0, 4)
+        with pytest.raises(ValueError):
+            StreamWindow(4, 4, edge_feature_dim=-1)

@@ -177,6 +177,68 @@ class TestSyntheticShift:
         assert np.all(ds.queries.nodes < n_core)
 
 
+class TestScheduledShift:
+    def test_schedule_validation(self):
+        from repro.datasets import ScheduledShiftConfig
+
+        with pytest.raises(ValueError):
+            ScheduledShiftConfig(shift_points=(0.5,), intensities=(50, 70))
+        with pytest.raises(ValueError):
+            ScheduledShiftConfig(shift_points=(), intensities=())
+        with pytest.raises(ValueError):
+            ScheduledShiftConfig(shift_points=(0.0,), intensities=(50,))
+        with pytest.raises(ValueError):
+            ScheduledShiftConfig(shift_points=(0.6, 0.4), intensities=(50, 50))
+        with pytest.raises(ValueError):
+            ScheduledShiftConfig(shift_points=(0.5,), intensities=(120,))
+
+    def test_shift_times_recorded_and_cohorts_appear_on_schedule(self):
+        from repro.datasets import ScheduledShiftConfig, generate_scheduled_shift_stream
+
+        cfg = ScheduledShiftConfig(
+            shift_points=(0.4, 0.7), intensities=(80, 80),
+            num_edges=2500, seed=0,
+        )
+        ds = generate_scheduled_shift_stream(cfg)
+        shift_times = ds.metadata["shift_times"]
+        assert len(shift_times) == 2
+        # Nodes beyond the core only appear after their scheduled shift.
+        first_cohort = cfg.num_core_nodes
+        second_cohort = cfg.num_core_nodes + cfg.new_nodes_per_shift
+        fresh = (ds.ctdg.src >= first_cohort) | (ds.ctdg.dst >= first_cohort)
+        assert ds.ctdg.times[fresh].min() > shift_times[0]
+        second = (ds.ctdg.src >= second_cohort) | (ds.ctdg.dst >= second_cohort)
+        assert second.any()
+        assert ds.ctdg.times[second].min() > shift_times[1]
+
+    def test_unseen_activity_jumps_after_shift(self):
+        from repro.datasets import scheduled_shift_stream
+        from repro.adapt.stats import window_snapshot
+
+        ds = scheduled_shift_stream(shift_at=0.5, intensity=80, seed=0,
+                                    num_edges=2000)
+        shift_time = ds.metadata["shift_times"][0]
+        boundary = int(np.searchsorted(ds.ctdg.times, shift_time))
+        seen = np.zeros(ds.ctdg.num_nodes, dtype=bool)
+        seen[np.unique(np.concatenate([ds.ctdg.src[:boundary],
+                                       ds.ctdg.dst[:boundary]]))] = True
+        pre = window_snapshot(ds.ctdg.src[:boundary], ds.ctdg.dst[:boundary],
+                              seen_mask=seen)
+        post = window_snapshot(ds.ctdg.src[boundary:], ds.ctdg.dst[boundary:],
+                               seen_mask=seen)
+        assert pre.unseen_ratio == 0.0
+        assert post.unseen_ratio > 0.2
+
+    def test_labels_follow_migrated_communities(self):
+        from repro.datasets import scheduled_shift_stream
+
+        ds = scheduled_shift_stream(shift_at=0.5, intensity=90, seed=1,
+                                    num_edges=1500)
+        regimes = ds.metadata["communities_per_regime"]
+        assert len(regimes) == 2
+        assert np.any(regimes[0][: len(regimes[0])] != regimes[1][: len(regimes[0])])
+
+
 class TestStatistics:
     def test_table_rows(self):
         ds = email_eu_like(seed=0, num_edges=500)

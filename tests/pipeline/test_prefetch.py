@@ -1,0 +1,87 @@
+"""Async context prefetch (training half of the ROADMAP item).
+
+``iter_prepared`` with ``SplashConfig.prefetch`` materialises dataset
+N+1's context bundle on a background thread while the caller trains on
+dataset N.  The flag may only change *when* bundles are built — results
+must be identical with it on or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import email_eu_like, synthetic_shift
+from repro.models import ModelConfig
+from repro.pipeline import SplashConfig, iter_prepared, run_method
+from tests.conftest import assert_bundles_identical
+
+
+def _datasets():
+    return [
+        email_eu_like(seed=0, num_edges=600),
+        synthetic_shift(50, seed=1, num_edges=600),
+    ]
+
+
+def _config(prefetch: bool) -> SplashConfig:
+    return SplashConfig(
+        feature_dim=8,
+        k=4,
+        model=ModelConfig(hidden_dim=12, epochs=3, batch_size=64, seed=0),
+        split_fractions=[0.5, 0.7],
+        prefetch=prefetch,
+        seed=0,
+    )
+
+
+class TestPrefetch:
+    def test_bundles_identical_with_flag_on_and_off(self):
+        serial = list(iter_prepared(_datasets(), _config(False), seed=0))
+        prefetched = list(iter_prepared(_datasets(), _config(True), seed=0))
+        assert len(serial) == len(prefetched) == 2
+        for base, ahead in zip(serial, prefetched):
+            assert base.dataset.name == ahead.dataset.name
+            assert_bundles_identical(base.bundle, ahead.bundle)
+
+    def test_training_results_identical_with_flag_on_and_off(self):
+        """The full sweep — prepare, select, train, evaluate — must agree."""
+        results = {}
+        for prefetch in (False, True):
+            config = _config(prefetch)
+            rows = []
+            for prepared in iter_prepared(_datasets(), config, seed=0):
+                result = run_method(
+                    "splash", prepared, config.model, splash_config=config
+                )
+                rows.append(
+                    (result.dataset, result.selected_process, result.test_metric)
+                )
+            results[prefetch] = rows
+        for (ds_a, sel_a, metric_a), (ds_b, sel_b, metric_b) in zip(
+            results[False], results[True]
+        ):
+            assert ds_a == ds_b
+            assert sel_a == sel_b
+            assert metric_a == metric_b  # bit-identical, not approx
+
+    def test_prefetch_prepares_on_background_thread(self, monkeypatch):
+        """With the flag on, every prepare runs on the prefetch worker."""
+        import threading
+
+        from repro.pipeline import evaluator
+
+        threads = []
+        original = evaluator.prepare_experiment
+
+        def recording(*args, **kwargs):
+            threads.append(threading.current_thread().name)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(evaluator, "prepare_experiment", recording)
+        results = list(evaluator.iter_prepared(_datasets(), _config(True), seed=0))
+        assert len(results) == 2
+        assert len(threads) == 2
+        assert all(name.startswith("prefetch") for name in threads)
+
+    def test_generator_exhausts_cleanly_on_empty_input(self):
+        assert list(iter_prepared([], _config(True), seed=0)) == []
+        assert list(iter_prepared([], _config(False), seed=0)) == []
