@@ -26,8 +26,6 @@ import os
 import platform
 import sys
 import time
-from typing import Iterable
-
 import numpy as np
 
 from repro.models import ModelConfig
@@ -141,7 +139,8 @@ def bench_json(name: str, payload: dict, path: str | None = None) -> str:
     record = {"name": name, "environment": bench_environment(), **payload}
     if path is None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, name if name.endswith(".json") else name + ".json")
+        json_name = name if name.endswith(".json") else name + ".json"
+        path = os.path.join(RESULTS_DIR, json_name)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=False)
         handle.write("\n")

@@ -104,7 +104,8 @@ def run_context_bench(preset: str = "default", k: int = 10, feature_dim: int = 3
             }
         )
         print(
-            f"{name:16s} E={rows[-1]['num_edges']:>6d} Q={rows[-1]['num_queries']:>6d}  "
+            f"{name:16s} E={rows[-1]['num_edges']:>6d} "
+            f"Q={rows[-1]['num_queries']:>6d}  "
             f"event {event_s:.3f}s  batched {batched_s:.3f}s  "
             f"{rows[-1]['speedup']:.2f}x  identical={rows[-1]['identical']}"
         )

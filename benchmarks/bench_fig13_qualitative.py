@@ -65,5 +65,7 @@ def test_fig13_qualitative_trace(benchmark):
                 f"  t={dataset.queries.times[row]:9.1f} "
                 f"{'ABNORMAL' if label else 'normal  '} {score:6.3f} {bar}"
             )
-    lines.append("\nper-user AUC: " + ", ".join(f"{m}={v:.3f}" for m, v in separations.items()))
+    lines.append(
+        "\nper-user AUC: " + ", ".join(f"{m}={v:.3f}" for m, v in separations.items())
+    )
     emit("fig13_qualitative_trace.txt", "\n".join(lines))

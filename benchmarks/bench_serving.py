@@ -99,7 +99,9 @@ def time_naive_rematerialisation(dataset, processes, sample: int) -> dict:
     """Per-query cost of the no-serving baseline: full prefix replay each."""
     rng = np.random.default_rng(0)
     queries = dataset.queries
-    picks = np.sort(rng.choice(len(queries), size=min(sample, len(queries)), replace=False))
+    picks = np.sort(
+        rng.choice(len(queries), size=min(sample, len(queries)), replace=False)
+    )
     latencies = []
     for q in picks:
         node = queries.nodes[q : q + 1]

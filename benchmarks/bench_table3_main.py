@@ -8,6 +8,7 @@ recovers much of it, and SPLASH is the best or tied-best on most datasets.
 
 import pytest
 from _common import (
+    DTYPE,
     FULL,
     SCALE,
     bench_json,
@@ -67,11 +68,23 @@ def test_table3_main_comparison(benchmark):
         if r.selected_process
     ]
     emit("table3_main_comparison.txt", table + "\n\n" + "\n".join(notes))
+    # One record per working precision (REPRO_BENCH_DTYPE), comparable
+    # across runs by check_perf_regression.py: "generator" keys each
+    # (method, dataset) row, "preset" separates full-scale records (the
+    # committed BENCH_table3.{float64,float32}.json baselines gated by the
+    # bench-full workflow) from reduced smoke runs.
+    record_name = (
+        f"BENCH_table3.{DTYPE}.json"
+        if SCALE >= 1.0
+        else f"BENCH_table3.{DTYPE}.smoke.json"
+    )
     bench_json(
-        "BENCH_table3.json",
+        record_name,
         {
+            "preset": "full" if SCALE >= 1.0 else "smoke",
             "rows": [
                 {
+                    "generator": f"{r.method}@{r.dataset}",
                     "method": r.method,
                     "dataset": r.dataset,
                     "metric": r.metric_name,
@@ -83,7 +96,7 @@ def test_table3_main_comparison(benchmark):
                     "params": r.num_parameters,
                 }
                 for r in results
-            ]
+            ],
         },
     )
 

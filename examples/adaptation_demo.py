@@ -107,7 +107,8 @@ def main() -> None:
     adaptive_post = dataset.task.evaluate(adaptive_scores[post_shift], post_shift)
 
     print("\ndrift-score series (edges -> total divergence):")
-    for edges, scores in adaptive.monitor.history[:: max(1, len(adaptive.monitor.history) // 10)]:
+    stride = max(1, len(adaptive.monitor.history) // 10)
+    for edges, scores in adaptive.monitor.history[::stride]:
         bar = "#" * int(min(scores.total, 1.0) * 40)
         marker = " <- shift" if abs(edges - shift_time) < 300 else ""
         print(f"  {edges:>7d}  {scores.total:6.3f}  {bar}{marker}")

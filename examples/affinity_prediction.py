@@ -31,7 +31,9 @@ def main() -> None:
     for method in ("splash", "slim+rf", "tgat+rf", "tgat"):
         result = run_method(method, prepared, config)
         results.append(result)
-        extra = f" (selected {result.selected_process})" if result.selected_process else ""
+        extra = (
+            f" (selected {result.selected_process})" if result.selected_process else ""
+        )
         print(f"{result.method:10s} NDCG@10 = {result.test_metric:.3f}{extra}")
 
     # Show one concrete prediction: top-5 predicted partners vs ground truth.
@@ -41,7 +43,10 @@ def main() -> None:
     row = prepared.split.test_idx[0]
     label = np.asarray(dataset.task.labels)[row]
     true_top = targets[np.argsort(-label)[:5]]
-    print(f"query: country {dataset.queries.nodes[row]} at t={dataset.queries.times[row]:.1f}")
+    print(
+        f"query: country {dataset.queries.nodes[row]} "
+        f"at t={dataset.queries.times[row]:.1f}"
+    )
     print(f"ground-truth top-5 partners: {true_top.tolist()}")
 
 

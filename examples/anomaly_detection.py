@@ -31,7 +31,9 @@ def main() -> None:
 
     for method in ("splash", "slade+rf", "tgat+rf"):
         result = run_method(method, prepared, config)
-        extra = f" (selected {result.selected_process})" if result.selected_process else ""
+        extra = (
+            f" (selected {result.selected_process})" if result.selected_process else ""
+        )
         print(f"{result.method:10s} test AUC = {result.test_metric:.3f}{extra}")
 
     # ------------------------------------------------------------------

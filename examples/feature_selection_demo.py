@@ -37,7 +37,10 @@ def main() -> None:
         print(f"  split fractions used: {result.split_fractions}")
         for name in result.ranking():
             risks = " ".join(f"{r:6.3f}" for r in result.per_split_risks[name])
-            print(f"  {name:11s} total={result.total_risks[name]:7.3f}  per-split: {risks}")
+            print(
+                f"  {name:11s} total={result.total_risks[name]:7.3f}  "
+                f"per-split: {risks}"
+            )
 
 
 if __name__ == "__main__":

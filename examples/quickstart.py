@@ -8,6 +8,7 @@ Usage:  python examples/quickstart.py [--edges 3000] [--seed 0]
                                       [--dtype {float32,float64}]
                                       [--engine {batched,event,sharded}]
                                       [--num-workers N]
+                                      [--propagation {blocked,event}]
 
 ``--dtype float32`` selects the tensor backend's fast path (half the
 memory traffic during SLIM training); float64 is the bit-exact default.
@@ -46,6 +47,12 @@ def main() -> None:
         default=0,
         help="worker processes for --engine sharded (0/1 = serial in-process)",
     )
+    parser.add_argument(
+        "--propagation",
+        choices=["blocked", "event"],
+        default="blocked",
+        help="sequential store pass: block-scatter runs or per-event reference",
+    )
     args = parser.parse_args()
 
     set_default_dtype(args.dtype)
@@ -55,9 +62,12 @@ def main() -> None:
     config = SplashConfig(
         feature_dim=32,
         k=10,
-        model=ModelConfig(hidden_dim=64, epochs=50, patience=10, lr=3e-3, seed=args.seed),
+        model=ModelConfig(
+            hidden_dim=64, epochs=50, patience=10, lr=3e-3, seed=args.seed
+        ),
         context_engine=args.engine,
         num_workers=args.num_workers,
+        propagation=args.propagation,
         dtype=args.dtype,
         seed=args.seed,
     )

@@ -168,7 +168,9 @@ class AdaptiveService:
                     "default task_factory needs a classification head "
                     f"(output_dim >= 2, got {output_dim}); pass task_factory"
                 )
-            task_factory = lambda labels: ClassificationTask(labels, output_dim)  # noqa: E731
+            def task_factory(labels):
+                return ClassificationTask(labels, output_dim)
+
         self.task_factory = task_factory
 
         kwargs = {}
@@ -322,6 +324,7 @@ class AdaptiveService:
             candidate.config.k,
             self.num_nodes,
             self.service.store.edge_feature_dim,
+            propagation=candidate.config.propagation,
         )
         src, dst, times, features, weights = edge_arrays
         store.ingest_arrays(src, dst, times, features, weights)

@@ -38,7 +38,7 @@ signal for :class:`repro.adapt.RefitScheduler` trigger policies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -169,7 +169,11 @@ def window_snapshot(
     endpoints = np.concatenate([src, dst])
 
     minlength = int(num_nodes) if num_nodes is not None else 0
-    node_counts = np.bincount(endpoints, minlength=minlength) if endpoints.size else np.zeros(minlength, dtype=np.int64)
+    node_counts = (
+        np.bincount(endpoints, minlength=minlength)
+        if endpoints.size
+        else np.zeros(minlength, dtype=np.int64)
+    )
     buckets = activity_buckets(node_counts, num_buckets)
     degree_hist = np.bincount(buckets, minlength=num_buckets).astype(np.int64)
 

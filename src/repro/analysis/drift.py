@@ -121,7 +121,9 @@ def drift_report(
     if ctdg.num_edges < num_bins:
         raise ValueError("stream too short for the requested number of bins")
     edges_per_bin = ctdg.num_edges // num_bins
-    boundaries = [ctdg.times[min(b * edges_per_bin, ctdg.num_edges - 1)] for b in range(num_bins)]
+    boundaries = [
+        ctdg.times[min(b * edges_per_bin, ctdg.num_edges - 1)] for b in range(num_bins)
+    ]
     boundaries.append(ctdg.times[-1] + 1e-9)
     bin_edges = np.asarray(boundaries)
 
@@ -142,7 +144,11 @@ def drift_report(
     labels = dataset.task.labels
     ratios = np.full(num_bins, np.nan)
     if labels.ndim == 1:
-        positive = (labels == labels.max()).astype(float) if labels.max() > 1 else labels.astype(float)
+        positive = (
+            (labels == labels.max()).astype(float)
+            if labels.max() > 1
+            else labels.astype(float)
+        )
         for b in range(num_bins):
             in_bin = (dataset.queries.times >= bin_edges[b]) & (
                 dataset.queries.times < bin_edges[b + 1]

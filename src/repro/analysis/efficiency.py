@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -53,7 +53,9 @@ class ScalingPoint:
     inference_seconds: float
 
 
-def scaling_slope(points: Sequence[ScalingPoint], field: str = "inference_seconds") -> float:
+def scaling_slope(
+    points: Sequence[ScalingPoint], field: str = "inference_seconds"
+) -> float:
     """Log-log slope of time vs. stream size — ≈ 1.0 means linear scaling,
     the Fig. 11 claim."""
     if len(points) < 2:

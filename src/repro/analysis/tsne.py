@@ -105,7 +105,9 @@ def tsne(
     return embedding
 
 
-def kl_divergence(x: np.ndarray, embedding: np.ndarray, perplexity: float = 20.0) -> float:
+def kl_divergence(
+    x: np.ndarray, embedding: np.ndarray, perplexity: float = 20.0
+) -> float:
     """KL(P‖Q) of a finished embedding — a quality diagnostic for tests."""
     n = x.shape[0]
     perplexity = min(perplexity, (n - 1) / 3.0)

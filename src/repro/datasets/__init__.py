@@ -15,7 +15,11 @@ from repro.datasets.email_eu_like import (
     email_eu_like,
     generate_email_stream,
 )
-from repro.datasets.gdelt_like import GdeltStreamConfig, gdelt_like, generate_gdelt_stream
+from repro.datasets.gdelt_like import (
+    GdeltStreamConfig,
+    gdelt_like,
+    generate_gdelt_stream,
+)
 from repro.datasets.statistics import format_statistics, statistics_table
 from repro.datasets.synthetic_shift import (
     ScheduledShiftConfig,

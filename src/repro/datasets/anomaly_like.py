@@ -28,7 +28,7 @@ from repro.datasets.generators import assign_communities, zipf_weights
 from repro.streams.ctdg import CTDG
 from repro.tasks.anomaly import AnomalyTask
 from repro.tasks.base import QuerySet
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass
@@ -95,7 +95,9 @@ def generate_anomaly_stream(
             size=int(len(cold_items) * cfg.cold_item_arrival_frac),
             replace=False,
         )
-        item_activation[late] = rng.uniform(0.05 * horizon, 0.95 * horizon, size=len(late))
+        item_activation[late] = rng.uniform(
+            0.05 * horizon, 0.95 * horizon, size=len(late)
+        )
     # Popularity churn (the structural drift of paper Fig. 3b): at each churn
     # point a share of every community's popular pool is replaced by freshly
     # trending items from the cold tail.  Memorising item identities then
@@ -142,12 +144,16 @@ def generate_anomaly_stream(
             )
             if candidates.size == 0:
                 candidates = np.setdiff1d(np.arange(n_items), pool)
-            fresh = rng.choice(candidates, size=min(swaps, candidates.size), replace=False)
+            fresh = rng.choice(
+                candidates, size=min(swaps, candidates.size), replace=False
+            )
             pool[replace_slots[: len(fresh)]] = fresh
             item_activation[fresh] = np.minimum(item_activation[fresh], now)
             item_pop_of_comm[c] = zipf_weights(len(pool), exponent=1.2, rng=rng)
     # Per-community base vector for edge features; users inherit it.
-    comm_profiles = rng.normal(0.0, 1.0, size=(cfg.num_communities, cfg.edge_feature_dim))
+    comm_profiles = rng.normal(
+        0.0, 1.0, size=(cfg.num_communities, cfg.edge_feature_dim)
+    )
     shift_direction = rng.normal(0.0, 1.0, size=cfg.edge_feature_dim)
     shift_direction /= np.linalg.norm(shift_direction)
 
@@ -222,7 +228,9 @@ def generate_anomaly_stream(
             community = community_of(user, t)
             pool = items_of_comm[community]
             if rng.random() < cfg.intra_prob and pool.size:
-                item = int(rng.choice(pool, p=item_pop_of_comm[community])) + item_offset
+                item = (
+                    int(rng.choice(pool, p=item_pop_of_comm[community])) + item_offset
+                )
             else:
                 item = int(rng.choice(available_items)) + item_offset
         feature = comm_profiles[community_of(user, t)] + rng.normal(

@@ -28,7 +28,7 @@ from repro.datasets.generators import assign_communities
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 from repro.tasks.classification import ClassificationTask
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass
@@ -59,7 +59,10 @@ def generate_email_stream(
         int(v): float(rng.uniform(0.3 * horizon, 0.9 * horizon)) for v in migrators
     }
     migration_target = {
-        int(v): int((departments[v] + 1 + rng.integers(0, cfg.num_departments - 1)) % cfg.num_departments)
+        int(v): int(
+            (departments[v] + 1 + rng.integers(0, cfg.num_departments - 1))
+            % cfg.num_departments
+        )
         for v in migrators
     }
 

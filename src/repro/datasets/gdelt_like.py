@@ -21,7 +21,7 @@ from repro.datasets.generators import assign_communities
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 from repro.tasks.classification import ClassificationTask
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass
@@ -53,7 +53,11 @@ def generate_gdelt_stream(
         count = rng.poisson(cfg.churn_rate)
         for _ in range(count):
             churn_events.append(
-                (float(rng.uniform(0, horizon)), node, int(rng.integers(0, cfg.num_classes)))
+                (
+                    float(rng.uniform(0, horizon)),
+                    node,
+                    int(rng.integers(0, cfg.num_classes)),
+                )
             )
     churn_events.sort()
 

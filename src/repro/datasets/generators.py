@@ -9,7 +9,7 @@ activity (structural signal), temporal drift and unseen-node influx
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

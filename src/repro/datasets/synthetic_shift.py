@@ -25,7 +25,7 @@ from repro.datasets.generators import assign_communities, zipf_weights
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 from repro.tasks.classification import ClassificationTask
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass
@@ -130,7 +130,9 @@ def generate_shift_stream(
     )
 
 
-def synthetic_shift(intensity: float, seed: int = 0, num_edges: int = 5000) -> StreamDataset:
+def synthetic_shift(
+    intensity: float, seed: int = 0, num_edges: int = 5000
+) -> StreamDataset:
     """Synthetic-{50,70,90} of the paper (any intensity in [0, 100] works)."""
     return generate_shift_stream(
         ShiftStreamConfig(shift_intensity=intensity, num_edges=num_edges, seed=seed)
@@ -225,7 +227,9 @@ def generate_scheduled_shift_stream(
         established = previous.established
         # Property shift: a fraction of established nodes migrate class.
         migrated = previous.communities.copy()
-        movers = rng.choice(established, size=int(established * 0.25 * s), replace=False)
+        movers = rng.choice(
+            established, size=int(established * 0.25 * s), replace=False
+        )
         for node in movers:
             migrated[node] = int(
                 (migrated[node] + 1 + rng.integers(0, cfg.num_classes - 1))

@@ -30,7 +30,7 @@ from repro.datasets.base import StreamDataset
 from repro.datasets.generators import drifting_preferences
 from repro.streams.ctdg import CTDG
 from repro.tasks.affinity import AffinityLabelSpec, AffinityTask, build_affinity_queries
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 
 
 @dataclass
@@ -64,7 +64,9 @@ def generate_trade_stream(
     src, dst, times, weights = [], [], [], []
     for period in range(cfg.num_periods):
         if period == shock_period:
-            fresh = rng.dirichlet(np.full(n, cfg.preference_concentration), size=len(shocked))
+            fresh = rng.dirichlet(
+                np.full(n, cfg.preference_concentration), size=len(shocked)
+            )
             for row, country in enumerate(shocked):
                 vector = fresh[row].copy()
                 vector[country] = 0.0
@@ -77,7 +79,10 @@ def generate_trade_stream(
         offsets = np.sort(rng.uniform(0.0, 1.0, size=cfg.edges_per_period))
         for exporter, offset in zip(exporters, offsets):
             partner = int(rng.choice(n, p=preferences[exporter]))
-            volume = float(rng.lognormal(0.0, 0.5) * (1.0 + 10.0 * preferences[exporter][partner]))
+            volume = float(
+                rng.lognormal(0.0, 0.5)
+                * (1.0 + 10.0 * preferences[exporter][partner])
+            )
             src.append(int(exporter))
             dst.append(partner)
             times.append(period + float(offset))
@@ -181,7 +186,12 @@ def generate_genre_stream(
         ctdg=ctdg,
         queries=queries,
         task=task,
-        metadata={"targets": targets, "cluster_of": cluster_of, "config": cfg, "period": 1.0},
+        metadata={
+            "targets": targets,
+            "cluster_of": cluster_of,
+            "config": cfg,
+            "period": 1.0,
+        },
     )
 
 

@@ -64,6 +64,42 @@ class OnlineFeatureStore(ABC):
     ) -> None:
         """Update internal state for an arriving temporal edge."""
 
+    def on_edge_block(
+        self,
+        indices: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        features: Optional[np.ndarray],
+        weights: np.ndarray,
+    ) -> None:
+        """Advance past one *endpoint-disjoint* run of temporal edges.
+
+        Callers (the blocked propagation pass, see
+        :func:`repro.streams.replay.plan_update_blocks`) guarantee that no
+        two distinct edges of the run share a node, so every update reads
+        state no other edge of the run writes.  Implementations may
+        therefore apply the whole run as one gather + scatter from pre-run
+        state; the contract is that the resulting store state is
+        bit-for-bit identical to calling :meth:`on_edge` once per event in
+        run order.  The default loops per event, which satisfies the
+        contract for any store.
+
+        ``features`` is ``None`` for featureless streams, else the
+        ``(len(src), d_e)`` block; ``indices`` carries the global edge
+        indices (the run need not be contiguous in the stream).
+        """
+        for offset in range(len(src)):
+            feature = features[offset] if features is not None else None
+            self.on_edge(
+                int(indices[offset]),
+                int(src[offset]),
+                int(dst[offset]),
+                float(times[offset]),
+                feature,
+                float(weights[offset]),
+            )
+
     def on_query(self, index: int, node: int, time: float) -> None:
         """Label queries do not change feature state; provided for replay."""
 

@@ -36,14 +36,14 @@ class AliasTable:
         large = [i for i in range(n) if prob[i] >= 1.0]
         while small and large:
             s = small.pop()
-            l = large.pop()
+            big = large.pop()
             self.accept[s] = prob[s]
-            self.alias[s] = l
-            prob[l] = prob[l] - (1.0 - prob[s])
-            if prob[l] < 1.0:
-                small.append(l)
+            self.alias[s] = big
+            prob[big] = prob[big] - (1.0 - prob[s])
+            if prob[big] < 1.0:
+                small.append(big)
             else:
-                large.append(l)
+                large.append(big)
         for leftover in large + small:
             self.accept[leftover] = 1.0
             self.alias[leftover] = leftover

@@ -37,7 +37,9 @@ class Node2VecConfig:
 class Node2Vec:
     """Positional node embedding via biased walks + skip-gram (Eq. 1 backend)."""
 
-    def __init__(self, config: Optional[Node2VecConfig] = None, rng: SeedLike = None) -> None:
+    def __init__(
+        self, config: Optional[Node2VecConfig] = None, rng: SeedLike = None
+    ) -> None:
         self.config = config or Node2VecConfig()
         self._rng = new_rng(rng)
         self._model: Optional[SkipGramModel] = None

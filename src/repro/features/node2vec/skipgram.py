@@ -8,7 +8,7 @@ efficient that way — exactly why gensim does the same.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ likelihood, q the inward/outward (BFS/DFS) balance.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 import networkx as nx
 import numpy as np

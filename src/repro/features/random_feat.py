@@ -96,3 +96,6 @@ class StaticStore(PropagatedFeatureStore):
 
     def on_edge(self, index, src, dst, time, feature, weight) -> None:
         return  # nothing evolves
+
+    def on_edge_block(self, indices, src, dst, times, features, weights) -> None:
+        return  # nothing evolves

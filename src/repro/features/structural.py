@@ -13,7 +13,6 @@ propagation — the degree itself is maintained incrementally (O(1)/edge).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -49,6 +48,11 @@ class StructuralStore(OnlineFeatureStore):
 
     def on_edge(self, index, src, dst, time, feature, weight) -> None:
         self._tracker.observe_edge(src, dst)
+
+    def on_edge_block(self, indices, src, dst, times, features, weights) -> None:
+        # Degree bumps commute, so the endpoint-disjointness guarantee is
+        # not even needed here — one grouped update covers the run.
+        self._tracker.observe_edges(src, dst)
 
     def feature_of(self, node: int) -> np.ndarray:
         return degree_encoding(

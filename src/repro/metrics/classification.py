@@ -24,7 +24,9 @@ def accuracy(labels: np.ndarray, predictions: np.ndarray) -> float:
     return float((labels == predictions).mean())
 
 
-def _per_class_counts(labels: np.ndarray, predictions: np.ndarray) -> Dict[str, np.ndarray]:
+def _per_class_counts(
+    labels: np.ndarray, predictions: np.ndarray
+) -> Dict[str, np.ndarray]:
     classes = np.unique(np.concatenate([labels, predictions]))
     tp = np.array([np.sum((predictions == c) & (labels == c)) for c in classes], float)
     fp = np.array([np.sum((predictions == c) & (labels != c)) for c in classes], float)
@@ -47,7 +49,8 @@ def f1_score(
     predictions = np.asarray(predictions)
     if labels.shape != predictions.shape or labels.ndim != 1:
         raise ValueError(
-            f"labels {labels.shape} and predictions {predictions.shape} must be equal 1-D"
+            f"labels {labels.shape} and predictions {predictions.shape} "
+            "must be equal 1-D"
         )
     if labels.size == 0:
         raise ValueError("cannot compute F1 of empty arrays")
@@ -77,7 +80,9 @@ def confusion_matrix(
     predictions = np.asarray(predictions, dtype=np.int64)
     if labels.shape != predictions.shape:
         raise ValueError(f"shape mismatch {labels.shape} vs {predictions.shape}")
-    if labels.size and (labels.max() >= num_classes or predictions.max() >= num_classes):
+    if labels.size and (
+        labels.max() >= num_classes or predictions.max() >= num_classes
+    ):
         raise ValueError("class index out of range")
     matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
     np.add.at(matrix, (labels, predictions), 1)

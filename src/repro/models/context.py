@@ -26,8 +26,13 @@ Two recorder implementations produce byte-identical bundles:
   neighbour buffers become a ``searchsorted`` over the owner-sorted log,
   and feature snapshots become table gathers plus a compact log of the few
   evolving (unseen-node) vectors — no per-edge ``.copy()`` calls.  Only
-  edges touching a non-static node (feature propagation, Eqs. 4-5) take a
-  per-event detour, preserving bit-for-bit equality with the reference.
+  edges touching a non-static node (feature propagation, Eqs. 4-5) run
+  through the sequential store pass — itself vectorised by the blocked
+  propagation mode (``propagation="blocked"``, the default), which
+  scatter-updates maximal endpoint-disjoint runs planned by
+  :func:`repro.streams.replay.plan_update_blocks` and fills preallocated
+  snapshot logs, bit-for-bit equal to the per-event reference (see
+  DESIGN.md §3).
 
 A third engine, ``engine="sharded"``, partitions the precomputed
 edge/query interleave (:func:`repro.streams.replay.plan_shards`) into
@@ -65,8 +70,22 @@ from repro.features.structural import StructuralFeatureProcess, degree_encoding
 from repro.streams.ctdg import CTDG
 from repro.streams.degrees import DegreeTracker
 from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
-from repro.streams.replay import interleave_cuts, plan_shards, replay, replay_batched
+from repro.streams.replay import (
+    interleave_cuts,
+    plan_shards,
+    plan_update_blocks,
+    replay,
+    replay_batched,
+)
 from repro.tasks.base import QuerySet
+
+
+# Runs shorter than this take the per-event path inside the blocked
+# propagation pass: below it, numpy dispatch overhead outweighs the
+# vectorisation gain (hub-dominated conflict regions produce many 1-3 edge
+# runs; measured crossover ~8 on the email-eu-like stream).  Shared by the
+# offline collectors and the serving ingest.
+_MIN_VECTOR_RUN = 8
 
 
 @dataclass
@@ -138,7 +157,10 @@ class ContextBundle:
         """
         if name == self.JOINT_NAME:
             return np.concatenate(
-                [self.get_target_features(part, idx) for part in self.splash_candidates],
+                [
+                    self.get_target_features(part, idx)
+                    for part in self.splash_candidates
+                ],
                 axis=-1,
             )
         if name in self.target_features:
@@ -192,7 +214,9 @@ class ContextBundle:
     def time_deltas(self, idx: Optional[np.ndarray] = None) -> np.ndarray:
         """(Q, k) non-negative gaps between query time and each edge time."""
         times = self.queries.times if idx is None else self.queries.times[idx]
-        neighbor_times = self.neighbor_times if idx is None else self.neighbor_times[idx]
+        neighbor_times = (
+            self.neighbor_times if idx is None else self.neighbor_times[idx]
+        )
         mask = self.mask if idx is None else self.mask[idx]
         deltas = times[:, None] - neighbor_times
         deltas[~mask] = 0.0
@@ -293,6 +317,72 @@ class ReplayState:
             ),
         )
 
+    def apply_edge_block(
+        self,
+        indices: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        features: Optional[np.ndarray],
+        weights: np.ndarray,
+    ) -> None:
+        """Advance past one *endpoint-disjoint* run of edges.
+
+        Callers must guarantee the run invariant of
+        :func:`repro.streams.replay.plan_update_blocks` — no two distinct
+        edges of the run share a node.  Degrees, store state and buffered
+        snapshots then come out bit-for-bit identical to calling
+        :meth:`apply_edge` per event, but the store updates and the
+        post-edge snapshot reads run as one vectorised pass per run: a
+        node's post-edge state *is* its post-run state, because no other
+        edge of the run touches it (a self-loop is one edge, whose two
+        touches both happen inside the stores' own block update).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        count = len(src)
+        self.degrees.observe_edges(src, dst)
+        for name in self.store_names:
+            self.stores[name].on_edge_block(indices, src, dst, times, features, weights)
+        both = np.concatenate([src, dst])
+        snaps = [self.stores[name].features_of(both) for name in self.store_names]
+        both_deg = self.degrees.degrees_of(both)
+        insert = self.buffer.insert
+        for offset in range(count):
+            feature = features[offset] if features is not None else None
+            s, d = int(src[offset]), int(dst[offset])
+            time = float(times[offset])
+            weight = float(weights[offset])
+            index = int(indices[offset])
+            insert(
+                s,
+                NeighborEntry(
+                    neighbor=d,
+                    time=time,
+                    edge_index=index,
+                    weight=weight,
+                    feature=feature,
+                    neighbor_degree=int(both_deg[count + offset]),
+                    # Copy: a view would pin the whole per-run gather
+                    # matrix for as long as this entry stays buffered.
+                    snapshot_features=tuple(
+                        snap[count + offset].copy() for snap in snaps
+                    ),
+                ),
+            )
+            insert(
+                d,
+                NeighborEntry(
+                    neighbor=s,
+                    time=time,
+                    edge_index=index,
+                    weight=weight,
+                    feature=feature,
+                    neighbor_degree=int(both_deg[offset]),
+                    snapshot_features=tuple(snap[offset].copy() for snap in snaps),
+                ),
+            )
+
     def write_query(
         self,
         out: "_QueryOutputs",
@@ -375,15 +465,19 @@ class _BatchedBundleCollector(_QueryOutputs):
         seen_mask: Optional[np.ndarray],
         num_nodes: int,
         edge_features: Optional[np.ndarray],
+        propagation: str = "blocked",
     ) -> None:
         super().__init__(num_queries, k, edge_feature_dim, stores)
         self.k = k
         self.stores = stores
         self.seen_mask = seen_mask
         self.num_nodes = num_nodes
+        self.propagation = propagation
         self._edge_feature_table = edge_features
         self._store_names = sorted(stores)
-        self._edge_blocks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._edge_blocks: List[
+            Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
         self._query_blocks: List[Tuple[np.ndarray, np.ndarray, int]] = []
         self._edges_seen = 0
 
@@ -415,7 +509,10 @@ class _BatchedBundleCollector(_QueryOutputs):
         times = np.concatenate([b[3] for b in self._edge_blocks])
         weights = np.concatenate([b[4] for b in self._edge_blocks])
         edge_idx = np.concatenate(
-            [np.arange(b[0], b[0] + len(b[1]), dtype=np.int64) for b in self._edge_blocks]
+            [
+                np.arange(b[0], b[0] + len(b[1]), dtype=np.int64)
+                for b in self._edge_blocks
+            ]
         )
         return src, dst, times, weights, edge_idx
 
@@ -463,6 +560,117 @@ class _BatchedBundleCollector(_QueryOutputs):
                     log_len += 1
         return snap_idx, logs
 
+    def _run_store_updates_blocked(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        times: np.ndarray,
+        weights: np.ndarray,
+        edge_idx: np.ndarray,
+        static_all: np.ndarray,
+        num_incidences: int,
+    ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Block-scatter variant of :meth:`_run_store_updates`.
+
+        The non-static-edge subsequence is partitioned into maximal
+        endpoint-disjoint runs (:func:`repro.streams.replay.plan_update_blocks`);
+        each run advances every store with one vectorised
+        :meth:`~repro.features.base.OnlineFeatureStore.on_edge_block` call,
+        and the post-edge snapshots of the run land in *preallocated* logs
+        via one :meth:`~repro.features.base.OnlineFeatureStore.features_of`
+        gather — no per-event ``on_edge`` calls, no ``.copy()`` appends.
+        Endpoint-disjointness makes a node's post-edge state equal its
+        post-run state, and the log layout (per edge: dst snapshot first,
+        then src, in stream order) is precomputed from the static mask, so
+        ``snap_idx`` and the log contents are bit-for-bit those of the
+        per-event reference.
+        """
+        snap_idx = np.full(num_incidences, -1, dtype=np.int64)
+        names = self._store_names
+        empty_logs = {name: np.zeros((0, self.stores[name].dim)) for name in names}
+        if not names or not len(src):
+            return snap_idx, empty_logs
+        pure = static_all[src] & static_all[dst]
+        rows = np.nonzero(~pure)[0]
+        if not len(rows):
+            return snap_idx, empty_logs
+        b_src = src[rows]
+        b_dst = dst[rows]
+        b_times = times[rows]
+        b_weights = weights[rows]
+        b_idx = edge_idx[rows]
+        features = self._edge_feature_table
+        b_feat = features[b_idx] if features is not None else None
+
+        # Interleaved log plan: entry 2r is edge r's dst snapshot (incidence
+        # position 2e), entry 2r+1 its src snapshot (2e+1); static endpoints
+        # produce no entry.  Log rows are the running count of kept entries.
+        count = len(rows)
+        kept = np.empty(2 * count, dtype=bool)
+        kept[0::2] = ~static_all[b_dst]
+        kept[1::2] = ~static_all[b_src]
+        log_rows = np.cumsum(kept) - 1
+        positions = np.empty(2 * count, dtype=np.int64)
+        positions[0::2] = 2 * rows
+        positions[1::2] = 2 * rows + 1
+        snap_idx[positions[kept]] = log_rows[kept]
+        log_nodes = np.empty(2 * count, dtype=np.int64)
+        log_nodes[0::2] = b_dst
+        log_nodes[1::2] = b_src
+
+        total = int(kept.sum())
+        logs = {name: np.empty((total, self.stores[name].dim)) for name in names}
+        stores = self.stores
+
+        # Plan over *writable* endpoints only: an all-static endpoint is
+        # read-only for every store (its feature never changes during
+        # replay), so two edges may share it without creating a
+        # dependency.  Substituting unique sentinels for static endpoints
+        # before planning lengthens runs considerably on streams where
+        # unseen nodes mostly attach to the seen graph.
+        arange = np.arange(1, count + 1, dtype=np.int64)
+        plan_src = np.where(static_all[b_src], -arange, b_src)
+        plan_dst = np.where(static_all[b_dst], -count - arange, b_dst)
+        bounds = plan_update_blocks(plan_src, plan_dst)
+
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi - lo < _MIN_VECTOR_RUN:
+                # Vectorisation overhead beats its gain on tiny runs (dense
+                # conflict regions around hub nodes): take the per-event
+                # path, writing into the same preallocated logs.
+                for r in range(lo, hi):
+                    s, d = int(b_src[r]), int(b_dst[r])
+                    time = float(b_times[r])
+                    weight = float(b_weights[r])
+                    index = int(b_idx[r])
+                    feature = b_feat[r] if b_feat is not None else None
+                    for name in names:
+                        stores[name].on_edge(index, s, d, time, feature, weight)
+                    for endpoint, entry in ((d, 2 * r), (s, 2 * r + 1)):
+                        if kept[entry]:
+                            target = log_rows[entry]
+                            for name in names:
+                                logs[name][target] = stores[name].feature_of(endpoint)
+                continue
+            run_feat = b_feat[lo:hi] if b_feat is not None else None
+            for name in names:
+                stores[name].on_edge_block(
+                    b_idx[lo:hi],
+                    b_src[lo:hi],
+                    b_dst[lo:hi],
+                    b_times[lo:hi],
+                    run_feat,
+                    b_weights[lo:hi],
+                )
+            entries = slice(2 * lo, 2 * hi)
+            run_kept = kept[entries]
+            if run_kept.any():
+                nodes = log_nodes[entries][run_kept]
+                targets = log_rows[entries][run_kept]
+                for name in names:
+                    logs[name][targets] = stores[name].features_of(nodes)
+        return snap_idx, logs
+
     def _sequential_store_pass(
         self,
         src: np.ndarray,
@@ -473,7 +681,18 @@ class _BatchedBundleCollector(_QueryOutputs):
         static_all: np.ndarray,
         num_incidences: int,
     ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
-        """Run the store updates and densify the snapshot logs."""
+        """Run the store updates and densify the snapshot logs.
+
+        Dispatches on the collector's ``propagation`` knob: ``"blocked"``
+        (the production path) scatter-updates maximal endpoint-disjoint
+        runs and writes snapshots into preallocated logs,
+        ``"event"`` is the per-event reference.  Both produce identical
+        ``(snap_idx, logs)`` — same log order, same indices, same bits.
+        """
+        if self.propagation == "blocked":
+            return self._run_store_updates_blocked(
+                src, dst, times, weights, edge_idx, static_all, num_incidences
+            )
         snap_idx, raw_logs = self._run_store_updates(
             src, dst, times, weights, edge_idx, static_all, num_incidences
         )
@@ -571,7 +790,9 @@ class _BatchedBundleCollector(_QueryOutputs):
                 "stream too large for the batched context engine; "
                 "use build_context_bundle(..., engine='event')"
             )
-        key_sorted = owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+        key_sorted = (
+            owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+        )
         pos = np.searchsorted(key_sorted, q_safe * stride + q_cut, side="left")
         base = np.searchsorted(key_sorted, q_safe * stride, side="left")
         degrees = np.where(node_valid, pos - base, 0)
@@ -621,7 +842,11 @@ class _BatchedBundleCollector(_QueryOutputs):
 
         # Feature snapshots: static table gathers overridden by the
         # evolving-vector log where the node was non-static.
-        slot_snap = np.where(valid, snap_idx[inc], -1) if num_inc else np.full((num_q, k), -1)
+        slot_snap = (
+            np.where(valid, snap_idx[inc], -1)
+            if num_inc
+            else np.full((num_q, k), -1)
+        )
         dynamic_slot = slot_snap >= 0
         if num_inc:
             # The owner's own post-edge snapshot lives on the partner
@@ -777,7 +1002,9 @@ def _collect_shard(payload: _ShardPayload, shard_index: int) -> Dict[str, object
             "stream too large for the sharded context engine; "
             "use build_context_bundle(..., engine='event')"
         )
-    key_sorted = owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+    key_sorted = (
+        owner[order] * stride + order if num_inc else np.zeros(0, dtype=np.int64)
+    )
     pos = np.searchsorted(key_sorted, q_safe * stride + cut_local, side="left")
     base = np.searchsorted(key_sorted, q_safe * stride, side="left")
     local_degree = np.where(node_valid, pos - base, 0)
@@ -838,7 +1065,11 @@ def _collect_shard(payload: _ShardPayload, shard_index: int) -> Dict[str, object
             np.take(feat_table, safe_nbr, axis=0, out=gathered)
             gathered[~valid] = 0.0
         neighbor_features[name] = gathered
-        target = shared[f"tgt::{name}"][qs] if shared is not None else np.zeros((num_q, dim))
+        target = (
+            shared[f"tgt::{name}"][qs]
+            if shared is not None
+            else np.zeros((num_q, dim))
+        )
         static_rows = node_valid & own_static[q_safe]
         if feat_table is not None and len(feat_table) and static_rows.any():
             target[static_rows] = feat_table[
@@ -1360,6 +1591,7 @@ def build_context_bundle(
     num_workers: int = 0,
     num_shards: Optional[int] = None,
     clamp_workers: bool = True,
+    propagation: str = "blocked",
 ) -> ContextBundle:
     """Replay ``ctdg`` once and materialise contexts for every query.
 
@@ -1378,6 +1610,14 @@ def build_context_bundle(
     The worker count is clamped to the CPUs available to this process
     (``clamp_workers=False`` disables that, for tests that must exercise
     the pool on any machine).
+
+    ``propagation`` selects how the batched and sharded engines run the
+    sequential store pass (the one stream-length-proportional loop left on
+    the context path): ``"blocked"`` (default) scatter-updates maximal
+    endpoint-disjoint runs planned by
+    :func:`repro.streams.replay.plan_update_blocks`, ``"event"`` is the
+    per-event reference.  Both are bit-for-bit identical; the ``"event"``
+    *engine* ignores the knob (it is the per-event reference in full).
     All engines produce bit-identical bundles for every store honouring the
     :meth:`~repro.features.base.OnlineFeatureStore.static_node_mask`
     contract (including its zero-start assumption for untouched non-static
@@ -1393,6 +1633,10 @@ def build_context_bundle(
         )
     if num_workers < 0:
         raise ValueError(f"num_workers must be non-negative, got {num_workers}")
+    if propagation not in ("blocked", "event"):
+        raise ValueError(
+            f"unknown propagation mode {propagation!r}; use 'blocked' or 'event'"
+        )
     stores, structural_params, static_tables, seen_mask = partition_processes(
         processes
     )
@@ -1406,6 +1650,7 @@ def build_context_bundle(
             seen_mask=seen_mask,
             num_nodes=ctdg.num_nodes,
             edge_features=ctdg.edge_features,
+            propagation=propagation,
         )
         collector.collect(
             ctdg,
@@ -1423,6 +1668,7 @@ def build_context_bundle(
             seen_mask=seen_mask,
             num_nodes=ctdg.num_nodes,
             edge_features=ctdg.edge_features,
+            propagation=propagation,
         )
         replay_batched(ctdg, queries.nodes, queries.times, [collector])
         collector.finalize()

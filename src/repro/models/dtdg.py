@@ -23,7 +23,7 @@ offer on an edge stream).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -175,7 +175,13 @@ class DTDGBaseline(StreamModel):
 class DIDA(DTDGBaseline):
     name = "DIDA"
 
-    def __init__(self, *args, num_interventions: int = 3, intervention_weight: float = 0.5, **kwargs):
+    def __init__(
+        self,
+        *args,
+        num_interventions: int = 3,
+        intervention_weight: float = 0.5,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         self.num_interventions = num_interventions
         self.intervention_weight = intervention_weight
@@ -205,7 +211,6 @@ class DIDA(DTDGBaseline):
         # nodes; the risk should not change if predictions rely on the
         # invariant channel.  Penalise the variance of intervened risks.
         z_invariant, z_variant = self._channels(adjacency, features)
-        nodes = None
         losses = []
         for _ in range(self.num_interventions):
             perm = self._rng.permutation(z_variant.shape[0])
@@ -232,7 +237,9 @@ class DIDA(DTDGBaseline):
 class SLID(DTDGBaseline):
     name = "SLID"
 
-    def __init__(self, *args, poly_order: int = 3, consistency_weight: float = 0.1, **kwargs):
+    def __init__(
+        self, *args, poly_order: int = 3, consistency_weight: float = 0.1, **kwargs
+    ):
         super().__init__(*args, **kwargs)
         self.poly_order = poly_order
         self.consistency_weight = consistency_weight

@@ -50,7 +50,9 @@ class TransformerBlock(Module):
         super().__init__()
         rng_a, rng_f = spawn_rngs(rng, 2)
         self.norm1 = LayerNorm(dim)
-        self.attention = MultiHeadAttention(dim, dim, dim, num_heads=num_heads, rng=rng_a)
+        self.attention = MultiHeadAttention(
+            dim, dim, dim, num_heads=num_heads, rng=rng_a
+        )
         self.norm2 = LayerNorm(dim)
         self.ffn = MLP([dim, dim * 2, dim], rng=rng_f)
 
@@ -83,7 +85,9 @@ class DyGFormer(ContextModel):
 
         self.time_encoder = TimeEncoder(config.time_dim)
         self.cooccurrence_proj = Linear(1, cooccurrence_dim, rng=rng_c)
-        token_width = feature_dim + edge_feature_dim + config.time_dim + cooccurrence_dim
+        token_width = (
+            feature_dim + edge_feature_dim + config.time_dim + cooccurrence_dim
+        )
         self.input_proj = Linear(token_width, d_h, rng=rng_in)
         self.blocks = [
             TransformerBlock(d_h, num_heads, rng=int(rng_b.integers(2**31)))
@@ -91,12 +95,16 @@ class DyGFormer(ContextModel):
         ]
         for index, block in enumerate(self.blocks):
             setattr(self, f"block{index}", block)
-        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m)
+        self.merge = MLP(
+            [d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m
+        )
         self._decoder_rng = rng_d
 
     def build_decoder(self, output_dim: int) -> Module:
         d_h = self.config.hidden_dim
-        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+        return MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
 
     def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
         idx = np.asarray(idx, dtype=np.int64)

@@ -60,12 +60,16 @@ class DySAT(ContextModel):
         self.position_embedding = Parameter(
             rng_p.normal(0.0, 0.1, size=(num_slices, d_h)), name="slice_positions"
         )
-        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m)
+        self.merge = MLP(
+            [d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m
+        )
         self._decoder_rng = rng_d
 
     def build_decoder(self, output_dim: int) -> Module:
         d_h = self.config.hidden_dim
-        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+        return MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
 
     def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
         tokens, mask, target_feats = assemble_tokens(

@@ -93,12 +93,16 @@ class FreeDyG(ContextModel):
         self.norm = LayerNorm(d_h)
         self.ffn = MLP([d_h, d_h * 2, d_h], dropout=config.dropout, rng=rng_m)
         self.out_norm = LayerNorm(d_h)
-        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m)
+        self.merge = MLP(
+            [d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_m
+        )
         self._decoder_rng = rng_d
 
     def build_decoder(self, output_dim: int) -> Module:
         d_h = self.config.hidden_dim
-        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+        return MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
 
     def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
         tokens, mask, target_feats = assemble_tokens(

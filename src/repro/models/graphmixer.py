@@ -67,16 +67,23 @@ class GraphMixer(ContextModel):
         self.time_encoder = TimeEncoder(config.time_dim)
         token_width = feature_dim + edge_feature_dim + config.time_dim
         self.input_proj = Linear(token_width, d_h, rng=rng_in)
-        self.blocks = [MixerBlock(k, d_h, rng=int(rng_b.integers(2**31))) for _ in range(num_blocks)]
+        self.blocks = [
+            MixerBlock(k, d_h, rng=int(rng_b.integers(2**31)))
+            for _ in range(num_blocks)
+        ]
         for index, block in enumerate(self.blocks):
             setattr(self, f"block{index}", block)
         self.output_norm = LayerNorm(d_h)
-        self.merge = MLP([d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_out)
+        self.merge = MLP(
+            [d_h + feature_dim, d_h, d_h], dropout=config.dropout, rng=rng_out
+        )
         self._decoder_rng = rng_d
 
     def build_decoder(self, output_dim: int) -> Module:
         d_h = self.config.hidden_dim
-        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+        return MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
 
     def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
         tokens, mask, target_feats = assemble_tokens(

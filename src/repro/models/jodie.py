@@ -84,8 +84,12 @@ class JODIE(MemoryModel):
             h_v = stack([row(int(n)) for n in v])
             dt_u = self.time_encoder((t - self._last_update[u]) / self._time_scale)
             dt_v = self.time_encoder((t - self._last_update[v]) / self._time_scale)
-            input_u = concat([h_v, Tensor(np.concatenate([e_f, dt_u], axis=-1))], axis=-1)
-            input_v = concat([h_u, Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1)
+            input_u = concat(
+                [h_v, Tensor(np.concatenate([e_f, dt_u], axis=-1))], axis=-1
+            )
+            input_v = concat(
+                [h_u, Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1
+            )
             new_u = self.rnn_src(input_u, h_u)
             new_v = self.rnn_dst(input_v, h_v)
             for position, node in enumerate(u):

@@ -28,7 +28,7 @@ import numpy as np
 from repro.models.base import FitHistory, ModelConfig, StreamModel
 from repro.models.context import ContextBundle
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor, no_grad, stack
+from repro.nn.tensor import Tensor, no_grad
 from repro.tasks.base import Task
 from repro.utils.rng import new_rng
 
@@ -223,7 +223,9 @@ class MemoryModel(StreamModel):
                 )
                 if supervised.any():
                     sup_idx = idx[supervised]
-                    loss_terms.append(task.loss(logits[np.nonzero(supervised)[0]], sup_idx))
+                    loss_terms.append(
+                        task.loss(logits[np.nonzero(supervised)[0]], sup_idx)
+                    )
             if optimizer is not None and loss_terms:
                 total = loss_terms[0]
                 for term in loss_terms[1:]:

@@ -78,7 +78,7 @@ class SLADE(MemoryModel):
         only mark the stream region available for SSL training."""
         self._task = task
         self.build_decoder(task.output_dim)
-        from repro.nn.optim import Adam, clip_grad_norm  # local to avoid cycle
+        from repro.nn.optim import Adam  # local import avoids a cycle
         from repro.nn.tensor import no_grad
 
         optimizer = Adam(self.parameters(), lr=self.config.lr)
@@ -161,7 +161,9 @@ class SLADE(MemoryModel):
                 pending[int(node)] = new_u[position]
             # Destination side: memory update only (items carry no state label).
             dt_v = self.time_encoder((t - self._last_update[v]) / self._time_scale)
-            msg_v = concat([h_u.detach(), Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1)
+            msg_v = concat(
+                [h_u.detach(), Tensor(np.concatenate([e_f, dt_v], axis=-1))], axis=-1
+            )
             new_v = self.memory_updater(msg_v, h_v)
             for position, node in enumerate(v):
                 pending[int(node)] = new_v[position]

@@ -56,7 +56,9 @@ class TGAT(ContextModel):
 
     def build_decoder(self, output_dim: int) -> Module:
         d_h = self.config.hidden_dim
-        return MLP([d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng)
+        return MLP(
+            [d_h, d_h, output_dim], dropout=self.config.dropout, rng=self._decoder_rng
+        )
 
     def encode(self, bundle: ContextBundle, idx: np.ndarray) -> Tensor:
         tokens, mask, target_feats = assemble_tokens(

@@ -40,7 +40,8 @@ class TGN(MemoryModel):
         d_t = self.config.time_dim
         rng_g, rng_a, rng_m, self._decoder_rng = spawn_rngs(self.config.seed, 4)
         self.time_encoder = TimeEncoder(d_t)
-        message_dim = d_h + edge_feature_dim + d_t  # other endpoint's memory ‖ e ‖ φ_t
+        # other endpoint's memory ‖ e ‖ φ_t
+        message_dim = d_h + edge_feature_dim + d_t
         self.memory_updater = GRUCell(message_dim, d_h, rng=rng_g)
         query_dim = d_h + feature_dim
         key_dim = d_h + feature_dim + edge_feature_dim + d_t

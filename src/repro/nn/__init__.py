@@ -29,7 +29,12 @@ from repro.nn.layers import (
 from repro.nn.loss import bce_with_logits, cross_entropy, mse_loss, soft_cross_entropy
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.nn.rnn import GRUCell, RNNCell
-from repro.nn.serialize import archive_dtype, load_into, load_state_dict, save_state_dict
+from repro.nn.serialize import (
+    archive_dtype,
+    load_into,
+    load_state_dict,
+    save_state_dict,
+)
 from repro.nn.tensor import (
     Tensor,
     as_tensor,

@@ -201,7 +201,9 @@ class Tensor:
 
     def item(self) -> float:
         if self.data.size != 1:
-            raise ValueError(f"item() requires a single-element tensor, got {self.shape}")
+            raise ValueError(
+                f"item() requires a single-element tensor, got {self.shape}"
+            )
         return float(self.data.reshape(()))
 
     def detach(self) -> "Tensor":

@@ -55,6 +55,7 @@ class PreparedExperiment:
     split: ChronoSplit
     context_engine: str = "batched"
     num_workers: int = 0
+    propagation: str = "blocked"
     feature_fit_seconds: float = 0.0
     context_seconds: float = 0.0
 
@@ -67,10 +68,14 @@ def prepare_experiment(
     split: Optional[ChronoSplit] = None,
     context_engine: str = "batched",
     num_workers: int = 0,
+    propagation: str = "blocked",
 ) -> PreparedExperiment:
     """Fit all feature processes on the training stream and build the shared
     context bundle (one replay serving every method).
 
+    ``propagation`` selects how the batched/sharded engines run the
+    sequential store pass (``"blocked"`` scatter-updates endpoint-disjoint
+    runs, ``"event"`` is the per-event reference; identical outputs).
     ``context_engine`` selects the replay implementation for the
     materialisation step: ``"batched"`` (the vectorised default),
     ``"event"`` (the per-event reference), or ``"sharded"`` (contiguous
@@ -99,6 +104,7 @@ def prepare_experiment(
         processes,
         engine=context_engine,
         num_workers=num_workers,
+        propagation=propagation,
     )
     context_seconds = time.perf_counter() - start
     return PreparedExperiment(
@@ -107,6 +113,7 @@ def prepare_experiment(
         split=split,
         context_engine=context_engine,
         num_workers=num_workers,
+        propagation=propagation,
         feature_fit_seconds=fit_seconds,
         context_seconds=context_seconds,
     )
@@ -141,6 +148,7 @@ def iter_prepared(
             seed=seed,
             context_engine=splash_config.context_engine,
             num_workers=splash_config.num_workers,
+            propagation=splash_config.propagation,
         )
 
     iterator = iter(datasets)

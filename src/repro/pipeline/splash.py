@@ -48,6 +48,11 @@ class SplashConfig:
     # fans shard collection out to that many processes.  Ignored by the
     # other engines.
     num_workers: int = 0
+    # How the batched/sharded engines run the sequential store pass:
+    # "blocked" (default) scatter-updates endpoint-disjoint runs of
+    # unseen-node edges in one numpy operation per run, "event" is the
+    # per-event reference.  Bit-for-bit identical outputs either way.
+    propagation: str = "blocked"
     dtype: Optional[str] = None  # None → ambient default; "float32" = fast path
     # Multi-dataset sweeps only (repro.pipeline.evaluator.iter_prepared):
     # materialise dataset N+1's context bundle in a background thread while
@@ -70,7 +75,14 @@ class SplashConfig:
             # Fail at construction, mirroring the context_engine check; 0
             # and 1 are the documented serial settings, so only negatives
             # are nonsense.
-            raise ValueError(f"num_workers must be non-negative, got {self.num_workers}")
+            raise ValueError(
+                f"num_workers must be non-negative, got {self.num_workers}"
+            )
+        if self.propagation not in ("blocked", "event"):
+            raise ValueError(
+                "propagation must be 'blocked' or 'event', "
+                f"got {self.propagation!r}"
+            )
         if self.dtype is not None and self.dtype not in ("float32", "float64"):
             # Fail at construction, not minutes later inside fit().
             raise ValueError(
@@ -159,6 +171,7 @@ class Splash:
                     self.processes,
                     engine=cfg.context_engine,
                     num_workers=cfg.num_workers,
+                    propagation=cfg.propagation,
                 )
 
         if cfg.force_process is None:
@@ -238,7 +251,9 @@ class Splash:
 
         return load_artifact(path)
 
-    def attach(self, dataset: StreamDataset, split: Optional[ChronoSplit] = None) -> "Splash":
+    def attach(
+        self, dataset: StreamDataset, split: Optional[ChronoSplit] = None
+    ) -> "Splash":
         """Bind a loaded pipeline to a dataset without refitting anything.
 
         Rebuilds the context bundle from the already-fitted processes
@@ -260,6 +275,7 @@ class Splash:
                 self.processes,
                 engine=cfg.context_engine,
                 num_workers=cfg.num_workers,
+                propagation=cfg.propagation,
             )
         self.model.bind_task(dataset.task)
         return self

@@ -74,7 +74,8 @@ class FeatureSelector:
         available_idx = np.asarray(available_idx, dtype=np.int64)
         if len(available_idx) < 4:
             raise ValueError(
-                f"need at least 4 available queries for selection, got {len(available_idx)}"
+                "need at least 4 available queries for selection, "
+                f"got {len(available_idx)}"
             )
         names = list(process_names or bundle.feature_names)
         if not names:

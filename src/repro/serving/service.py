@@ -219,7 +219,11 @@ class PredictionService:
         if edge_feature_dim is None:
             edge_feature_dim = splash.model.edge_feature_dim
         store = IncrementalContextStore(
-            splash.processes, splash.config.k, num_nodes, edge_feature_dim
+            splash.processes,
+            splash.config.k,
+            num_nodes,
+            edge_feature_dim,
+            propagation=splash.config.propagation,
         )
         kwargs.setdefault("dtype", splash.fit_dtype)
         return cls(splash.model, store, **kwargs)

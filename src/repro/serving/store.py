@@ -36,13 +36,14 @@ import numpy as np
 
 from repro.features.base import FeatureProcess, OnlineFeatureStore
 from repro.models.context import (
+    _MIN_VECTOR_RUN,
     ContextBundle,
     ReplayState,
     _QueryOutputs,
     partition_processes,
 )
 from repro.streams.ctdg import CTDG
-from repro.streams.replay import iter_interleave
+from repro.streams.replay import iter_interleave, plan_update_blocks
 from repro.tasks.base import QuerySet
 
 
@@ -61,6 +62,15 @@ class IncrementalContextStore:
         Size of the node-id space queries and edges may reference.
     edge_feature_dim:
         Dimension of per-edge features (0 for featureless streams).
+    propagation:
+        ``"blocked"`` (default) vectorises the hot ingest loop: each
+        micro-batch is partitioned into maximal endpoint-disjoint runs
+        (:func:`repro.streams.replay.plan_update_blocks`) and every run
+        advances the replay state through one
+        :meth:`~repro.models.context.ReplayState.apply_edge_block` scatter.
+        ``"event"`` drives :meth:`~repro.models.context.ReplayState.apply_edge`
+        per event (the reference).  Materialised contexts are bit-for-bit
+        identical either way.
     """
 
     def __init__(
@@ -69,6 +79,7 @@ class IncrementalContextStore:
         k: int,
         num_nodes: int,
         edge_feature_dim: int = 0,
+        propagation: str = "blocked",
     ) -> None:
         if num_nodes < 0:
             raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
@@ -76,12 +87,17 @@ class IncrementalContextStore:
             raise ValueError(
                 f"edge_feature_dim must be non-negative, got {edge_feature_dim}"
             )
+        if propagation not in ("blocked", "event"):
+            raise ValueError(
+                f"unknown propagation mode {propagation!r}; use 'blocked' or 'event'"
+            )
         stores, structural_params, static_tables, seen_mask = partition_processes(
             processes
         )
         self.k = k
         self.num_nodes = int(num_nodes)
         self.edge_feature_dim = int(edge_feature_dim)
+        self.propagation = propagation
         self._state = ReplayState(k, stores)
         self._structural_params = structural_params
         self._static_tables = static_tables
@@ -197,16 +213,38 @@ class IncrementalContextStore:
                 )
             base = self._edges_ingested
             apply_edge = self._state.apply_edge
-            for offset in range(count):
-                feature = features[offset] if features is not None else None
-                apply_edge(
-                    base + offset,
-                    int(src[offset]),
-                    int(dst[offset]),
-                    float(times[offset]),
-                    feature,
-                    float(weights[offset]),
-                )
+
+            def apply_range(lo: int, hi: int) -> None:
+                for offset in range(lo, hi):
+                    feature = features[offset] if features is not None else None
+                    apply_edge(
+                        base + offset,
+                        int(src[offset]),
+                        int(dst[offset]),
+                        float(times[offset]),
+                        feature,
+                        float(weights[offset]),
+                    )
+
+            if self.propagation == "blocked" and count > 1:
+                indices = np.arange(base, base + count, dtype=np.int64)
+                bounds = plan_update_blocks(src, dst)
+                for lo, hi in zip(bounds[:-1], bounds[1:]):
+                    if hi - lo < _MIN_VECTOR_RUN:
+                        # Tiny runs (dense conflict regions): per-event is
+                        # cheaper than the vectorised dispatch.
+                        apply_range(lo, hi)
+                        continue
+                    self._state.apply_edge_block(
+                        indices[lo:hi],
+                        src[lo:hi],
+                        dst[lo:hi],
+                        times[lo:hi],
+                        features[lo:hi] if features is not None else None,
+                        weights[lo:hi],
+                    )
+            else:
+                apply_range(0, count)
             self._edges_ingested = base + count
             if count:
                 self._last_time = float(times[-1])
@@ -314,6 +352,7 @@ def incremental_context_bundle(
     k: int,
     processes: Sequence[FeatureProcess] = (),
     ingest_batch: Optional[int] = None,
+    propagation: str = "blocked",
 ) -> ContextBundle:
     """Materialise a full bundle through the *incremental* path.
 
@@ -328,7 +367,7 @@ def incremental_context_bundle(
     of the serving replay protocol.
     """
     store = IncrementalContextStore(
-        processes, k, ctdg.num_nodes, ctdg.edge_feature_dim
+        processes, k, ctdg.num_nodes, ctdg.edge_feature_dim, propagation=propagation
     )
     out = _QueryOutputs(len(queries), k, ctdg.edge_feature_dim, store.stores)
     has_features = ctdg.edge_features is not None

@@ -17,6 +17,7 @@ from repro.streams.replay import (
     PerEventAdapter,
     StreamProcessor,
     as_batch_processor,
+    plan_update_blocks,
     replay,
     replay_batched,
 )

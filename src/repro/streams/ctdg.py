@@ -8,7 +8,7 @@ the stream length with small constants.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -128,7 +128,8 @@ class CTDG:
 
     # ------------------------------------------------------------------
     def prefix_until(self, time: float, inclusive: bool = True) -> "CTDG":
-        """Return the sub-stream of edges with t ≤ ``time`` (or < if not inclusive)."""
+        """Return the sub-stream of edges with t ≤ ``time`` (< if not
+        inclusive)."""
         side = "right" if inclusive else "left"
         stop = int(np.searchsorted(self.times, time, side=side))
         return self.slice(0, stop)
@@ -159,7 +160,9 @@ class CTDG:
         return deg
 
     @staticmethod
-    def from_edges(edges: Sequence[TemporalEdge], num_nodes: Optional[int] = None) -> "CTDG":
+    def from_edges(
+        edges: Sequence[TemporalEdge], num_nodes: Optional[int] = None
+    ) -> "CTDG":
         """Build a CTDG from edge records (must already be time-sorted)."""
         if not edges:
             return CTDG(
@@ -175,7 +178,14 @@ class CTDG:
         features = None
         if edges[0].feature is not None:
             features = np.stack([np.asarray(e.feature) for e in edges])
-        return CTDG(src, dst, times, edge_features=features, weights=weights, num_nodes=num_nodes)
+        return CTDG(
+            src,
+            dst,
+            times,
+            edge_features=features,
+            weights=weights,
+            num_nodes=num_nodes,
+        )
 
 
 def merge_streams(streams: Sequence[CTDG]) -> CTDG:

@@ -23,6 +23,19 @@ class DegreeTracker:
         self._degrees[src] = self._degrees.get(src, 0) + 1
         self._degrees[dst] = self._degrees.get(dst, 0) + 1
 
+    def observe_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Vectorised :meth:`observe_edge` over parallel endpoint arrays.
+
+        Equivalent to observing each edge in turn (a self-loop still adds
+        two); one dict update per *distinct* node instead of two per edge.
+        """
+        nodes, counts = np.unique(
+            np.concatenate([np.asarray(src), np.asarray(dst)]), return_counts=True
+        )
+        degrees = self._degrees
+        for node, count in zip(nodes.tolist(), counts.tolist()):
+            degrees[node] = degrees.get(node, 0) + count
+
     def degree(self, node: int) -> int:
         return self._degrees.get(node, 0)
 

@@ -181,6 +181,73 @@ def plan_shards(
     ]
 
 
+def plan_update_blocks(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Partition an edge sequence into maximal endpoint-disjoint runs.
+
+    Returns a non-decreasing int64 boundary array ``bounds`` with
+    ``bounds[0] == 0`` and ``bounds[-1] == len(src)``; run ``i`` spans
+    edges ``[bounds[i], bounds[i+1])``.  Within one run no two *distinct*
+    edges share a node (a self-loop is a single edge and is allowed), so
+    every update of the run reads state no other edge of the run writes:
+    applying the run as one gather + scatter
+    (:meth:`repro.features.base.OnlineFeatureStore.on_edge_block`) is
+    bit-for-bit equivalent to the per-event order.  Concatenating the runs
+    reproduces the input order exactly.  Callers may substitute unique
+    sentinel ids for endpoints they know to be read-only (all-static
+    nodes) to exempt them from conflict detection — see
+    ``repro.models.context``.
+
+    Runs are greedy maximal — each extends until the first edge that
+    shares an endpoint with an earlier edge of the run.  Planning is one
+    stable argsort of the interleaved endpoints (each edge's *latest
+    earlier* endpoint-sharing edge falls out of adjacent duplicates) plus
+    a single integer-compare scan for the boundaries, so cost is
+    O(E log E) numpy work regardless of how dense the conflicts are.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError(
+            f"src and dst must be equal-length 1-D arrays, got {src.shape} "
+            f"and {dst.shape}"
+        )
+    num_edges = len(src)
+    if num_edges == 0:
+        return np.zeros(1, dtype=np.int64)
+    values = np.empty(2 * num_edges, dtype=np.int64)
+    values[0::2] = src
+    values[1::2] = dst
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    # prev[p] = the latest interleave position < p holding the same node id
+    # (-1 if none).  Stable sort keeps positions ascending within each
+    # group of equal values, so that predecessor is the adjacent entry.
+    prev = np.full(2 * num_edges, -1, dtype=np.int64)
+    equal = sorted_values[1:] == sorted_values[:-1]
+    prev[order[1:][equal]] = order[:-1][equal]
+    # A self-loop's two positions alias each other; hop one group entry
+    # further to reach the genuine earlier *edge*.  One hop suffices: an
+    # edge contributes two entries to one value group only as a self-loop.
+    has_prev = prev >= 0
+    positions = np.arange(2 * num_edges)
+    same_edge = np.zeros(2 * num_edges, dtype=bool)
+    same_edge[has_prev] = (prev[has_prev] >> 1) == (positions[has_prev] >> 1)
+    prev[same_edge] = prev[prev[same_edge]]
+    # conflict[e] = latest earlier edge sharing an endpoint with e (-1 if
+    # none; arithmetic shift keeps -1 at -1).
+    conflict = np.maximum(prev[0::2] >> 1, prev[1::2] >> 1)
+
+    bounds = [0]
+    start = 0
+    conflicts = conflict.tolist()
+    for edge in range(1, num_edges):
+        if conflicts[edge] >= start:
+            bounds.append(edge)
+            start = edge
+    bounds.append(num_edges)
+    return np.asarray(bounds, dtype=np.int64)
+
+
 def iter_interleave(
     edge_times: np.ndarray,
     query_times: np.ndarray,

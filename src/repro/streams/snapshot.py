@@ -7,7 +7,7 @@ to positional embedding (node2vec), Eq. (1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 import networkx as nx
 import numpy as np

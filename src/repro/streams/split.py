@@ -8,7 +8,7 @@ for feature selection (§IV-B, footnote 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -52,7 +52,11 @@ def chronological_split(
     if n == 0:
         raise ValueError("cannot split an empty sequence")
     train_stop = max(1, int(round(n * train_frac)))
-    val_stop = min(n - 1, train_stop + max(1, int(round(n * val_frac)))) if val_frac else train_stop
+    val_stop = (
+        min(n - 1, train_stop + max(1, int(round(n * val_frac))))
+        if val_frac
+        else train_stop
+    )
     if val_stop <= train_stop and val_frac:
         val_stop = min(n - 1, train_stop + 1)
     indices = np.arange(n)
@@ -74,7 +78,9 @@ def selection_split_fractions() -> List[float]:
     return [0.1, 0.3, 0.5, 0.7, 0.9]
 
 
-def split_at_fraction(times: np.ndarray, train_frac: float) -> Tuple[np.ndarray, np.ndarray]:
+def split_at_fraction(
+    times: np.ndarray, train_frac: float
+) -> Tuple[np.ndarray, np.ndarray]:
     """Two-way chronological split at ``train_frac`` (for Eq. 9/12).
 
     Returns (train indices, validation indices); both non-empty whenever the

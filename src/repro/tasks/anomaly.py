@@ -13,7 +13,6 @@ from typing import Optional
 import numpy as np
 
 from repro.metrics.ranking import roc_auc
-from repro.nn.functional import softmax
 from repro.nn.loss import cross_entropy
 from repro.nn.tensor import Tensor
 from repro.tasks.base import Task

@@ -40,7 +40,9 @@ class ClassificationTask(Task):
         self.num_classes = num_classes
         self.average = average
         self.class_weights = (
-            np.asarray(class_weights, dtype=float) if class_weights is not None else None
+            np.asarray(class_weights, dtype=float)
+            if class_weights is not None
+            else None
         )
 
     @property

@@ -1,6 +1,5 @@
 """End-to-end adaptation drills: monitor → trigger → re-fit → gate → swap."""
 
-import numpy as np
 import pytest
 
 from repro.adapt import (

@@ -112,13 +112,17 @@ class TestStreamWindow:
             times = t + np.sort(rng.random(n))
             t += 1.0
             window.observe_edges(src, dst, times)
-            all_src.extend(src); all_dst.extend(dst); all_t.extend(times)
+            all_src.extend(src)
+            all_dst.extend(dst)
+            all_t.extend(times)
             got_src, got_dst, got_t, feats, weights = window.edge_arrays()
             np.testing.assert_array_equal(
-                got_src, self._reference_tail(np.array(all_src, dtype=np.int64), capacity)
+                got_src,
+                self._reference_tail(np.array(all_src, dtype=np.int64), capacity),
             )
             np.testing.assert_array_equal(
-                got_dst, self._reference_tail(np.array(all_dst, dtype=np.int64), capacity)
+                got_dst,
+                self._reference_tail(np.array(all_dst, dtype=np.int64), capacity),
             )
             np.testing.assert_array_equal(
                 got_t, self._reference_tail(np.array(all_t), capacity)
@@ -137,7 +141,9 @@ class TestStreamWindow:
     def test_edge_features_buffered(self, rng):
         window = StreamWindow(5, 5, edge_feature_dim=3)
         features = rng.normal(size=(8, 3))
-        window.observe_edges(np.zeros(8, int), np.ones(8, int), np.arange(8.0), features)
+        window.observe_edges(
+            np.zeros(8, int), np.ones(8, int), np.arange(8.0), features
+        )
         _, _, _, got, _ = window.edge_arrays()
         np.testing.assert_array_equal(got, features[-5:])
         with pytest.raises(ValueError):

@@ -83,14 +83,24 @@ class TestDriftReport:
 class TestEfficiency:
     def test_scaling_slope_linear_series(self):
         points = [
-            ScalingPoint(num_edges=n, num_queries=n, train_seconds=0.0, inference_seconds=n * 1e-4)
+            ScalingPoint(
+                num_edges=n,
+                num_queries=n,
+                train_seconds=0.0,
+                inference_seconds=n * 1e-4,
+            )
             for n in (1000, 2000, 4000, 8000)
         ]
         assert scaling_slope(points) == pytest.approx(1.0, abs=1e-9)
 
     def test_scaling_slope_quadratic_series(self):
         points = [
-            ScalingPoint(num_edges=n, num_queries=n, train_seconds=0.0, inference_seconds=(n**2) * 1e-8)
+            ScalingPoint(
+                num_edges=n,
+                num_queries=n,
+                train_seconds=0.0,
+                inference_seconds=(n**2) * 1e-8,
+            )
             for n in (1000, 2000, 4000)
         ]
         assert scaling_slope(points) == pytest.approx(2.0, abs=1e-9)

@@ -64,7 +64,9 @@ def tied_stream_factory():
     return random_tied_stream
 
 
-def fitted_context_processes(g: CTDG, train_fraction: float = 0.6, dim: int = 6, seed: int = 0):
+def fitted_context_processes(
+    g: CTDG, train_fraction: float = 0.6, dim: int = 6, seed: int = 0
+):
     """R + fresh-random + zero + structural processes fitted on a stream prefix,
     so the suffix contains genuinely unseen nodes (propagation, Eqs. 4-5)."""
     from repro.features.random_feat import (
@@ -137,7 +139,9 @@ def numerical_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
     return grad
 
 
-def toy_ctdg(num_nodes: int = 8, num_edges: int = 40, seed: int = 0, d_e: int = 0) -> CTDG:
+def toy_ctdg(
+    num_nodes: int = 8, num_edges: int = 40, seed: int = 0, d_e: int = 0
+) -> CTDG:
     """A small random CTDG for unit tests."""
     rng = np.random.default_rng(seed)
     src = rng.integers(0, num_nodes, size=num_edges)

@@ -47,7 +47,9 @@ class TestGeneratorPrimitives:
         assert np.all(np.diff(t) > 0)
 
     def test_staggered_arrivals_fraction(self):
-        arrivals = staggered_arrivals(100, horizon=1000, late_fraction=0.3, late_start=0.5, rng=0)
+        arrivals = staggered_arrivals(
+            100, horizon=1000, late_fraction=0.3, late_start=0.5, rng=0
+        )
         late = arrivals > 0
         assert late.sum() == 30
         assert arrivals[late].min() >= 500

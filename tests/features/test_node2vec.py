@@ -176,7 +176,9 @@ class TestNode2VecEndToEnd:
 
     def test_absent_ids_zero(self):
         graph = nx.path_graph(3)  # ids 0..2
-        out = Node2Vec(Node2VecConfig(dim=8, num_walks=2, walk_length=5, epochs=1), rng=0).fit(
+        out = Node2Vec(
+            Node2VecConfig(dim=8, num_walks=2, walk_length=5, epochs=1), rng=0
+        ).fit(
             graph, num_nodes=6
         )
         np.testing.assert_allclose(out[3:], 0.0)

@@ -205,11 +205,17 @@ class TestPositionalProcess:
             num_nodes=12,
         )
         process = PositionalFeatureProcess(
-            16, node2vec_config=Node2VecConfig(dim=16, num_walks=8, walk_length=10, epochs=2), rng=0
+            16,
+            node2vec_config=Node2VecConfig(
+                dim=16, num_walks=8, walk_length=10, epochs=2
+            ),
+            rng=0,
         )
         process.fit(g, num_nodes=12)
         table = process.table
-        normed = table[:10] / (np.linalg.norm(table[:10], axis=1, keepdims=True) + 1e-12)
+        normed = table[:10] / (
+            np.linalg.norm(table[:10], axis=1, keepdims=True) + 1e-12
+        )
         sims = normed @ normed.T
         intra = (sims[:5, :5].sum() - 5) / 20 + (sims[5:, 5:].sum() - 5) / 20
         inter = sims[:5, 5:].mean()

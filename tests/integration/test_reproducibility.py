@@ -75,8 +75,12 @@ class TestReproducibility:
         )
 
     def test_prepare_experiment_deterministic(self):
-        a = prepare_experiment(email_eu_like(seed=0, num_edges=1000), k=6, feature_dim=8, seed=3)
-        b = prepare_experiment(email_eu_like(seed=0, num_edges=1000), k=6, feature_dim=8, seed=3)
+        a = prepare_experiment(
+            email_eu_like(seed=0, num_edges=1000), k=6, feature_dim=8, seed=3
+        )
+        b = prepare_experiment(
+            email_eu_like(seed=0, num_edges=1000), k=6, feature_dim=8, seed=3
+        )
         np.testing.assert_allclose(
             a.bundle.get_target_features("random"),
             b.bundle.get_target_features("random"),

@@ -11,7 +11,9 @@ from repro.metrics.clustering import pairwise_euclidean, silhouette_score
 
 class TestAccuracyF1:
     def test_accuracy(self):
-        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(
+            2 / 3
+        )
 
     def test_accuracy_empty_rejected(self):
         with pytest.raises(ValueError):

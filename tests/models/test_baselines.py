@@ -5,13 +5,7 @@ import pytest
 
 from repro.features import default_processes
 from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
-from repro.models import (
-    DIDA,
-    SLID,
-    ModelConfig,
-    available_methods,
-    create_model,
-)
+from repro.models import ModelConfig, available_methods, create_model
 from repro.models.context import build_context_bundle
 from repro.models.dygformer import cooccurrence_counts
 from repro.models.memory import tbatch_levels
@@ -82,7 +76,9 @@ class TestRegistry:
 class TestContextBaselineDetails:
     def test_training_reduces_loss(self):
         bundle, task = make_prepared()
-        config = ModelConfig(hidden_dim=16, epochs=8, batch_size=32, time_dim=8, lr=5e-3, seed=0)
+        config = ModelConfig(
+            hidden_dim=16, epochs=8, batch_size=32, time_dim=8, lr=5e-3, seed=0
+        )
         model = create_model("tgat+rf", bundle, config)
         history = model.fit(bundle, task, np.arange(40))
         assert history.train_losses[-1] < history.train_losses[0]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.features import default_processes
 from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
-from repro.models.context import ContextBundle, build_context_bundle
+from repro.models.context import build_context_bundle
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 from tests.conftest import toy_ctdg, toy_queries

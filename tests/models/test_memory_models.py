@@ -1,7 +1,6 @@
 """Deeper tests for the memory-based models (JODIE, TGN)."""
 
 import numpy as np
-import pytest
 
 from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeatureProcess
 from repro.models import JODIE, TGN, ModelConfig
@@ -44,7 +43,12 @@ class TestJODIE:
     def test_training_reduces_loss(self):
         bundle, task = prepared()
         config = ModelConfig(
-            hidden_dim=12, epochs=6, time_dim=6, lr=5e-3, seed=0, extra={"block_size": 25}
+            hidden_dim=12,
+            epochs=6,
+            time_dim=6,
+            lr=5e-3,
+            seed=0,
+            extra={"block_size": 25},
         )
         model = JODIE("fresh_random", 5, 2, bundle.ctdg.num_nodes, config)
         history = model.fit(bundle, task, np.arange(30))
@@ -79,7 +83,9 @@ class TestTGN:
 
     def test_block_size_configurable(self):
         bundle, task = prepared()
-        small = ModelConfig(hidden_dim=12, epochs=1, time_dim=6, seed=0, extra={"block_size": 5})
+        small = ModelConfig(
+            hidden_dim=12, epochs=1, time_dim=6, seed=0, extra={"block_size": 5}
+        )
         model = TGN("zero", 5, 2, bundle.ctdg.num_nodes, small)
         assert model.block_size == 5
         model.fit(bundle, task, np.arange(25))  # must still run cleanly

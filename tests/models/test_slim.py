@@ -42,7 +42,9 @@ class TestSLIMForward:
         """Zeroed-out padded messages must not change h_i: compare a query
         with few neighbours against the same query with k increased."""
         bundle, task = small_setup(k=4)
-        model = SLIM("random", 6, 2, ModelConfig(hidden_dim=16, epochs=1, dropout=0.0, seed=0))
+        model = SLIM(
+            "random", 6, 2, ModelConfig(hidden_dim=16, epochs=1, dropout=0.0, seed=0)
+        )
         model.eval()
         out_a = model.encode(bundle, np.array([0])).data
         out_b = model.encode(bundle, np.array([0])).data
@@ -61,8 +63,18 @@ class TestSLIMForward:
 
     def test_skip_weight_zero_changes_output(self):
         bundle, task = small_setup()
-        base = SLIM("random", 6, 2, ModelConfig(hidden_dim=16, epochs=1, seed=0, skip_weight=0.0))
-        skip = SLIM("random", 6, 2, ModelConfig(hidden_dim=16, epochs=1, seed=0, skip_weight=1.0))
+        base = SLIM(
+            "random",
+            6,
+            2,
+            ModelConfig(hidden_dim=16, epochs=1, seed=0, skip_weight=0.0),
+        )
+        skip = SLIM(
+            "random",
+            6,
+            2,
+            ModelConfig(hidden_dim=16, epochs=1, seed=0, skip_weight=1.0),
+        )
         base.eval(), skip.eval()
         out_base = base.encode(bundle, np.arange(5)).data
         out_skip = skip.encode(bundle, np.arange(5)).data
@@ -72,7 +84,9 @@ class TestSLIMForward:
 class TestSLIMTraining:
     def test_loss_decreases(self):
         bundle, task = small_setup()
-        model = SLIM("random", 6, 2, ModelConfig(hidden_dim=16, epochs=10, lr=5e-3, seed=0))
+        model = SLIM(
+            "random", 6, 2, ModelConfig(hidden_dim=16, epochs=10, lr=5e-3, seed=0)
+        )
         history = model.fit(bundle, task, np.arange(40))
         assert history.train_losses[-1] < history.train_losses[0]
 

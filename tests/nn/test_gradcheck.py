@@ -7,13 +7,12 @@ exact.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import functional as F
 from repro.nn.loss import bce_with_logits, cross_entropy, mse_loss, soft_cross_entropy
-from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.tensor import Tensor
 from tests.conftest import numerical_gradient
 
 SETTINGS = dict(max_examples=15, deadline=None)
@@ -114,7 +113,12 @@ class TestBinaryOps:
 
         check_unary(op, x)
 
-    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**31 - 1))
+    @given(
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
     @settings(**SETTINGS)
     def test_matmul_both_sides(self, m, k, n, seed):
         rng = np.random.default_rng(seed)
@@ -287,7 +291,9 @@ class TestLossGradients:
         logits = Tensor(logits_data, requires_grad=True)
         bce_with_logits(logits, targets, pos_weight=2.0).backward()
         expected = numerical_gradient(
-            lambda: bce_with_logits(Tensor(logits_data), targets, pos_weight=2.0).item(),
+            lambda: bce_with_logits(
+                Tensor(logits_data), targets, pos_weight=2.0
+            ).item(),
             logits_data,
         )
         np.testing.assert_allclose(logits.grad, expected, atol=1e-6)

@@ -168,6 +168,7 @@ class TestDropoutLayerNormEmbedding:
         assert Identity()(x) is x
 
     def test_get_activation(self):
-        assert get_activation("relu")(Tensor(np.array([-1.0, 2.0]))).data.tolist() == [0.0, 2.0]
+        out = get_activation("relu")(Tensor(np.array([-1.0, 2.0])))
+        assert out.data.tolist() == [0.0, 2.0]
         with pytest.raises(ValueError):
             get_activation("nope")

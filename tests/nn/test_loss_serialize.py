@@ -22,7 +22,9 @@ class TestCrossEntropy:
 
     def test_uniform_logits_log_c(self):
         logits = np.zeros((4, 5))
-        assert cross_entropy(Tensor(logits), np.zeros(4, dtype=int)).item() == pytest.approx(np.log(5))
+        assert cross_entropy(Tensor(logits), np.zeros(4, dtype=int)).item() == (
+            pytest.approx(np.log(5))
+        )
 
     def test_numerical_stability_extreme_logits(self):
         logits = np.array([[1e4, -1e4], [-1e4, 1e4]])
@@ -76,7 +78,9 @@ class TestOtherLosses:
         targets = np.array([1.0, 0.0])
         p = 1 / (1 + np.exp(-logits))
         expected = (-np.log(p[0]) - np.log(1 - p[1])) / 2
-        assert bce_with_logits(Tensor(logits), targets).item() == pytest.approx(expected)
+        assert bce_with_logits(Tensor(logits), targets).item() == pytest.approx(
+            expected
+        )
 
     def test_bce_stable_at_extremes(self):
         logits = np.array([1e4, -1e4])

@@ -67,7 +67,9 @@ def load_golden_dataset() -> StreamDataset:
         num_nodes=int(data["num_nodes"]),
     )
     queries = QuerySet(data["q_nodes"], data["q_times"])
-    task = ClassificationTask(labels=data["labels"], num_classes=int(data["num_classes"]))
+    task = ClassificationTask(
+        labels=data["labels"], num_classes=int(data["num_classes"])
+    )
     return StreamDataset(name="golden-email", ctdg=ctdg, queries=queries, task=task)
 
 

@@ -13,7 +13,9 @@ from repro.pipeline import (
     run_method,
 )
 
-FAST_MODEL = ModelConfig(hidden_dim=24, epochs=6, batch_size=128, patience=3, time_dim=8, seed=0)
+FAST_MODEL = ModelConfig(
+    hidden_dim=24, epochs=6, batch_size=128, patience=3, time_dim=8, seed=0
+)
 
 
 @pytest.fixture(scope="module")
@@ -51,10 +53,11 @@ class TestSplashPipeline:
         assert splash.bundle is prepared.bundle
 
     def test_bundle_missing_candidates_rejected(self, email_dataset, prepared):
-        from repro.models.context import ContextBundle
         import dataclasses
 
-        crippled = dataclasses.replace(prepared.bundle, target_features={}, neighbor_features={})
+        crippled = dataclasses.replace(
+            prepared.bundle, target_features={}, neighbor_features={}
+        )
         splash = Splash(SplashConfig(feature_dim=12, k=8, model=FAST_MODEL))
         with pytest.raises(ValueError):
             splash.fit(email_dataset, bundle=crippled)
@@ -148,7 +151,13 @@ class TestShiftRobustnessShape:
         dataset = synthetic_shift(70, seed=0, num_edges=3500)
         prepared = prepare_experiment(dataset, k=8, feature_dim=16, seed=0)
         config = ModelConfig(
-            hidden_dim=32, epochs=25, batch_size=128, patience=6, time_dim=8, lr=3e-3, seed=0
+            hidden_dim=32,
+            epochs=25,
+            batch_size=128,
+            patience=6,
+            time_dim=8,
+            lr=3e-3,
+            seed=0,
         )
         splash = run_method("splash", prepared, config)
         featureless = run_method("tgat", prepared, config)

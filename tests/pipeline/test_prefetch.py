@@ -6,8 +6,6 @@ dataset N.  The flag may only change *when* bundles are built — results
 must be identical with it on or off.
 """
 
-import numpy as np
-import pytest
 
 from repro.datasets import email_eu_like, synthetic_shift
 from repro.models import ModelConfig

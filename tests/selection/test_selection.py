@@ -41,7 +41,6 @@ class TestNodeEncodings:
         g = CTDG(np.array([0, 1, 0]), np.array([1, 2, 2]), np.array([1.0, 2.0, 3.0]))
         q = QuerySet(np.array([0]), np.array([4.0]))
         bundle = bundle_for(g, q, dim=4, k=5)
-        table = bundle.target_features  # not used directly; use accessor
         enc = node_encodings(bundle, "random")[0]
         target = bundle.get_target_features("random")[0]
         neighbor_feats = bundle.get_neighbor_features("random")[0]

@@ -100,10 +100,13 @@ class TestReplayBatched:
         assert blocks.events == reference.events
         # The inclusive-time rule: at t=2.0 all three edges precede both queries.
         kinds = [e[0] for e in blocks.events]
-        t2 = [e for e in blocks.events if e[3] == 2.0 or (e[0] == "query" and e[3] == 2.0)]
         assert kinds.count("edge") == 6 and kinds.count("query") == 4
-        edge_positions = [i for i, e in enumerate(blocks.events) if e[0] == "edge" and e[4] == 2.0]
-        query_positions = [i for i, e in enumerate(blocks.events) if e[0] == "query" and e[3] == 2.0]
+        edge_positions = [
+            i for i, e in enumerate(blocks.events) if e[0] == "edge" and e[4] == 2.0
+        ]
+        query_positions = [
+            i for i, e in enumerate(blocks.events) if e[0] == "query" and e[3] == 2.0
+        ]
         assert max(edge_positions) < min(query_positions)
 
     def test_per_event_adapter_bridges_old_processors(self):

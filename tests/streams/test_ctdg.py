@@ -112,7 +112,9 @@ class TestMergeStreams:
         assert merged.src.tolist() == [2, 0]
 
     def test_merge_rejects_mixed_features(self):
-        a = CTDG(np.array([0]), np.array([1]), np.array([0.0]), edge_features=np.ones((1, 2)))
+        a = CTDG(
+            np.array([0]), np.array([1]), np.array([0.0]), edge_features=np.ones((1, 2))
+        )
         b = CTDG(np.array([0]), np.array([1]), np.array([1.0]))
         with pytest.raises(ValueError):
             merge_streams([a, b])

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.streams.ctdg import CTDG
 from repro.streams.snapshot import GraphSnapshot, snapshot_sequence
 from repro.streams.split import (
     chronological_split,

@@ -137,7 +137,9 @@ class TestAffinityLabelBuilder:
         # each catch one (dst=2, w=1) edge plus the next period's (dst=1,
         # w=3) edge → [0.75, 0.25]; the final window only catches the last
         # w=1 edge to node 2 → [0, 1].
-        np.testing.assert_allclose(labels[:-1], np.tile([0.75, 0.25], (len(labels) - 1, 1)))
+        np.testing.assert_allclose(
+            labels[:-1], np.tile([0.75, 0.25], (len(labels) - 1, 1))
+        )
         np.testing.assert_allclose(labels[-1], [0.0, 1.0])
 
     def test_queries_only_for_active_sources(self):
