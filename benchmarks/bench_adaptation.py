@@ -41,7 +41,7 @@ from repro.adapt import AdaptationConfig, AdaptiveService, DriftMonitor
 from repro.adapt.stats import drift_score, window_snapshot
 from repro.datasets import scheduled_shift_stream
 from repro.models import ModelConfig
-from repro.pipeline import Splash, SplashConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
 from repro.serving import IncrementalContextStore, PredictionService
 
 PRESETS = {
@@ -63,7 +63,7 @@ def splash_config(epochs: int, seed: int = 0) -> SplashConfig:
             lr=3e-3, seed=seed,
         ),
         split_fractions=[0.5, 0.7],
-        dtype=DTYPE,
+        execution=ExecutionConfig(dtype=DTYPE),
         seed=seed,
     )
 

@@ -1,0 +1,294 @@
+"""Backend-kernel benchmark: thread scaling of the ``blas-threaded`` backend.
+
+Times the registry's hot kernels — GEMM, the row gather/scatter pair
+behind context collection, and the grouped running-count segment pass —
+under ``blas-threaded`` at one thread vs the configured thread count, and
+the end-to-end SPLASH smoke train under both registered backends.  The
+one-thread leg is the honest baseline for thread *scaling*: the plain
+``numpy`` backend leaves OpenBLAS at its ambient (machine-wide) thread
+count, so numpy-vs-threaded GEMM ratios would measure nothing on a big
+runner and everything on a laptop.
+
+Every row carries an ``identical`` bit — outputs must match the ``numpy``
+backend bit for bit regardless of thread count (the registry invariant;
+see ``tests/integration/test_backend_equivalence.py``).  ``identical``
+is a correctness bit for ``check_perf_regression.py``: any ``false``
+fails the gate outright.
+
+CI wiring:
+
+* the smoke job regenerates the record and gates the ``train-*`` rows
+  with ``check_perf_regression.py --metric train_seconds`` against the
+  committed ``BENCH_backend_kernels.smoke-baseline.json``;
+* the full-roster job (bench-full) additionally passes
+  ``--require-speedup``, asserting GEMM >= 1.3x at >= 4 threads — that
+  assertion needs real cores, so it never runs on the 1-CPU smoke tier
+  (``environment.cpu_count`` in the committed records shows why their
+  speedups hover near 1.0).
+
+Runs standalone::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_backend_kernels.py \
+        --preset smoke [--threads 4] [--require-speedup]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+from _common import DTYPE, SCALE, bench_json
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.nn.backend import NumpyBackend, get_backend, use_backend
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
+
+PRESETS = {
+    # name -> (train edges, train epochs, gemm dim, gather rows, repeats)
+    "smoke": (1500, 4, 384, 60_000, 2),
+    "default": (4000, 10, 1024, 400_000, 3),
+}
+
+TRAIN_MODEL = ModelConfig(
+    hidden_dim=48, batch_size=128, patience=4, time_dim=8, lr=3e-3, seed=0
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_kernel_row(name, run, check, threads: int, repeats: int) -> dict:
+    """Time ``run(backend)`` at 1 vs ``threads`` threads; verify outputs
+    against the plain-numpy reference with ``check``."""
+    reference = run(NumpyBackend())
+    with use_backend("blas-threaded", num_threads=1) as backend:
+        serial_s = _best_of(lambda: run(backend), repeats)
+    with use_backend("blas-threaded", num_threads=threads) as backend:
+        threaded_s = _best_of(lambda: run(backend), repeats)
+        identical = check(reference, run(backend))
+    return {
+        "generator": name,
+        "identical": bool(identical),
+        "serial_seconds": round(serial_s, 4),
+        "threaded_seconds": round(threaded_s, 4),
+        "speedup": round(serial_s / threaded_s, 2) if threaded_s else float("inf"),
+    }
+
+
+def kernel_rows(preset: str, threads: int) -> list:
+    _, _, gemm_dim, gather_rows, repeats = PRESETS[preset]
+    rng = np.random.default_rng(0)
+    rows = []
+
+    a = rng.standard_normal((gemm_dim, gemm_dim))
+    b = rng.standard_normal((gemm_dim, gemm_dim))
+    rows.append(
+        _timed_kernel_row(
+            "gemm",
+            lambda backend: backend.matmul(a, b),
+            np.array_equal,
+            threads,
+            repeats,
+        )
+    )
+
+    table = rng.standard_normal((gather_rows, 32))
+    idx = rng.integers(0, gather_rows, size=2 * gather_rows)
+    dest = rng.permutation(2 * gather_rows)[:gather_rows]
+
+    def gather_scatter(backend):
+        gathered = backend.take(table, idx)
+        target = np.empty((2 * gather_rows, 32))
+        backend.put_rows(target, dest, table)
+        return gathered, target[dest]
+
+    rows.append(
+        _timed_kernel_row(
+            "gather-scatter",
+            gather_scatter,
+            lambda ref, got: np.array_equal(ref[0], got[0])
+            and np.array_equal(ref[1], got[1]),
+            threads,
+            repeats,
+        )
+    )
+
+    owners = np.sort(rng.integers(0, gather_rows // 8, size=4 * gather_rows))
+    rows.append(
+        _timed_kernel_row(
+            "segment-count",
+            lambda backend: backend.grouped_running_count(owners),
+            np.array_equal,
+            threads,
+            repeats,
+        )
+    )
+    return rows
+
+
+def train_rows(preset: str, threads: int) -> list:
+    """End-to-end SPLASH smoke train per backend, float64, bit-compared."""
+    num_edges, epochs, _, _, _ = PRESETS[preset]
+    dataset = email_eu_like(seed=0, num_edges=num_edges)
+    model = ModelConfig(**{**TRAIN_MODEL.__dict__, "epochs": epochs})
+
+    outcomes = {}
+    rows = []
+    for backend in ("numpy", "blas-threaded"):
+        config = SplashConfig(
+            feature_dim=12,
+            k=8,
+            model=model,
+            execution=ExecutionConfig(
+                backend=backend,
+                num_threads=threads if backend == "blas-threaded" else None,
+                dtype="float64",
+            ),
+            seed=0,
+        )
+        splash = Splash(config)
+        start = time.perf_counter()
+        splash.fit(dataset)
+        train_seconds = time.perf_counter() - start
+        outcomes[backend] = {
+            "selected": splash.selected_process,
+            "metric": float(splash.evaluate()),
+            "scores": splash.predict_scores(splash.split.test_idx),
+        }
+        row = {
+            "generator": f"train-{backend}",
+            "train_seconds": round(train_seconds, 4),
+            "test_metric": outcomes[backend]["metric"],
+            "selected": outcomes[backend]["selected"],
+            "identical": True,
+        }
+        if backend != "numpy":
+            reference = outcomes["numpy"]
+            row["identical"] = bool(
+                reference["selected"] == outcomes[backend]["selected"]
+                and reference["metric"] == outcomes[backend]["metric"]
+                and np.array_equal(reference["scores"], outcomes[backend]["scores"])
+            )
+            row["speedup_vs_numpy"] = round(
+                rows[0]["train_seconds"] / train_seconds, 2
+            ) if train_seconds else float("inf")
+        rows.append(row)
+        print(
+            f"train [{backend:>13s}]  {train_seconds:6.2f}s  "
+            f"metric={row['test_metric']:.4f}  identical={row['identical']}"
+        )
+    return rows
+
+
+def run_backend_bench(preset: str = "smoke", threads: int | None = None) -> dict:
+    if threads is None:
+        env = os.environ.get("REPRO_NUM_THREADS")
+        threads = int(env) if env else (os.cpu_count() or 1)
+    rows = kernel_rows(preset, threads)
+    for row in rows:
+        print(
+            f"kernel [{row['generator']:>14s}]  1T {row['serial_seconds']:.3f}s  "
+            f"{threads}T {row['threaded_seconds']:.3f}s  "
+            f"{row['speedup']:.2f}x  identical={row['identical']}"
+        )
+    rows.extend(train_rows(preset, threads))
+    return {
+        "preset": preset,
+        "num_threads": threads,
+        "backends": sorted(
+            name for name in ("numpy", "blas-threaded") if get_backend(name)
+        ),
+        "blas_thread_control": get_backend("blas-threaded")._blas_set is not None,
+        "notes": (
+            "kernel rows compare blas-threaded at 1 thread vs num_threads "
+            "(the numpy backend leaves BLAS at ambient threads, so it is "
+            "the identity reference, not the scaling baseline); speedups "
+            "are meaningless when environment.cpu_count is 1"
+        ),
+        "rows": rows,
+    }
+
+
+def assert_speedup(payload: dict, require: float) -> list:
+    """The bench-full acceptance bar: GEMM >= ``require`` at >= 4 threads."""
+    failures = []
+    if payload["num_threads"] < 4:
+        failures.append(
+            f"--require-speedup needs >= 4 threads, ran with "
+            f"{payload['num_threads']}"
+        )
+    gemm = next(row for row in payload["rows"] if row["generator"] == "gemm")
+    if gemm["speedup"] < require:
+        failures.append(
+            f"gemm: {gemm['speedup']}x at {payload['num_threads']} threads "
+            f"(< {require}x)"
+        )
+    return failures
+
+
+def test_backend_kernels():
+    """Benchmark-suite entry: outputs must be bit-identical everywhere;
+    speedups are asserted only in bench-full (real cores required)."""
+    preset = "smoke" if SCALE < 1.0 else "default"
+    record = (
+        "BENCH_backend_kernels.json"
+        if preset == "default"
+        else f"BENCH_backend_kernels.{preset}.json"
+    )
+    payload = run_backend_bench(preset=preset)
+    bench_json(record, payload)
+    for row in payload["rows"]:
+        assert row["identical"], f"{row['generator']}: backend outputs differ"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="blas-threaded thread count (default REPRO_NUM_THREADS or cpu_count)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="destination JSON (default benchmarks/results/BENCH_backend_kernels.json)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        nargs="?",
+        const=1.3,
+        default=None,
+        metavar="FACTOR",
+        help="fail unless GEMM clears FACTOR (default 1.3) at >= 4 threads "
+        "(bench-full only; needs real cores)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_backend_bench(preset=args.preset, threads=args.threads)
+    bench_json("BENCH_backend_kernels.json", payload, path=args.output)
+    print(f"[dtype={DTYPE} scale={SCALE} threads={payload['num_threads']}]")
+    failures = [
+        f"{row['generator']}: backend outputs differ (identical=false)"
+        for row in payload["rows"]
+        if not row["identical"]
+    ]
+    if args.require_speedup is not None:
+        failures.extend(assert_speedup(payload, args.require_speedup))
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ import numpy as np
 from repro.datasets import synthetic_shift
 from repro.models import ModelConfig
 from repro.nn import set_default_dtype
-from repro.pipeline import Splash, SplashConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
 from repro.serving import PredictionService
 
 
@@ -49,7 +49,7 @@ def main() -> None:
         k=10,
         model=ModelConfig(hidden_dim=48, epochs=25, patience=6, lr=3e-3,
                           batch_size=128, seed=args.seed),
-        dtype=args.dtype,
+        execution=ExecutionConfig(dtype=args.dtype),
         seed=args.seed,
     )
     splash = Splash(config)

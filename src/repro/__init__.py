@@ -16,6 +16,16 @@ Subpackages
 ``repro.serving``    online serving: incremental store, prediction service
 ``repro.adapt``      drift-aware continual adaptation of the serving loop
 
+Public API
+----------
+The blessed entry points are re-exported here (and pinned by
+``tests/test_public_api.py``): the pipeline front door (:class:`Splash`,
+:class:`SplashConfig`, :class:`ExecutionConfig`, :func:`prepare_experiment`),
+the serving front door (:class:`PredictionService`), and the array-backend
+registry (``available_backends`` / ``get_backend`` / ``register_backend`` /
+``set_default_backend`` / ``use_backend``).  Everything else is reachable
+through the subpackages but carries no stability promise.
+
 Quickstart
 ----------
 >>> from repro.datasets import email_eu_like
@@ -25,6 +35,36 @@ Quickstart
 >>> splash.evaluate()                        # doctest: +SKIP
 """
 
+from repro.nn.backend import (
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.pipeline import (
+    ExecutionConfig,
+    Splash,
+    SplashConfig,
+    prepare_experiment,
+)
+from repro.serving import PredictionService
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    # pipeline front door
+    "ExecutionConfig",
+    "Splash",
+    "SplashConfig",
+    "prepare_experiment",
+    # serving front door
+    "PredictionService",
+    # array-backend registry
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
+]

@@ -324,7 +324,7 @@ class AdaptiveService:
             candidate.config.k,
             self.num_nodes,
             self.service.store.edge_feature_dim,
-            propagation=candidate.config.propagation,
+            propagation=candidate.config.execution.propagation,
         )
         src, dst, times, features, weights = edge_arrays
         store.ingest_arrays(src, dst, times, features, weights)
@@ -341,6 +341,7 @@ class AdaptiveService:
                         candidate.model,
                         store=store,
                         dtype=candidate.fit_dtype,
+                        backend=candidate.fit_backend,
                     )
                     store.attach_monitor(self.monitor)
                     self.splash = candidate

@@ -1,0 +1,476 @@
+"""Pluggable array backends behind the :class:`~repro.nn.tensor.Tensor` seam.
+
+The reproduction's numeric stack used to call ``np.*`` directly everywhere.
+This module generalises the existing default-dtype seam (``tensor.py``) into
+a *backend registry*: every hot kernel — GEMM (:meth:`ArrayBackend.matmul`),
+``einsum``, the row gathers/scatters behind context collection
+(:meth:`take`/:meth:`put_rows`/:meth:`scatter_add`), and the grouped
+running-count segment pass of the batched replay engine
+(:meth:`grouped_running_count`) — dispatches through the *active* backend,
+along with array creation and RNG construction.
+
+Two backends ship in-tree:
+
+* ``numpy`` — plain numpy calls, bit-for-bit the pre-registry behaviour;
+* ``blas-threaded`` — the same *operations* with thread-count awareness:
+  OpenBLAS's own thread pool is sized for GEMM (numpy's BLAS partitions the
+  *output* matrix across threads, so results are bit-identical at any
+  thread count — re-chunking GEMM at the Python level is **not** identical
+  and is deliberately avoided), and large gathers / disjoint row scatters /
+  segment passes are chunked across a thread pool at boundaries that keep
+  every element's computation untouched.
+
+Every backend must be **bit-identical** to ``numpy`` at both precisions —
+that is the registry's core invariant, enforced by the cross-backend
+equivalence harness (``tests/integration/test_backend_equivalence.py``).
+A GPU backend relaxing it must say so and be excluded from that harness.
+
+State model
+-----------
+The active backend is **process-global**, exactly like the default dtype:
+``set_default_backend`` flips it for the whole process, and
+:func:`use_backend` is a re-entrant, exception-safe context manager
+restoring the previous backend (and thread count) on exit — including when
+the body raises.  Neither is thread-local: switching backends while another
+thread computes affects that thread too.  Switch once at startup (or per
+fit/score section, as :class:`~repro.pipeline.Splash` does), not
+concurrently from many threads.
+
+Environment
+-----------
+``REPRO_BACKEND`` selects the default backend at import (unknown names fail
+loudly — a typo'd CI matrix leg must not silently test ``numpy``).
+``REPRO_NUM_THREADS`` sets the ``blas-threaded`` thread count (default: the
+machine's CPU count).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import glob
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "BlasThreadedBackend",
+    "available_backends",
+    "register_backend",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class ArrayBackend:
+    """Protocol + numpy reference implementation of every routed kernel.
+
+    Subclasses override the kernels they accelerate and inherit numpy for
+    the rest; every override must return bit-identical results (the
+    registry invariant above).  ``name`` keys the registry and is archived
+    with model state dicts (:func:`repro.nn.serialize.archive_backend`).
+    """
+
+    name = "abstract"
+
+    #: Threads this backend computes with (1 for plain numpy).  Mutable on
+    #: backends that support it via :meth:`set_num_threads`.
+    num_threads = 1
+
+    # -- lifecycle -----------------------------------------------------
+    def activate(self) -> None:
+        """Called when this backend becomes active (claim thread pools)."""
+
+    def deactivate(self) -> None:
+        """Called when this backend stops being active (restore globals)."""
+
+    def set_num_threads(self, num_threads: Optional[int]) -> None:
+        """Request a thread count (``None`` = backend default).  No-op here."""
+
+    # -- array creation / RNG ------------------------------------------
+    def asarray(self, value, dtype=None) -> np.ndarray:
+        return np.asarray(value, dtype=dtype)
+
+    def zeros(self, shape, dtype=None) -> np.ndarray:
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=None) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def zeros_like(self, array: np.ndarray) -> np.ndarray:
+        return np.zeros_like(array)
+
+    def default_rng(self, seed=None) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    # -- dense kernels -------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` with full numpy broadcasting (incl. batched GEMM)."""
+        return a @ b
+
+    def einsum(self, subscripts: str, *operands) -> np.ndarray:
+        return np.einsum(subscripts, *operands)
+
+    # -- gather / scatter ----------------------------------------------
+    def take(
+        self, table: np.ndarray, indices: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Row gather ``table[indices]`` along axis 0 (``out`` optional)."""
+        return np.take(table, indices, axis=0, out=out)
+
+    def put_rows(
+        self, table: np.ndarray, rows: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Row scatter-assign ``table[rows] = values``.
+
+        ``rows`` must be duplicate-free — the contract the replay engines'
+        endpoint-disjoint runs guarantee (``plan_update_blocks``), which is
+        what lets a backend partition the scatter.
+        """
+        table[rows] = values
+
+    def scatter_add(
+        self, target: np.ndarray, indices, values: np.ndarray
+    ) -> None:
+        """In-place ``np.add.at`` — kept serial on every in-tree backend:
+        float accumulation order is part of bit-identity."""
+        np.add.at(target, indices, values)
+
+    # -- segment ops ---------------------------------------------------
+    def grouped_running_count(self, sorted_values: np.ndarray) -> np.ndarray:
+        """1-based running count within each run of equal adjacent values.
+
+        ``sorted_values`` is grouped (e.g. the owner-sorted incidence log
+        of the batched context engine); the result's element ``p`` is how
+        many entries of ``sorted_values[: p + 1]`` equal
+        ``sorted_values[p]``.  This is the segment pass behind Eq. 2's
+        degree accounting in ``models/context.py``.
+        """
+        n = len(sorted_values)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        run_start = np.empty(n, dtype=bool)
+        run_start[0] = True
+        run_start[1:] = sorted_values[1:] != sorted_values[:-1]
+        group_first = np.nonzero(run_start)[0]
+        group_id = np.cumsum(run_start) - 1
+        return self._positions_minus_first(group_first, group_id)
+
+    def _positions_minus_first(
+        self, group_first: np.ndarray, group_id: np.ndarray
+    ) -> np.ndarray:
+        return np.arange(len(group_id), dtype=np.int64) - group_first[group_id] + 1
+
+
+class NumpyBackend(ArrayBackend):
+    """Plain numpy — the pre-registry behaviour, bit for bit."""
+
+    name = "numpy"
+
+
+# ----------------------------------------------------------------------
+# OpenBLAS runtime thread control (ctypes; no new dependencies)
+# ----------------------------------------------------------------------
+def _find_openblas() -> Tuple[Optional[object], Optional[object]]:
+    """Locate numpy's bundled OpenBLAS and return ``(set_fn, get_fn)``.
+
+    scipy-openblas wheels prefix every symbol (``scipy_openblas_*``) and
+    ILP64 builds add a ``64_`` suffix, so several spellings are probed.
+    Returns ``(None, None)`` when no controllable BLAS is found — the
+    ``blas-threaded`` backend then still chunk-parallelises gathers but
+    GEMM stays at numpy's ambient thread count.
+    """
+    candidates = []
+    for base in np.__path__:
+        for libdir in ("numpy.libs", os.path.join("..", "numpy.libs"), ".libs"):
+            pattern = os.path.join(base, libdir, "lib*openblas*")
+            candidates.extend(sorted(glob.glob(pattern)))
+    for name in ("libopenblas.so.0", "libopenblas.so", "libopenblas.dylib"):
+        candidates.append(name)
+    for path in candidates:
+        try:
+            lib = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for prefix in ("scipy_openblas", "openblas"):
+            for suffix in ("64_", "", "64", "_"):
+                try:
+                    set_fn = getattr(lib, f"{prefix}_set_num_threads{suffix}")
+                    get_fn = getattr(lib, f"{prefix}_get_num_threads{suffix}")
+                except AttributeError:
+                    continue
+                set_fn.argtypes = [ctypes.c_int]
+                set_fn.restype = None
+                get_fn.argtypes = []
+                get_fn.restype = ctypes.c_int
+                return set_fn, get_fn
+    return None, None
+
+
+class BlasThreadedBackend(ArrayBackend):
+    """Thread-count-aware kernels with bit-identical outputs.
+
+    GEMM threading delegates to OpenBLAS (its thread partition splits the
+    *output*, so sums never re-associate — verified bit-identical at 1/2/4
+    threads for float32/float64, 2-D and batched).  Gathers, disjoint row
+    scatters and the grouped running-count pass are chunked across a
+    ``ThreadPoolExecutor``; chunk boundaries never split an element's
+    computation, so those are bit-identical by construction.  Ordered
+    float accumulations (``scatter_add``) stay serial on purpose.
+    """
+
+    name = "blas-threaded"
+
+    #: Minimum elements before a kernel fans out; below this the serial
+    #: path wins on dispatch overhead (results identical either way).
+    _MIN_PARALLEL = 1 << 15
+
+    def __init__(self, num_threads: Optional[int] = None) -> None:
+        if num_threads is None:
+            env = os.environ.get("REPRO_NUM_THREADS")
+            num_threads = int(env) if env else (os.cpu_count() or 1)
+        self._validate_threads(num_threads)
+        self.num_threads = num_threads
+        self._blas_set, self._blas_get = _find_openblas()
+        self._saved_blas_threads: Optional[int] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    @staticmethod
+    def _validate_threads(num_threads) -> None:
+        if not isinstance(num_threads, int) or isinstance(num_threads, bool):
+            raise ValueError(f"num_threads must be an int, got {num_threads!r}")
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+
+    # -- lifecycle -----------------------------------------------------
+    def activate(self) -> None:
+        if self._blas_set is not None:
+            self._saved_blas_threads = int(self._blas_get())
+            self._blas_set(self.num_threads)
+
+    def deactivate(self) -> None:
+        self._drop_pool()
+        if self._blas_set is not None and self._saved_blas_threads is not None:
+            self._blas_set(self._saved_blas_threads)
+            self._saved_blas_threads = None
+
+    def set_num_threads(self, num_threads: Optional[int]) -> None:
+        if num_threads is None:
+            return
+        self._validate_threads(num_threads)
+        if num_threads == self.num_threads:
+            return
+        self.num_threads = num_threads
+        self._drop_pool()
+        if self._blas_set is not None and self._saved_blas_threads is not None:
+            # Already active: re-apply at the new count.
+            self._blas_set(num_threads)
+
+    def _drop_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _reset_after_fork(self) -> None:
+        # A forked child (sharded replay workers) inherits a pool whose
+        # threads do not exist; drop the reference so it is rebuilt lazily.
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_threads,
+                    thread_name_prefix="repro-backend",
+                )
+            return self._pool
+
+    def _chunks(self, total: int) -> Iterator[Tuple[int, int]]:
+        step = -(-total // self.num_threads)
+        for lo in range(0, total, step):
+            yield lo, min(lo + step, total)
+
+    def _fan_out(self, total: int, elems_per_row: int) -> bool:
+        return (
+            self.num_threads > 1
+            and total > 1
+            and total * max(elems_per_row, 1) >= self._MIN_PARALLEL
+        )
+
+    # -- kernels -------------------------------------------------------
+    def take(self, table, indices, out=None):
+        indices = np.asarray(indices)
+        rows = indices.shape[0] if indices.ndim else 0
+        row_elems = int(np.prod(table.shape[1:], dtype=np.int64))
+        if indices.ndim == 0 or not self._fan_out(rows, row_elems * max(
+            int(np.prod(indices.shape[1:], dtype=np.int64)), 1
+        )):
+            return np.take(table, indices, axis=0, out=out)
+        if out is None:
+            out = np.empty(indices.shape + table.shape[1:], dtype=table.dtype)
+        pool = self._get_pool()
+        futures = [
+            pool.submit(np.take, table, indices[lo:hi], 0, out[lo:hi])
+            for lo, hi in self._chunks(rows)
+        ]
+        for future in futures:
+            future.result()
+        return out
+
+    def put_rows(self, table, rows, values):
+        row_elems = int(np.prod(table.shape[1:], dtype=np.int64))
+        if not self._fan_out(len(rows), row_elems):
+            table[rows] = values
+            return
+
+        def _assign(lo: int, hi: int) -> None:
+            table[rows[lo:hi]] = values[lo:hi]
+
+        pool = self._get_pool()
+        futures = [pool.submit(_assign, lo, hi) for lo, hi in self._chunks(len(rows))]
+        for future in futures:
+            future.result()
+
+    def _positions_minus_first(self, group_first, group_id):
+        n = len(group_id)
+        if not self._fan_out(n, 1):
+            return super()._positions_minus_first(group_first, group_id)
+        out = np.empty(n, dtype=np.int64)
+
+        def _span(lo: int, hi: int) -> None:
+            out[lo:hi] = (
+                np.arange(lo, hi, dtype=np.int64) - group_first[group_id[lo:hi]] + 1
+            )
+
+        pool = self._get_pool()
+        futures = [pool.submit(_span, lo, hi) for lo, hi in self._chunks(n)]
+        for future in futures:
+            future.result()
+        return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_lock = threading.Lock()
+
+
+def register_backend(backend: ArrayBackend, overwrite: bool = False) -> ArrayBackend:
+    """Add ``backend`` to the registry under ``backend.name``.
+
+    Re-registering an existing name requires ``overwrite=True``; the
+    replaced instance is returned active state untouched (swap the default
+    explicitly with :func:`set_default_backend`).
+    """
+    name = backend.name
+    if not name or name == "abstract":
+        raise ValueError("backend must define a concrete, non-empty name")
+    with _lock:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(
+                f"backend {name!r} is already registered; pass overwrite=True "
+                "to replace it"
+            )
+        _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, registration order preserved."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """The backend registered under ``name`` (default: the active one)."""
+    if name is None:
+        return _active
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered: "
+            f"{', '.join(_REGISTRY) or '(none)'}"
+        ) from None
+
+
+def active_backend() -> ArrayBackend:
+    """The process-global active backend (hot-path accessor)."""
+    return _active
+
+
+def set_default_backend(name: str, num_threads: Optional[int] = None) -> str:
+    """Make ``name`` the process-global active backend; returns the
+    previous backend's name.
+
+    ``num_threads`` optionally resizes the new backend before activation
+    (backends without thread support ignore it).  Deactivation/activation
+    hooks run so BLAS thread counts are handed over cleanly.
+    """
+    global _active
+    backend = get_backend(name)
+    previous = _active
+    if num_threads is not None:
+        backend.set_num_threads(num_threads)
+    if backend is previous:
+        return previous.name
+    previous.deactivate()
+    _active = backend
+    backend.activate()
+    return previous.name
+
+
+@contextlib.contextmanager
+def use_backend(
+    name: str, num_threads: Optional[int] = None
+) -> Iterator[ArrayBackend]:
+    """Temporarily switch the active backend inside a ``with`` block.
+
+    Re-entrant (nesting restores by value, not by balanced call counts)
+    and exception-safe (the previous backend — and, for thread-aware
+    backends, its previous thread count — is restored even when the body
+    raises).  The switch is process-global, like :func:`default_dtype`;
+    see the module docstring's state model.
+    """
+    backend = get_backend(name)
+    previous_threads = backend.num_threads if num_threads is not None else None
+    previous = set_default_backend(name, num_threads=num_threads)
+    try:
+        yield backend
+    finally:
+        set_default_backend(previous)
+        if previous_threads is not None:
+            backend.set_num_threads(previous_threads)
+
+
+# ----------------------------------------------------------------------
+# Bootstrap: in-tree backends, fork safety, REPRO_BACKEND
+# ----------------------------------------------------------------------
+register_backend(NumpyBackend())
+register_backend(BlasThreadedBackend())
+
+_active: ArrayBackend = _REGISTRY["numpy"]
+
+
+def _reset_pools_after_fork() -> None:
+    for backend in _REGISTRY.values():
+        reset = getattr(backend, "_reset_after_fork", None)
+        if reset is not None:
+            reset()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+_env_backend = os.environ.get("REPRO_BACKEND")
+if _env_backend:
+    set_default_backend(_env_backend)

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.backend import active_backend
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled
 
 
@@ -160,14 +161,21 @@ def dropout(
 
 
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
-    """Row lookup ``weight[indices]`` with scatter-add gradients."""
+    """Row lookup ``weight[indices]`` with scatter-add gradients.
+
+    The gather and the gradient scatter route through the active array
+    backend (:mod:`repro.nn.backend`); the scatter stays serial on every
+    in-tree backend because float accumulation order is part of
+    bit-identity.
+    """
     weight = as_tensor(weight)
     idx = np.asarray(indices, dtype=np.int64)
-    data = weight.data[idx]
+    data = active_backend().take(weight.data, idx)
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(weight.data)
-        np.add.at(full, idx, grad)
+        kernels = active_backend()
+        full = kernels.zeros_like(weight.data)
+        kernels.scatter_add(full, idx, grad)
         out._send(weight, full)
 
     out = Tensor._make(data, (weight,), backward)
@@ -184,8 +192,9 @@ def gather_rows(x: Tensor, column_indices: np.ndarray) -> Tensor:
     data = x.data[rows, cols]
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(x.data)
-        np.add.at(full, (rows, cols), grad)
+        kernels = active_backend()
+        full = kernels.zeros_like(x.data)
+        kernels.scatter_add(full, (rows, cols), grad)
         out._send(x, full)
 
     out = Tensor._make(data, (x,), backward)

@@ -9,11 +9,12 @@ from repro.pipeline.evaluator import (
     run_method,
     run_methods,
 )
-from repro.pipeline.splash import Splash, SplashConfig, fit_window
+from repro.pipeline.splash import ExecutionConfig, Splash, SplashConfig, fit_window
 
 __all__ = [
     "Splash",
     "SplashConfig",
+    "ExecutionConfig",
     "fit_window",
     "MethodResult",
     "PreparedExperiment",

@@ -9,6 +9,7 @@ material for Tables III/IV and Figures 9-12.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
@@ -21,12 +22,14 @@ from repro.features.random_feat import FreshRandomFeatureProcess, ZeroFeaturePro
 from repro.models import ModelConfig, create_model
 from repro.models.context import ContextBundle, build_context_bundle
 from repro.nn.tensor import default_dtype, get_default_dtype
-from repro.pipeline.splash import Splash, SplashConfig
+from repro.pipeline.splash import ExecutionConfig, Splash, SplashConfig
 from repro.streams.split import ChronoSplit
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawn_rngs
 
 logger = get_logger("evaluator")
+
+_UNSET = object()
 
 
 @dataclass
@@ -53,11 +56,23 @@ class PreparedExperiment:
     dataset: StreamDataset
     bundle: ContextBundle
     split: ChronoSplit
-    context_engine: str = "batched"
-    num_workers: int = 0
-    propagation: str = "blocked"
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     feature_fit_seconds: float = 0.0
     context_seconds: float = 0.0
+
+    # Plain (non-warning) records of how the bundle was built — kept so
+    # existing result-inspection code keeps reading the old names.
+    @property
+    def context_engine(self) -> str:
+        return self.execution.engine
+
+    @property
+    def num_workers(self) -> int:
+        return self.execution.num_workers
+
+    @property
+    def propagation(self) -> str:
+        return self.execution.propagation
 
 
 def prepare_experiment(
@@ -66,25 +81,63 @@ def prepare_experiment(
     feature_dim: int = 32,
     seed: int = 0,
     split: Optional[ChronoSplit] = None,
-    context_engine: str = "batched",
-    num_workers: int = 0,
-    propagation: str = "blocked",
+    execution: Optional[ExecutionConfig] = None,
+    *,
+    context_engine=_UNSET,
+    num_workers=_UNSET,
+    propagation=_UNSET,
 ) -> PreparedExperiment:
     """Fit all feature processes on the training stream and build the shared
     context bundle (one replay serving every method).
 
+    ``execution`` supplies the replay knobs (:class:`ExecutionConfig`):
+    ``engine`` selects the replay implementation for the materialisation
+    step — ``"batched"`` (the vectorised default), ``"event"`` (the
+    per-event reference), or ``"sharded"`` (contiguous interleave shards
+    collected in ``num_workers`` worker processes and merged;
+    ``num_workers <= 1`` collects the shards serially in-process) — and
     ``propagation`` selects how the batched/sharded engines run the
     sequential store pass (``"blocked"`` scatter-updates endpoint-disjoint
     runs, ``"event"`` is the per-event reference; identical outputs).
-    ``context_engine`` selects the replay implementation for the
-    materialisation step: ``"batched"`` (the vectorised default),
-    ``"event"`` (the per-event reference), or ``"sharded"`` (contiguous
-    interleave shards collected in ``num_workers`` worker processes and
-    merged; ``num_workers <= 1`` collects the shards serially in-process).
-    All engines produce identical bundles.  Wall-clock of the feature fit
-    and the context replay is recorded on the result so benchmarks can
-    track the materialisation cost over time.
+    All engines produce identical bundles.  ``execution.backend`` is *not*
+    applied here — preparation runs on the ambient backend so it stays
+    safe to call from :func:`iter_prepared`'s prefetch thread (flipping
+    the process-global backend there would race the training thread);
+    since backends are bit-identical this changes timing only.  Wall-clock
+    of the feature fit and the context replay is recorded on the result so
+    benchmarks can track the materialisation cost over time.
+
+    The flat ``context_engine``/``num_workers``/``propagation`` keywords
+    are deprecated spellings of the same knobs (one warning per call;
+    removed in two releases); mixing them with ``execution=`` is an error.
     """
+    flat = {
+        name: value
+        for name, value in (
+            ("context_engine", context_engine),
+            ("num_workers", num_workers),
+            ("propagation", propagation),
+        )
+        if value is not _UNSET
+    }
+    if flat:
+        if execution is not None:
+            raise ValueError(
+                "pass execution settings either through execution=... or "
+                "through the deprecated flat keywords, not both: "
+                + ", ".join(sorted(flat))
+            )
+        warnings.warn(
+            "the flat context_engine/num_workers/propagation keywords of "
+            "prepare_experiment are deprecated and will be removed in two "
+            "releases; pass execution=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        flat["engine"] = flat.pop("context_engine", "batched")
+        execution = ExecutionConfig(**flat)
+    elif execution is None:
+        execution = ExecutionConfig()
     split = split or dataset.split()
     train_stream = dataset.train_stream(split)
     rng_fresh, _ = spawn_rngs(seed + 1, 2)
@@ -102,18 +155,16 @@ def prepare_experiment(
         dataset.queries,
         k,
         processes,
-        engine=context_engine,
-        num_workers=num_workers,
-        propagation=propagation,
+        engine=execution.engine,
+        num_workers=execution.num_workers,
+        propagation=execution.propagation,
     )
     context_seconds = time.perf_counter() - start
     return PreparedExperiment(
         dataset=dataset,
         bundle=bundle,
         split=split,
-        context_engine=context_engine,
-        num_workers=num_workers,
-        propagation=propagation,
+        execution=execution,
         feature_fit_seconds=fit_seconds,
         context_seconds=context_seconds,
     )
@@ -126,19 +177,21 @@ def iter_prepared(
 ) -> Iterator[PreparedExperiment]:
     """Yield :func:`prepare_experiment` results for a dataset sweep.
 
-    With ``splash_config.prefetch`` set, dataset N+1's feature fit and
-    context materialisation run on a background thread while the caller
-    trains on dataset N — the training half of the ROADMAP's async-prefetch
-    item (the serving half landed with
-    ``PredictionService.serve_stream(background=True)``).  Preparation is
-    pure numpy (it never touches the nn backend's process-global dtype),
-    so overlapping it with training changes *when* bundles are built,
-    never their contents: results are identical with the flag on or off
+    With ``splash_config.execution.prefetch`` set, dataset N+1's feature
+    fit and context materialisation run on a background thread while the
+    caller trains on dataset N — the training half of the ROADMAP's
+    async-prefetch item (the serving half landed with
+    ``PredictionService.serve_stream(background=True)``).  Preparation
+    never touches the nn backend's process-global dtype *or* the
+    process-global array backend (see :func:`prepare_experiment`), so
+    overlapping it with training changes *when* bundles are built, never
+    their contents: results are identical with the flag on or off
     (``tests/pipeline/test_prefetch.py``).
 
     The prefetch depth is one — bundles are large, so materialising the
     whole sweep ahead would trade the win for memory.
     """
+    execution = splash_config.execution
 
     def prepare(dataset: StreamDataset) -> PreparedExperiment:
         return prepare_experiment(
@@ -146,13 +199,11 @@ def iter_prepared(
             k=splash_config.k,
             feature_dim=splash_config.feature_dim,
             seed=seed,
-            context_engine=splash_config.context_engine,
-            num_workers=splash_config.num_workers,
-            propagation=splash_config.propagation,
+            execution=execution,
         )
 
     iterator = iter(datasets)
-    if not splash_config.prefetch:
+    if not execution.prefetch:
         for dataset in iterator:
             yield prepare(dataset)
         return
@@ -195,10 +246,10 @@ def run_method(
         sp_config = splash_config or SplashConfig(
             feature_dim=bundle.feature_dim("random"), k=bundle.k, model=config
         )
-        if sp_config.dtype is not None:
+        if sp_config.execution.dtype is not None:
             # A dtype on the SplashConfig wins inside Splash.fit; record
             # the precision actually used, not the ambient one.
-            run_dtype = sp_config.dtype
+            run_dtype = sp_config.execution.dtype
         splash = Splash(sp_config)
         with default_dtype(run_dtype):
             start = time.perf_counter()

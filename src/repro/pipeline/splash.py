@@ -10,6 +10,7 @@ and the trained SLIM scores any query subset.
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -21,6 +22,7 @@ from repro.features.base import FeatureProcess
 from repro.models.base import FitHistory, ModelConfig, evaluate_model
 from repro.models.context import ContextBundle, build_context_bundle
 from repro.models.slim import SLIM
+from repro.nn.backend import active_backend, get_backend, use_backend
 from repro.nn.tensor import default_dtype, get_default_dtype
 from repro.selection.linear_model import LinearFitConfig
 from repro.selection.selector import FeatureSelector, SelectionResult
@@ -33,16 +35,24 @@ logger = get_logger("splash")
 
 
 @dataclass
-class SplashConfig:
-    """Hyperparameters of the full SPLASH pipeline."""
+class ExecutionConfig:
+    """*How* the pipeline runs — never *what* it computes.
 
-    feature_dim: int = 32
-    k: int = 10
-    model: ModelConfig = field(default_factory=ModelConfig)
-    linear: LinearFitConfig = field(default_factory=LinearFitConfig)
-    split_fractions: Optional[List[float]] = None  # None → paper's five splits
-    force_process: Optional[str] = None  # ablations: "random"/"positional"/...
-    context_engine: str = "batched"  # replay engine for materialisation
+    Every knob here changes wall-clock behaviour only: all combinations
+    produce bit-identical results at a given ``dtype`` (the array-backend
+    registry's core invariant, plus the engine-equivalence guarantees of
+    ``models/context.py``).  ``dtype`` is the one exception — it selects
+    the numeric precision itself.
+    """
+
+    # Array backend (repro.nn.backend) for GEMM / gathers / segment passes.
+    # None → whatever backend is ambient (the process default, usually
+    # "numpy" unless REPRO_BACKEND says otherwise).
+    backend: Optional[str] = None
+    # Thread count for thread-aware backends (None → backend default).
+    num_threads: Optional[int] = None
+    dtype: Optional[str] = None  # None → ambient default; "float32" = fast path
+    engine: str = "batched"  # replay engine for context materialisation
     # Worker processes for the "sharded" engine.  0 and 1 both mean "no
     # worker pool" (shards are still collected, serially, in-process); ≥ 2
     # fans shard collection out to that many processes.  Ignored by the
@@ -53,28 +63,38 @@ class SplashConfig:
     # unseen-node edges in one numpy operation per run, "event" is the
     # per-event reference.  Bit-for-bit identical outputs either way.
     propagation: str = "blocked"
-    dtype: Optional[str] = None  # None → ambient default; "float32" = fast path
     # Multi-dataset sweeps only (repro.pipeline.evaluator.iter_prepared):
     # materialise dataset N+1's context bundle in a background thread while
     # SLIM trains on dataset N.  Results are identical with the flag on or
     # off — prefetch changes when bundles are built, never their contents.
     prefetch: bool = False
-    seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.feature_dim <= 0 or self.k <= 0:
-            raise ValueError("feature_dim and k must be positive")
-        if self.context_engine not in ("batched", "event", "sharded"):
+        if self.backend is not None:
+            # Fail at construction with the registry's own message (which
+            # lists what *is* registered) rather than minutes into fit().
+            get_backend(self.backend)
+        if self.num_threads is not None:
+            if not isinstance(self.num_threads, int) or isinstance(
+                self.num_threads, bool
+            ):
+                raise ValueError(
+                    f"num_threads must be an int or None, got {self.num_threads!r}"
+                )
+            if self.num_threads < 1:
+                raise ValueError(
+                    f"num_threads must be >= 1, got {self.num_threads}"
+                )
+        if self.engine not in ("batched", "event", "sharded"):
             raise ValueError(
-                "context_engine must be 'batched', 'event' or 'sharded', "
-                f"got {self.context_engine!r}"
+                "execution engine (formerly context_engine) must be "
+                f"'batched', 'event' or 'sharded', got {self.engine!r}"
             )
         if not isinstance(self.num_workers, int) or isinstance(self.num_workers, bool):
             raise ValueError(f"num_workers must be an int, got {self.num_workers!r}")
         if self.num_workers < 0:
-            # Fail at construction, mirroring the context_engine check; 0
-            # and 1 are the documented serial settings, so only negatives
-            # are nonsense.
+            # Fail at construction, mirroring the engine check; 0 and 1 are
+            # the documented serial settings, so only negatives are nonsense.
             raise ValueError(
                 f"num_workers must be non-negative, got {self.num_workers}"
             )
@@ -88,16 +108,170 @@ class SplashConfig:
             raise ValueError(
                 f"dtype must be 'float32', 'float64' or None, got {self.dtype!r}"
             )
-        if self.num_workers >= 2 and self.context_engine != "sharded":
+        if self.num_workers >= 2 and self.engine != "sharded":
             # Not an error — the config is valid and fit() runs fine — but
             # silently ignoring the setting hides that no pool will exist.
             warnings.warn(
                 f"num_workers={self.num_workers} has no effect with "
-                f"context_engine={self.context_engine!r}; only the 'sharded' "
+                f"context_engine={self.engine!r}; only the 'sharded' "
                 "engine collects context in worker processes",
                 UserWarning,
                 stacklevel=2,
             )
+
+
+# ----------------------------------------------------------------------
+# Flat-field deprecation plumbing (SplashConfig grew an ``execution``
+# sub-config; the old flat spellings warn once each and disappear in two
+# releases).
+# ----------------------------------------------------------------------
+_UNSET = object()
+
+#: flat SplashConfig field → ExecutionConfig field
+_FLAT_EXECUTION_FIELDS = {
+    "context_engine": "engine",
+    "num_workers": "num_workers",
+    "propagation": "propagation",
+    "dtype": "dtype",
+    "prefetch": "prefetch",
+}
+
+_warned_flat_fields: set = set()
+
+
+def _warn_flat_field(name: str, stacklevel: int = 3) -> None:
+    """One ``DeprecationWarning`` per flat field per process (write or read)."""
+    if name in _warned_flat_fields:
+        return
+    _warned_flat_fields.add(name)
+    replacement = _FLAT_EXECUTION_FIELDS[name]
+    warnings.warn(
+        f"SplashConfig.{name} is deprecated and will be removed in two "
+        f"releases; use SplashConfig(execution=ExecutionConfig("
+        f"{replacement}=...)) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _reset_flat_field_warnings() -> None:
+    """Testing hook: make every flat-field deprecation fire again."""
+    _warned_flat_fields.clear()
+
+
+@dataclass(init=False)
+class SplashConfig:
+    """Hyperparameters of the full SPLASH pipeline.
+
+    *What* is computed lives in the flat fields (feature/model/selection
+    hyperparameters); *how* it runs lives in ``execution``
+    (:class:`ExecutionConfig`: array backend, threads, precision, replay
+    engine, workers, propagation mode, prefetch).
+
+    The pre-``execution`` flat spellings (``context_engine``,
+    ``num_workers``, ``propagation``, ``dtype``, ``prefetch``) are still
+    accepted as keyword arguments and readable as properties, but emit one
+    :class:`DeprecationWarning` each and will be removed in two releases.
+    Mixing them with an explicit ``execution=`` is an error.
+    """
+
+    feature_dim: int
+    k: int
+    model: ModelConfig
+    linear: LinearFitConfig
+    split_fractions: Optional[List[float]]  # None → paper's five splits
+    force_process: Optional[str]  # ablations: "random"/"positional"/...
+    execution: ExecutionConfig
+    seed: int
+
+    def __init__(
+        self,
+        feature_dim: int = 32,
+        k: int = 10,
+        model: Optional[ModelConfig] = None,
+        linear: Optional[LinearFitConfig] = None,
+        split_fractions: Optional[List[float]] = None,
+        force_process: Optional[str] = None,
+        execution: Optional[ExecutionConfig] = None,
+        seed: int = 0,
+        *,
+        context_engine=_UNSET,
+        num_workers=_UNSET,
+        propagation=_UNSET,
+        dtype=_UNSET,
+        prefetch=_UNSET,
+    ) -> None:
+        flat = {
+            name: value
+            for name, value in (
+                ("context_engine", context_engine),
+                ("num_workers", num_workers),
+                ("propagation", propagation),
+                ("dtype", dtype),
+                ("prefetch", prefetch),
+            )
+            if value is not _UNSET
+        }
+        if flat and execution is not None:
+            raise ValueError(
+                "pass execution settings either through execution=... or "
+                "through the deprecated flat fields, not both: "
+                + ", ".join(sorted(flat))
+            )
+        for name in flat:
+            _warn_flat_field(name)
+        if execution is None:
+            execution = ExecutionConfig(
+                **{_FLAT_EXECUTION_FIELDS[name]: value for name, value in flat.items()}
+            )
+        self.feature_dim = feature_dim
+        self.k = k
+        self.model = model if model is not None else ModelConfig()
+        self.linear = linear if linear is not None else LinearFitConfig()
+        self.split_fractions = split_fractions
+        self.force_process = force_process
+        self.execution = execution
+        self.seed = seed
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if self.feature_dim <= 0 or self.k <= 0:
+            raise ValueError("feature_dim and k must be positive")
+        if not isinstance(self.execution, ExecutionConfig):
+            raise ValueError(
+                f"execution must be an ExecutionConfig, got {self.execution!r}"
+            )
+
+    # -- deprecated flat spellings (read-only pass-throughs) -----------
+    @property
+    def context_engine(self) -> str:
+        """Deprecated alias for ``execution.engine``."""
+        _warn_flat_field("context_engine")
+        return self.execution.engine
+
+    @property
+    def num_workers(self) -> int:
+        """Deprecated alias for ``execution.num_workers``."""
+        _warn_flat_field("num_workers")
+        return self.execution.num_workers
+
+    @property
+    def propagation(self) -> str:
+        """Deprecated alias for ``execution.propagation``."""
+        _warn_flat_field("propagation")
+        return self.execution.propagation
+
+    @property
+    def dtype(self) -> Optional[str]:
+        """Deprecated alias for ``execution.dtype``."""
+        _warn_flat_field("dtype")
+        return self.execution.dtype
+
+    @property
+    def prefetch(self) -> bool:
+        """Deprecated alias for ``execution.prefetch``."""
+        _warn_flat_field("prefetch")
+        return self.execution.prefetch
 
 
 class Splash:
@@ -120,6 +294,7 @@ class Splash:
         self.timer = Timer()
         self._dataset: Optional[StreamDataset] = None
         self._fit_dtype = None
+        self._fit_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -137,12 +312,19 @@ class Splash:
         reuse a shared context replay across methods in experiments.
         """
         cfg = self.config
+        exe = cfg.execution
         self._dataset = dataset
         self.split = split or dataset.split()
-        # Freeze the training precision now: with cfg.dtype=None the model
-        # must keep the dtype that was ambient at *fit* time even if the
-        # ambient default changes before evaluate()/predict_scores().
-        self._fit_dtype = cfg.dtype if cfg.dtype is not None else get_default_dtype()
+        # Freeze the training precision now: with execution.dtype=None the
+        # model must keep the dtype that was ambient at *fit* time even if
+        # the ambient default changes before evaluate()/predict_scores().
+        # The array backend is frozen the same way — not for correctness
+        # (backends are bit-identical) but so serving inherits an honest
+        # record of how this pipeline ran.
+        self._fit_dtype = exe.dtype if exe.dtype is not None else get_default_dtype()
+        self._fit_backend = (
+            exe.backend if exe.backend is not None else active_backend().name
+        )
 
         if bundle is not None:
             missing = {"random", "positional", "structural"} - set(
@@ -163,21 +345,21 @@ class Splash:
                 )
                 for process in self.processes:
                     process.fit(train_stream, dataset.ctdg.num_nodes)
-            with self.timer.section("context_build"):
+            with self.timer.section("context_build"), self._backend_context():
                 self.bundle = build_context_bundle(
                     dataset.ctdg,
                     dataset.queries,
                     cfg.k,
                     self.processes,
-                    engine=cfg.context_engine,
-                    num_workers=cfg.num_workers,
-                    propagation=cfg.propagation,
+                    engine=exe.engine,
+                    num_workers=exe.num_workers,
+                    propagation=exe.propagation,
                 )
 
         if cfg.force_process is None:
             # Selection trains linear probes on the nn backend, so it must
             # run at the same precision as the final SLIM training.
-            with self.timer.section("selection"), self._dtype_context():
+            with self.timer.section("selection"), self._execution_context():
                 selector = FeatureSelector(
                     split_fractions=cfg.split_fractions,
                     linear_config=cfg.linear,
@@ -198,7 +380,7 @@ class Splash:
             self.selection = None
 
         logger.info("SPLASH on %s: using process %r", dataset.name, selected)
-        with self.timer.section("train"), self._dtype_context():
+        with self.timer.section("train"), self._execution_context():
             self.model = SLIM(
                 feature_name=selected,
                 feature_dim=self.bundle.feature_dim(selected),
@@ -224,6 +406,11 @@ class Splash:
     def fit_dtype(self) -> Optional[str]:
         """The precision the pipeline trained at (None before fit/load)."""
         return self._fit_dtype
+
+    @property
+    def fit_backend(self) -> Optional[str]:
+        """The array backend the pipeline trained under (None before fit)."""
+        return self._fit_backend
 
     # ------------------------------------------------------------------
     # Persistence (see repro.serving.artifact for the on-disk format)
@@ -265,31 +452,46 @@ class Splash:
         if self.model is None or not self.processes:
             raise RuntimeError("attach() needs a fitted or loaded pipeline")
         cfg = self.config
+        exe = cfg.execution
         self._dataset = dataset
         self.split = split or dataset.split()
-        with self.timer.section("context_build"):
+        with self.timer.section("context_build"), self._backend_context():
             self.bundle = build_context_bundle(
                 dataset.ctdg,
                 dataset.queries,
                 cfg.k,
                 self.processes,
-                engine=cfg.context_engine,
-                num_workers=cfg.num_workers,
-                propagation=cfg.propagation,
+                engine=exe.engine,
+                num_workers=exe.num_workers,
+                propagation=exe.propagation,
             )
         self.model.bind_task(dataset.task)
         return self
 
-    def _dtype_context(self):
-        """Inference must run at the precision the model was trained in."""
-        if self._fit_dtype is None:
-            return default_dtype(get_default_dtype())  # before fit: no-op
-        return default_dtype(self._fit_dtype)
+    def _backend_context(self):
+        """The array backend frozen at fit (ambient no-op before fit)."""
+        if self._fit_backend is None:
+            return contextlib.nullcontext()
+        return use_backend(
+            self._fit_backend, num_threads=self.config.execution.num_threads
+        )
+
+    def _execution_context(self):
+        """Inference must run at the precision (and, for provenance, the
+        backend) the model was trained under."""
+        stack = contextlib.ExitStack()
+        stack.enter_context(
+            default_dtype(
+                self._fit_dtype if self._fit_dtype is not None else get_default_dtype()
+            )
+        )
+        stack.enter_context(self._backend_context())
+        return stack
 
     def predict_scores(self, idx: np.ndarray) -> np.ndarray:
         if self.model is None or self.bundle is None:
             raise RuntimeError("fit() has not been called")
-        with self._dtype_context():
+        with self._execution_context():
             return self.model.predict_scores(self.bundle, idx)
 
     def evaluate(self, idx: Optional[np.ndarray] = None) -> float:
@@ -299,7 +501,7 @@ class Splash:
         if idx is None:
             assert self.split is not None
             idx = self.split.test_idx
-        with self.timer.section("inference"), self._dtype_context():
+        with self.timer.section("inference"), self._execution_context():
             return evaluate_model(self.model, self.bundle, self._dataset.task, idx)
 
     def num_parameters(self) -> int:
@@ -325,7 +527,7 @@ def fit_window(
     describe the recent window (e.g. the arrays a
     :class:`repro.adapt.stats.StreamWindow` buffered), and the whole
     pipeline — process fitting, context materialisation (through
-    ``config.context_engine``, so a sharded config parallelises the
+    ``config.execution.engine``, so a sharded config parallelises the
     replay), selection, SLIM training — runs on it from scratch.
 
     The chronological split inside the window defaults to 50/20/30 rather

@@ -46,7 +46,12 @@ from repro.selection.selector import SelectionResult
 from repro.models.base import ModelConfig
 
 ARTIFACT_FORMAT = "splash-artifact"
-ARTIFACT_VERSION = 1
+# Version history:
+#   1 — flat SplashConfig (context_engine/num_workers/... at top level)
+#   2 — SplashConfig.execution sub-config (ExecutionConfig) + "backend" in
+#       meta.json; version-1 artifacts still load (their flat keys are
+#       mapped onto ExecutionConfig silently, no deprecation warnings).
+ARTIFACT_VERSION = 2
 
 META_FILE = "meta.json"
 WEIGHTS_FILE = "slim_weights"
@@ -113,6 +118,9 @@ def save_artifact(splash, path: str) -> str:
         # fit_dtype is a string when the config pinned it, else the numpy
         # dtype that was ambient at fit time; store the canonical name.
         "dtype": np.dtype(splash.fit_dtype).name,
+        # The array backend the pipeline trained under (provenance — every
+        # registered backend is bit-identical, so any backend can serve it).
+        "backend": splash.fit_backend,
         "selected": splash.model.feature_name,
         "feature_dim": int(splash.model.feature_dim),
         "edge_feature_dim": int(splash.model.edge_feature_dim),
@@ -136,7 +144,7 @@ def load_artifact(path: str):
     call :meth:`Splash.attach` to evaluate offline, or hand it to
     :meth:`PredictionService.from_splash` to serve.
     """
-    from repro.pipeline.splash import Splash, SplashConfig
+    from repro.pipeline.splash import ExecutionConfig, Splash, SplashConfig
 
     meta_path = os.path.join(path, META_FILE)
     if not os.path.exists(meta_path):
@@ -154,9 +162,23 @@ def load_artifact(path: str):
     raw_config = dict(meta["config"])
     raw_config["model"] = ModelConfig(**raw_config["model"])
     raw_config["linear"] = LinearFitConfig(**raw_config["linear"])
+    if "execution" in raw_config:
+        raw_config["execution"] = ExecutionConfig(**raw_config["execution"])
+    else:
+        # Version-1 artifact: execution knobs were flat SplashConfig
+        # fields.  Map them silently — a stored artifact is not the
+        # caller's code, so it gets no deprecation warning.
+        raw_config["execution"] = ExecutionConfig(
+            engine=raw_config.pop("context_engine", "batched"),
+            num_workers=raw_config.pop("num_workers", 0),
+            propagation=raw_config.pop("propagation", "blocked"),
+            dtype=raw_config.pop("dtype", None),
+            prefetch=raw_config.pop("prefetch", False),
+        )
     config = SplashConfig(**raw_config)
     splash = Splash(config)
     splash._fit_dtype = meta["dtype"]
+    splash._fit_backend = meta.get("backend")
 
     with np.load(os.path.join(path, PROCESSES_FILE)) as archive:
         arrays = {name: archive[name] for name in archive.files}

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.models.base import ContextModel
 from repro.models.context import ContextBundle
+from repro.nn.backend import active_backend, use_backend
 from repro.nn.tensor import default_dtype, get_default_dtype
 from repro.serving.store import IncrementalContextStore
 from repro.streams.ctdg import CTDG
@@ -165,6 +166,12 @@ class PredictionService:
         concurrently *in the same process* at a different precision is not
         supported (run retraining in its own process, then hot-swap the
         saved artifact in).
+    backend:
+        Array backend (:mod:`repro.nn.backend`) to ingest and score under;
+        defaults to the ambient backend.  ``from_splash`` passes the
+        pipeline's fit backend.  Results are bit-identical across
+        registered backends, so this is a throughput knob with the same
+        process-global caveat as ``dtype``.
     """
 
     def __init__(
@@ -176,6 +183,7 @@ class PredictionService:
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         micro_batch_size: Optional[int] = None,
         dtype: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if micro_batch_size is not None and micro_batch_size <= 0:
             raise ValueError(
@@ -189,6 +197,7 @@ class PredictionService:
             else model.config.batch_size
         )
         self._dtype = dtype
+        self._backend = backend
         self._swap_lock = threading.Lock()
         self._task = task
         self.model = model
@@ -223,22 +232,33 @@ class PredictionService:
             splash.config.k,
             num_nodes,
             edge_feature_dim,
-            propagation=splash.config.propagation,
+            propagation=splash.config.execution.propagation,
         )
         kwargs.setdefault("dtype", splash.fit_dtype)
+        kwargs.setdefault("backend", splash.fit_backend)
         return cls(splash.model, store, **kwargs)
 
     # ------------------------------------------------------------------
+    def _backend_context(self):
+        """Flip to the configured array backend only when it differs from
+        the ambient one — same process-global caveat as the dtype flip."""
+        if self._backend and self._backend != active_backend().name:
+            return use_backend(self._backend)
+        return contextlib.nullcontext()
+
     def ingest(self, edges: CTDG) -> int:
-        """Timed ingest of one edge micro-batch."""
+        """Timed ingest of one edge micro-batch (under the configured
+        array backend — the store's gathers/scatters route through it)."""
         start = time_mod.perf_counter()
-        count = self.store.ingest(edges)
+        with self._backend_context():
+            count = self.store.ingest(edges)
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
         return count
 
     def _ingest_arrays(self, src, dst, times, features, weights) -> int:
         start = time_mod.perf_counter()
-        count = self.store.ingest_arrays(src, dst, times, features, weights)
+        with self._backend_context():
+            count = self.store.ingest_arrays(src, dst, times, features, weights)
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
         return count
 
@@ -248,6 +268,7 @@ class PredictionService:
         *,
         store: Optional[IncrementalContextStore] = None,
         dtype: Optional[str] = None,
+        backend: Optional[str] = None,
         scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> None:
         """Replace the scoring model without interrupting service.
@@ -327,11 +348,14 @@ class PredictionService:
                 self.store = store
             if dtype is not None:
                 self._dtype = dtype
+            if backend is not None:
+                self._backend = backend
             if scores_fn is not None:
                 self.scores_fn = scores_fn
         logger.info(
-            "hot-swapped model (dtype=%s%s)",
+            "hot-swapped model (dtype=%s, backend=%s%s)",
             self._dtype,
+            self._backend,
             ", with store" if store is not None else "",
         )
 
@@ -355,7 +379,7 @@ class PredictionService:
                 context = default_dtype(self._dtype)
             else:
                 context = contextlib.nullcontext()
-            with context:
+            with context, self._backend_context():
                 if self._task is not None:
                     return model.predict_scores(bundle, idx)
                 logits = model.predict_logits(bundle, idx)

@@ -1,0 +1,159 @@
+"""Cross-backend equivalence harness — the registry's core invariant.
+
+Every registered array backend must be **bit-identical** to the ``numpy``
+reference: identical context bundles (the shared input of every method)
+and identical Table III smoke metrics at float64.  A future backend that
+relaxes this (e.g. GPU) must be excluded here explicitly — silent drift
+across backends would invalidate every cross-run comparison in the paper
+reproduction.
+
+The bundle check fuzzes over the replay hazards (tied timestamps,
+self-loops, hub bursts, unseen nodes) via the shared tied-stream
+generator; with ``hypothesis`` available it additionally explores the
+generator's parameter space.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.models.context import build_context_bundle
+from repro.nn.backend import available_backends, use_backend
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
+from tests.conftest import (
+    assert_bundles_identical,
+    fitted_context_processes,
+    random_tied_stream,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the CI image
+    HAVE_HYPOTHESIS = False
+
+ALL_BACKENDS = sorted(available_backends())
+FAST_MODEL = ModelConfig(
+    hidden_dim=16, epochs=3, batch_size=64, patience=3, time_dim=8, seed=0
+)
+
+
+def _bundle_under(backend: str, g, queries, processes, k: int = 5):
+    with use_backend(backend, num_threads=4 if backend == "blas-threaded" else None):
+        return build_context_bundle(g, queries, k, processes)
+
+
+class TestBundleBitIdentity:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_bundles_identical_to_numpy(self, backend, seed):
+        g, queries = random_tied_stream(seed, num_edges=220, d_e=2)
+        processes = fitted_context_processes(g, seed=seed)
+        reference = _bundle_under("numpy", g, queries, processes)
+        candidate = _bundle_under(backend, g, queries, processes)
+        assert_bundles_identical(reference, candidate)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_blocked_and_event_propagation_agree_per_backend(self, backend):
+        g, queries = random_tied_stream(11, num_edges=180)
+        processes = fitted_context_processes(g, seed=11)
+        with use_backend(backend):
+            blocked = build_context_bundle(
+                g, queries, 5, processes, propagation="blocked"
+            )
+            event = build_context_bundle(
+                g, queries, 5, processes, propagation="event"
+            )
+        assert_bundles_identical(blocked, event)
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            seed=st.integers(0, 10_000),
+            selfloop_prob=st.floats(0.0, 0.5),
+            hub_prob=st.floats(0.0, 0.8),
+            quantize=st.booleans(),
+        )
+        def test_fuzzed_streams_identical_across_backends(
+            self, seed, selfloop_prob, hub_prob, quantize
+        ):
+            g, queries = random_tied_stream(
+                seed,
+                num_edges=120,
+                num_queries=40,
+                selfloop_prob=selfloop_prob,
+                hub_prob=hub_prob,
+                quantize=quantize,
+            )
+            processes = fitted_context_processes(g, seed=seed % 97)
+            reference = _bundle_under("numpy", g, queries, processes, k=4)
+            for backend in ALL_BACKENDS:
+                if backend == "numpy":
+                    continue
+                candidate = _bundle_under(backend, g, queries, processes, k=4)
+                assert_bundles_identical(reference, candidate)
+
+
+class TestSmokeMetricsIdentical:
+    """Table III smoke run at float64: every backend must reproduce the
+    numpy metrics *exactly* — selection, risks, test metric, the lot."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return email_eu_like(seed=0, num_edges=900)
+
+    def _run(self, dataset, backend: str) -> dict:
+        config = SplashConfig(
+            feature_dim=10,
+            k=6,
+            model=FAST_MODEL,
+            execution=ExecutionConfig(
+                backend=backend,
+                num_threads=4 if backend == "blas-threaded" else None,
+                dtype="float64",
+            ),
+            seed=0,
+        )
+        splash = Splash(config)
+        splash.fit(dataset)
+        return {
+            "selected": splash.selected_process,
+            "risks": dict(splash.selection.total_risks),
+            "metric": float(splash.evaluate()),
+            "fit_backend": splash.fit_backend,
+        }
+
+    def test_all_backends_reproduce_numpy_exactly(self, dataset):
+        reference = self._run(dataset, "numpy")
+        assert reference["fit_backend"] == "numpy"
+        for backend in ALL_BACKENDS:
+            if backend == "numpy":
+                continue
+            got = self._run(dataset, backend)
+            assert got["fit_backend"] == backend
+            assert got["selected"] == reference["selected"], backend
+            assert got["metric"] == reference["metric"], backend  # exact
+            for name, risk in reference["risks"].items():
+                assert got["risks"][name] == risk, (backend, name)
+
+    def test_scores_bitwise_identical(self, dataset):
+        reference = None
+        for backend in ALL_BACKENDS:
+            config = SplashConfig(
+                feature_dim=10,
+                k=6,
+                model=FAST_MODEL,
+                execution=ExecutionConfig(backend=backend, dtype="float64"),
+                seed=0,
+            )
+            splash = Splash(config)
+            splash.fit(dataset)
+            scores = splash.predict_scores(splash.split.test_idx)
+            if reference is None:
+                reference = scores
+            else:
+                np.testing.assert_array_equal(scores, reference, err_msg=backend)

@@ -74,10 +74,10 @@ class TestFloat32SlimTraining:
 
 class TestSplashDtype:
     def test_invalid_dtype_rejected_at_construction(self):
-        from repro.pipeline import SplashConfig
+        from repro.pipeline import ExecutionConfig, SplashConfig
 
         with pytest.raises(ValueError, match="dtype"):
-            SplashConfig(dtype="float16")
+            SplashConfig(execution=ExecutionConfig(dtype="float16"))
 
     def test_inference_keeps_fit_time_precision(self):
         # With config.dtype=None the precision ambient at *fit* time must

@@ -1,0 +1,348 @@
+"""The array-backend registry and its kernels.
+
+Three contracts pin the seam:
+
+1. registry semantics — registration, lookup errors, the process-global
+   active backend, and re-entrant/exception-safe switching (the state
+   model mirrors the default-dtype seam);
+2. kernel bit-identity — every ``blas-threaded`` kernel must equal the
+   ``numpy`` reference bit for bit at both precisions, above and below
+   the fan-out threshold;
+3. provenance — model archives record the backend they were saved under.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.nn.backend import (
+    ArrayBackend,
+    BlasThreadedBackend,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.nn.tensor import default_dtype, get_default_dtype
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestRegistry:
+    def test_in_tree_backends_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "blas-threaded" in names
+
+    def test_get_backend_by_name_and_default(self):
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend() is active_backend()
+
+    def test_unknown_backend_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown array backend 'cuda'"):
+            get_backend("cuda")
+
+    def test_duplicate_registration_needs_overwrite(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(NumpyBackend())
+
+    def test_abstract_name_rejected(self):
+        with pytest.raises(ValueError, match="concrete"):
+            register_backend(ArrayBackend())
+
+    def test_register_custom_backend_roundtrip(self):
+        class ProbeBackend(NumpyBackend):
+            name = "probe"
+
+        try:
+            register_backend(ProbeBackend())
+            assert "probe" in available_backends()
+            assert get_backend("probe").name == "probe"
+            # overwrite=True replaces the instance in place.
+            replacement = ProbeBackend()
+            register_backend(replacement, overwrite=True)
+            assert get_backend("probe") is replacement
+        finally:
+            from repro.nn import backend as backend_mod
+
+            backend_mod._REGISTRY.pop("probe", None)
+
+    def test_set_default_backend_returns_previous(self):
+        assert active_backend().name == "numpy"
+        previous = set_default_backend("blas-threaded")
+        try:
+            assert previous == "numpy"
+            assert active_backend().name == "blas-threaded"
+        finally:
+            set_default_backend(previous)
+        assert active_backend().name == "numpy"
+
+
+class TestUseBackend:
+    """Satellite: the process-global switch must be re-entrant and
+    exception-safe, alone and interleaved with the dtype seam."""
+
+    def test_restores_on_exit(self):
+        with use_backend("blas-threaded") as backend:
+            assert backend is active_backend()
+            assert active_backend().name == "blas-threaded"
+        assert active_backend().name == "numpy"
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("blas-threaded"):
+                raise RuntimeError("boom")
+        assert active_backend().name == "numpy"
+
+    def test_restores_thread_count(self):
+        backend = get_backend("blas-threaded")
+        before = backend.num_threads
+        with use_backend("blas-threaded", num_threads=before + 3):
+            assert backend.num_threads == before + 3
+        assert backend.num_threads == before
+
+    def test_nested_and_raising_fuzz(self):
+        # Random nesting depth, random switch targets, random raises:
+        # after any unwind the (backend, dtype) pair must be restored
+        # exactly.  Restore-by-value makes unbalanced exits impossible.
+        rng = np.random.default_rng(7)
+        names = ["numpy", "blas-threaded"]
+        dtypes = ["float32", "float64"]
+
+        def descend(depth: int) -> None:
+            if depth == 0:
+                if rng.random() < 0.5:
+                    raise ValueError("fuzz")
+                return
+            flip_dtype = rng.random() < 0.5
+            name = names[int(rng.integers(2))]
+            dt = dtypes[int(rng.integers(2))]
+            if flip_dtype:
+                with default_dtype(dt):
+                    descend(depth - 1)
+            else:
+                with use_backend(name):
+                    descend(depth - 1)
+
+        for _ in range(50):
+            before = (active_backend().name, get_default_dtype())
+            try:
+                descend(int(rng.integers(1, 6)))
+            except ValueError:
+                pass
+            assert (active_backend().name, get_default_dtype()) == before
+
+    def test_switch_is_process_global(self):
+        # Documented semantics, pinned: another thread sees the switch.
+        import threading
+
+        seen = {}
+
+        def observe():
+            seen["name"] = active_backend().name
+
+        with use_backend("blas-threaded"):
+            thread = threading.Thread(target=observe)
+            thread.start()
+            thread.join()
+        assert seen["name"] == "blas-threaded"
+
+
+class TestThreadValidation:
+    def test_rejects_bad_counts(self):
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError, match="num_threads"):
+                BlasThreadedBackend(num_threads=bad)
+
+    def test_set_num_threads_none_is_noop(self):
+        backend = BlasThreadedBackend(num_threads=2)
+        backend.set_num_threads(None)
+        assert backend.num_threads == 2
+
+
+def _reference_running_count(sorted_values: np.ndarray) -> np.ndarray:
+    out = np.zeros(len(sorted_values), dtype=np.int64)
+    for p in range(len(sorted_values)):
+        out[p] = int(np.sum(sorted_values[: p + 1] == sorted_values[p]))
+    return out
+
+
+class TestKernelBitIdentity:
+    """Every blas-threaded kernel == the numpy reference, bit for bit,
+    at sizes on both sides of the fan-out threshold."""
+
+    @pytest.fixture(scope="class")
+    def threaded(self):
+        backend = BlasThreadedBackend(num_threads=4)
+        yield backend
+        backend._drop_pool()
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return NumpyBackend()
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("rows", [7, 5000])
+    def test_take(self, threaded, reference, dtype, rows):
+        rng = np.random.default_rng(0)
+        table = rng.standard_normal((rows, 24)).astype(dtype)
+        idx = rng.integers(0, rows, size=3 * rows)
+        np.testing.assert_array_equal(
+            threaded.take(table, idx), reference.take(table, idx)
+        )
+        out = np.empty((len(idx), 24), dtype=dtype)
+        threaded.take(table, idx, out=out)
+        np.testing.assert_array_equal(out, reference.take(table, idx))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("rows", [9, 4000])
+    def test_put_rows(self, threaded, reference, dtype, rows):
+        rng = np.random.default_rng(1)
+        values = rng.standard_normal((rows, 16)).astype(dtype)
+        # Duplicate-free rows, per the documented contract.
+        dest = rng.permutation(2 * rows)[:rows]
+        got = np.zeros((2 * rows, 16), dtype=dtype)
+        want = np.zeros((2 * rows, 16), dtype=dtype)
+        threaded.put_rows(got, dest, values)
+        reference.put_rows(want, dest, values)
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("size", [0, 1, 13, 70000])
+    def test_grouped_running_count(self, threaded, reference, size):
+        rng = np.random.default_rng(2)
+        values = np.sort(rng.integers(0, max(size // 3, 1), size=size))
+        got = threaded.grouped_running_count(values)
+        want = reference.grouped_running_count(values)
+        np.testing.assert_array_equal(got, want)
+        assert got.dtype == np.int64
+        if size <= 200:  # brute-force oracle on small inputs
+            np.testing.assert_array_equal(got, _reference_running_count(values))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matmul_bit_identical_across_thread_counts(self, dtype):
+        # OpenBLAS partitions the *output* matrix, so GEMM results must
+        # not depend on the thread count (2-D and batched).
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((96, 64)).astype(dtype)
+        b = rng.standard_normal((64, 48)).astype(dtype)
+        batched_a = rng.standard_normal((5, 32, 24)).astype(dtype)
+        batched_b = rng.standard_normal((5, 24, 16)).astype(dtype)
+        results = []
+        for threads in (1, 2, 4):
+            with use_backend("blas-threaded", num_threads=threads) as backend:
+                results.append(
+                    (backend.matmul(a, b), backend.matmul(batched_a, batched_b))
+                )
+        reference = NumpyBackend()
+        for flat, batched in results:
+            np.testing.assert_array_equal(flat, reference.matmul(a, b))
+            np.testing.assert_array_equal(
+                batched, reference.matmul(batched_a, batched_b)
+            )
+
+    def test_scatter_add_stays_serial_and_ordered(self, threaded, reference):
+        # Duplicate indices: accumulation order is part of bit-identity.
+        rng = np.random.default_rng(4)
+        idx = rng.integers(0, 50, size=20000)
+        values = rng.standard_normal(20000).astype(np.float32)
+        got = np.zeros(50, dtype=np.float32)
+        want = np.zeros(50, dtype=np.float32)
+        threaded.scatter_add(got, idx, values)
+        reference.scatter_add(want, idx, values)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestTensorRouting:
+    def test_tensor_matmul_uses_active_backend(self):
+        calls = []
+
+        class CountingBackend(NumpyBackend):
+            name = "counting"
+
+            def matmul(self, a, b):
+                calls.append((a.shape, b.shape))
+                return super().matmul(a, b)
+
+        from repro.nn import backend as backend_mod
+        from repro.nn.tensor import Tensor
+
+        try:
+            register_backend(CountingBackend())
+            with use_backend("counting"):
+                a = Tensor(np.ones((3, 4)), requires_grad=True)
+                b = Tensor(np.ones((4, 2)), requires_grad=True)
+                (a @ b).backward(np.ones((3, 2)))
+            # forward + two backward GEMMs all dispatched through the seam
+            assert len(calls) == 3
+        finally:
+            backend_mod._REGISTRY.pop("counting", None)
+
+
+class TestSerializeProvenance:
+    def test_archive_records_backend_name(self, tmp_path):
+        from repro.nn.layers import Linear
+        from repro.nn.serialize import (
+            archive_backend,
+            load_state_dict,
+            save_state_dict,
+        )
+
+        module = Linear(4, 3, rng=0)
+        path = str(tmp_path / "weights")
+        with use_backend("blas-threaded"):
+            save_state_dict(module, path)
+        assert archive_backend(path) == "blas-threaded"
+        # The provenance key must not leak into the loaded state dict.
+        state = load_state_dict(path)
+        assert all(not key.startswith("__") for key in state)
+        module.load_state_dict(state)
+
+    def test_missing_backend_key_reads_none(self, tmp_path):
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, w=np.ones(3))
+        from repro.nn.serialize import archive_backend
+
+        assert archive_backend(path) is None
+
+
+class TestEnvironmentSelection:
+    def test_repro_backend_env_selects_default(self):
+        code = (
+            "from repro.nn.backend import active_backend; "
+            "print(active_backend().name)"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC, REPRO_BACKEND="blas-threaded")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "blas-threaded"
+
+    def test_unknown_env_backend_fails_loudly(self):
+        env = dict(os.environ, PYTHONPATH=SRC, REPRO_BACKEND="typo")
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.nn.backend"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode != 0
+        assert "unknown array backend 'typo'" in out.stderr
+
+    def test_repro_num_threads_sets_default_count(self):
+        code = (
+            "from repro.nn.backend import get_backend; "
+            "print(get_backend('blas-threaded').num_threads)"
+        )
+        env = dict(os.environ, PYTHONPATH=SRC, REPRO_NUM_THREADS="3")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "3"

@@ -33,7 +33,7 @@ import pytest
 
 from repro.datasets.base import StreamDataset
 from repro.models import ModelConfig
-from repro.pipeline import Splash, SplashConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
 from repro.streams.ctdg import CTDG
 from repro.tasks.base import QuerySet
 from repro.tasks.classification import ClassificationTask
@@ -78,8 +78,7 @@ def run_pipeline(dtype: str, context_engine: str = "batched") -> dict:
         feature_dim=12,
         k=8,
         model=GOLDEN_MODEL,
-        context_engine=context_engine,
-        dtype=dtype,
+        execution=ExecutionConfig(engine=context_engine, dtype=dtype),
         seed=0,
     )
     splash = Splash(config)

@@ -6,6 +6,7 @@ import pytest
 from repro.datasets import email_eu_like, synthetic_shift
 from repro.models import ModelConfig
 from repro.pipeline import (
+    ExecutionConfig,
     Splash,
     SplashConfig,
     format_results_table,
@@ -64,34 +65,39 @@ class TestSplashPipeline:
 
     def test_config_validates_engine_and_workers(self):
         with pytest.raises(ValueError, match="context_engine"):
-            SplashConfig(context_engine="parallel")
+            SplashConfig(execution=ExecutionConfig(engine="parallel"))
         with pytest.raises(ValueError, match="num_workers"):
-            SplashConfig(num_workers=-1)
+            ExecutionConfig(num_workers=-1)
         with pytest.raises(ValueError, match="num_workers"):
-            SplashConfig(num_workers=2.5)  # type: ignore[arg-type]
+            ExecutionConfig(num_workers=2.5)  # type: ignore[arg-type]
         # 0 and 1 are both documented serial settings; ≥ 2 enables the pool.
         for workers in (0, 1):
-            assert SplashConfig(num_workers=workers).num_workers == workers
-        config = SplashConfig(context_engine="sharded", num_workers=4)
-        assert config.num_workers == 4
-        assert SplashConfig(context_engine="sharded").context_engine == "sharded"
+            execution = ExecutionConfig(num_workers=workers)
+            assert SplashConfig(execution=execution).execution.num_workers == workers
+        config = SplashConfig(
+            execution=ExecutionConfig(engine="sharded", num_workers=4)
+        )
+        assert config.execution.num_workers == 4
+        sharded = SplashConfig(execution=ExecutionConfig(engine="sharded"))
+        assert sharded.execution.engine == "sharded"
 
     def test_config_warns_on_workers_without_sharded_engine(self):
         # Workers only exist in the sharded engine; asking for them with
         # another engine is accepted but must not be silently ignored.
         for engine in ("batched", "event"):
             with pytest.warns(UserWarning, match="no effect"):
-                SplashConfig(context_engine=engine, num_workers=2)
+                ExecutionConfig(engine=engine, num_workers=2)
         import warnings as warnings_mod
 
         with warnings_mod.catch_warnings():
             warnings_mod.simplefilter("error")  # any warning would fail
-            SplashConfig(context_engine="sharded", num_workers=2)
-            SplashConfig(context_engine="batched", num_workers=1)
+            SplashConfig(execution=ExecutionConfig(engine="sharded", num_workers=2))
+            SplashConfig(execution=ExecutionConfig(engine="batched", num_workers=1))
 
     def test_sharded_engine_end_to_end(self, email_dataset):
         config = SplashConfig(
-            feature_dim=12, k=8, model=FAST_MODEL, context_engine="sharded"
+            feature_dim=12, k=8, model=FAST_MODEL,
+            execution=ExecutionConfig(engine="sharded"),
         )
         splash = Splash(config)
         splash.fit(email_dataset)
@@ -104,8 +110,9 @@ class TestSplashPipeline:
         batched = prepare_experiment(email_dataset, k=8, feature_dim=12, seed=0)
         sharded = prepare_experiment(
             email_dataset, k=8, feature_dim=12, seed=0,
-            context_engine="sharded", num_workers=2,
+            execution=ExecutionConfig(engine="sharded", num_workers=2),
         )
+        # The old flat names survive as plain read-through properties.
         assert sharded.context_engine == "sharded"
         assert sharded.num_workers == 2
         assert_bundles_identical(batched.bundle, sharded.bundle)

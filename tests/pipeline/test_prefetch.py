@@ -1,6 +1,6 @@
 """Async context prefetch (training half of the ROADMAP item).
 
-``iter_prepared`` with ``SplashConfig.prefetch`` materialises dataset
+``iter_prepared`` with ``ExecutionConfig.prefetch`` materialises dataset
 N+1's context bundle on a background thread while the caller trains on
 dataset N.  The flag may only change *when* bundles are built — results
 must be identical with it on or off.
@@ -9,7 +9,7 @@ must be identical with it on or off.
 
 from repro.datasets import email_eu_like, synthetic_shift
 from repro.models import ModelConfig
-from repro.pipeline import SplashConfig, iter_prepared, run_method
+from repro.pipeline import ExecutionConfig, SplashConfig, iter_prepared, run_method
 from tests.conftest import assert_bundles_identical
 
 
@@ -26,7 +26,7 @@ def _config(prefetch: bool) -> SplashConfig:
         k=4,
         model=ModelConfig(hidden_dim=12, epochs=3, batch_size=64, seed=0),
         split_fractions=[0.5, 0.7],
-        prefetch=prefetch,
+        execution=ExecutionConfig(prefetch=prefetch),
         seed=0,
     )
 

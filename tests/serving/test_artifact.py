@@ -14,7 +14,7 @@ import pytest
 from repro.datasets import email_eu_like
 from repro.models import ModelConfig
 from repro.nn.serialize import archive_dtype
-from repro.pipeline import Splash, SplashConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
 from repro.serving.artifact import load_artifact, save_artifact
 
 FAST_MODEL = ModelConfig(
@@ -29,7 +29,8 @@ def dataset():
 
 def fit_splash(dataset, dtype):
     config = SplashConfig(
-        feature_dim=10, k=6, model=FAST_MODEL, dtype=dtype, seed=0
+        feature_dim=10, k=6, model=FAST_MODEL,
+        execution=ExecutionConfig(dtype=dtype), seed=0,
     )
     splash = Splash(config)
     splash.fit(dataset)
@@ -104,7 +105,8 @@ class TestGoldenPipelineParity:
 
         dataset = load_golden_dataset()
         config = SplashConfig(
-            feature_dim=12, k=8, model=GOLDEN_MODEL, dtype="float64", seed=0
+            feature_dim=12, k=8, model=GOLDEN_MODEL,
+            execution=ExecutionConfig(dtype="float64"), seed=0,
         )
         splash = Splash(config)
         splash.fit(dataset)

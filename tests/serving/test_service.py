@@ -8,7 +8,7 @@ import pytest
 from repro.datasets import email_eu_like
 from repro.models import ModelConfig
 from repro.models.slim import SLIM
-from repro.pipeline import Splash, SplashConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
 from repro.serving import PredictionService
 
 FAST_MODEL = ModelConfig(
@@ -208,7 +208,8 @@ class TestFromSplash:
 
     def test_inherits_fit_dtype(self, dataset):
         config = SplashConfig(
-            feature_dim=10, k=6, model=FAST_MODEL, dtype="float32", seed=0
+            feature_dim=10, k=6, model=FAST_MODEL,
+            execution=ExecutionConfig(dtype="float32"), seed=0,
         )
         splash = Splash(config)
         splash.fit(dataset)

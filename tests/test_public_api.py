@@ -1,0 +1,52 @@
+"""The curated top-level API surface.
+
+``repro.__all__`` is the stability contract: the golden list below must be
+changed *deliberately* (reviewers see the diff here, not just in
+``__init__.py``).  Everything else lives behind subpackage imports with no
+stability promise.
+"""
+
+import repro
+
+# Keep sorted; additions/removals are API decisions, not refactors.
+GOLDEN_ALL = [
+    "ExecutionConfig",
+    "PredictionService",
+    "Splash",
+    "SplashConfig",
+    "__version__",
+    "available_backends",
+    "get_backend",
+    "prepare_experiment",
+    "register_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class TestPublicAPI:
+    def test_all_matches_golden_list(self):
+        assert sorted(repro.__all__) == GOLDEN_ALL
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_reexports_are_the_canonical_objects(self):
+        from repro.nn import backend as backend_mod
+        from repro.pipeline import splash as splash_mod
+        from repro.serving.service import PredictionService
+
+        assert repro.Splash is splash_mod.Splash
+        assert repro.SplashConfig is splash_mod.SplashConfig
+        assert repro.ExecutionConfig is splash_mod.ExecutionConfig
+        assert repro.PredictionService is PredictionService
+        assert repro.use_backend is backend_mod.use_backend
+        assert repro.get_backend is backend_mod.get_backend
+
+    def test_registry_reexports_share_state(self):
+        # The top-level functions must operate on the one process-global
+        # registry, not a copy.
+        assert "numpy" in repro.available_backends()
+        assert "blas-threaded" in repro.available_backends()
+        assert repro.get_backend("numpy").name == "numpy"
