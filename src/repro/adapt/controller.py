@@ -151,6 +151,8 @@ class AdaptiveService:
         task_factory: Optional[Callable[[np.ndarray], Task]] = None,
         edge_feature_dim: Optional[int] = None,
         micro_batch_size: Optional[int] = None,
+        persist_path: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         if splash.model is None or not splash.processes:
             raise RuntimeError(
@@ -177,7 +179,12 @@ class AdaptiveService:
         if micro_batch_size is not None:
             kwargs["micro_batch_size"] = micro_batch_size
         self.service = PredictionService.from_splash(
-            splash, num_nodes, edge_feature_dim, **kwargs
+            splash,
+            num_nodes,
+            edge_feature_dim,
+            persist_path=persist_path,
+            snapshot_every=snapshot_every,
+            **kwargs,
         )
         self.monitor = DriftMonitor(
             window_edges=self.config.window_edges,
@@ -344,6 +351,23 @@ class AdaptiveService:
                         backend=candidate.fit_backend,
                     )
                     store.attach_monitor(self.monitor)
+                    if self.service.persistence is not None:
+                        # Checkpoints must follow the swap: re-bind the
+                        # manifest to the candidate artifact + warmed
+                        # store.  The store's warm-up edges (window +
+                        # catch-up) are the durable log's most recent
+                        # suffix — the window ring holds exactly the last
+                        # edges at capture and the catch-up log everything
+                        # since — so the manager records where in the
+                        # global log this store's history begins and
+                        # snapshots the new pair immediately.  A crash
+                        # before the re-bind completes resumes the old
+                        # pair, consistently.
+                        self.service.persistence.rebind(
+                            candidate,
+                            store,
+                            note=f"adaptation at {outcome.triggered_at_edges} edges",
+                        )
                     self.splash = candidate
                     outcome.promoted = True
             except ValueError as error:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 import time as time_mod
 from dataclasses import asdict, dataclass, field
@@ -67,7 +68,31 @@ class ModelRegistry:
         self._versions: List[ModelVersion] = []
         self._active: Optional[int] = None
         os.makedirs(root, exist_ok=True)
+        self._collect_debris()
         self._load_index()
+
+    def _collect_debris(self) -> None:
+        """Drop leftovers of writes that died mid-flight.
+
+        ``save_artifact`` stages into ``.<name>.tmp-<pid>`` sibling
+        directories (and parks overwritten artifacts as ``.<name>.old-*``)
+        and ``_write_index`` stages into ``.registry-*.tmp`` files; a
+        crash can strand either.  Nothing in the index ever points at
+        them, so they are pure disk debris — safe to sweep on open.
+        """
+        for name in os.listdir(self.root):
+            full = os.path.join(self.root, name)
+            if name.startswith(".registry-") and name.endswith(".tmp"):
+                try:
+                    os.unlink(full)
+                except OSError:
+                    continue
+                logger.warning("removed stale index temp file %s", name)
+            elif name.startswith(".") and (".tmp-" in name or ".old-" in name):
+                if not os.path.isdir(full):
+                    continue
+                shutil.rmtree(full, ignore_errors=True)
+                logger.warning("removed stale artifact temp directory %s", name)
 
     # ------------------------------------------------------------------
     @property

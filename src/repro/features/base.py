@@ -115,6 +115,36 @@ class OnlineFeatureStore(ABC):
             out[row] = self.feature_of(int(node))
         return out
 
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_runtime_state(self) -> Dict[str, np.ndarray]:
+        """The store's *evolving* replay state as named arrays.
+
+        Distinct from :meth:`FeatureProcess.export_state` (the fitted
+        tables an artifact persists): this captures the state a live
+        replay has accumulated — propagated unseen-node rows, streaming
+        degree counts — so a serving snapshot can resume mid-stream.
+        The contract mirrors ``on_edge_block``'s: restoring the exported
+        arrays into a fresh store (built by the same fitted process) via
+        :meth:`restore_runtime_state` must reproduce the original store's
+        observable behaviour bit for bit.
+
+        There is no safe default — a store with unexported mutable state
+        would silently resume wrong — so stores must opt in explicitly.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support runtime-state "
+            "snapshots; implement export_runtime_state/restore_runtime_state "
+            "to make it persistable"
+        )
+
+    def restore_runtime_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`export_runtime_state`, applied to a fresh store."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support runtime-state snapshots"
+        )
+
 
 class FeatureProcess(ABC):
     """One of the augmentation processes X ∈ {R, P, S} (and the ZF control)."""

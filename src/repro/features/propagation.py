@@ -250,6 +250,60 @@ class PropagatedFeatureStore(OnlineFeatureStore):
             )
             self._overflow_deg[node] = degree + 1
 
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_runtime_state(self) -> Dict[str, np.ndarray]:
+        """Dense working table + propagation degrees + overflow spill.
+
+        The dense blocks are returned as-is (no copy): they are already
+        contiguous, so persisting a snapshot is a straight ``np.save`` of
+        each — the near-free snapshot the warm-restart design relies on.
+        ``current`` is absent while the store is still in its pre-first-
+        unseen-touch state (the fitted table alone describes it).
+        """
+        state: Dict[str, np.ndarray] = {}
+        if self._current is not None:
+            state["current"] = self._current
+            state["prop_degrees"] = self._degrees
+        if self._overflow_feat:
+            nodes = sorted(self._overflow_feat)
+            state["overflow_nodes"] = np.array(nodes, dtype=np.int64)
+            state["overflow_features"] = np.stack(
+                [self._overflow_feat[node] for node in nodes]
+            )
+            state["overflow_degrees"] = np.array(
+                [self._overflow_deg.get(node, 0) for node in nodes],
+                dtype=np.int64,
+            )
+        return state
+
+    def restore_runtime_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        current = arrays.get("current")
+        if current is not None:
+            if current.shape != self._base.shape:
+                raise ValueError(
+                    f"snapshot working table has shape {current.shape}, the "
+                    f"fitted table is {self._base.shape}"
+                )
+            # Memory-mapped (copy-on-write) arrays are accepted unchanged:
+            # in-place propagation writes then touch only the pages an edge
+            # actually dirties, which is what makes restart zero-copy.
+            self._current = current
+            self._degrees = np.asarray(arrays["prop_degrees"], dtype=np.int64)
+        else:
+            self._current = None
+            self._degrees = None
+        self._overflow_feat = {}
+        self._overflow_deg = {}
+        if "overflow_nodes" in arrays:
+            nodes = np.asarray(arrays["overflow_nodes"], dtype=np.int64)
+            feats = np.asarray(arrays["overflow_features"], dtype=np.float64)
+            degs = np.asarray(arrays["overflow_degrees"], dtype=np.int64)
+            for row, node in enumerate(nodes.tolist()):
+                self._overflow_feat[node] = np.array(feats[row])
+                self._overflow_deg[node] = int(degs[row])
+
     def propagation_degree(self, node: int) -> int:
         """Number of propagation updates applied to an unseen ``node``."""
         if 0 <= node < len(self._seen):

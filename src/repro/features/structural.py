@@ -66,6 +66,18 @@ class StructuralStore(OnlineFeatureStore):
     def degree_of(self, node: int) -> int:
         return self._tracker.degree(node)
 
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_runtime_state(self) -> dict:
+        nodes, counts = self._tracker.export_arrays()
+        return {"degree_nodes": nodes, "degree_counts": counts}
+
+    def restore_runtime_state(self, arrays: dict) -> None:
+        self._tracker.restore_arrays(
+            arrays["degree_nodes"], arrays["degree_counts"]
+        )
+
 
 class StructuralFeatureProcess(FeatureProcess):
     """Process S: sinusoidal degree encodings, identical for seen and unseen

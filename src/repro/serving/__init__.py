@@ -16,7 +16,12 @@ Three parts (see DESIGN.md §4):
   background ingest overlap, and p50/p99 latency + throughput metrics;
 * :mod:`repro.serving.artifact` — persistent SPLASH artifacts
   (``Splash.save`` / ``Splash.load``) so a pipeline trained once can be
-  loaded into the service and hot-swapped without downtime.
+  loaded into the service and hot-swapped without downtime;
+* :mod:`repro.serving.persistence` — durable serving state: an
+  append-only memory-mapped segment log of every ingested edge, periodic
+  zero-copy store snapshots, and a manifest binding them to the artifact —
+  so ``PredictionService.resume(path)`` warm-restarts in O(tail) instead
+  of O(stream), bit-for-bit equal to a cold replay (DESIGN.md §6).
 
 The drift-aware adaptation loop that keeps a long-running service
 accurate under distribution shift — monitor, re-fit scheduler, shadow
@@ -26,6 +31,16 @@ and ``PredictionService.hot_swap(model, store=...)``.
 """
 
 from repro.serving.artifact import load_artifact, save_artifact
+from repro.serving.persistence import (
+    EventLog,
+    PersistenceManager,
+    SegmentCorruption,
+    SegmentReader,
+    SegmentWriter,
+    SnapshotCorruption,
+    load_snapshot,
+    write_snapshot,
+)
 from repro.serving.service import PredictionService, ServiceMetrics
 from repro.serving.store import IncrementalContextStore, incremental_context_bundle
 
@@ -36,4 +51,12 @@ __all__ = [
     "ServiceMetrics",
     "save_artifact",
     "load_artifact",
+    "PersistenceManager",
+    "EventLog",
+    "SegmentWriter",
+    "SegmentReader",
+    "SegmentCorruption",
+    "SnapshotCorruption",
+    "write_snapshot",
+    "load_snapshot",
 ]

@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
 from typing import Dict
 
 import numpy as np
@@ -71,7 +72,13 @@ _PROCESS_TYPES = {
 def save_artifact(splash, path: str) -> str:
     """Persist a fitted :class:`~repro.pipeline.Splash` under ``path``.
 
-    ``path`` is created as a directory.  Returns ``path``.
+    ``path`` is created as a directory.  The write is atomic: every file
+    lands in a temp sibling directory first, which is renamed into place
+    only once complete — a crash mid-save leaves either the previous
+    artifact or none, never a directory missing ``processes.npz``/
+    ``meta.json`` that :func:`load_artifact` would reject (or worse, a
+    stale-weights/new-meta mix it would load silently wrong).  Returns
+    ``path``.
     """
     if splash.model is None:
         raise RuntimeError("cannot save before fit(): the pipeline has no model")
@@ -86,8 +93,38 @@ def save_artifact(splash, path: str) -> str:
                 f"process {process.name!r} ({type(process).__name__}) has no "
                 "artifact support; register it in repro.serving.artifact"
             )
-    os.makedirs(path, exist_ok=True)
+    path = path.rstrip(os.sep)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp_dir = os.path.join(parent, f".{os.path.basename(path)}.tmp-{os.getpid()}")
+    if os.path.exists(tmp_dir):
+        shutil.rmtree(tmp_dir)
+    os.makedirs(tmp_dir)
+    try:
+        _write_artifact_files(splash, tmp_dir)
+        if os.path.isdir(path):
+            # os.replace cannot atomically swap non-empty directories, so
+            # overwrite = rename the old artifact aside, rename the new one
+            # in (the only non-crash-safe instant is between the two
+            # renames, which leaves the complete old artifact under a
+            # recognisable name rather than a torn mix).
+            old_dir = os.path.join(
+                parent, f".{os.path.basename(path)}.old-{os.getpid()}"
+            )
+            if os.path.exists(old_dir):
+                shutil.rmtree(old_dir)
+            os.rename(path, old_dir)
+            os.rename(tmp_dir, path)
+            shutil.rmtree(old_dir, ignore_errors=True)
+        else:
+            os.rename(tmp_dir, path)
+    except BaseException:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        raise
+    return path
 
+
+def _write_artifact_files(splash, path: str) -> None:
     save_state_dict(splash.model, os.path.join(path, WEIGHTS_FILE))
 
     arrays: Dict[str, np.ndarray] = {}
@@ -133,7 +170,8 @@ def save_artifact(splash, path: str) -> str:
     with open(os.path.join(path, META_FILE), "w") as handle:
         json.dump(meta, handle, indent=2)
         handle.write("\n")
-    return path
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def load_artifact(path: str):
@@ -182,6 +220,24 @@ def load_artifact(path: str):
 
     with np.load(os.path.join(path, PROCESSES_FILE)) as archive:
         arrays = {name: archive[name] for name in archive.files}
+    # meta.json and processes.npz are written together but are separate
+    # files: a hand-edited or mixed-up artifact can hold arrays for one
+    # process set and metadata for another.  Restoring such a mix would
+    # either KeyError deep inside restore_state or — worse — silently
+    # mark a process fitted from another process's arrays, so the key
+    # inventory is validated up front against the declared process list.
+    declared = {entry["name"] for entry in meta["processes"]}
+    stored = {key.split("::", 1)[0] for key in arrays}
+    if declared != stored:
+        missing = sorted(declared - stored)
+        stale = sorted(stored - declared)
+        raise ValueError(
+            f"artifact at {path!r} is inconsistent: meta.json declares "
+            f"processes {sorted(declared)}, processes.npz stores arrays "
+            f"for {sorted(stored)}"
+            + (f"; missing from processes.npz: {missing}" if missing else "")
+            + (f"; stale in processes.npz: {stale}" if stale else "")
+        )
     processes = []
     for entry in meta["processes"]:
         name = entry["name"]
@@ -190,13 +246,19 @@ def load_artifact(path: str):
             raise ValueError(f"artifact references unknown process {name!r}")
         process = process_type(**entry["params"])
         prefix = f"{name}::"
-        process.restore_state(
-            {
-                key[len(prefix):]: value
-                for key, value in arrays.items()
-                if key.startswith(prefix)
-            }
-        )
+        try:
+            process.restore_state(
+                {
+                    key[len(prefix):]: value
+                    for key, value in arrays.items()
+                    if key.startswith(prefix)
+                }
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"artifact at {path!r} is missing array {error.args[0]!r} "
+                f"for process {name!r} in processes.npz"
+            ) from error
         processes.append(process)
     splash.processes = processes
 

@@ -42,6 +42,7 @@ from repro.models.base import ContextModel
 from repro.models.context import ContextBundle
 from repro.nn.backend import active_backend, use_backend
 from repro.nn.tensor import default_dtype, get_default_dtype
+from repro.serving.persistence import PersistenceManager
 from repro.serving.store import IncrementalContextStore
 from repro.streams.ctdg import CTDG
 from repro.streams.replay import iter_interleave
@@ -204,6 +205,29 @@ class PredictionService:
         if task is not None:
             model.bind_task(task)
         self.metrics = ServiceMetrics()
+        self._persistence: Optional[PersistenceManager] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def persistence(self) -> Optional[PersistenceManager]:
+        return self._persistence
+
+    def attach_persistence(self, manager: Optional[PersistenceManager]) -> None:
+        """Bind a :class:`~repro.serving.persistence.PersistenceManager`.
+
+        The manager's journal must already be attached to this service's
+        store (``PersistenceManager.create``/``resume`` do that); the
+        service only adds snapshot cadence — after each ingest batch it
+        asks the manager whether ``snapshot_every`` edges have passed.
+        ``None`` detaches (the journal keeps running; detach that on the
+        store explicitly if persistence should stop entirely).
+        """
+        if manager is not None and manager.store is not self.store:
+            raise ValueError(
+                "persistence manager is bound to a different store than "
+                "this service serves"
+            )
+        self._persistence = manager
 
     # ------------------------------------------------------------------
     @classmethod
@@ -212,6 +236,8 @@ class PredictionService:
         splash,
         num_nodes: int,
         edge_feature_dim: Optional[int] = None,
+        persist_path: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
         **kwargs,
     ) -> "PredictionService":
         """Service around a fitted (or loaded) :class:`~repro.pipeline.Splash`.
@@ -220,6 +246,11 @@ class PredictionService:
         to ingest a live stream from t = 0 — and scores at the pipeline's
         training precision.  ``edge_feature_dim`` defaults to what the
         model trained on (artifacts record it).
+
+        ``persist_path`` initialises durable serving state there (artifact
+        copy, segment log journalling every ingested edge, periodic
+        snapshots every ``snapshot_every`` edges); restart later with
+        :meth:`resume`, which replays only the post-snapshot tail.
         """
         if splash.model is None or not splash.processes:
             raise RuntimeError(
@@ -236,7 +267,49 @@ class PredictionService:
         )
         kwargs.setdefault("dtype", splash.fit_dtype)
         kwargs.setdefault("backend", splash.fit_backend)
-        return cls(splash.model, store, **kwargs)
+        service = cls(splash.model, store, **kwargs)
+        if persist_path is not None:
+            manager_kwargs = {}
+            if snapshot_every is not None:
+                manager_kwargs["snapshot_every"] = snapshot_every
+            service.attach_persistence(
+                PersistenceManager.create(
+                    persist_path, splash, store, **manager_kwargs
+                )
+            )
+        return service
+
+    @classmethod
+    def resume(
+        cls,
+        persist_path: str,
+        *,
+        verify: bool = True,
+        snapshot_every: Optional[int] = None,
+        **kwargs,
+    ) -> "PredictionService":
+        """Warm-restart a service from a persistence root.
+
+        O(1) in stream length: the artifact is reloaded, the newest valid
+        snapshot's dense tables are memory-mapped copy-on-write, and only
+        the durable log's unsnapshotted suffix is replayed.  The resumed
+        store materialises bit-for-bit what a cold replay of the whole
+        durable log would (gated by ``benchmarks/bench_restart.py``).
+        """
+        splash, store, manager = PersistenceManager.resume(
+            persist_path, verify=verify, snapshot_every=snapshot_every
+        )
+        kwargs.setdefault("dtype", splash.fit_dtype)
+        kwargs.setdefault("backend", splash.fit_backend)
+        service = cls(splash.model, store, **kwargs)
+        service.attach_persistence(manager)
+        logger.info(
+            "resumed service from %s: %d edges live, %d durable in the log",
+            persist_path,
+            store.edges_ingested,
+            manager.durable_events,
+        )
+        return service
 
     # ------------------------------------------------------------------
     def _backend_context(self):
@@ -253,6 +326,8 @@ class PredictionService:
         with self._backend_context():
             count = self.store.ingest(edges)
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        if self._persistence is not None:
+            self._persistence.maybe_snapshot()
         return count
 
     def _ingest_arrays(self, src, dst, times, features, weights) -> int:
@@ -260,6 +335,8 @@ class PredictionService:
         with self._backend_context():
             count = self.store.ingest_arrays(src, dst, times, features, weights)
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        if self._persistence is not None:
+            self._persistence.maybe_snapshot()
         return count
 
     def hot_swap(
@@ -512,7 +589,19 @@ class PredictionService:
             thread.start()
             try:
                 while True:
-                    item = work.get()
+                    # Bounded wait so a producer that dies without
+                    # delivering its exception (e.g. killed, or a bug in
+                    # the error path itself) can never strand this thread
+                    # on an empty queue forever.
+                    try:
+                        item = work.get(timeout=1.0)
+                    except queue_mod.Empty:
+                        if not thread.is_alive():
+                            raise RuntimeError(
+                                "serving-ingest producer thread died "
+                                "without delivering a result or exception"
+                            ) from None
+                        continue
                     if item is _DONE:
                         break
                     if isinstance(item, BaseException):

@@ -107,6 +107,7 @@ class IncrementalContextStore:
         self._closed = False
         self._progress = threading.Condition()
         self._monitor = None
+        self._journal = None
 
     # ------------------------------------------------------------------
     @property
@@ -160,6 +161,22 @@ class IncrementalContextStore:
         """
         with self._progress:
             self._monitor = monitor
+
+    def attach_journal(self, journal) -> None:
+        """Tee every subsequently ingested batch into a durable event log.
+
+        ``journal`` is a callable ``(src, dst, times, features, weights)``
+        (typically :meth:`repro.serving.persistence.PersistenceManager.append`);
+        it runs under the store's lock *after* the replay state has
+        advanced, with the validated batch arrays (weights already
+        defaulted), so the journal's event count tracks
+        :attr:`edges_ingested` exactly.  A journal exception propagates to
+        the ingest caller — state has advanced but the batch is not
+        durable, which the journal's durable watermark records honestly.
+        Pass ``None`` to detach.
+        """
+        with self._progress:
+            self._journal = journal
 
     # ------------------------------------------------------------------
     def ingest(self, edges: CTDG) -> int:
@@ -250,6 +267,8 @@ class IncrementalContextStore:
                 self._last_time = float(times[-1])
             if self._monitor is not None and count:
                 self._monitor.observe_edges(src, dst, times, features, weights)
+            if self._journal is not None and count:
+                self._journal(src, dst, times, features, weights)
             self._progress.notify_all()
         return count
 
@@ -273,6 +292,102 @@ class IncrementalContextStore:
                 timeout=timeout,
             )
             return bool(reached and self._edges_ingested >= count)
+
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_runtime_state(self) -> tuple:
+        """Everything a warm restart needs, as ``(arrays, scalars)``.
+
+        ``arrays`` maps namespaced keys (``buffer::*``, ``degrees::*``,
+        ``stores::<name>::*``) to the live replay state — the k-recent
+        neighbour tails, the Eq. 2 degree counts, and each online store's
+        evolving tables.  The dense blocks are views of live state (no
+        copy), so callers must finish persisting them before the next
+        ingest.  ``scalars`` carries the JSON-safe counters
+        (``edges_ingested``, ``last_time``, schema describers) that
+        :meth:`restore_runtime_state` validates against.  Taken atomically
+        under the store lock, so the export is a consistent cut between
+        two micro-batches.
+        """
+        with self._progress:
+            arrays: Dict[str, np.ndarray] = {}
+            for key, value in self._state.buffer.export_arrays().items():
+                arrays[f"buffer::{key}"] = value
+            deg_nodes, deg_counts = self._state.degrees.export_arrays()
+            arrays["degrees::nodes"] = deg_nodes
+            arrays["degrees::counts"] = deg_counts
+            for name in self._state.store_names:
+                state = self._state.stores[name].export_runtime_state()
+                for key, value in state.items():
+                    arrays[f"stores::{name}::{key}"] = value
+            scalars = {
+                "edges_ingested": int(self._edges_ingested),
+                "last_time": (
+                    None if np.isneginf(self._last_time) else float(self._last_time)
+                ),
+                "closed": bool(self._closed),
+                "k": int(self.k),
+                "num_nodes": int(self.num_nodes),
+                "edge_feature_dim": int(self.edge_feature_dim),
+                "store_names": list(self._state.store_names),
+            }
+            return arrays, scalars
+
+    def restore_runtime_state(self, arrays: Dict[str, np.ndarray], scalars: dict):
+        """Inverse of :meth:`export_runtime_state`, applied to a fresh store.
+
+        The store must have been built from the *same* fitted processes
+        (the snapshot holds replay state, not fitted tables) and must not
+        have ingested anything yet.  Schema mismatches — different ``k``,
+        node space, edge-feature width, or feature-store roster — raise
+        instead of resuming silently wrong.
+        """
+        for field in ("k", "num_nodes", "edge_feature_dim"):
+            if int(scalars[field]) != int(getattr(self, field)):
+                raise ValueError(
+                    f"snapshot {field}={scalars[field]} does not match this "
+                    f"store's {field}={getattr(self, field)}"
+                )
+        if list(scalars["store_names"]) != list(self._state.store_names):
+            raise ValueError(
+                f"snapshot feature stores {scalars['store_names']} do not "
+                f"match this store's {self._state.store_names}"
+            )
+        with self._progress:
+            if self._edges_ingested:
+                raise RuntimeError(
+                    "restore_runtime_state needs a fresh store; this one has "
+                    f"already ingested {self._edges_ingested} edges"
+                )
+            self._state.buffer.restore_arrays(
+                {
+                    key[len("buffer::"):]: value
+                    for key, value in arrays.items()
+                    if key.startswith("buffer::")
+                }
+            )
+            self._state.degrees.restore_arrays(
+                arrays["degrees::nodes"], arrays["degrees::counts"]
+            )
+            for name in self._state.store_names:
+                prefix = f"stores::{name}::"
+                self._state.stores[name].restore_runtime_state(
+                    {
+                        key[len(prefix):]: value
+                        for key, value in arrays.items()
+                        if key.startswith(prefix)
+                    }
+                )
+            self._edges_ingested = int(scalars["edges_ingested"])
+            self._last_time = (
+                -np.inf
+                if scalars["last_time"] is None
+                else float(scalars["last_time"])
+            )
+            self._closed = bool(scalars.get("closed", False))
+            self._progress.notify_all()
+        return self
 
     # ------------------------------------------------------------------
     def write_queries(

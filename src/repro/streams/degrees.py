@@ -7,7 +7,7 @@ the multiset definition in Eq. (2).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -54,3 +54,29 @@ class DegreeTracker:
 
     def reset(self) -> None:
         self._degrees.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current counts as ``(nodes, degrees)`` int64 arrays (sorted by node).
+
+        The deterministic ordering makes two trackers with equal state
+        export byte-identical arrays, which is what lets snapshot files be
+        compared and checksummed.
+        """
+        nodes = np.array(sorted(self._degrees), dtype=np.int64)
+        counts = np.array(
+            [self._degrees[int(node)] for node in nodes], dtype=np.int64
+        )
+        return nodes, counts
+
+    def restore_arrays(self, nodes: np.ndarray, counts: np.ndarray) -> None:
+        """Inverse of :meth:`export_arrays`; replaces the current counts."""
+        if len(nodes) != len(counts):
+            raise ValueError(
+                f"nodes/counts length mismatch: {len(nodes)} vs {len(counts)}"
+            )
+        self._degrees = dict(
+            zip(np.asarray(nodes).tolist(), np.asarray(counts).tolist())
+        )

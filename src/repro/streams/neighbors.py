@@ -70,3 +70,98 @@ class RecentNeighborBuffer:
 
     def clear(self) -> None:
         self._buffers.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence (serving snapshots, repro.serving.persistence)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten every buffered entry into columnar arrays.
+
+        Entries are emitted grouped by node (ascending id), oldest → newest
+        within a node — the deterministic layout :meth:`restore_arrays`
+        inverts exactly.  ``edge_features`` is present only when entries
+        carry per-edge features, and one ``snap<i>`` block is emitted per
+        position of the entries' ``snapshot_features`` tuples; both must be
+        uniform across the buffer (they are, because one replay ingests one
+        stream schema).
+        """
+        nodes_order = sorted(self._buffers)
+        entries: List[Tuple[int, NeighborEntry]] = [
+            (node, entry)
+            for node in nodes_order
+            for entry in self._buffers[node]
+        ]
+        arrays: Dict[str, np.ndarray] = {
+            "entry_node": np.array([n for n, _ in entries], dtype=np.int64),
+        }
+        if not entries:
+            return arrays
+        arrays["neighbor"] = np.array(
+            [e.neighbor for _, e in entries], dtype=np.int64
+        )
+        arrays["time"] = np.array([e.time for _, e in entries], dtype=np.float64)
+        arrays["edge_index"] = np.array(
+            [e.edge_index for _, e in entries], dtype=np.int64
+        )
+        arrays["weight"] = np.array([e.weight for _, e in entries], dtype=np.float64)
+        arrays["neighbor_degree"] = np.array(
+            [e.neighbor_degree for _, e in entries], dtype=np.int64
+        )
+        has_feature = entries[0][1].feature is not None
+        snap_width = len(entries[0][1].snapshot_features)
+        for _, entry in entries:
+            if (entry.feature is not None) != has_feature:
+                raise ValueError(
+                    "buffer entries mix featured and featureless edges; "
+                    "cannot be exported as one columnar block"
+                )
+            if len(entry.snapshot_features) != snap_width:
+                raise ValueError(
+                    "buffer entries carry snapshot tuples of differing width"
+                )
+        if has_feature:
+            arrays["edge_features"] = np.stack(
+                [np.asarray(e.feature, dtype=np.float64) for _, e in entries]
+            )
+        for position in range(snap_width):
+            arrays[f"snap{position:02d}"] = np.stack(
+                [
+                    np.asarray(e.snapshot_features[position], dtype=np.float64)
+                    for _, e in entries
+                ]
+            )
+        return arrays
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`export_arrays`; replaces the buffer contents."""
+        self._buffers.clear()
+        entry_node = np.asarray(arrays["entry_node"], dtype=np.int64)
+        if not len(entry_node):
+            return
+        neighbor = np.asarray(arrays["neighbor"], dtype=np.int64)
+        time = np.asarray(arrays["time"], dtype=np.float64)
+        edge_index = np.asarray(arrays["edge_index"], dtype=np.int64)
+        weight = np.asarray(arrays["weight"], dtype=np.float64)
+        neighbor_degree = np.asarray(arrays["neighbor_degree"], dtype=np.int64)
+        features = arrays.get("edge_features")
+        snap_keys = sorted(key for key in arrays if key.startswith("snap"))
+        snaps = [np.asarray(arrays[key], dtype=np.float64) for key in snap_keys]
+        for row in range(len(entry_node)):
+            self.insert(
+                int(entry_node[row]),
+                NeighborEntry(
+                    neighbor=int(neighbor[row]),
+                    time=float(time[row]),
+                    edge_index=int(edge_index[row]),
+                    weight=float(weight[row]),
+                    feature=(
+                        None
+                        if features is None
+                        else np.array(features[row], dtype=np.float64)
+                    ),
+                    neighbor_degree=int(neighbor_degree[row]),
+                    snapshot_features=tuple(
+                        np.array(snap[row], dtype=np.float64) for snap in snaps
+                    ),
+                ),
+            )

@@ -154,3 +154,48 @@ class TestArtifactErrors:
     def test_attach_requires_model(self, dataset):
         with pytest.raises(RuntimeError, match="attach"):
             Splash(SplashConfig()).attach(dataset)
+
+    def test_processes_npz_missing_a_declared_process(self, dataset, tmp_path):
+        # meta.json declares a process whose arrays are absent from
+        # processes.npz — a mixed-up artifact must be refused with the
+        # mismatch spelled out, not restored half-fitted.
+        splash = fit_splash(dataset, "float64")
+        path = splash.save(str(tmp_path / "artifact"))
+        npz = tmp_path / "artifact" / "processes.npz"
+        with np.load(str(npz)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        dropped = {
+            key: value
+            for key, value in arrays.items()
+            if not key.startswith("random::")
+        }
+        np.savez(str(npz), **dropped)
+        with pytest.raises(ValueError, match="missing from processes.npz.*random"):
+            load_artifact(path)
+
+    def test_processes_npz_with_stale_extra_process(self, dataset, tmp_path):
+        # The reverse mix-up: processes.npz carries arrays for a process
+        # meta.json does not declare (e.g. stale file from another save).
+        splash = fit_splash(dataset, "float64")
+        path = splash.save(str(tmp_path / "artifact"))
+        npz = tmp_path / "artifact" / "processes.npz"
+        with np.load(str(npz)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["phantom::table"] = np.zeros(3)
+        np.savez(str(npz), **arrays)
+        with pytest.raises(ValueError, match="stale in processes.npz.*phantom"):
+            load_artifact(path)
+
+    def test_processes_npz_missing_one_array_of_a_process(self, dataset, tmp_path):
+        # Prefix inventory matches but one array within a process is gone:
+        # the per-process restore error must name the artifact, process,
+        # and array instead of surfacing a bare KeyError.
+        splash = fit_splash(dataset, "float64")
+        path = splash.save(str(tmp_path / "artifact"))
+        npz = tmp_path / "artifact" / "processes.npz"
+        with np.load(str(npz)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        del arrays["random::table"]
+        np.savez(str(npz), **arrays)
+        with pytest.raises(ValueError, match="missing array 'table'.*'random'"):
+            load_artifact(path)

@@ -101,6 +101,69 @@ class TestServeStream:
             )
         assert time.perf_counter() - start < 10.0  # no 30s join stall
 
+    def test_ingest_errors_surface_without_stranding_consumer(
+        self, fitted, dataset, monkeypatch
+    ):
+        # Regression: an exception raised by *ingest* on the background
+        # producer thread (e.g. a failing journal write) used to be easy
+        # to conflate with materialise failures; it must reach the caller
+        # promptly — never leave the consumer blocked on an empty queue
+        # behind a dead "serving-ingest" thread.
+        import time
+
+        service = make_service(fitted, dataset)
+
+        def boom(*args, **kwargs):
+            raise OSError("journal write failed")
+
+        monkeypatch.setattr(service.store, "ingest_arrays", boom)
+        start = time.perf_counter()
+        with pytest.raises(OSError, match="journal write failed"):
+            service.serve_stream(
+                dataset.ctdg,
+                dataset.queries.nodes,
+                dataset.queries.times,
+                background=True,
+            )
+        assert time.perf_counter() - start < 10.0
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_dead_producer_without_exception_detected(
+        self, fitted, dataset, monkeypatch
+    ):
+        # Worst case: the producer dies so abruptly it cannot even offer
+        # its exception to the queue.  The consumer's bounded wait must
+        # notice the dead thread and raise instead of blocking forever.
+        import time
+
+        service = make_service(fitted, dataset)
+
+        def vanish(*args, **kwargs):
+            raise SystemExit  # kills the thread; offer() is never reached
+
+        monkeypatch.setattr(service, "_ingest_arrays", vanish)
+        # Break the error relay too, so only the liveness check remains.
+        import repro.serving.service as service_mod
+
+        class MuteQueue(service_mod.queue_mod.Queue):
+            def put(self, item, *args, **kwargs):
+                if isinstance(item, BaseException):
+                    raise SystemExit
+                super().put(item, *args, **kwargs)
+
+        monkeypatch.setattr(service_mod.queue_mod, "Queue", MuteQueue)
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="producer thread died"):
+            service.serve_stream(
+                dataset.ctdg,
+                dataset.queries.nodes,
+                dataset.queries.times,
+                background=True,
+            )
+        assert time.perf_counter() - start < 10.0
+
     def test_producer_errors_surface(self, fitted, dataset, monkeypatch):
         # A failure on the background ingest/materialise thread must reach
         # the caller, not hang the consumer loop.
