@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.adapt.monitor import DriftMonitor
 from repro.adapt.registry import ModelRegistry
 from repro.adapt.scheduler import (
@@ -342,14 +343,19 @@ class AdaptiveService:
         with self._ingest_lock:
             try:
                 if candidate is not None and store is not None:
-                    for src, dst, times, features, weights in self._pending:
-                        store.ingest_arrays(src, dst, times, features, weights)
-                    self.service.hot_swap(
-                        candidate.model,
-                        store=store,
-                        dtype=candidate.fit_dtype,
-                        backend=candidate.fit_backend,
-                    )
+                    with obs.span(
+                        "adapt.refit.swap", catch_up_batches=len(self._pending)
+                    ):
+                        for src, dst, times, features, weights in self._pending:
+                            store.ingest_arrays(
+                                src, dst, times, features, weights
+                            )
+                        self.service.hot_swap(
+                            candidate.model,
+                            store=store,
+                            dtype=candidate.fit_dtype,
+                            backend=candidate.fit_backend,
+                        )
                     store.attach_monitor(self.monitor)
                     if self.service.persistence is not None:
                         # Checkpoints must follow the swap: re-bind the
@@ -375,9 +381,16 @@ class AdaptiveService:
                 # is a rejection, not a serving outage.
                 outcome.promoted = False
                 outcome.reason = f"hot_swap rejected: {error}"
+                # The gate had already accepted this candidate, so a swap
+                # failure is a rollback to the incumbent, not a plain skip.
+                obs.inc("adapt.rollbacks")
                 logger.warning("candidate rejected at swap: %s", error)
             finally:
                 self._pending = None
+                obs.inc(
+                    "adapt.refits",
+                    outcome="promoted" if outcome.promoted else "rejected",
+                )
 
     def _refit(self) -> None:
         """One adaptation attempt: windowed re-fit → shadow gate → swap."""
@@ -395,26 +408,31 @@ class AdaptiveService:
         )
         self.outcomes.append(outcome)
 
-        edge_arrays, (q_nodes, q_times, q_labels) = self._capture_window()
-        candidate = store = None
-        try:
-            candidate, store = self._fit_and_gate(
-                outcome, edge_arrays, q_nodes, q_times, q_labels
-            )
-        finally:
-            # Every exit path — skip, rejection, promotion, exception —
-            # must close the catch-up log; a promoted candidate is swapped
-            # in under the same lock acquisition.
-            self._finish_refit(outcome, candidate, store)
-        if outcome.promoted:
-            if self.registry is not None and outcome.registry_version is not None:
-                self.registry.promote(outcome.registry_version)
-            # The shifted window is the new normal.  Under the ingest lock:
-            # in background mode this runs on the re-fit worker while the
-            # serving thread may be appending to the same ring buffers.
-            with self._ingest_lock:
-                self.monitor.freeze_reference()
-            logger.info(outcome.reason)
+        with obs.span("adapt.refit", triggered_at=triggered_at):
+            edge_arrays, (q_nodes, q_times, q_labels) = self._capture_window()
+            candidate = store = None
+            try:
+                candidate, store = self._fit_and_gate(
+                    outcome, edge_arrays, q_nodes, q_times, q_labels
+                )
+            finally:
+                # Every exit path — skip, rejection, promotion, exception —
+                # must close the catch-up log; a promoted candidate is
+                # swapped in under the same lock acquisition.
+                self._finish_refit(outcome, candidate, store)
+            if outcome.promoted:
+                if (
+                    self.registry is not None
+                    and outcome.registry_version is not None
+                ):
+                    self.registry.promote(outcome.registry_version)
+                # The shifted window is the new normal.  Under the ingest
+                # lock: in background mode this runs on the re-fit worker
+                # while the serving thread may be appending to the same
+                # ring buffers.
+                with self._ingest_lock:
+                    self.monitor.freeze_reference()
+                logger.info(outcome.reason)
 
     def _fit_and_gate(self, outcome, edge_arrays, q_nodes, q_times, q_labels):
         """Windowed re-fit + shadow gate; returns a promotable pair or Nones."""
@@ -437,21 +455,27 @@ class AdaptiveService:
                 num_nodes=self.num_nodes,
             )
             task = self.task_factory(q_labels)
-            candidate, window_ds, split = fit_window(
-                self.refit_config,
-                window_ctdg,
-                QuerySet(q_nodes, q_times),
-                task,
-                train_frac=self.config.refit_train_frac,
-                val_frac=self.config.refit_val_frac,
-            )
+            with obs.span(
+                "adapt.refit.fit",
+                window_edges=len(times),
+                window_queries=len(q_nodes),
+            ):
+                candidate, window_ds, split = fit_window(
+                    self.refit_config,
+                    window_ctdg,
+                    QuerySet(q_nodes, q_times),
+                    task,
+                    train_frac=self.config.refit_train_frac,
+                    val_frac=self.config.refit_val_frac,
+                )
 
             # Shadow gate: both pipelines score the window's trailing
             # hold-out — recent queries neither model trained on.
-            candidate_metric = candidate.evaluate(split.test_idx)
-            current_metric = self.splash.attach(window_ds, split).evaluate(
-                split.test_idx
-            )
+            with obs.span("adapt.refit.shadow_gate"):
+                candidate_metric = candidate.evaluate(split.test_idx)
+                current_metric = self.splash.attach(window_ds, split).evaluate(
+                    split.test_idx
+                )
             outcome.candidate_metric = float(candidate_metric)
             outcome.current_metric = float(current_metric)
             outcome.selected_process = candidate.selected_process

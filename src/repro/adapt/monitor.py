@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.adapt.stats import (
     DEFAULT_NUM_BUCKETS,
     DriftScores,
@@ -136,7 +137,10 @@ class DriftMonitor:
         if self.reference is None:
             scores = DriftScores(0.0, 0.0, 0.0)
         else:
-            scores = drift_score(self.snapshot(), self.reference)
+            with obs.span("adapt.drift_score", edges=self.edges_observed):
+                scores = drift_score(self.snapshot(), self.reference)
         if record:
             self.history.append((self.edges_observed, scores))
+        for facet, value in scores.as_dict().items():
+            obs.set_gauge("adapt.drift", value, facet=facet)
         return scores

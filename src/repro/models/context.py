@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.features.base import FeatureProcess, OnlineFeatureStore
 from repro.features.random_feat import StaticStore
 from repro.nn.backend import active_backend
@@ -1251,9 +1252,14 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
         results = None
         if num_workers > 1 and len(shards) > 1:
             try:
-                results, snap_idx, snap_logs = self._collect_parallel(
-                    payload, num_workers, store_args
-                )
+                with obs.span(
+                    "replay.sharded.fanout",
+                    shards=len(shards),
+                    workers=num_workers,
+                ):
+                    results, snap_idx, snap_logs = self._collect_parallel(
+                        payload, num_workers, store_args
+                    )
             except OSError as error:
                 # Pool creation/submit failed before the store pass started;
                 # a serial run from scratch is still safe.
@@ -1264,10 +1270,15 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
                     stacklevel=2,
                 )
         if results is None:
-            snap_idx, snap_logs = self._sequential_store_pass(*store_args)
-            results = [_collect_shard(payload, s) for s in range(len(shards))]
+            with obs.span("replay.sharded.scatter", edges=ctdg.num_edges):
+                snap_idx, snap_logs = self._sequential_store_pass(*store_args)
+            results = []
+            for s in range(len(shards)):
+                with obs.span("replay.sharded.collect", shard=s):
+                    results.append(_collect_shard(payload, s))
 
-        self._merge_shards(payload, results, snap_idx, snap_logs, queries)
+        with obs.span("replay.sharded.merge", shards=len(shards)):
+            self._merge_shards(payload, results, snap_idx, snap_logs, queries)
 
     # ------------------------------------------------------------------
     def _collect_parallel(self, payload, num_workers, store_args):
@@ -1303,7 +1314,12 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
                     pool.submit(_collect_shard_entry, s)
                     for s in range(len(payload.shards))
                 ]
-                snap_idx, snap_logs = self._sequential_store_pass(*store_args)
+                with obs.span(
+                    "replay.sharded.scatter", edges=len(store_args[0])
+                ):
+                    snap_idx, snap_logs = self._sequential_store_pass(
+                        *store_args
+                    )
                 # From here on the stores have been advanced, so no
                 # exception that the caller would answer with a second
                 # store pass may escape: pool/worker failures are handled
@@ -1701,46 +1717,54 @@ def build_context_bundle(
         processes
     )
 
-    if engine == "sharded":
-        collector = _ShardedBundleCollector(
-            num_queries=len(queries),
-            k=k,
-            edge_feature_dim=ctdg.edge_feature_dim,
-            stores=stores,
-            seen_mask=seen_mask,
-            num_nodes=ctdg.num_nodes,
-            edge_features=ctdg.edge_features,
-            propagation=propagation,
-        )
-        collector.collect(
-            ctdg,
-            queries,
-            num_workers=num_workers,
-            num_shards=num_shards,
-            clamp_workers=clamp_workers,
-        )
-    elif engine == "batched":
-        collector = _BatchedBundleCollector(
-            num_queries=len(queries),
-            k=k,
-            edge_feature_dim=ctdg.edge_feature_dim,
-            stores=stores,
-            seen_mask=seen_mask,
-            num_nodes=ctdg.num_nodes,
-            edge_features=ctdg.edge_features,
-            propagation=propagation,
-        )
-        replay_batched(ctdg, queries.nodes, queries.times, [collector])
-        collector.finalize()
-    else:
-        collector = _BundleCollector(
-            num_queries=len(queries),
-            k=k,
-            edge_feature_dim=ctdg.edge_feature_dim,
-            stores=stores,
-            seen_mask=seen_mask,
-        )
-        replay(ctdg, queries.nodes, queries.times, [collector])
+    with obs.span(
+        "replay.build_bundle",
+        engine=engine,
+        edges=ctdg.num_edges,
+        queries=len(queries),
+    ):
+        if engine == "sharded":
+            collector = _ShardedBundleCollector(
+                num_queries=len(queries),
+                k=k,
+                edge_feature_dim=ctdg.edge_feature_dim,
+                stores=stores,
+                seen_mask=seen_mask,
+                num_nodes=ctdg.num_nodes,
+                edge_features=ctdg.edge_features,
+                propagation=propagation,
+            )
+            collector.collect(
+                ctdg,
+                queries,
+                num_workers=num_workers,
+                num_shards=num_shards,
+                clamp_workers=clamp_workers,
+            )
+        elif engine == "batched":
+            collector = _BatchedBundleCollector(
+                num_queries=len(queries),
+                k=k,
+                edge_feature_dim=ctdg.edge_feature_dim,
+                stores=stores,
+                seen_mask=seen_mask,
+                num_nodes=ctdg.num_nodes,
+                edge_features=ctdg.edge_features,
+                propagation=propagation,
+            )
+            replay_batched(ctdg, queries.nodes, queries.times, [collector])
+            collector.finalize()
+        else:
+            collector = _BundleCollector(
+                num_queries=len(queries),
+                k=k,
+                edge_feature_dim=ctdg.edge_feature_dim,
+                stores=stores,
+                seen_mask=seen_mask,
+            )
+            replay(ctdg, queries.nodes, queries.times, [collector])
+    obs.inc("replay.events", ctdg.num_edges, engine=engine)
+    obs.inc("replay.queries", len(queries), engine=engine)
     return ContextBundle(
         ctdg=ctdg,
         queries=queries,

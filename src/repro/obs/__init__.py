@@ -1,0 +1,248 @@
+"""repro.obs — unified telemetry: tracing spans + metrics registry.
+
+One process-global recorder feeds every runtime layer (replay, serving,
+persistence, adaptation) so fleet routing, promotion gates, and debugging
+all read the same vocabulary.  Three modes:
+
+- ``off`` (default): the null recorder; hot loops pay one branch.
+- ``metrics``: counters/gauges/histograms live, span durations feed the
+  ``obs.span.seconds`` histogram family, nothing touches disk.
+- ``trace``: metrics plus an append-only JSONL span log (rotating,
+  schema-versioned) for ``python -m repro.obs.summarize``.
+
+Configuration: ``configure(mode=..., trace_path=..., flush_interval=...)``
+programmatically, ``ExecutionConfig(obs=...)`` per fit, or the
+``REPRO_OBS`` env var (``off`` | ``metrics`` | ``trace[:path]``) at import.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import os
+import threading
+from typing import Dict, Iterator, Optional, Union
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_bucket_bounds,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceWriter,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "log_bucket_bounds",
+    "configure",
+    "current_mode",
+    "enabled",
+    "flush",
+    "get_recorder",
+    "get_registry",
+    "inc",
+    "observability",
+    "observe",
+    "render_prometheus",
+    "reset_metrics",
+    "set_gauge",
+    "span",
+]
+
+MODES = ("off", "metrics", "trace")
+DEFAULT_TRACE_PATH = "repro-obs-trace.jsonl"
+
+_registry = MetricsRegistry()
+_recorder: Union[NullRecorder, Recorder] = NULL_RECORDER
+_mode = "off"
+_config_lock = threading.RLock()
+_flusher: Optional["_PeriodicFlusher"] = None
+
+
+class _PeriodicFlusher:
+    """Daemon thread flushing the trace writer every ``interval`` seconds."""
+
+    def __init__(self, recorder: Recorder, interval: float) -> None:
+        self._recorder = recorder
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-flush", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._recorder.flush()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def configure(
+    mode: str = "metrics",
+    trace_path: Optional[str] = None,
+    flush_interval: Optional[float] = None,
+    rotate_bytes: int = 64 * 1024 * 1024,
+) -> None:
+    """Swap the process-global recorder.
+
+    The metrics registry survives reconfiguration (counters keep their
+    totals across mode flips); only the recorder — and with it the trace
+    writer — is replaced.  An open trace writer from a previous ``trace``
+    configuration is flushed and closed.
+    """
+    global _recorder, _mode, _flusher
+    if mode not in MODES:
+        raise ValueError(f"obs mode must be one of {MODES}, got {mode!r}")
+    if flush_interval is not None and flush_interval <= 0:
+        raise ValueError("flush_interval must be positive")
+    with _config_lock:
+        if _flusher is not None:
+            _flusher.stop()
+            _flusher = None
+        if isinstance(_recorder, Recorder):
+            _recorder.close()
+        if mode == "off":
+            _recorder = NULL_RECORDER
+        elif mode == "metrics":
+            _recorder = Recorder(_registry)
+        else:
+            writer = TraceWriter(
+                trace_path or DEFAULT_TRACE_PATH, rotate_bytes=rotate_bytes
+            )
+            recorder = Recorder(_registry, writer)
+            _recorder = recorder
+            if flush_interval is not None:
+                _flusher = _PeriodicFlusher(recorder, flush_interval)
+        _mode = mode
+
+
+def current_mode() -> str:
+    return _mode
+
+
+def enabled() -> bool:
+    return _recorder.active
+
+
+def get_recorder() -> Union[NullRecorder, Recorder]:
+    return _recorder
+
+
+def get_registry() -> MetricsRegistry:
+    return _registry
+
+
+def span(name: str, **attrs: object):
+    """Timed span context manager: ``with obs.span("store.ingest", batch=n):``.
+
+    Disabled path: one branch inside the null recorder, shared null
+    context manager, no allocation.
+    """
+    return _recorder.span(name, attrs or None)
+
+
+def inc(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment a counter (no-op when observability is off)."""
+    _recorder.inc(name, amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a gauge (no-op when observability is off)."""
+    _recorder.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, count: int = 1, **labels: object) -> None:
+    """Record into a histogram (no-op when observability is off)."""
+    _recorder.observe(name, value, count, **labels)
+
+
+def render_prometheus() -> str:
+    """Prometheus text-format snapshot of the process metrics registry."""
+    return _registry.render_prometheus()
+
+
+def reset_metrics() -> None:
+    """Clear every instrument (testing / demo reruns)."""
+    _registry.reset()
+
+
+def flush() -> None:
+    """Flush buffered trace events to disk (no-op outside trace mode)."""
+    _recorder.flush()
+
+
+@contextlib.contextmanager
+def observability(
+    mode: str,
+    trace_path: Optional[str] = None,
+    flush_interval: Optional[float] = None,
+    rotate_bytes: int = 64 * 1024 * 1024,
+) -> Iterator[None]:
+    """Temporarily reconfigure observability; restores ``off``/prior mode.
+
+    Intended for tests and benchmarks: the previous *mode* is restored on
+    exit, but a previous trace writer is not reopened (its file was closed
+    when this configuration took over).
+    """
+    previous = _mode
+    configure(
+        mode,
+        trace_path=trace_path,
+        flush_interval=flush_interval,
+        rotate_bytes=rotate_bytes,
+    )
+    try:
+        yield
+    finally:
+        configure(previous if previous != "trace" else "metrics")
+
+
+def _parse_env(value: str) -> Dict[str, object]:
+    value = value.strip()
+    if not value:
+        return {"mode": "off"}
+    mode, _, path = value.partition(":")
+    mode = mode.strip().lower()
+    if mode not in MODES:
+        raise ValueError(
+            f"REPRO_OBS must be off|metrics|trace[:path], got {value!r}"
+        )
+    out: Dict[str, object] = {"mode": mode}
+    if path:
+        if mode != "trace":
+            raise ValueError("REPRO_OBS path suffix is only valid with trace mode")
+        out["trace_path"] = path
+    return out
+
+
+def _configure_from_env() -> None:
+    raw = os.environ.get("REPRO_OBS")
+    if raw is None:
+        return
+    configure(**_parse_env(raw))  # type: ignore[arg-type]
+
+
+def _shutdown() -> None:
+    with _config_lock:
+        if _flusher is not None:
+            _flusher.stop()
+        if isinstance(_recorder, Recorder):
+            _recorder.close()
+
+
+atexit.register(_shutdown)
+_configure_from_env()

@@ -1,0 +1,360 @@
+"""Process-local metrics registry: counters, gauges, log-scale histograms.
+
+The registry is the shared vocabulary for every runtime layer (replay,
+serving, persistence, adaptation).  Metrics are identified by a name plus
+an optional label set; ``registry.counter("adapt.refit", outcome="promoted")``
+returns the same instrument on every call, so hot paths can either cache
+the instrument or go through the one-dict lookup.
+
+Histograms use *fixed log-scale bucket bounds* so percentile reads are
+O(buckets) regardless of how many observations were recorded, and so two
+histograms with the same bounds merge by elementwise count addition —
+exactly associative, which is what a sharded serving fleet needs to pool
+per-worker latency distributions without approximation drift.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "log_bucket_bounds",
+]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def log_bucket_bounds(
+    lo: float = 1e-6,
+    hi: float = 100.0,
+    per_decade: int = 4,
+) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds covering ``[lo, hi]``.
+
+    Consecutive bounds differ by a factor of ``10 ** (1 / per_decade)``;
+    with the defaults that is ~1.78x, i.e. any in-range observation is
+    reported within one bucket ratio of its true value.
+    """
+    if lo <= 0.0 or hi <= lo:
+        raise ValueError("log_bucket_bounds requires 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    n = math.ceil(per_decade * math.log10(hi / lo))
+    bounds = [lo * 10.0 ** (i / per_decade) for i in range(n + 1)]
+    # Guard against float round-off leaving the last bound a hair under hi.
+    if bounds[-1] < hi:
+        bounds.append(bounds[-1] * 10.0 ** (1.0 / per_decade))
+    return tuple(bounds)
+
+
+#: Default bounds for latency-in-seconds histograms: 1 microsecond to 100
+#: seconds at 4 buckets per decade (33 buckets, ratio ~1.78).
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = log_bucket_bounds(1e-6, 100.0, 4)
+
+
+class Counter:
+    """Monotonically increasing count (events processed, promotions, ...)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.inc amount must be >= 0")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (drift score, durable offset)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound histogram with O(buckets) percentile reads.
+
+    Bucket ``i`` covers ``(bounds[i-1], bounds[i]]``; one extra overflow
+    bucket holds observations above ``bounds[-1]``.  Percentiles use the
+    lower order statistic (``numpy.percentile(..., method="lower")``) and
+    report the geometric midpoint of the bucket holding that statistic,
+    so for observations inside ``[bounds[0], bounds[-1]]`` the estimate
+    is within half a bucket ratio of the true order statistic.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_counts", "_total", "_sum", "_lock")
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: LabelItems = (),
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        resolved = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if len(resolved) < 2:
+            raise ValueError("Histogram needs at least two bucket bounds")
+        if any(b <= a for a, b in zip(resolved, resolved[1:])):
+            raise ValueError("Histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = resolved
+        self._counts = [0] * (len(resolved) + 1)
+        self._total = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (weighted observe)."""
+        if count <= 0:
+            return
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += count
+            self._total += count
+            self._sum += value * count
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._counts)
+
+    def _bucket_estimate(self, idx: int) -> float:
+        if idx <= 0:
+            return self.bounds[0]
+        if idx >= len(self.bounds):
+            return self.bounds[-1]
+        return math.sqrt(self.bounds[idx - 1] * self.bounds[idx])
+
+    def percentiles(self, percentiles: Iterable[float]) -> List[float]:
+        """Estimate several percentiles from one cumulative pass."""
+        ps = list(percentiles)
+        if any(p < 0.0 or p > 100.0 for p in ps):
+            raise ValueError("percentiles must be in [0, 100]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._total
+        if total == 0:
+            return [0.0 for _ in ps]
+        # Target the lower order statistic for each percentile, resolved in
+        # ascending rank order against a single cumulative sweep.
+        order = sorted(range(len(ps)), key=lambda i: ps[i])
+        ranks = [int((ps[i] / 100.0) * (total - 1)) for i in order]
+        out = [0.0] * len(ps)
+        cum = 0
+        bucket = 0
+        for slot, rank in zip(order, ranks):
+            while bucket < len(counts) and cum + counts[bucket] <= rank:
+                cum += counts[bucket]
+                bucket += 1
+            out[slot] = self._bucket_estimate(min(bucket, len(counts) - 1))
+        return out
+
+    def percentile(self, percentile: float) -> float:
+        return self.percentiles([percentile])[0]
+
+    def merge(self, other: "Histogram") -> None:
+        """Add ``other``'s counts into this histogram (same bounds only)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        with other._lock:
+            counts = list(other._counts)
+            total = other._total
+            summed = other._sum
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._total += total
+            self._sum += summed
+
+    def copy(self) -> "Histogram":
+        clone = Histogram(self.name, self.labels, self.bounds)
+        with self._lock:
+            clone._counts = list(self._counts)
+            clone._total = self._total
+            clone._sum = self._sum
+        return clone
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create home for every (name, labels) instrument."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._histograms.get(key)
+            if inst is None:
+                inst = self._histograms[key] = Histogram(name, key[1], bounds)
+        return inst
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view of every instrument (for logging / tests)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for c in counters:
+            out["counters"][_instrument_id(c.name, c.labels)] = c.value
+        for g in gauges:
+            out["gauges"][_instrument_id(g.name, g.labels)] = g.value
+        for h in histograms:
+            p50, p99 = h.percentiles([50.0, 99.0])
+            out["histograms"][_instrument_id(h.name, h.labels)] = {
+                "count": h.count,
+                "sum": h.sum,
+                "p50": p50,
+                "p99": p99,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition snapshot of the whole registry."""
+        with self._lock:
+            counters = sorted(
+                self._counters.values(), key=lambda m: (m.name, m.labels)
+            )
+            gauges = sorted(self._gauges.values(), key=lambda m: (m.name, m.labels))
+            histograms = sorted(
+                self._histograms.values(), key=lambda m: (m.name, m.labels)
+            )
+        lines: List[str] = []
+        seen_types: set = set()
+
+        def type_line(metric_name: str, kind: str) -> None:
+            if metric_name not in seen_types:
+                seen_types.add(metric_name)
+                lines.append(f"# TYPE {metric_name} {kind}")
+
+        for c in counters:
+            metric = _prom_name(c.name) + "_total"
+            type_line(metric, "counter")
+            lines.append(f"{metric}{_prom_labels(c.labels)} {_prom_value(c.value)}")
+        for g in gauges:
+            metric = _prom_name(g.name)
+            type_line(metric, "gauge")
+            lines.append(f"{metric}{_prom_labels(g.labels)} {_prom_value(g.value)}")
+        for h in histograms:
+            metric = _prom_name(h.name)
+            type_line(metric, "histogram")
+            cum = 0
+            counts = h.bucket_counts
+            for bound, count in zip(h.bounds, counts):
+                cum += count
+                items = h.labels + (("le", _prom_value(bound)),)
+                lines.append(f"{metric}_bucket{_prom_labels(items)} {cum}")
+            cum += counts[-1]
+            items = h.labels + (("le", "+Inf"),)
+            lines.append(f"{metric}_bucket{_prom_labels(items)} {cum}")
+            lines.append(f"{metric}_sum{_prom_labels(h.labels)} {_prom_value(h.sum)}")
+            lines.append(f"{metric}_count{_prom_labels(h.labels)} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _instrument_id(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _prom_name(name: str) -> str:
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return safe
+
+
+def _prom_labels(labels: LabelItems) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)

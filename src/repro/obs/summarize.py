@@ -1,0 +1,204 @@
+"""Summarise / validate ``repro.obs`` JSONL trace files.
+
+Usage::
+
+    python -m repro.obs.summarize trace.jsonl            # latency table
+    python -m repro.obs.summarize trace.jsonl --validate # schema check
+
+The latency table aggregates closed spans per span name (count, total,
+mean, p50, p99, max — percentiles from the same log-scale histogram the
+live registry uses, so offline and online numbers agree).  ``--validate``
+enforces the schema contract the obs-smoke CI job gates on: a versioned
+header first, every span closed exactly once, per-thread monotonic
+timestamps, and end timestamps never before their start.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import Histogram
+from repro.obs.trace import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+
+__all__ = ["load_events", "main", "render_table", "summarize", "validate_trace"]
+
+
+@dataclass
+class SpanStats:
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    hist: Histogram = field(default_factory=Histogram)
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration > self.max:
+            self.max = duration
+        self.hist.observe(duration)
+
+
+def load_events(path: str) -> List[dict]:
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})") from exc
+    return events
+
+
+def validate_trace(events: Iterable[dict]) -> List[str]:
+    """Return a list of schema violations (empty when the trace is valid)."""
+    errors: List[str] = []
+    events = list(events)
+    if not events:
+        return ["trace is empty (missing header)"]
+    header = events[0]
+    if header.get("type") != "header":
+        errors.append("first event is not a header")
+    else:
+        if header.get("schema") != TRACE_SCHEMA:
+            errors.append(f"unknown schema {header.get('schema')!r}")
+        if header.get("version") != TRACE_SCHEMA_VERSION:
+            errors.append(f"unsupported schema version {header.get('version')!r}")
+    open_spans: Dict[int, dict] = {}
+    closed: set = set()
+    last_ts: Dict[int, float] = {}
+    for idx, event in enumerate(events[1:], start=2):
+        etype = event.get("type")
+        if etype == "header":
+            errors.append(f"event {idx}: duplicate header")
+            continue
+        if etype not in ("span_start", "span_end"):
+            errors.append(f"event {idx}: unknown event type {etype!r}")
+            continue
+        span_id = event.get("span")
+        ts = event.get("ts")
+        thread = event.get("thread")
+        if not isinstance(span_id, int):
+            errors.append(f"event {idx}: missing/invalid span id")
+            continue
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {idx}: missing/invalid ts")
+            continue
+        if thread in last_ts and ts < last_ts[thread]:
+            errors.append(
+                f"event {idx}: non-monotonic ts on thread {thread} "
+                f"({ts} < {last_ts[thread]})"
+            )
+        last_ts[thread] = ts
+        if etype == "span_start":
+            if span_id in open_spans or span_id in closed:
+                errors.append(f"event {idx}: duplicate span id {span_id}")
+                continue
+            parent = event.get("parent")
+            if parent is not None and parent not in open_spans:
+                errors.append(
+                    f"event {idx}: span {span_id} parent {parent} is not open"
+                )
+            open_spans[span_id] = event
+        else:
+            start = open_spans.pop(span_id, None)
+            if start is None:
+                errors.append(f"event {idx}: span_end for unopened span {span_id}")
+                continue
+            closed.add(span_id)
+            if ts < start["ts"]:
+                errors.append(
+                    f"event {idx}: span {span_id} ends before it starts "
+                    f"({ts} < {start['ts']})"
+                )
+            if event.get("name") != start.get("name"):
+                errors.append(
+                    f"event {idx}: span {span_id} name mismatch "
+                    f"({event.get('name')!r} != {start.get('name')!r})"
+                )
+    for span_id, start in open_spans.items():
+        errors.append(f"span {span_id} ({start.get('name')!r}) never closed")
+    return errors
+
+
+def summarize(events: Iterable[dict]) -> Dict[str, SpanStats]:
+    stats: Dict[str, SpanStats] = {}
+    for event in events:
+        if event.get("type") != "span_end":
+            continue
+        name = str(event.get("name"))
+        duration = float(event.get("dur", 0.0))
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = SpanStats(name)
+        entry.add(duration)
+    return stats
+
+
+def render_table(stats: Dict[str, SpanStats]) -> str:
+    header = (
+        f"{'span':<28} {'count':>8} {'total_s':>10} {'mean_ms':>10} "
+        f"{'p50_ms':>10} {'p99_ms':>10} {'max_ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(stats, key=lambda n: -stats[n].total):
+        s = stats[name]
+        p50, p99 = s.hist.percentiles([50.0, 99.0])
+        mean = s.total / s.count if s.count else 0.0
+        lines.append(
+            f"{name:<28} {s.count:>8} {s.total:>10.4f} {mean * 1e3:>10.3f} "
+            f"{p50 * 1e3:>10.3f} {p99 * 1e3:>10.3f} {s.max * 1e3:>10.3f}"
+        )
+    if not stats:
+        lines.append("(no closed spans)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize",
+        description="Summarise or validate a repro.obs JSONL trace file.",
+    )
+    parser.add_argument("paths", nargs="+", help="trace file(s) to read")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the trace schema instead of only printing the table",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        try:
+            events = load_events(path)
+        except (OSError, ValueError) as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if args.validate:
+            errors = validate_trace(events)
+            if errors:
+                status = 1
+                print(f"{path}: INVALID ({len(errors)} violation(s))")
+                for err in errors:
+                    print(f"  - {err}")
+            else:
+                spans = sum(1 for e in events if e.get("type") == "span_end")
+                print(f"{path}: OK ({len(events)} events, {spans} closed spans)")
+        print(render_table(summarize(events)))
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        raise SystemExit(0)

@@ -1,0 +1,288 @@
+"""Structured tracing: spans, recorders, and the JSONL trace writer.
+
+The hot-path contract: when observability is off, ``repro.obs.span(...)``
+returns a shared null context manager and every metric helper returns
+after one branch — no allocation, no lock, no clock read.  With
+``mode="metrics"`` each span costs two ``perf_counter`` reads plus one
+histogram observe; ``mode="trace"`` additionally appends two JSON events
+(start/end) to a buffered, rotating, schema-versioned JSONL file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import IO, Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_VERSION",
+    "TraceWriter",
+]
+
+#: Schema identifier stamped into every trace-file header.
+TRACE_SCHEMA = "repro.obs.trace"
+TRACE_SCHEMA_VERSION = 1
+
+#: Histogram family every span duration feeds, labelled by span name.
+SPAN_SECONDS_METRIC = "obs.span.seconds"
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder used when observability is off: every call is a no-op."""
+
+    __slots__ = ()
+    active = False
+
+    def span(self, name: str, attrs: Optional[Dict[str, object]] = None) -> _NullSpan:
+        return _NULL_SPAN
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def observe(self, name: str, value: float, count: int = 1, **labels) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceWriter:
+    """Append-only, buffered, rotating JSONL event sink.
+
+    Every physical file starts with a schema-versioned header line; when a
+    file exceeds ``rotate_bytes`` it is closed and renamed to
+    ``<path>.<n>`` (oldest has the highest suffix already taken), and a
+    fresh file with a new header continues at ``path``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        rotate_bytes: int = 64 * 1024 * 1024,
+        flush_every: int = 256,
+    ) -> None:
+        if rotate_bytes < 4096:
+            raise ValueError("rotate_bytes must be >= 4096")
+        self.path = path
+        self.rotate_bytes = rotate_bytes
+        self.flush_every = max(1, flush_every)
+        self._lock = threading.Lock()
+        self._buffer: list[str] = []
+        self._bytes_written = 0
+        self._rotations = 0
+        self._file: Optional[IO[str]] = None
+        self._closed = False
+        self._open_fresh()
+
+    def _open_fresh(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._file = open(self.path, "w", encoding="utf-8")
+        header = {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "version": TRACE_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "unix_time": time.time(),
+        }
+        line = json.dumps(header, separators=(",", ":")) + "\n"
+        self._file.write(line)
+        self._bytes_written = len(line.encode("utf-8"))
+
+    def emit(self, event: Dict[str, object]) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._closed:
+                return
+            self._buffer.append(line)
+            if len(self._buffer) >= self.flush_every:
+                self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        if not self._buffer or self._file is None:
+            return
+        chunk = "\n".join(self._buffer) + "\n"
+        self._buffer.clear()
+        self._file.write(chunk)
+        self._bytes_written += len(chunk.encode("utf-8"))
+        if self._bytes_written >= self.rotate_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        assert self._file is not None
+        self._file.close()
+        self._rotations += 1
+        os.replace(self.path, f"{self.path}.{self._rotations}")
+        self._open_fresh()
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._drain_locked()
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._drain_locked()
+            if self._file is not None:
+                self._file.flush()
+                self._file.close()
+                self._file = None
+            self._closed = True
+
+    @property
+    def rotations(self) -> int:
+        return self._rotations
+
+
+class Span:
+    """Timed context manager; optionally mirrored as trace events."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(
+        self,
+        recorder: "Recorder",
+        name: str,
+        attrs: Optional[Dict[str, object]],
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        recorder = self._recorder
+        if recorder._writer is not None:
+            self.span_id = next(recorder._span_ids)
+            stack = recorder._stack()
+            self.parent_id = stack[-1] if stack else None
+            stack.append(self.span_id)
+            self._start = time.perf_counter()
+            event: Dict[str, object] = {
+                "type": "span_start",
+                "span": self.span_id,
+                "name": self.name,
+                "ts": self._start,
+                "thread": threading.get_ident(),
+            }
+            if self.parent_id is not None:
+                event["parent"] = self.parent_id
+            if self.attrs:
+                event["attrs"] = self.attrs
+            recorder._writer.emit(event)
+        else:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        recorder = self._recorder
+        duration = end - self._start
+        recorder.registry.histogram(SPAN_SECONDS_METRIC, span=self.name).observe(
+            duration
+        )
+        if recorder._writer is not None:
+            stack = recorder._stack()
+            if stack and stack[-1] == self.span_id:
+                stack.pop()
+            elif self.span_id in stack:
+                stack.remove(self.span_id)
+            recorder._writer.emit(
+                {
+                    "type": "span_end",
+                    "span": self.span_id,
+                    "name": self.name,
+                    "ts": end,
+                    "dur": duration,
+                    "thread": threading.get_ident(),
+                }
+            )
+
+
+class Recorder:
+    """Live recorder: metrics registry plus optional trace writer."""
+
+    active = True
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        writer: Optional[TraceWriter] = None,
+    ) -> None:
+        self.registry = registry
+        self._writer = writer
+        self._span_ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
+        return Span(self, name, attrs)
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, count: int = 1, **labels) -> None:
+        self.registry.histogram(name, **labels).observe(value, count)
+
+    def flush(self) -> None:
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+    @property
+    def trace_path(self) -> Optional[str]:
+        return self._writer.path if self._writer is not None else None
+
+
+def current_spans(recorder: Recorder) -> Tuple[int, ...]:
+    """Testing hook: the open span ids on the calling thread."""
+    return tuple(recorder._stack())

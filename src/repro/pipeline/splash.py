@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.features import default_processes
 from repro.features.base import FeatureProcess
 from repro.models.base import FitHistory, ModelConfig, evaluate_model
@@ -68,6 +69,16 @@ class ExecutionConfig:
     # SLIM trains on dataset N.  Results are identical with the flag on or
     # off — prefetch changes when bundles are built, never their contents.
     prefetch: bool = False
+    # Telemetry (repro.obs): None → leave the ambient recorder alone
+    # (whatever REPRO_OBS or an earlier configure() set up); "off",
+    # "metrics" or "trace" reconfigure the process-global recorder when
+    # fit() starts.  Pure observability — never changes what is computed.
+    obs: Optional[str] = None
+    # JSONL span-log path for obs="trace" (None → ./repro-obs-trace.jsonl).
+    obs_trace_path: Optional[str] = None
+    # Background flush period (seconds) for the trace writer; None → flush
+    # only on buffer pressure and shutdown.
+    obs_flush_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -107,6 +118,23 @@ class ExecutionConfig:
             # Fail at construction, not minutes later inside fit().
             raise ValueError(
                 f"dtype must be 'float32', 'float64' or None, got {self.dtype!r}"
+            )
+        if self.obs is not None and self.obs not in ("off", "metrics", "trace"):
+            raise ValueError(
+                "obs must be 'off', 'metrics', 'trace' or None, "
+                f"got {self.obs!r}"
+            )
+        if self.obs_trace_path is not None and self.obs not in (None, "trace"):
+            warnings.warn(
+                f"obs_trace_path has no effect with obs={self.obs!r}; "
+                "only 'trace' mode writes a span log",
+                UserWarning,
+                stacklevel=2,
+            )
+        if self.obs_flush_interval is not None and self.obs_flush_interval <= 0:
+            raise ValueError(
+                "obs_flush_interval must be positive or None, "
+                f"got {self.obs_flush_interval!r}"
             )
         if self.num_workers >= 2 and self.engine != "sharded":
             # Not an error — the config is valid and fit() runs fine — but
@@ -313,6 +341,15 @@ class Splash:
         """
         cfg = self.config
         exe = cfg.execution
+        if exe.obs is not None:
+            # Observability is process-global (like the backend default):
+            # an explicit setting here rebinds the recorder for the whole
+            # process; obs=None leaves REPRO_OBS / prior configure() alone.
+            obs.configure(
+                exe.obs,
+                trace_path=exe.obs_trace_path,
+                flush_interval=exe.obs_flush_interval,
+            )
         self._dataset = dataset
         self.split = split or dataset.split()
         # Freeze the training precision now: with execution.dtype=None the

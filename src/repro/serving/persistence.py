@@ -52,6 +52,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.serving.store import IncrementalContextStore
 from repro.utils.logging import get_logger
 
@@ -220,20 +221,21 @@ class SegmentWriter:
         """Make every appended record durable (fsync data, commit footer)."""
         if self._durable == self._count and os.path.exists(self.footer_path):
             return
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        atomic_write_json(
-            self.footer_path,
-            {
-                "format": SEGMENT_FORMAT,
-                "start": self.start,
-                "count": self._count,
-                "crc32": self._crc,
-                "edge_feature_dim": self.edge_feature_dim,
-                "record_bytes": self.dtype.itemsize,
-            },
-        )
-        self._durable = self._count
+        with obs.span("persist.fsync", segment=self.start, events=self._count):
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            atomic_write_json(
+                self.footer_path,
+                {
+                    "format": SEGMENT_FORMAT,
+                    "start": self.start,
+                    "count": self._count,
+                    "crc32": self._crc,
+                    "edge_feature_dim": self.edge_feature_dim,
+                    "record_bytes": self.dtype.itemsize,
+                },
+            )
+            self._durable = self._count
 
     def close(self) -> None:
         self.flush()
@@ -403,21 +405,28 @@ class EventLog:
         """Append one batch, rolling to new segments at the size bound."""
         total = len(src)
         lo = 0
-        while lo < total:
-            room = self.segment_events - self._writer.count
-            if room <= 0:
-                self._roll()
-                continue
-            hi = min(total, lo + room)
-            self._writer.append(
-                src[lo:hi],
-                dst[lo:hi],
-                times[lo:hi],
-                None if features is None else features[lo:hi],
-                weights[lo:hi],
-            )
-            lo = hi
+        with obs.span("persist.append", events=total):
+            while lo < total:
+                room = self.segment_events - self._writer.count
+                if room <= 0:
+                    self._roll()
+                    continue
+                hi = min(total, lo + room)
+                self._writer.append(
+                    src[lo:hi],
+                    dst[lo:hi],
+                    times[lo:hi],
+                    None if features is None else features[lo:hi],
+                    weights[lo:hi],
+                )
+                lo = hi
+        appended = self.appended_events
+        obs.set_gauge("persist.log.appended_events", appended)
+        obs.set_gauge("persist.log.bytes", appended * self._writer.dtype.itemsize)
         return total
+
+    def _update_durable_gauge(self) -> None:
+        obs.set_gauge("persist.log.durable_events", self.durable_events)
 
     def _roll(self) -> None:
         self._writer.close()
@@ -428,9 +437,11 @@ class EventLog:
 
     def flush(self) -> None:
         self._writer.flush()
+        self._update_durable_gauge()
 
     def close(self) -> None:
         self._writer.close()
+        self._update_durable_gauge()
 
     def segment_index(self) -> List[dict]:
         """Manifest-friendly listing: file, start, durable count per segment."""
@@ -691,6 +702,23 @@ class PersistenceManager:
         bit-for-bit the state a never-restarted store would hold over the
         same durable prefix.
         """
+        with obs.span("persist.resume", root=root):
+            return cls._resume(
+                root,
+                verify=verify,
+                snapshot_every=snapshot_every,
+                keep_snapshots=keep_snapshots,
+            )
+
+    @classmethod
+    def _resume(
+        cls,
+        root: str,
+        *,
+        verify: bool,
+        snapshot_every: Optional[int],
+        keep_snapshots: int,
+    ):
         from repro.pipeline.splash import Splash
 
         manifest_path = os.path.join(root, MANIFEST_FILE)
@@ -811,7 +839,9 @@ class PersistenceManager:
 
     def snapshot(self) -> str:
         """Persist one consistent store cut and re-point the manifest at it."""
-        with self._lock:
+        with obs.span(
+            "persist.snapshot", edges=self.store.edges_ingested
+        ), self._lock:
             arrays, scalars = self.store.export_runtime_state()
             scalars["offset"] = self._base_offset + scalars["edges_ingested"]
             # Journal appends run under the same store lock as the state
@@ -832,6 +862,7 @@ class PersistenceManager:
             self._write_manifest()
             for old in dropped:
                 shutil.rmtree(os.path.join(self.root, old), ignore_errors=True)
+            obs.inc("persist.snapshots")
             logger.info(
                 "snapshot %s at offset %d (durable log: %d events)",
                 rel,

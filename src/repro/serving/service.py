@@ -38,9 +38,11 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.models.base import ContextModel
 from repro.models.context import ContextBundle
 from repro.nn.backend import active_backend, use_backend
+from repro.obs.metrics import Histogram
 from repro.nn.tensor import default_dtype, get_default_dtype
 from repro.serving.persistence import PersistenceManager
 from repro.serving.store import IncrementalContextStore
@@ -66,13 +68,16 @@ class ServiceMetrics:
     wall_seconds: float = 0.0
     # (latency_seconds, num_queries) per scored micro-batch; every query in
     # a batch is assigned its batch's latency (materialise + score).  The
-    # window is bounded so a long-lived service's memory — and the cost of
-    # a percentile read — stays O(window), not O(queries ever served);
-    # percentiles describe the most recent LATENCY_WINDOW batches.
+    # window is bounded so a long-lived service's memory stays O(window),
+    # not O(queries ever served).  Percentile *reads* go through the shared
+    # log-scale :class:`repro.obs.metrics.Histogram` — the same vocabulary
+    # fleet metrics use — so they cost O(buckets), not O(window); the deque
+    # remains the exact windowed record (``exact_latency_ms``).
     LATENCY_WINDOW = 65536
     batch_latencies: Deque[Tuple[float, int]] = field(
         default_factory=lambda: deque(maxlen=ServiceMetrics.LATENCY_WINDOW)
     )
+    latency_hist: Histogram = field(default_factory=Histogram)
 
     def record_ingest(self, events: int, seconds: float) -> None:
         self.ingest_events += events
@@ -86,19 +91,36 @@ class ServiceMetrics:
         self.batch_count += 1
         self.materialise_seconds += materialise_seconds
         self.score_seconds += score_seconds
-        self.batch_latencies.append(
-            (materialise_seconds + score_seconds, queries)
-        )
+        latency = materialise_seconds + score_seconds
+        self.batch_latencies.append((latency, queries))
+        self.latency_hist.observe(latency, queries)
 
     # ------------------------------------------------------------------
     def latency_ms(self, percentile: float) -> float:
-        """Per-query latency percentile in milliseconds."""
+        """Per-query latency percentile in milliseconds (O(buckets) read)."""
+        return self.latency_hist.percentile(percentile) * 1000.0
+
+    def latencies_ms(self, percentiles: Tuple[float, ...]) -> Tuple[float, ...]:
+        """Several percentiles from one cumulative histogram pass."""
+        return tuple(
+            p * 1000.0 for p in self.latency_hist.percentiles(percentiles)
+        )
+
+    def exact_latency_ms(self, *percentiles: float) -> Tuple[float, ...]:
+        """Exact windowed percentiles, all from a single ``np.repeat`` pass.
+
+        The histogram covers the full service lifetime within one bucket
+        ratio; this materialises the per-query array once for the recent
+        ``LATENCY_WINDOW`` batches and answers every requested percentile
+        from it (the old per-read rebuild paid this per percentile).
+        """
         if not self.batch_latencies:
-            return 0.0
+            return tuple(0.0 for _ in percentiles)
         seconds = np.array([lat for lat, _ in self.batch_latencies])
         counts = np.array([n for _, n in self.batch_latencies])
         per_query = np.repeat(seconds, counts)
-        return float(np.percentile(per_query, percentile) * 1000.0)
+        values = np.percentile(per_query, list(percentiles))
+        return tuple(float(v) * 1000.0 for v in np.atleast_1d(values))
 
     @property
     def p50_ms(self) -> float:
@@ -122,13 +144,14 @@ class ServiceMetrics:
         return self.query_count / busy
 
     def summary(self) -> dict:
+        p50, p99 = self.latencies_ms((50.0, 99.0))
         return {
             "ingest_events": self.ingest_events,
             "ingest_events_per_s": round(self.ingest_events_per_sec, 1),
             "query_count": self.query_count,
             "batch_count": self.batch_count,
-            "query_p50_ms": round(self.p50_ms, 4),
-            "query_p99_ms": round(self.p99_ms, 4),
+            "query_p50_ms": round(p50, 4),
+            "query_p99_ms": round(p99, 4),
             "queries_per_s": round(self.queries_per_sec, 1),
             "wall_seconds": round(self.wall_seconds, 4),
         }
@@ -323,18 +346,24 @@ class PredictionService:
         """Timed ingest of one edge micro-batch (under the configured
         array backend — the store's gathers/scatters route through it)."""
         start = time_mod.perf_counter()
-        with self._backend_context():
-            count = self.store.ingest(edges)
+        with obs.span("serving.ingest", batch=edges.num_edges):
+            with self._backend_context():
+                count = self.store.ingest(edges)
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        obs.inc("serving.ingest.events", count)
         if self._persistence is not None:
             self._persistence.maybe_snapshot()
         return count
 
     def _ingest_arrays(self, src, dst, times, features, weights) -> int:
         start = time_mod.perf_counter()
-        with self._backend_context():
-            count = self.store.ingest_arrays(src, dst, times, features, weights)
+        with obs.span("serving.ingest", batch=len(src)):
+            with self._backend_context():
+                count = self.store.ingest_arrays(
+                    src, dst, times, features, weights
+                )
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
+        obs.inc("serving.ingest.events", count)
         if self._persistence is not None:
             self._persistence.maybe_snapshot()
         return count
@@ -429,6 +458,7 @@ class PredictionService:
                 self._backend = backend
             if scores_fn is not None:
                 self.scores_fn = scores_fn
+        obs.inc("serving.hot_swaps")
         logger.info(
             "hot-swapped model (dtype=%s, backend=%s%s)",
             self._dtype,
@@ -486,12 +516,15 @@ class PredictionService:
         for lo in range(0, len(nodes), self.micro_batch_size):
             hi = min(lo + self.micro_batch_size, len(nodes))
             t0 = time_mod.perf_counter()
-            bundle = self.store.materialise(nodes[lo:hi], times[lo:hi])
+            with obs.span("serving.materialise", queries=hi - lo):
+                bundle = self.store.materialise(nodes[lo:hi], times[lo:hi])
             t1 = time_mod.perf_counter()
-            outputs.append(self._score_bundle(bundle))
+            with obs.span("serving.score", queries=hi - lo):
+                outputs.append(self._score_bundle(bundle))
             self.metrics.record_batch(
                 hi - lo, t1 - t0, time_mod.perf_counter() - t1
             )
+            obs.inc("serving.queries", hi - lo)
         if not outputs:
             return self._empty_scores()
         return np.concatenate(outputs, axis=0)
@@ -542,9 +575,10 @@ class PredictionService:
                 for c_lo in range(lo, hi, self.micro_batch_size):
                     c_hi = min(c_lo + self.micro_batch_size, hi)
                     t0 = time_mod.perf_counter()
-                    bundle = self.store.materialise(
-                        query_nodes[c_lo:c_hi], query_times[c_lo:c_hi]
-                    )
+                    with obs.span("serving.materialise", queries=c_hi - c_lo):
+                        bundle = self.store.materialise(
+                            query_nodes[c_lo:c_hi], query_times[c_lo:c_hi]
+                        )
                     yield c_lo, c_hi, bundle, time_mod.perf_counter() - t0
 
         chunks: List[Tuple[int, int, np.ndarray]] = []
@@ -552,10 +586,12 @@ class PredictionService:
         def consume(item) -> None:
             c_lo, c_hi, bundle, materialise_s = item
             t1 = time_mod.perf_counter()
-            scores = self._score_bundle(bundle)
+            with obs.span("serving.score", queries=c_hi - c_lo):
+                scores = self._score_bundle(bundle)
             self.metrics.record_batch(
                 c_hi - c_lo, materialise_s, time_mod.perf_counter() - t1
             )
+            obs.inc("serving.queries", c_hi - c_lo)
             chunks.append((c_lo, c_hi, scores))
 
         if background:

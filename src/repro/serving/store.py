@@ -34,6 +34,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.features.base import FeatureProcess, OnlineFeatureStore
 from repro.models.context import (
     _MIN_VECTOR_RUN,
@@ -220,7 +221,7 @@ class IncrementalContextStore:
             )
         if weights is None:
             weights = np.ones(count)
-        with self._progress:
+        with obs.span("store.ingest", batch=count), self._progress:
             if self._closed:
                 raise RuntimeError("store is closed to further ingestion")
             if count and float(times[0]) < self._last_time:
@@ -270,6 +271,9 @@ class IncrementalContextStore:
             if self._journal is not None and count:
                 self._journal(src, dst, times, features, weights)
             self._progress.notify_all()
+            ingested = self._edges_ingested
+        obs.inc("store.ingest.events", count)
+        obs.set_gauge("store.edges_ingested", ingested)
         return count
 
     def close(self) -> None:

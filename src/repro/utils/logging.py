@@ -4,17 +4,24 @@ from __future__ import annotations
 
 import logging
 import sys
+from typing import Optional
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 _configured = False
 
 
-def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
     """Return a namespaced logger, configuring the root handler once.
 
     The library never configures logging at import time; the first explicit
-    ``get_logger`` call installs a single stderr handler, so applications that
-    configure logging themselves are left untouched.
+    ``get_logger`` call installs a single stderr handler on the ``repro``
+    root (at INFO), so applications that configure logging themselves are
+    left untouched.
+
+    ``level``, when given, is applied to the *returned named logger* on
+    every call — not just the first one (an earlier version latched the
+    whole setup behind a once-flag, silently ignoring ``level`` for every
+    caller after the first).
     """
     global _configured
     if not _configured:
@@ -23,7 +30,10 @@ def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
             handler = logging.StreamHandler(sys.stderr)
             handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
             root.addHandler(handler)
-            root.setLevel(level)
+            root.setLevel(logging.INFO)
         _configured = True
     full = name if name.startswith("repro") else f"repro.{name}"
-    return logging.getLogger(full)
+    logger = logging.getLogger(full)
+    if level is not None:
+        logger.setLevel(level)
+    return logger

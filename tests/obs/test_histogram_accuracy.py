@@ -1,0 +1,114 @@
+"""Histogram accuracy contracts: bucketed percentiles vs exact, merge laws.
+
+Two properties the fleet design leans on:
+
+* a log-scale histogram's p50/p99 is within **one bucket ratio** of the
+  exact order statistic (``np.percentile(..., method="lower")``, the
+  statistic the histogram targets) for any in-range data;
+* merging shard histograms is **exactly** the pooled histogram — count
+  arrays add elementwise, so the operation is associative and
+  order-independent (what lets N serving workers pool latency
+  distributions without approximation drift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, Histogram
+
+# One bucket spans a factor of 10^0.25; "within one bucket ratio" means the
+# estimate and the exact order statistic differ by at most that factor.
+BUCKET_RATIO = 10.0**0.25
+
+in_range_values = st.lists(
+    st.floats(
+        min_value=DEFAULT_LATENCY_BOUNDS[0],
+        max_value=DEFAULT_LATENCY_BOUNDS[-1],
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=in_range_values, percentile=st.sampled_from([50.0, 99.0]))
+def test_percentile_within_one_bucket_ratio_of_exact(values, percentile):
+    hist = Histogram()
+    for v in values:
+        hist.observe(v)
+    exact = float(np.percentile(values, percentile, method="lower"))
+    estimate = hist.percentile(percentile)
+    assert estimate <= exact * BUCKET_RATIO * (1 + 1e-12)
+    assert estimate >= exact / BUCKET_RATIO * (1 - 1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=in_range_values,
+    splits=st.lists(st.integers(min_value=0, max_value=300), max_size=4),
+)
+def test_merge_equals_pooled_histogram(values, splits):
+    """Any partition of the observations merges back to the pooled counts."""
+    bounds = sorted(set(min(s, len(values)) for s in splits)) + [len(values)]
+    pooled = Histogram()
+    for v in values:
+        pooled.observe(v)
+
+    merged = Histogram()
+    lo = 0
+    for hi in bounds:
+        shard = Histogram()
+        for v in values[lo:hi]:
+            shard.observe(v)
+        merged.merge(shard)
+        lo = hi
+    for v in values[lo:]:
+        merged.observe(v)
+
+    assert merged.bucket_counts == pooled.bucket_counts
+    assert merged.count == pooled.count
+    assert merged.sum == pytest.approx(pooled.sum)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=in_range_values)
+def test_merge_is_associative(values):
+    """(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) on the raw count arrays."""
+    third = max(1, len(values) // 3)
+    chunks = [values[:third], values[third : 2 * third], values[2 * third :]]
+    hists = []
+    for chunk in chunks:
+        h = Histogram()
+        for v in chunk:
+            h.observe(v)
+        hists.append(h)
+    a, b, c = hists
+
+    left = a.copy()
+    left.merge(b)
+    left.merge(c)
+
+    bc = b.copy()
+    bc.merge(c)
+    right = a.copy()
+    right.merge(bc)
+
+    assert left.bucket_counts == right.bucket_counts
+    assert left.count == right.count
+
+
+def test_weighted_observe_equals_repeated_observe():
+    """ServiceMetrics' weighted path is exactly N repeated observations."""
+    a = Histogram()
+    b = Histogram()
+    a.observe(0.004, count=37)
+    for _ in range(37):
+        b.observe(0.004)
+    assert a.bucket_counts == b.bucket_counts
+    assert a.percentile(99.0) == b.percentile(99.0)

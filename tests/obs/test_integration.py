@@ -1,0 +1,231 @@
+"""End-to-end telemetry: serving + persistence + adaptation under trace mode.
+
+One fitted pipeline drives a traced serving run with persistence and a
+drift monitor attached; the resulting JSONL must validate against the
+schema and the registry must hold every layer's vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.adapt import DriftMonitor
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.obs.summarize import load_events, summarize, validate_trace
+from repro.pipeline import Splash, SplashConfig
+from repro.serving import PredictionService
+from repro.serving.persistence import PersistenceManager
+
+FAST_MODEL = ModelConfig(
+    hidden_dim=16, epochs=3, batch_size=64, patience=3, time_dim=8, seed=0
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.configure("off")
+    obs.reset_metrics()
+    yield
+    obs.configure("off")
+    obs.reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return email_eu_like(seed=3, num_edges=700)
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    config = SplashConfig(feature_dim=8, k=5, model=FAST_MODEL, seed=0)
+    splash = Splash(config)
+    splash.fit(dataset)
+    return splash
+
+
+def test_traced_serving_run_validates(fitted, dataset, tmp_path):
+    trace_path = str(tmp_path / "serving-trace.jsonl")
+    obs.configure("trace", trace_path=trace_path)
+
+    service = PredictionService.from_splash(
+        fitted,
+        num_nodes=dataset.ctdg.num_nodes,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+        task=dataset.task,
+    )
+    manager = PersistenceManager.create(
+        str(tmp_path / "persist"),
+        fitted,
+        service.store,
+        snapshot_every=300,
+    )
+    service.attach_persistence(manager)
+    monitor = DriftMonitor(
+        window_edges=256,
+        window_queries=128,
+        seen_mask=fitted.processes[0].seen_mask,
+    )
+    service.store.attach_monitor(monitor)
+
+    service.serve_stream(
+        dataset.ctdg,
+        dataset.queries.nodes,
+        dataset.queries.times,
+        ingest_batch=128,
+        background=False,
+    )
+    monitor.freeze_reference()
+    monitor.score()
+    manager.flush()
+    manager.close()
+    obs.configure("off")
+
+    events = load_events(trace_path)
+    assert validate_trace(events) == []
+    stats = summarize(events)
+    for name in (
+        "serving.ingest",
+        "store.ingest",
+        "serving.materialise",
+        "serving.score",
+        "persist.append",
+        "persist.fsync",
+        "persist.snapshot",
+        "adapt.drift_score",
+    ):
+        assert name in stats, f"missing span {name!r} in trace"
+        assert stats[name].count > 0
+
+    snap = obs.get_registry().snapshot()
+    assert snap["counters"]["serving.ingest.events"] == dataset.ctdg.num_edges
+    assert snap["counters"]["store.ingest.events"] == dataset.ctdg.num_edges
+    assert snap["counters"]["serving.queries"] == len(dataset.queries)
+    assert snap["counters"]["persist.snapshots"] >= 1
+    assert snap["gauges"]["store.edges_ingested"] == dataset.ctdg.num_edges
+    assert (
+        snap["gauges"]["persist.log.durable_events"] == dataset.ctdg.num_edges
+    )
+    for facet in ("degree_js", "label_js", "unseen_delta", "total"):
+        assert f"adapt.drift{{facet={facet}}}" in snap["gauges"]
+
+    text = obs.render_prometheus()
+    assert "serving_ingest_events_total" in text
+    assert 'adapt_drift{facet="degree_js"}' in text
+    assert 'obs_span_seconds_bucket{span="store.ingest"' in text
+
+
+def test_resume_emits_resume_span(fitted, dataset, tmp_path):
+    root = str(tmp_path / "persist")
+    service = PredictionService.from_splash(
+        fitted,
+        num_nodes=dataset.ctdg.num_nodes,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+    )
+    manager = PersistenceManager.create(root, fitted, service.store)
+    service.attach_persistence(manager)
+    ctdg = dataset.ctdg
+    service._ingest_arrays(
+        ctdg.src, ctdg.dst, ctdg.times, ctdg.edge_features, ctdg.weights
+    )
+    manager.flush()
+    manager.close()
+
+    trace_path = str(tmp_path / "resume-trace.jsonl")
+    obs.configure("trace", trace_path=trace_path)
+    _, store, manager2 = PersistenceManager.resume(root)
+    manager2.close()
+    obs.configure("off")
+    assert store.edges_ingested == ctdg.num_edges
+
+    stats = summarize(load_events(trace_path))
+    assert "persist.resume" in stats
+
+
+def test_service_metrics_reads_off_histogram(fitted, dataset):
+    """summary() answers p50+p99 from one pass over O(buckets) counts."""
+    service = PredictionService.from_splash(
+        fitted,
+        num_nodes=dataset.ctdg.num_nodes,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+        task=dataset.task,
+    )
+    service.serve_stream(
+        dataset.ctdg, dataset.queries.nodes, dataset.queries.times
+    )
+    metrics = service.metrics
+    assert metrics.p50_ms > 0.0
+    assert metrics.p99_ms >= metrics.p50_ms
+    summary = metrics.summary()
+    assert summary["query_p50_ms"] == pytest.approx(metrics.p50_ms, abs=1e-4)
+    # The histogram covers every query the deque window holds.
+    window_queries = int(sum(n for _, n in metrics.batch_latencies))
+    assert metrics.latency_hist.count == window_queries
+
+
+def test_service_percentiles_within_one_bucket_of_exact(fitted, dataset):
+    """Histogram-backed p50/p99 stay within one bucket ratio of the exact
+    per-query order statistics the pre-histogram implementation reported."""
+    service = PredictionService.from_splash(
+        fitted,
+        num_nodes=dataset.ctdg.num_nodes,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+        task=dataset.task,
+    )
+    service.serve_stream(
+        dataset.ctdg, dataset.queries.nodes, dataset.queries.times
+    )
+    metrics = service.metrics
+    ratio = 10.0**0.25  # one log-scale bucket
+    exact_p50, exact_p99 = metrics.exact_latency_ms(50.0, 99.0)
+    for estimate, exact in (
+        (metrics.p50_ms, exact_p50),
+        (metrics.p99_ms, exact_p99),
+    ):
+        assert exact / ratio <= estimate <= exact * ratio
+
+
+def test_splash_fit_applies_execution_obs(dataset, tmp_path):
+    from repro.pipeline import ExecutionConfig
+
+    trace_path = str(tmp_path / "fit-trace.jsonl")
+    config = SplashConfig(
+        feature_dim=8,
+        k=5,
+        model=FAST_MODEL,
+        seed=0,
+        execution=ExecutionConfig(obs="trace", obs_trace_path=trace_path),
+    )
+    splash = Splash(config)
+    splash.fit(dataset)
+    assert obs.current_mode() == "trace"
+    obs.configure("off")
+
+    stats = summarize(load_events(trace_path))
+    assert "replay.build_bundle" in stats
+    snap = obs.get_registry().snapshot()
+    assert snap["counters"]["replay.events{engine=batched}"] > 0
+
+
+def test_sharded_replay_spans(dataset):
+    from repro.models.context import build_context_bundle
+
+    obs.configure("metrics")
+    bundle = build_context_bundle(
+        dataset.ctdg,
+        dataset.queries,
+        k=5,
+        processes=[],
+        engine="sharded",
+        num_workers=0,
+    )
+    assert bundle.num_queries == len(dataset.queries)
+    snap = obs.get_registry().snapshot()
+    hists = snap["histograms"]
+    assert "obs.span.seconds{span=replay.build_bundle}" in hists
+    assert "obs.span.seconds{span=replay.sharded.scatter}" in hists
+    assert "obs.span.seconds{span=replay.sharded.merge}" in hists
+    # Serial sharding still cuts 4 shards; each gets its own collect span.
+    assert hists["obs.span.seconds{span=replay.sharded.collect}"]["count"] == 4

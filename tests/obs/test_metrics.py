@@ -1,0 +1,147 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Histogram,
+    MetricsRegistry,
+    log_bucket_bounds,
+)
+
+
+def test_counter_inc_and_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("events", layer="serving")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    # Same (name, labels) → the same instrument; different labels → new one.
+    assert registry.counter("events", layer="serving") is counter
+    other = registry.counter("events", layer="replay")
+    assert other is not counter
+    assert other.value == 0
+
+
+def test_counter_rejects_negative():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("events").inc(-1)
+
+
+def test_gauge_set_last_write_wins():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("drift", facet="degree_js")
+    gauge.set(0.25)
+    gauge.set(0.5)
+    assert gauge.value == 0.5
+    gauge.inc(0.1)
+    assert gauge.value == pytest.approx(0.6)
+
+
+def test_log_bucket_bounds_cover_range():
+    bounds = log_bucket_bounds(1e-6, 100.0, 4)
+    assert bounds[0] == pytest.approx(1e-6)
+    assert bounds[-1] >= 100.0
+    ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+    assert all(r == pytest.approx(10**0.25, rel=1e-9) for r in ratios)
+    assert DEFAULT_LATENCY_BOUNDS == bounds
+
+
+def test_log_bucket_bounds_validation():
+    with pytest.raises(ValueError):
+        log_bucket_bounds(0.0, 1.0)
+    with pytest.raises(ValueError):
+        log_bucket_bounds(1.0, 1.0)
+    with pytest.raises(ValueError):
+        log_bucket_bounds(1e-6, 1.0, per_decade=0)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=[1.0])
+    with pytest.raises(ValueError):
+        Histogram(bounds=[1.0, 1.0, 2.0])
+
+
+def test_histogram_observe_and_count():
+    hist = Histogram(bounds=[1.0, 10.0, 100.0])
+    hist.observe(0.5)  # underflow bucket
+    hist.observe(5.0)
+    hist.observe(5.0, count=3)  # weighted observe
+    hist.observe(1000.0)  # overflow bucket
+    assert hist.count == 6
+    assert hist.sum == pytest.approx(0.5 + 5.0 * 4 + 1000.0)
+    assert hist.bucket_counts == (1, 4, 0, 1)
+
+
+def test_histogram_percentile_empty_is_zero():
+    hist = Histogram()
+    assert hist.percentile(50.0) == 0.0
+    assert hist.percentiles([50.0, 99.0]) == [0.0, 0.0]
+
+
+def test_histogram_percentiles_one_pass_matches_single_reads():
+    rng = np.random.default_rng(7)
+    hist = Histogram()
+    for value in rng.lognormal(mean=-6.0, sigma=2.0, size=500):
+        hist.observe(float(value))
+    batch = hist.percentiles([99.0, 50.0, 90.0])
+    singles = [hist.percentile(p) for p in (99.0, 50.0, 90.0)]
+    assert batch == singles
+    assert batch[1] <= batch[2] <= batch[0]
+
+
+def test_histogram_percentile_bounds_check():
+    with pytest.raises(ValueError):
+        Histogram().percentile(101.0)
+
+
+def test_histogram_merge_requires_same_bounds():
+    a = Histogram(bounds=[1.0, 10.0])
+    b = Histogram(bounds=[1.0, 10.0, 100.0])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_reset_clears_instruments():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    registry.reset()
+    assert registry.counter("x").value == 0
+
+
+def test_snapshot_lists_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("ingested", layer="store").inc(10)
+    registry.gauge("offset").set(42.0)
+    registry.histogram("lat").observe(0.01, count=4)
+    snap = registry.snapshot()
+    assert snap["counters"]["ingested{layer=store}"] == 10
+    assert snap["gauges"]["offset"] == 42.0
+    assert snap["histograms"]["lat"]["count"] == 4
+
+
+def test_render_prometheus_format():
+    registry = MetricsRegistry()
+    registry.counter("serving.ingest.events").inc(7)
+    registry.gauge("adapt.drift", facet="degree_js").set(0.125)
+    registry.histogram("query.seconds", bounds=[0.001, 0.01]).observe(0.005)
+    text = registry.render_prometheus()
+    assert "# TYPE serving_ingest_events_total counter" in text
+    assert "serving_ingest_events_total 7" in text
+    assert 'adapt_drift{facet="degree_js"} 0.125' in text
+    # Cumulative buckets plus the +Inf catch-all, sum, and count.
+    assert 'query_seconds_bucket{le="0.001"} 0' in text
+    assert 'query_seconds_bucket{le="0.01"} 1' in text
+    assert 'query_seconds_bucket{le="+Inf"} 1' in text
+    assert "query_seconds_sum 0.005" in text
+    assert "query_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_empty_registry():
+    assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,48 @@
+"""Regression: get_logger must honour ``level`` on every call, not just
+the first (the old once-latch silently ignored it afterwards)."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+def test_level_applies_after_first_call():
+    first = get_logger("levels.first", level=logging.WARNING)
+    assert first.level == logging.WARNING
+    # A *later* call with a level must still take effect — this is the
+    # exact case the _configured latch used to swallow.
+    second = get_logger("levels.second", level=logging.DEBUG)
+    assert second.level == logging.DEBUG
+
+
+def test_level_updates_existing_logger():
+    logger = get_logger("levels.update", level=logging.INFO)
+    assert logger.level == logging.INFO
+    again = get_logger("levels.update", level=logging.ERROR)
+    assert again is logger
+    assert logger.level == logging.ERROR
+
+
+def test_no_level_leaves_logger_untouched():
+    logger = get_logger("levels.keep", level=logging.WARNING)
+    unchanged = get_logger("levels.keep")
+    assert unchanged is logger
+    assert logger.level == logging.WARNING
+    # Loggers never given a level delegate to the repro root (NOTSET).
+    assert get_logger("levels.fresh").level == logging.NOTSET
+
+
+def test_root_handler_installed_once():
+    get_logger("levels.a")
+    get_logger("levels.b", level=logging.DEBUG)
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+    # Per-logger levels never touch the shared root.
+    assert root.level == logging.INFO
+
+
+def test_namespacing():
+    assert get_logger("serving").name == "repro.serving"
+    assert get_logger("repro.adapt").name == "repro.adapt"
