@@ -4,23 +4,33 @@ Runs the drift-adaptation drill (a scheduled mid-stream shift served by
 ``AdaptiveService``) with ``repro.obs`` tracing on, and shows every
 telemetry surface the subsystem exposes:
 
-1. a **mid-run Prometheus snapshot** (``obs.render_prometheus()``) after
-   the first half of the stream — live counters/gauges/histograms from
-   the serving, store, and adaptation layers while the run is in flight;
-2. the **drift gauges** reacting to the shift in the second half;
-3. the finished run's **JSONL trace** summarised into a per-span latency
+1. a **live HTTP telemetry plane** — ``service.start_telemetry`` binds
+   ``/metrics`` (Prometheus text), ``/healthz`` (SLO verdict JSON), and
+   ``/statusz``; the demo scrapes ``/metrics`` and ``/healthz`` over a
+   real socket mid-run;
+2. the **SLO health engine** — stock serving rules, plus (with
+   ``--induce-breach``) a deliberately impossible latency budget that
+   flips the verdict to degraded/failing and triggers a **flight
+   recorder** post-mortem dump;
+3. the **drift gauges** reacting to the shift in the second half;
+4. the finished run's **JSONL trace** summarised into a per-span latency
    table (the same view as ``python -m repro.obs.summarize <trace>``),
-   after schema validation.
+   after schema validation — and the flight dump validated the same way.
 
 Usage:  python examples/observability_demo.py [--edges 4000]
                                               [--intensity 70]
                                               [--shift-at 0.5] [--seed 0]
                                               [--trace PATH]
+                                              [--http-port PORT]
+                                              [--induce-breach]
+                                              [--flight-dir DIR]
 """
 
 import argparse
+import json
 import os
 import tempfile
+import urllib.request
 
 import numpy as np
 
@@ -28,6 +38,7 @@ from repro import obs
 from repro.adapt import AdaptationConfig, AdaptiveService
 from repro.datasets import scheduled_shift_stream
 from repro.models import ModelConfig
+from repro.obs.slo import LatencyRule, SloEngine, default_serving_rules
 from repro.obs.summarize import load_events, render_table, summarize, validate_trace
 from repro.pipeline import Splash, SplashConfig
 from repro.streams.ctdg import CTDG
@@ -76,6 +87,15 @@ def half_streams(dataset):
     return halves
 
 
+def scrape(address, endpoint):
+    """Fetch one telemetry endpoint over a real socket; (status, body)."""
+    try:
+        with urllib.request.urlopen(f"{address}{endpoint}", timeout=5.0) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as error:  # 503 once failing
+        return error.code, error.read().decode()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--edges", type=int, default=4000)
@@ -84,11 +104,20 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--trace", default=None,
                         help="trace JSONL destination (default: a temp file)")
+    parser.add_argument("--http-port", type=int, default=0,
+                        help="telemetry HTTP port (default: ephemeral)")
+    parser.add_argument("--induce-breach", action="store_true",
+                        help="add an impossible SLO so health degrades and "
+                             "the flight recorder dumps a post-mortem")
+    parser.add_argument("--flight-dir", default=None,
+                        help="flight dump directory (default: a temp dir)")
     args = parser.parse_args()
 
     trace_path = args.trace or os.path.join(
         tempfile.mkdtemp(prefix="obs-demo-"), "trace.jsonl"
     )
+    flight_dir = args.flight_dir or tempfile.mkdtemp(prefix="obs-flight-")
+    os.makedirs(flight_dir, exist_ok=True)
     dataset = scheduled_shift_stream(
         shift_at=args.shift_at, intensity=args.intensity,
         seed=args.seed, num_edges=args.edges,
@@ -99,6 +128,7 @@ def main() -> None:
 
     # Tracing covers training too: the replay spans below come from fit.
     obs.configure("trace", trace_path=trace_path)
+    obs.enable_flight_recorder(path=flight_dir + os.sep)
 
     print("\n-- training SPLASH (traced: replay.* spans) --")
     splash = train_pipeline(dataset, args.seed)
@@ -117,16 +147,59 @@ def main() -> None:
         ),
     )
 
+    # The health engine: stock serving SLOs, plus (on request) a trap
+    # rule whose budget no real machine can meet.
+    rules = default_serving_rules()
+    if args.induce_breach:
+        rules.append(
+            LatencyRule("serving.ingest", 99.0, max_seconds=1e-9,
+                        name="demo.trap")
+        )
+    engine = SloEngine(
+        rules, burn_window=4, failing_fraction=0.5,
+        flight=obs.get_flight_recorder(),
+    )
+    server = adaptive.service.start_telemetry(
+        port=args.http_port, engine=engine
+    )
+    print(f"\ntelemetry plane listening on {server.address}")
+
     first, second = half_streams(dataset)
     print("\n-- serving first half (pre-shift) --")
     scores = [adaptive.serve_labeled_stream(*first, ingest_batch=256)]
 
-    print("\n===== mid-run Prometheus snapshot =====")
-    print(obs.render_prometheus(), end="")
+    print("\n===== mid-run scrape: GET /metrics (excerpt) =====")
+    engine.evaluate()
+    status, body = scrape(server.address, "/metrics")
+    wanted = ("serving_", "adapt_", "obs_slo_")
+    excerpt = [ln for ln in body.splitlines()
+               if ln.startswith(wanted) and "_bucket" not in ln]
+    print(f"HTTP {status}, {len(body.splitlines())} lines; excerpt:")
+    for line in excerpt[:18]:
+        print(f"  {line}")
+
+    print("\n===== mid-run scrape: GET /healthz =====")
+    status, body = scrape(server.address, "/healthz")
+    verdict = json.loads(body)
+    print(f"HTTP {status}: status={verdict['status']!r}")
+    for rule in verdict["rules"]:
+        print(f"  {rule['rule']:28s} {rule['status']:9s} "
+              f"breaches={rule['breaches_in_window']}/{rule['window']}")
 
     print("\n-- serving second half (through the shift) --")
     scores.append(adaptive.serve_labeled_stream(*second, ingest_batch=256))
     all_scores = np.concatenate(scores, axis=0)
+
+    # Re-evaluate until the burn window fills: with --induce-breach the
+    # trap rule breaches every evaluation and health escalates
+    # degraded → failing.
+    for _ in range(engine.burn_window):
+        engine.evaluate()
+    status, body = scrape(server.address, "/healthz")
+    verdict = json.loads(body)
+    print(f"\nfinal /healthz: HTTP {status}, status={verdict['status']!r}")
+    if args.induce_breach and verdict["status"] == "ok":
+        raise SystemExit("breach was requested but health stayed ok")
 
     print("\ndrift gauges after the shift:")
     snap = obs.get_registry().snapshot()
@@ -140,6 +213,20 @@ def main() -> None:
     metric = dataset.task.evaluate(all_scores, np.arange(len(all_scores)))
     print(f"\nfull-stream {dataset.task.metric_name}: {metric:.4f}")
 
+    flight = obs.get_flight_recorder()
+    dumps = flight.dumps if flight is not None else []
+    if dumps:
+        print(f"\nflight recorder dumped {len(dumps)} post-mortem(s):")
+        for path in dumps:
+            events = load_events(path)
+            ok = "OK" if not validate_trace(events) else "INVALID"
+            reason = events[0].get("flight", {}).get("reason", "?")
+            print(f"  {path} [{ok}] reason={reason}")
+    else:
+        print("\nflight recorder: no dumps (healthy run)")
+
+    adaptive.service.stop_telemetry()
+
     # Close the writer, then read the trace back like the CLI would.
     obs.configure("off")
     events = load_events(trace_path)
@@ -149,6 +236,9 @@ def main() -> None:
     print(render_table(summarize(events)))
     print(f"\n(inspect with: python -m repro.obs.summarize {trace_path} "
           "--validate)")
+    if dumps:
+        print(f"(flight post-mortems: python -m repro.obs.summarize "
+              f"{flight_dir} --validate)")
 
 
 if __name__ == "__main__":

@@ -139,6 +139,13 @@ class AdaptiveService:
         Builds a :class:`~repro.tasks.base.Task` from the window's label
         array for re-fit training and shadow evaluation.  Defaults to a
         :class:`ClassificationTask` over the serving model's output width.
+    promotion_gate:
+        Optional zero-arg health hook consulted *after* the shadow gate:
+        a candidate that won on metrics is still held back (registered,
+        not swapped) while the hook returns ``False``.  Wire it to
+        ``SloEngine.promotion_gate()`` so cutover never happens while the
+        serving plane is failing its SLOs — a hot swap under duress masks
+        the incident and muddies the post-mortem.
     """
 
     def __init__(
@@ -154,6 +161,7 @@ class AdaptiveService:
         micro_batch_size: Optional[int] = None,
         persist_path: Optional[str] = None,
         snapshot_every: Optional[int] = None,
+        promotion_gate: Optional[Callable[[], bool]] = None,
     ) -> None:
         if splash.model is None or not splash.processes:
             raise RuntimeError(
@@ -161,6 +169,7 @@ class AdaptiveService:
             )
         self.config = config or AdaptationConfig()
         self.registry = registry
+        self.promotion_gate = promotion_gate
         self.splash = splash
         self.refit_config = refit_config or splash.config
         self.num_nodes = int(num_nodes)
@@ -501,6 +510,19 @@ class AdaptiveService:
                     f"< current {current_metric:.4f}"
                 )
                 logger.info(outcome.reason)
+                return None, None
+
+            # Health gate: a metrically-winning candidate still waits out
+            # an active SLO incident (the registry entry above keeps it
+            # auditable and re-promotable once the plane is healthy).
+            if self.promotion_gate is not None and not self.promotion_gate():
+                outcome.reason = (
+                    f"health gate blocked promotion: candidate "
+                    f"{candidate_metric:.4f} beat current "
+                    f"{current_metric:.4f} but serving health is not ok"
+                )
+                obs.inc("adapt.health_gate.blocked")
+                logger.warning(outcome.reason)
                 return None, None
 
             store = self._build_candidate_store(candidate, edge_arrays)

@@ -30,6 +30,7 @@ import threading
 from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
+from repro import obs
 from repro.adapt.monitor import DriftMonitor
 from repro.adapt.stats import DriftScores
 from repro.utils.logging import get_logger
@@ -249,9 +250,14 @@ class RefitScheduler:
     def _run_refit(self) -> None:
         try:
             self.refit()
-        except Exception:
+        except Exception as error:
             with self._lock:
                 self.refits_failed += 1
+            # The worker thread absorbs the exception (serving must keep
+            # the current model), so threading.excepthook never sees it:
+            # feed the SLO failure counter and the flight recorder here.
+            obs.inc("adapt.refits", outcome="error")
+            obs.record_crash("adapt-refit", error)
             logger.exception("refit failed; keeping the current model")
 
     def join(self, timeout: Optional[float] = None) -> None:

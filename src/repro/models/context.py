@@ -924,16 +924,46 @@ def _anon_shared_array(shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
 # pool initializer instead.
 _SHARD_PAYLOAD: Optional[_ShardPayload] = None
 
+# True only inside pool worker processes (set by the pool initializer):
+# guards the worker-only telemetry hand-off so the parent's in-process
+# fallback never serialises-and-resets its own registry.
+_IN_SHARD_WORKER = False
+
 
 def _set_shard_payload(payload: _ShardPayload) -> None:
     global _SHARD_PAYLOAD
     _SHARD_PAYLOAD = payload
 
 
+def _shard_worker_init(
+    payload: Optional[_ShardPayload], obs_mode: str
+) -> None:
+    """Pool-worker bootstrap: shard payload plus fresh worker telemetry.
+
+    Fork children inherit the parent's payload through the module global
+    (``payload`` is ``None``); other start methods receive it here.
+    Either way the worker's observability is re-initialised from scratch
+    (cleared registry, no trace writer) so the metrics it ships home with
+    each shard result are pure worker-side deltas.
+    """
+    global _IN_SHARD_WORKER
+    _IN_SHARD_WORKER = True
+    if payload is not None:
+        _set_shard_payload(payload)
+    obs._fork_reinit(obs_mode)
+
+
 def _collect_shard_entry(shard_index: int) -> Dict[str, object]:
     if _SHARD_PAYLOAD is None:
         raise RuntimeError("shard worker started without a payload")
-    return _collect_shard(_SHARD_PAYLOAD, shard_index)
+    result = _collect_shard(_SHARD_PAYLOAD, shard_index)
+    if _IN_SHARD_WORKER and obs.enabled():
+        # Ship this task's metrics home and reset, so a worker that runs
+        # several shards reports each shard's delta exactly once.
+        registry = obs.get_registry()
+        result["obs"] = registry.to_payload()
+        registry.reset()
+    return result
 
 
 def _collect_shard(payload: _ShardPayload, shard_index: int) -> Dict[str, object]:
@@ -946,7 +976,22 @@ def _collect_shard(payload: _ShardPayload, shard_index: int) -> Dict[str, object
     that the merge pass carries across the shard boundary.  All positions
     in the result are *global* (``2 * edge_index + side``), so the merge
     pass can index the sequential snapshot log directly.
+
+    Instrumented identically in-process and in pool workers: one
+    ``replay.sharded.collect`` span plus ``replay.shard.*`` counters, so
+    pooled worker registries and a serial run expose the same vocabulary.
     """
+    e_lo, e_hi, q_lo, q_hi = payload.shards[shard_index]
+    with obs.span("replay.sharded.collect", shard=shard_index):
+        result = _collect_shard_impl(payload, shard_index)
+    obs.inc("replay.shard.events", e_hi - e_lo)
+    obs.inc("replay.shard.queries", q_hi - q_lo)
+    return result
+
+
+def _collect_shard_impl(
+    payload: _ShardPayload, shard_index: int
+) -> Dict[str, object]:
     e_lo, e_hi, q_lo, q_hi = payload.shards[shard_index]
     k = payload.k
     num_nodes = payload.num_nodes
@@ -1272,10 +1317,20 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
         if results is None:
             with obs.span("replay.sharded.scatter", edges=ctdg.num_edges):
                 snap_idx, snap_logs = self._sequential_store_pass(*store_args)
-            results = []
-            for s in range(len(shards)):
-                with obs.span("replay.sharded.collect", shard=s):
-                    results.append(_collect_shard(payload, s))
+            results = [_collect_shard(payload, s) for s in range(len(shards))]
+
+        # Pool worker registries: every shard collected in a worker
+        # process carries its metrics delta, folded here under a `proc`
+        # label so the parent's render_prometheus() covers the whole
+        # process tree while per-worker series stay distinguishable.
+        registry = obs.get_registry()
+        for result in results:
+            worker_metrics = result.pop("obs", None)
+            if worker_metrics is not None:
+                registry.merge_payload(
+                    worker_metrics,
+                    extra_labels={"proc": f"shard{result['shard']}"},
+                )
 
         with obs.span("replay.sharded.merge", shards=len(shards)):
             self._merge_shards(payload, results, snap_idx, snap_logs, queries)
@@ -1290,12 +1345,13 @@ class _ShardedBundleCollector(_BatchedBundleCollector):
         import concurrent.futures as cf
 
         global _SHARD_PAYLOAD
+        worker_obs_mode = "metrics" if obs.enabled() else "off"
         try:
             ctx = multiprocessing.get_context("fork")
-            initializer, initargs = None, ()
+            initializer, initargs = _shard_worker_init, (None, worker_obs_mode)
         except ValueError:  # platform without fork: ship the payload once per worker
             ctx = multiprocessing.get_context()
-            initializer, initargs = _set_shard_payload, (payload,)
+            initializer, initargs = _shard_worker_init, (payload, worker_obs_mode)
         from concurrent.futures.process import BrokenProcessPool
 
         _SHARD_PAYLOAD = payload

@@ -13,6 +13,17 @@ all read the same vocabulary.  Three modes:
 Configuration: ``configure(mode=..., trace_path=..., flush_interval=...)``
 programmatically, ``ExecutionConfig(obs=...)`` per fit, or the
 ``REPRO_OBS`` env var (``off`` | ``metrics`` | ``trace[:path]``) at import.
+
+The live telemetry plane stacks on top of the same registry:
+
+- ``start_http_server(port)`` / ``REPRO_OBS_HTTP=<port>`` /
+  ``ExecutionConfig(obs_http_port=...)`` — ``/metrics``, ``/healthz``,
+  ``/statusz`` over stdlib HTTP (``repro.obs.http``).
+- ``enable_flight_recorder(path)`` / ``REPRO_OBS_FLIGHT=<1|path>`` — a
+  bounded crash flight recorder (``repro.obs.flight``) dumping a
+  validating JSONL post-mortem on unhandled exceptions or SLO breaches.
+- ``repro.obs.slo`` — declarative SLO rules evaluated into the
+  ok/degraded/failing verdict ``/healthz`` serves.
 """
 
 from __future__ import annotations
@@ -47,17 +58,24 @@ __all__ = [
     "log_bucket_bounds",
     "configure",
     "current_mode",
+    "disable_flight_recorder",
+    "enable_flight_recorder",
     "enabled",
     "flush",
+    "get_flight_recorder",
+    "get_http_server",
     "get_recorder",
     "get_registry",
     "inc",
     "observability",
     "observe",
+    "record_crash",
     "render_prometheus",
     "reset_metrics",
     "set_gauge",
     "span",
+    "start_http_server",
+    "stop_http_server",
 ]
 
 MODES = ("off", "metrics", "trace")
@@ -68,6 +86,10 @@ _recorder: Union[NullRecorder, Recorder] = NULL_RECORDER
 _mode = "off"
 _config_lock = threading.RLock()
 _flusher: Optional["_PeriodicFlusher"] = None
+_flight = None  # Optional[FlightRecorder]
+_http_server = None  # Optional[TelemetryServer]
+_health_engine = None  # Optional[SloEngine]
+_owns_health_engine = False
 
 
 class _PeriodicFlusher:
@@ -127,6 +149,10 @@ def configure(
             _recorder = recorder
             if flush_interval is not None:
                 _flusher = _PeriodicFlusher(recorder, flush_interval)
+        # The flight recorder survives mode flips: re-attach it to the
+        # fresh recorder so span rings keep filling.
+        if _flight is not None and isinstance(_recorder, Recorder):
+            _recorder._flight = _flight
         _mode = mode
 
 
@@ -185,6 +211,173 @@ def flush() -> None:
     _recorder.flush()
 
 
+def _fork_reinit(mode: str) -> None:
+    """Re-initialise observability inside a pool worker process.
+
+    A forked child inherits the parent's registry counts, trace writer
+    (sharing the parent's file descriptor!), flusher handle, and flight
+    recorder.  None of those may be touched from the child: the registry
+    is cleared so the worker reports *deltas*, and the inherited recorder
+    is abandoned — never flushed or closed — so buffered parent events
+    are not duplicated into the shared fd.  Workers only ever run in
+    ``off`` or ``metrics`` mode; their metrics travel home as payloads.
+    """
+    global _recorder, _mode, _flusher, _flight, _http_server, _health_engine
+    global _owns_health_engine
+    _flusher = None
+    _flight = None
+    _http_server = None
+    _health_engine = None
+    _owns_health_engine = False
+    _registry.reset()
+    if mode == "off":
+        _recorder = NULL_RECORDER
+        _mode = "off"
+    else:
+        _recorder = Recorder(_registry)
+        _mode = "metrics"
+
+
+# -- flight recorder -------------------------------------------------------
+
+
+def enable_flight_recorder(
+    path: Optional[str] = None,
+    max_spans: Optional[int] = None,
+    max_snapshots: Optional[int] = None,
+    install_hooks: bool = True,
+):
+    """Attach a crash flight recorder to the live recorder.
+
+    Returns the (process-global) ``FlightRecorder``.  With
+    ``install_hooks`` it chains into ``sys.excepthook`` and
+    ``threading.excepthook`` so any unhandled exception dumps a
+    post-mortem before the interpreter unwinds.  Spans are only ringed
+    while observability is on (``metrics``/``trace``); crash events are
+    captured regardless.
+    """
+    global _flight
+    from repro.obs.flight import (
+        DEFAULT_MAX_SNAPSHOTS,
+        DEFAULT_MAX_SPANS,
+        FlightRecorder,
+    )
+
+    with _config_lock:
+        if _flight is None:
+            _flight = FlightRecorder(
+                path=path,
+                max_spans=max_spans or DEFAULT_MAX_SPANS,
+                max_snapshots=max_snapshots or DEFAULT_MAX_SNAPSHOTS,
+                registry=_registry,
+            )
+        else:
+            if path is not None:
+                _flight.path = path
+        if install_hooks:
+            _flight.install_excepthooks()
+        if isinstance(_recorder, Recorder):
+            _recorder._flight = _flight
+        return _flight
+
+
+def disable_flight_recorder() -> None:
+    """Detach and drop the flight recorder (testing / demo reruns)."""
+    global _flight
+    with _config_lock:
+        if _flight is not None:
+            _flight.uninstall_excepthooks()
+            _flight = None
+        if isinstance(_recorder, Recorder):
+            _recorder._flight = None
+
+
+def get_flight_recorder():
+    """The process-global ``FlightRecorder``, or ``None``."""
+    return _flight
+
+
+def record_crash(
+    where: str,
+    error: Optional[BaseException] = None,
+    dump: bool = True,
+) -> Optional[str]:
+    """Record a crash into the flight recorder (no-op when disabled).
+
+    Worker threads that swallow exceptions to hand them across a queue
+    (serving ingest producer, refit scheduler) call this explicitly,
+    since ``threading.excepthook`` never sees a caught exception.
+    """
+    flight = _flight
+    if flight is None:
+        return None
+    return flight.record_crash(where, error, dump=dump)
+
+
+# -- HTTP exposition -------------------------------------------------------
+
+
+def start_http_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    health=None,
+    slo_interval: float = 5.0,
+):
+    """Start (or return) the process-global telemetry HTTP server.
+
+    Without an explicit ``health`` source a default ``SloEngine`` over
+    ``default_serving_rules()`` is created and ticked periodically, so
+    ``/healthz`` is live even for code that never touches ``repro.obs.slo``.
+    Idempotent while running; a different ``port`` restarts the server.
+    """
+    global _http_server, _health_engine, _owns_health_engine
+    from repro.obs.http import TelemetryServer
+    from repro.obs.slo import SloEngine, default_serving_rules
+
+    with _config_lock:
+        if _http_server is not None:
+            if port in (0, _http_server.port):
+                return _http_server
+            stop_http_server()
+        if health is None:
+            if _health_engine is None:
+                _health_engine = SloEngine(
+                    default_serving_rules(),
+                    registry=_registry,
+                    interval=slo_interval,
+                    flight=_flight,
+                ).start()
+                _owns_health_engine = True
+            health = _health_engine
+        elif isinstance(health, SloEngine):
+            _health_engine = health
+            _owns_health_engine = False
+        server = TelemetryServer(
+            port=port, host=host, registry=_registry, health=health
+        )
+        server.start()
+        _http_server = server
+        return server
+
+
+def stop_http_server() -> None:
+    """Stop the process-global telemetry server (and its own SLO ticker)."""
+    global _http_server, _health_engine, _owns_health_engine
+    with _config_lock:
+        if _http_server is not None:
+            _http_server.stop()
+            _http_server = None
+        if _health_engine is not None and _owns_health_engine:
+            _health_engine.stop()
+            _health_engine = None
+            _owns_health_engine = False
+
+
+def get_http_server():
+    """The process-global ``TelemetryServer``, or ``None``."""
+    return _http_server
+
+
 @contextlib.contextmanager
 def observability(
     mode: str,
@@ -231,13 +424,38 @@ def _parse_env(value: str) -> Dict[str, object]:
 
 def _configure_from_env() -> None:
     raw = os.environ.get("REPRO_OBS")
-    if raw is None:
-        return
-    configure(**_parse_env(raw))  # type: ignore[arg-type]
+    if raw is not None:
+        configure(**_parse_env(raw))  # type: ignore[arg-type]
+    flight_raw = os.environ.get("REPRO_OBS_FLIGHT")
+    if flight_raw is not None:
+        flight_raw = flight_raw.strip()
+        if flight_raw and flight_raw not in ("0", "false", "off"):
+            path = None if flight_raw in ("1", "true", "on") else flight_raw
+            enable_flight_recorder(path=path)
+    http_raw = os.environ.get("REPRO_OBS_HTTP")
+    if http_raw is not None:
+        try:
+            port = int(http_raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_OBS_HTTP must be a port number, got {http_raw!r}"
+            ) from None
+        start_http_server(port)
 
 
 def _shutdown() -> None:
+    # Teardown order matters: the exposition plane and SLO ticker go
+    # first (nothing should scrape or evaluate mid-teardown), then the
+    # flight recorder flushes any pending post-mortem *while the trace
+    # writer and flusher are still alive*, and only then do the flusher
+    # and recorder die.  A crashing process keeps its final snapshot.
     with _config_lock:
+        stop_http_server()
+        if _flight is not None:
+            try:
+                _flight.finalize()
+            except Exception:
+                pass
         if _flusher is not None:
             _flusher.stop()
         if isinstance(_recorder, Recorder):

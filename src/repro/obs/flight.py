@@ -1,0 +1,295 @@
+"""Crash flight recorder: bounded rings of recent spans + registry snapshots.
+
+A :class:`FlightRecorder` rides along with the live recorder at a fixed
+memory budget: every closed span appends one tuple to a ring, and the SLO
+engine (or any caller) can park periodic registry snapshots next to it.
+On an unhandled exception — or an SLO breach, or an explicit
+``obs.record_crash`` — the rings are dumped as a schema-versioned JSONL
+post-mortem that ``python -m repro.obs.summarize --validate`` accepts:
+the same ``repro.obs.trace`` header, ``span_start``/``span_end`` pairs
+reconstructed from the ring (parent links are omitted because the ring
+may have evicted them), plus ``snapshot`` and ``crash`` events.
+
+Dumps are written to a temp file and ``os.replace``d into place, so a
+process that dies mid-dump (even via ``os._exit``) never leaves a torn
+post-mortem behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import traceback as traceback_module
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
+
+__all__ = ["FlightRecorder"]
+
+#: Flight-dump annotation carried inside the trace header.
+FLIGHT_SCHEMA = "repro.obs.flight"
+FLIGHT_SCHEMA_VERSION = 1
+
+DEFAULT_MAX_SPANS = 2048
+DEFAULT_MAX_SNAPSHOTS = 8
+
+
+class FlightRecorder:
+    """Bounded in-memory ring buffer dumped as a JSONL post-mortem.
+
+    ``path`` may be a directory (dumps get unique names inside it), a file
+    path (subsequent dumps append ``.<n>``), or ``None`` (dumps land in
+    the working directory).  ``record_span`` is the hot-path entry — one
+    bounded ``deque.append`` of a tuple, no lock, no allocation beyond
+    the tuple itself.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        max_snapshots: int = DEFAULT_MAX_SNAPSHOTS,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        if max_snapshots < 1:
+            raise ValueError("max_snapshots must be >= 1")
+        self.path = path
+        self.registry = registry
+        self._spans: deque = deque(maxlen=max_spans)
+        self._snapshots: deque = deque(maxlen=max_snapshots)
+        self._crashes: deque = deque(maxlen=16)
+        self._dump_lock = threading.Lock()
+        self._dump_count = 0
+        self._dumps: List[str] = []
+        self._undumped_crash = False
+        self._hooks_installed = False
+        self._prev_sys_hook = None
+        self._prev_threading_hook = None
+
+    # -- recording (hot path) --------------------------------------------
+
+    def record_span(
+        self, name: str, start: float, end: float, thread: int
+    ) -> None:
+        """Append one closed span to the ring (called from ``Span.__exit__``)."""
+        self._spans.append((name, start, end, thread))
+
+    def snapshot(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Park one registry snapshot in the ring (SLO ticker cadence)."""
+        reg = registry if registry is not None else self.registry
+        if reg is None:
+            return
+        self._snapshots.append(
+            (time.perf_counter(), time.time(), reg.snapshot())
+        )
+
+    def record_crash(
+        self,
+        where: str,
+        error: Optional[BaseException] = None,
+        dump: bool = True,
+        reason: Optional[str] = None,
+    ) -> Optional[str]:
+        """Record a crash event; by default dump the post-mortem immediately."""
+        tb = None
+        if error is not None:
+            tb = "".join(
+                traceback_module.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+        self._crashes.append(
+            (
+                time.perf_counter(),
+                threading.get_ident(),
+                where,
+                repr(error) if error is not None else None,
+                tb,
+            )
+        )
+        self._undumped_crash = True
+        if dump:
+            return self.dump(reason=reason or f"crash:{where}")
+        return None
+
+    # -- dumping ----------------------------------------------------------
+
+    @property
+    def dumps(self) -> List[str]:
+        """Paths of every post-mortem written so far."""
+        return list(self._dumps)
+
+    def _resolve_path(self, explicit: Optional[str]) -> str:
+        if explicit is not None:
+            return explicit
+        default_name = f"repro-obs-flight-{os.getpid()}-{self._dump_count}.jsonl"
+        target = self.path
+        if target is None:
+            return default_name
+        if os.path.isdir(target) or target.endswith(os.sep):
+            return os.path.join(target, default_name)
+        if self._dump_count:
+            return f"{target}.{self._dump_count}"
+        return target
+
+    def dump(
+        self,
+        path: Optional[str] = None,
+        reason: str = "manual",
+    ) -> str:
+        """Write the rings as a validating JSONL trace; return the path."""
+        with self._dump_lock:
+            spans = list(self._spans)
+            crashes = list(self._crashes)
+            # A dump is the moment of truth: grab one final registry
+            # snapshot so the post-mortem carries the terminal state.
+            self.snapshot()
+            snapshots = list(self._snapshots)
+            target = self._resolve_path(path)
+            events: List[Dict[str, object]] = []
+            for span_id, (name, start, end, thread) in enumerate(spans, start=1):
+                events.append(
+                    {
+                        "type": "span_start",
+                        "span": span_id,
+                        "name": name,
+                        "ts": start,
+                        "thread": thread,
+                    }
+                )
+                events.append(
+                    {
+                        "type": "span_end",
+                        "span": span_id,
+                        "name": name,
+                        "ts": end,
+                        "dur": end - start,
+                        "thread": thread,
+                    }
+                )
+            for ts, unix_time, metrics in snapshots:
+                events.append(
+                    {
+                        "type": "snapshot",
+                        "ts": ts,
+                        "unix_time": unix_time,
+                        "metrics": metrics,
+                    }
+                )
+            for ts, thread, where, error, tb in crashes:
+                event: Dict[str, object] = {
+                    "type": "crash",
+                    "ts": ts,
+                    "thread": thread,
+                    "where": where,
+                }
+                if error is not None:
+                    event["error"] = error
+                if tb is not None:
+                    event["traceback"] = tb
+                events.append(event)
+            # Global ts order implies per-thread monotonicity; at equal ts
+            # a span's start must precede its end for the validator.
+            events.sort(
+                key=lambda e: (e["ts"], 1 if e["type"] == "span_end" else 0)
+            )
+            header = {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "version": TRACE_SCHEMA_VERSION,
+                "pid": os.getpid(),
+                "unix_time": time.time(),
+                "flight": {
+                    "schema": FLIGHT_SCHEMA,
+                    "version": FLIGHT_SCHEMA_VERSION,
+                    "reason": reason,
+                    "spans": len(spans),
+                    "snapshots": len(snapshots),
+                    "crashes": len(crashes),
+                },
+            }
+            parent = os.path.dirname(os.path.abspath(target))
+            os.makedirs(parent, exist_ok=True)
+            tmp = f"{target}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+                for event in events:
+                    fh.write(
+                        json.dumps(event, separators=(",", ":"), default=str)
+                        + "\n"
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+            self._dump_count += 1
+            self._dumps.append(target)
+            self._undumped_crash = False
+            return target
+
+    def finalize(self) -> Optional[str]:
+        """Shutdown hook: flush any crash that was recorded but never dumped.
+
+        Called by ``obs._shutdown`` *before* the trace writer and periodic
+        flusher are torn down, so a crashing process never loses its final
+        snapshot.
+        """
+        if self._undumped_crash:
+            return self.dump(reason="shutdown")
+        return None
+
+    # -- unhandled-exception capture --------------------------------------
+
+    def install_excepthooks(self) -> None:
+        """Chain into ``sys.excepthook`` / ``threading.excepthook``."""
+        if self._hooks_installed:
+            return
+        self._hooks_installed = True
+        self._prev_sys_hook = sys.excepthook
+        self._prev_threading_hook = threading.excepthook
+
+        def _sys_hook(exc_type, exc, tb):  # pragma: no cover - exercised
+            # via subprocess tests; coverage does not cross excepthook.
+            if not issubclass(exc_type, (SystemExit, KeyboardInterrupt)):
+                try:
+                    self.record_crash("main", exc, reason="crash:unhandled")
+                except Exception:
+                    pass
+            prev = self._prev_sys_hook or sys.__excepthook__
+            prev(exc_type, exc, tb)
+
+        def _threading_hook(args):  # pragma: no cover - subprocess tests
+            if args.exc_type is not SystemExit:
+                try:
+                    self.record_crash(
+                        f"thread:{getattr(args.thread, 'name', '?')}",
+                        args.exc_value,
+                        reason="crash:thread",
+                    )
+                except Exception:
+                    pass
+            prev = self._prev_threading_hook or threading.__excepthook__
+            prev(args)
+
+        sys.excepthook = _sys_hook
+        threading.excepthook = _threading_hook
+        self._installed_sys_hook = _sys_hook
+        self._installed_threading_hook = _threading_hook
+
+    def uninstall_excepthooks(self) -> None:
+        if not self._hooks_installed:
+            return
+        # Only restore if nobody chained on top of us in the meantime.
+        if sys.excepthook is self._installed_sys_hook:
+            sys.excepthook = self._prev_sys_hook or sys.__excepthook__
+        if threading.excepthook is self._installed_threading_hook:
+            threading.excepthook = self._prev_threading_hook or (
+                threading.__excepthook__
+            )
+        self._hooks_installed = False

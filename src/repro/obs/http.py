@@ -1,0 +1,250 @@
+"""Stdlib-only HTTP exposition for the live telemetry plane.
+
+``TelemetryServer`` binds a ``ThreadingHTTPServer`` on a daemon thread
+and serves three endpoints off the shared registry:
+
+- ``/metrics`` — Prometheus text exposition (``render_prometheus()``).
+- ``/healthz`` — the SLO engine's JSON verdict; HTTP 200 while ``ok`` or
+  ``degraded``, 503 once ``failing`` (load balancers eject on status
+  code, humans read the body).
+- ``/statusz`` — human-readable snapshot: process info, health verdict,
+  and a span-latency table pooled from ``obs.span.seconds``.
+
+Port 0 binds an ephemeral port (tests, demos); ``server.port`` reports
+the bound port either way.  No third-party dependencies: scraping a
+model server must not change its dependency closure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import HealthVerdict, SloEngine
+from repro.obs.trace import SPAN_SECONDS_METRIC
+
+__all__ = ["TelemetryServer", "span_latency_table"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def span_latency_table(registry: MetricsRegistry) -> str:
+    """Render per-span latency (count, mean, p50, p99) from the registry.
+
+    Series that cross-process pooling split by ``proc`` are merged back
+    together per span name — the table answers "how slow is ingest",
+    not "how slow is ingest on shard 3".
+    """
+    pooled: Dict[str, Histogram] = {}
+    for hist in registry.instruments("histogram", SPAN_SECONDS_METRIC):
+        span = dict(hist.labels).get("span", "?")
+        into = pooled.get(span)
+        if into is None:
+            pooled[span] = hist.copy()
+        else:
+            into.merge(hist)
+    header = (
+        f"{'span':<28} {'count':>9} {'mean_ms':>10} {'p50_ms':>10} {'p99_ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for span in sorted(pooled, key=lambda s: -pooled[s].sum):
+        hist = pooled[span]
+        if hist.count == 0:
+            continue
+        p50, p99 = hist.percentiles([50.0, 99.0])
+        mean = hist.sum / hist.count
+        lines.append(
+            f"{span:<28} {hist.count:>9} {mean * 1e3:>10.3f} "
+            f"{p50 * 1e3:>10.3f} {p99 * 1e3:>10.3f}"
+        )
+    if len(lines) == 2:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+class TelemetryServer:
+    """Threaded HTTP server exposing the registry + health verdict."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        health: Optional[
+            Callable[[], Optional[HealthVerdict]] | SloEngine
+        ] = None,
+        statusz_extra: Optional[Callable[[], Dict[str, object]]] = None,
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port must be in [0, 65535], got {port}")
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        self.host = host
+        self.registry = registry
+        self.statusz_extra = statusz_extra
+        self._requested_port = port
+        self._health = health
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    # -- health plumbing ---------------------------------------------------
+
+    def _verdict(self) -> Optional[HealthVerdict]:
+        health = self._health
+        if health is None:
+            return None
+        if isinstance(health, SloEngine):
+            return health.verdict()
+        return health()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._server is not None:
+            return self
+        handler = _make_handler(self)
+        server = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        server.daemon_threads = True
+        self._server = server
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.shutdown()
+        server.server_close()
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            thread.join(timeout=2.0)
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def metrics_body(self) -> str:
+        return self.registry.render_prometheus()
+
+    def healthz_body(self) -> tuple:
+        verdict = self._verdict()
+        if verdict is None:
+            # No SLO engine attached: alive is all we can attest to.
+            return 200, {"status": "ok", "rules": [], "evaluations": 0}
+        body = verdict.as_dict()
+        code = 503 if verdict.status == "failing" else 200
+        return code, body
+
+    def statusz_body(self) -> str:
+        lines = [
+            "repro.obs telemetry plane",
+            f"pid: {os.getpid()}",
+            f"uptime_s: {time.time() - self._started_at:.1f}",
+        ]
+        try:
+            from repro import obs
+
+            lines.append(f"obs_mode: {obs.current_mode()}")
+        except Exception:
+            pass
+        verdict = self._verdict()
+        if verdict is not None:
+            lines.append(f"health: {verdict.status}")
+            for rule in verdict.rules:
+                lines.append(
+                    f"  {rule.rule:<28} {rule.status:<9} "
+                    f"value={rule.value} threshold={rule.threshold} "
+                    f"breaches={rule.breaches_in_window}/{rule.window}"
+                )
+        extra = self.statusz_extra
+        if extra is not None:
+            try:
+                for key, value in sorted(extra().items()):
+                    lines.append(f"{key}: {value}")
+            except Exception as exc:
+                lines.append(f"statusz_extra error: {exc!r}")
+        lines.append("")
+        lines.append(span_latency_table(self.registry))
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _make_handler(server: TelemetryServer):
+    class _Handler(BaseHTTPRequestHandler):
+        # Telemetry is high-frequency and scrape logs are pure noise.
+        def log_message(self, fmt: str, *args: object) -> None:
+            return None
+
+        def _send(self, code: int, content_type: str, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            try:
+                if path == "/metrics":
+                    self._send(
+                        200, PROMETHEUS_CONTENT_TYPE, server.metrics_body()
+                    )
+                elif path == "/healthz":
+                    code, body = server.healthz_body()
+                    self._send(
+                        code,
+                        "application/json",
+                        json.dumps(body, indent=2, default=str) + "\n",
+                    )
+                elif path == "/statusz":
+                    self._send(
+                        200,
+                        "text/plain; charset=utf-8",
+                        server.statusz_body(),
+                    )
+                else:
+                    self._send(
+                        404,
+                        "text/plain; charset=utf-8",
+                        "not found; try /metrics /healthz /statusz\n",
+                    )
+            except BrokenPipeError:
+                pass
+            except Exception as exc:
+                try:
+                    self._send(
+                        500, "text/plain; charset=utf-8", f"error: {exc!r}\n"
+                    )
+                except Exception:
+                    pass
+
+    return _Handler

@@ -16,6 +16,7 @@ per-worker latency distributions without approximation drift.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -26,10 +27,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BOUNDS",
+    "PAYLOAD_SCHEMA",
+    "PAYLOAD_VERSION",
     "log_bucket_bounds",
 ]
 
 LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Schema identifier / version stamped into every registry payload so a
+#: parent process can reject payloads from an incompatible worker build.
+PAYLOAD_SCHEMA = "repro.obs.metrics"
+PAYLOAD_VERSION = 1
 
 
 def log_bucket_bounds(
@@ -217,6 +225,19 @@ class Histogram:
             clone._sum = self._sum
         return clone
 
+    def _merge_raw(self, counts: Sequence[int], total: int, summed: float) -> None:
+        """Elementwise-add raw bucket counts (payload merge fast path)."""
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                "histogram bucket count mismatch: "
+                f"{len(counts)} != {len(self._counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._total += total
+            self._sum += summed
+
 
 def _label_key(labels: Dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -265,6 +286,131 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    def instruments(self, kind: str, name: str, **labels: object) -> List:
+        """Existing instruments matching ``name`` and a label *subset*.
+
+        ``kind`` is ``"counter"``, ``"gauge"``, or ``"histogram"``.  Unlike
+        the get-or-create accessors this never creates: SLO rules use it to
+        pool e.g. every ``obs.span.seconds{span=serving.score, ...}`` series
+        regardless of which extra labels (``proc``, ...) pooling added.
+        """
+        tables = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        try:
+            table = tables[kind]
+        except KeyError:
+            raise ValueError(
+                f"kind must be one of {sorted(tables)}, got {kind!r}"
+            ) from None
+        with self._lock:
+            values = list(table.values())
+        if not labels:
+            return [v for v in values if v.name == name]
+        want = set(_label_key(labels))
+        return [
+            v for v in values if v.name == name and want.issubset(set(v.labels))
+        ]
+
+    # -- cross-process pooling -------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """Serialise every instrument into a JSON-safe, versioned payload.
+
+        The payload is the wire format for cross-process pooling: a worker
+        calls ``to_payload()`` just before exit and ships the dict back to
+        the parent (picklable and ``json.dumps``-safe), which folds it into
+        its own registry with :meth:`merge_payload`.  Histograms carry raw
+        bucket counts plus their bounds, so the merge stays the exact
+        elementwise addition :meth:`Histogram.merge` performs in-process.
+        """
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        payload: Dict[str, object] = {
+            "schema": PAYLOAD_SCHEMA,
+            "version": PAYLOAD_VERSION,
+            "pid": os.getpid(),
+            "counters": [[c.name, [list(kv) for kv in c.labels], c.value]
+                         for c in counters],
+            "gauges": [[g.name, [list(kv) for kv in g.labels], g.value]
+                       for g in gauges],
+            "histograms": [],
+        }
+        hist_rows = payload["histograms"]
+        assert isinstance(hist_rows, list)
+        for h in histograms:
+            with h._lock:
+                counts = list(h._counts)
+                total = h._total
+                summed = h._sum
+            hist_rows.append(
+                [
+                    h.name,
+                    [list(kv) for kv in h.labels],
+                    list(h.bounds),
+                    counts,
+                    total,
+                    summed,
+                ]
+            )
+        return payload
+
+    def merge_payload(
+        self,
+        payload: Dict[str, object],
+        extra_labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Fold a :meth:`to_payload` dict into this registry.
+
+        Counters add, gauges take the payload's value (last write wins,
+        matching in-process semantics), histograms merge elementwise —
+        exactly associative, so pooling N workers in any order equals one
+        combined registry.  ``extra_labels`` (e.g. ``{"proc": "shard0"}``)
+        are appended to every instrument's label set so per-worker series
+        stay distinguishable after pooling.
+        """
+        if payload.get("schema") != PAYLOAD_SCHEMA:
+            raise ValueError(
+                f"unknown metrics payload schema {payload.get('schema')!r}"
+            )
+        if payload.get("version") != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported metrics payload version {payload.get('version')!r}"
+            )
+        extra = {str(k): v for k, v in (extra_labels or {}).items()}
+
+        def _labels(items) -> Dict[str, object]:
+            merged: Dict[str, object] = {k: v for k, v in items}
+            merged.update(extra)
+            return merged
+
+        for name, labels, value in payload.get("counters", ()):  # type: ignore[misc]
+            self.counter(name, **_labels(labels)).inc(float(value))
+        for name, labels, value in payload.get("gauges", ()):  # type: ignore[misc]
+            self.gauge(name, **_labels(labels)).set(float(value))
+        for row in payload.get("histograms", ()):  # type: ignore[union-attr]
+            name, labels, bounds, counts, total, summed = row
+            bounds = tuple(float(b) for b in bounds)
+            inst = self.histogram(name, bounds=bounds, **_labels(labels))
+            if inst.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} bounds mismatch: payload has "
+                    f"{len(bounds)} bounds, registry has {len(inst.bounds)}"
+                )
+            inst._merge_raw([int(c) for c in counts], int(total), float(summed))
+
+    def merge(
+        self,
+        other: "MetricsRegistry",
+        extra_labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """In-process pooling: fold ``other``'s instruments into this registry."""
+        self.merge_payload(other.to_payload(), extra_labels=extra_labels)
 
     # -- export ----------------------------------------------------------
 

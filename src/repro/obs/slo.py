@@ -1,0 +1,445 @@
+"""Declarative SLO rules evaluated periodically over the live registry.
+
+An :class:`SloEngine` owns a list of rules — span-latency percentiles,
+gauge bounds, counter increases — and folds each evaluation into a
+three-state health verdict with burn-rate semantics:
+
+- ``ok``: the rule passed its most recent evaluation.
+- ``degraded``: the most recent evaluation breached, but the breach is
+  not yet sustained.
+- ``failing``: at least ``ceil(failing_fraction * burn_window)`` of the
+  last ``burn_window`` evaluations breached — the error budget is
+  burning, not blipping.
+
+The overall verdict is the worst per-rule status.  Every breaching
+evaluation increments ``obs.slo.breaches{rule=...}`` and the verdict is
+mirrored into the ``obs.slo.health`` gauge (0 ok / 1 degraded /
+2 failing), so the health signal is itself scrapeable.  On a transition
+out of ``ok`` the engine notifies ``on_breach`` (by default: dump the
+flight recorder), and :meth:`SloEngine.promotion_gate` adapts the
+verdict into the hook ``AdaptiveService`` consults before cutover.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import SPAN_SECONDS_METRIC
+
+__all__ = [
+    "CounterIncreaseRule",
+    "GaugeRule",
+    "HealthVerdict",
+    "LatencyRule",
+    "RuleResult",
+    "RuleStatus",
+    "SloEngine",
+    "SloRule",
+    "default_serving_rules",
+]
+
+BREACHES_METRIC = "obs.slo.breaches"
+HEALTH_GAUGE = "obs.slo.health"
+HEALTH_LEVELS = {"ok": 0, "degraded": 1, "failing": 2}
+
+
+@dataclass
+class RuleResult:
+    """One rule's raw outcome for one evaluation."""
+
+    rule: str
+    ok: bool
+    value: Optional[float]
+    threshold: Optional[float]
+    detail: str = ""
+
+
+@dataclass
+class RuleStatus:
+    """A rule outcome folded against its burn-rate window."""
+
+    rule: str
+    status: str
+    ok: bool
+    value: Optional[float]
+    threshold: Optional[float]
+    detail: str
+    breaches_in_window: int
+    window: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "status": self.status,
+            "ok": self.ok,
+            "value": self.value,
+            "threshold": self.threshold,
+            "detail": self.detail,
+            "breaches_in_window": self.breaches_in_window,
+            "window": self.window,
+        }
+
+
+@dataclass
+class HealthVerdict:
+    """Overall health: worst rule status plus the per-rule breakdown."""
+
+    status: str
+    rules: List[RuleStatus] = field(default_factory=list)
+    evaluations: int = 0
+    evaluated_at: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "evaluations": self.evaluations,
+            "evaluated_at": self.evaluated_at,
+            "rules": [r.as_dict() for r in self.rules],
+        }
+
+
+class SloRule:
+    """Base class: subclasses implement ``evaluate(registry)``."""
+
+    name: str = "rule"
+
+    def evaluate(self, registry: MetricsRegistry) -> RuleResult:
+        raise NotImplementedError
+
+
+class LatencyRule(SloRule):
+    """Span-latency percentile bound, pooled across every label set.
+
+    Reads the ``obs.span.seconds{span=...}`` family — including series
+    that cross-process pooling tagged with a ``proc`` label — merges them
+    (exact, same bounds), and checks the requested percentile.  A span
+    with no observations yet passes: absence of traffic is not a breach.
+    """
+
+    def __init__(
+        self,
+        span: str,
+        percentile: float = 99.0,
+        max_seconds: float = 0.25,
+        name: Optional[str] = None,
+    ) -> None:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if max_seconds <= 0.0:
+            raise ValueError("max_seconds must be positive")
+        self.span = span
+        self.percentile = percentile
+        self.max_seconds = max_seconds
+        self.name = name or f"{span}.p{percentile:g}"
+
+    def evaluate(self, registry: MetricsRegistry) -> RuleResult:
+        series = registry.instruments(
+            "histogram", SPAN_SECONDS_METRIC, span=self.span
+        )
+        pooled: Optional[Histogram] = None
+        for hist in series:
+            if pooled is None:
+                pooled = hist.copy()
+            else:
+                pooled.merge(hist)
+        if pooled is None or pooled.count == 0:
+            return RuleResult(
+                self.name, True, None, self.max_seconds, "no observations"
+            )
+        value = pooled.percentile(self.percentile)
+        ok = value <= self.max_seconds
+        return RuleResult(
+            self.name,
+            ok,
+            value,
+            self.max_seconds,
+            f"p{self.percentile:g}({self.span}) over {pooled.count} obs",
+        )
+
+
+class GaugeRule(SloRule):
+    """Bound every matching gauge to ``[min_value, max_value]``.
+
+    With multiple matching series (e.g. one per ``proc``) the worst
+    offender decides.  No matching gauge → pass.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        max_value: Optional[float] = None,
+        min_value: Optional[float] = None,
+        labels: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if max_value is None and min_value is None:
+            raise ValueError("GaugeRule needs max_value and/or min_value")
+        self.metric = metric
+        self.max_value = max_value
+        self.min_value = min_value
+        self.labels = dict(labels or {})
+        self.name = name or metric
+
+    def evaluate(self, registry: MetricsRegistry) -> RuleResult:
+        gauges = registry.instruments("gauge", self.metric, **self.labels)
+        threshold = self.max_value if self.max_value is not None else self.min_value
+        if not gauges:
+            return RuleResult(self.name, True, None, threshold, "no gauge yet")
+        worst: Optional[float] = None
+        ok = True
+        for g in gauges:
+            value = g.value
+            above = self.max_value is not None and value > self.max_value
+            below = self.min_value is not None and value < self.min_value
+            if above or below:
+                ok = False
+            if worst is None or (
+                self.max_value is not None and value > worst
+            ) or (
+                self.max_value is None and value < worst
+            ):
+                worst = value
+        return RuleResult(
+            self.name, ok, worst, threshold, f"{len(gauges)} series"
+        )
+
+
+class CounterIncreaseRule(SloRule):
+    """Breach when matching counters grew by more than ``max_increase``
+    since the previous evaluation (e.g. any refit failure at all)."""
+
+    def __init__(
+        self,
+        metric: str,
+        max_increase: float = 0.0,
+        labels: Optional[Dict[str, object]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if max_increase < 0.0:
+            raise ValueError("max_increase must be >= 0")
+        self.metric = metric
+        self.max_increase = max_increase
+        self.labels = dict(labels or {})
+        self.name = name or f"{metric}.increase"
+        self._last_total: Optional[float] = None
+
+    def evaluate(self, registry: MetricsRegistry) -> RuleResult:
+        counters = registry.instruments("counter", self.metric, **self.labels)
+        total = float(sum(c.value for c in counters))
+        previous = self._last_total
+        self._last_total = total
+        if previous is None:
+            # First look establishes the baseline: pre-existing failures
+            # predate this engine and should not page it.
+            return RuleResult(
+                self.name, True, 0.0, self.max_increase, "baseline"
+            )
+        increase = total - previous
+        ok = increase <= self.max_increase
+        return RuleResult(
+            self.name,
+            ok,
+            increase,
+            self.max_increase,
+            f"total={total:g}",
+        )
+
+
+def default_serving_rules(
+    score_p99_ms: float = 250.0,
+    ingest_p99_ms: float = 500.0,
+    backlog_max: float = 10_000.0,
+    drift_total_max: float = 0.75,
+) -> List[SloRule]:
+    """The stock rule set for a live ``PredictionService``."""
+    return [
+        LatencyRule("serving.score", 99.0, score_p99_ms / 1e3),
+        LatencyRule("serving.ingest", 99.0, ingest_p99_ms / 1e3),
+        GaugeRule(
+            "serving.ingest.backlog",
+            max_value=backlog_max,
+            name="serving.ingest.backlog",
+        ),
+        GaugeRule(
+            "adapt.drift",
+            max_value=drift_total_max,
+            labels={"facet": "total"},
+            name="adapt.drift.total",
+        ),
+        CounterIncreaseRule(
+            "adapt.refits",
+            max_increase=0.0,
+            labels={"outcome": "error"},
+            name="adapt.refit.failures",
+        ),
+    ]
+
+
+class SloEngine:
+    """Periodic rule evaluation → burn-rate verdict → `/healthz` + gates."""
+
+    def __init__(
+        self,
+        rules: Sequence[SloRule],
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 5.0,
+        burn_window: int = 6,
+        failing_fraction: float = 0.5,
+        on_breach: Optional[Callable[[HealthVerdict], None]] = None,
+        flight: Optional[object] = None,
+    ) -> None:
+        if not rules:
+            raise ValueError("SloEngine needs at least one rule")
+        if interval <= 0.0:
+            raise ValueError("interval must be positive")
+        if burn_window < 1:
+            raise ValueError("burn_window must be >= 1")
+        if not 0.0 < failing_fraction <= 1.0:
+            raise ValueError("failing_fraction must be in (0, 1]")
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {sorted(names)}")
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        self.rules = list(rules)
+        self.registry = registry
+        self.interval = interval
+        self.burn_window = burn_window
+        self.failing_count = max(1, math.ceil(failing_fraction * burn_window))
+        self.on_breach = on_breach
+        self.flight = flight
+        self._history: Dict[str, deque] = {
+            rule.name: deque(maxlen=burn_window) for rule in self.rules
+        }
+        self._lock = threading.Lock()
+        self._verdict = HealthVerdict(status="ok")
+        self._evaluations = 0
+        self._ticker: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self) -> HealthVerdict:
+        """Run every rule once and fold the outcome into the verdict."""
+        with self._lock:
+            previous_status = self._verdict.status
+            statuses: List[RuleStatus] = []
+            for rule in self.rules:
+                try:
+                    result = rule.evaluate(self.registry)
+                except Exception as exc:  # a broken rule is itself a breach
+                    result = RuleResult(
+                        rule.name, False, None, None, f"rule error: {exc!r}"
+                    )
+                history = self._history[rule.name]
+                history.append(0 if result.ok else 1)
+                breaches = sum(history)
+                if result.ok:
+                    status = "ok"
+                elif breaches >= self.failing_count:
+                    status = "failing"
+                else:
+                    status = "degraded"
+                if not result.ok:
+                    self.registry.counter(BREACHES_METRIC, rule=rule.name).inc()
+                statuses.append(
+                    RuleStatus(
+                        rule=rule.name,
+                        status=status,
+                        ok=result.ok,
+                        value=result.value,
+                        threshold=result.threshold,
+                        detail=result.detail,
+                        breaches_in_window=breaches,
+                        window=len(history),
+                    )
+                )
+            overall = "ok"
+            for status in statuses:
+                if HEALTH_LEVELS[status.status] > HEALTH_LEVELS[overall]:
+                    overall = status.status
+            self._evaluations += 1
+            verdict = HealthVerdict(
+                status=overall,
+                rules=statuses,
+                evaluations=self._evaluations,
+                evaluated_at=time.time(),
+            )
+            self._verdict = verdict
+            self.registry.gauge(HEALTH_GAUGE).set(HEALTH_LEVELS[overall])
+            flight = self.flight
+            if flight is not None:
+                flight.snapshot(self.registry)
+        if overall != "ok" and previous_status == "ok":
+            self._notify_breach(verdict)
+        return verdict
+
+    def _notify_breach(self, verdict: HealthVerdict) -> None:
+        flight = self.flight
+        if flight is not None:
+            breached = ",".join(
+                r.rule for r in verdict.rules if r.status != "ok"
+            )
+            try:
+                flight.dump(reason=f"slo:{breached}")
+            except Exception:
+                pass
+        if self.on_breach is not None:
+            try:
+                self.on_breach(verdict)
+            except Exception:
+                pass
+
+    def verdict(self) -> HealthVerdict:
+        """Most recent verdict (evaluating once if never evaluated)."""
+        with self._lock:
+            if self._evaluations:
+                return self._verdict
+        return self.evaluate()
+
+    def healthy(self, allow_degraded: bool = True) -> bool:
+        status = self.verdict().status
+        if allow_degraded:
+            return status != "failing"
+        return status == "ok"
+
+    def promotion_gate(
+        self, allow_degraded: bool = True
+    ) -> Callable[[], bool]:
+        """A zero-arg hook for ``AdaptiveService(promotion_gate=...)``."""
+        return lambda: self.healthy(allow_degraded=allow_degraded)
+
+    # -- background ticker -------------------------------------------------
+
+    def start(self) -> "SloEngine":
+        """Evaluate every ``interval`` seconds on a daemon thread."""
+        if self._ticker is not None and self._ticker.is_alive():
+            return self
+        self._stop.clear()
+        self._ticker = threading.Thread(
+            target=self._run, name="repro-obs-slo", daemon=True
+        )
+        self._ticker.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.evaluate()
+            except Exception:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        ticker = self._ticker
+        if ticker is not None:
+            ticker.join(timeout=2.0)
+            self._ticker = None

@@ -4,27 +4,51 @@ Usage::
 
     python -m repro.obs.summarize trace.jsonl            # latency table
     python -m repro.obs.summarize trace.jsonl --validate # schema check
+    python -m repro.obs.summarize trace-dir/             # rotated segments
+    python -m repro.obs.summarize 'trace.jsonl*' --format json
+
+Each positional argument may be a file, a directory (every
+``*.jsonl*`` segment inside it), or a glob pattern; rotated segments of
+one logical trace are merged in header-timestamp order before
+summarising, so a trace that rolled over mid-run reads as one stream.
 
 The latency table aggregates closed spans per span name (count, total,
 mean, p50, p99, max — percentiles from the same log-scale histogram the
-live registry uses, so offline and online numbers agree).  ``--validate``
-enforces the schema contract the obs-smoke CI job gates on: a versioned
-header first, every span closed exactly once, per-thread monotonic
-timestamps, and end timestamps never before their start.
+live registry uses, so offline and online numbers agree).  ``--format
+json`` emits the same table machine-readably.  ``--validate`` enforces
+the schema contract the obs-smoke CI job gates on: a versioned header
+first in every physical file, every span closed exactly once, per-thread
+monotonic timestamps, and end timestamps never before their start.
+Flight-recorder post-mortems reuse the trace schema with extra
+``snapshot`` / ``crash`` events, which validate like any other event.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as glob_module
 import json
+import os
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import Histogram
 from repro.obs.trace import TRACE_SCHEMA, TRACE_SCHEMA_VERSION
 
-__all__ = ["load_events", "main", "render_table", "summarize", "validate_trace"]
+__all__ = [
+    "expand_paths",
+    "load_events",
+    "load_merged",
+    "main",
+    "render_json",
+    "render_table",
+    "summarize",
+    "validate_trace",
+]
+
+#: Event types that are not span bookkeeping (flight-recorder extras).
+AUX_EVENT_TYPES = ("snapshot", "crash")
 
 
 @dataclass
@@ -43,7 +67,35 @@ class SpanStats:
         self.hist.observe(duration)
 
 
+def expand_paths(paths: Sequence[str]) -> List[str]:
+    """Resolve files / directories / glob patterns into trace files.
+
+    Directories contribute every ``*.jsonl*`` inside them (the base file
+    plus its rotated ``.N`` segments); glob patterns expand in sorted
+    order.  A literal path that matches nothing is kept so the caller
+    reports a proper file-not-found error.
+    """
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            entries = sorted(
+                os.path.join(path, name)
+                for name in os.listdir(path)
+                if ".jsonl" in name
+            )
+            if not entries:
+                out.append(path)  # surfaces "empty directory" downstream
+            out.extend(entries)
+        elif glob_module.has_magic(path):
+            out.extend(sorted(glob_module.glob(path)) or [path])
+        else:
+            out.append(path)
+    return out
+
+
 def load_events(path: str) -> List[dict]:
+    if os.path.isdir(path):
+        raise ValueError(f"{path}: directory contains no .jsonl segments")
     events = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -57,37 +109,75 @@ def load_events(path: str) -> List[dict]:
     return events
 
 
-def validate_trace(events: Iterable[dict]) -> List[str]:
-    """Return a list of schema violations (empty when the trace is valid)."""
+def _header_time(events: List[dict]) -> float:
+    if events and events[0].get("type") == "header":
+        try:
+            return float(events[0].get("unix_time", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
+    return 0.0
+
+
+def load_merged(paths: Sequence[str]) -> Tuple[List[dict], List[str]]:
+    """Load several physical segments as one logical trace.
+
+    Segments are ordered by their header ``unix_time`` (a rotated
+    ``trace.jsonl.1`` predates the fresh ``trace.jsonl``), the first
+    header is kept, and subsequent headers are dropped — span-pairing
+    validation then runs over the merged stream, so spans that closed
+    after a rotation still pair up.  Returns ``(events, errors)`` where
+    ``errors`` carries per-file header violations.
+    """
+    loaded: List[Tuple[float, str, List[dict]]] = []
     errors: List[str] = []
-    events = list(events)
+    for path in paths:
+        events = load_events(path)
+        errors.extend(
+            f"{path}: {err}" for err in _validate_header(events)
+        )
+        loaded.append((_header_time(events), path, events))
+    loaded.sort(key=lambda item: (item[0], item[1]))
+    merged: List[dict] = []
+    for index, (_, _, events) in enumerate(loaded):
+        body = events[1:] if events and events[0].get("type") == "header" else events
+        if index == 0 and events and events[0].get("type") == "header":
+            merged.append(events[0])
+        merged.extend(body)
+    return merged, errors
+
+
+def _validate_header(events: List[dict]) -> List[str]:
+    """Header-contract violations for one physical file."""
     if not events:
         return ["trace is empty (missing header)"]
     header = events[0]
     if header.get("type") != "header":
-        errors.append("first event is not a header")
-    else:
-        if header.get("schema") != TRACE_SCHEMA:
-            errors.append(f"unknown schema {header.get('schema')!r}")
-        if header.get("version") != TRACE_SCHEMA_VERSION:
-            errors.append(f"unsupported schema version {header.get('version')!r}")
+        return ["first event is not a header"]
+    errors = []
+    if header.get("schema") != TRACE_SCHEMA:
+        errors.append(f"unknown schema {header.get('schema')!r}")
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        errors.append(f"unsupported schema version {header.get('version')!r}")
+    return errors
+
+
+def validate_trace(events: Iterable[dict]) -> List[str]:
+    """Return a list of schema violations (empty when the trace is valid)."""
+    events = list(events)
+    errors: List[str] = _validate_header(events)
     open_spans: Dict[int, dict] = {}
     closed: set = set()
-    last_ts: Dict[int, float] = {}
+    last_ts: Dict[object, float] = {}
     for idx, event in enumerate(events[1:], start=2):
         etype = event.get("type")
         if etype == "header":
             errors.append(f"event {idx}: duplicate header")
             continue
-        if etype not in ("span_start", "span_end"):
+        if etype not in ("span_start", "span_end") + AUX_EVENT_TYPES:
             errors.append(f"event {idx}: unknown event type {etype!r}")
             continue
-        span_id = event.get("span")
         ts = event.get("ts")
         thread = event.get("thread")
-        if not isinstance(span_id, int):
-            errors.append(f"event {idx}: missing/invalid span id")
-            continue
         if not isinstance(ts, (int, float)):
             errors.append(f"event {idx}: missing/invalid ts")
             continue
@@ -97,6 +187,12 @@ def validate_trace(events: Iterable[dict]) -> List[str]:
                 f"({ts} < {last_ts[thread]})"
             )
         last_ts[thread] = ts
+        if etype in AUX_EVENT_TYPES:
+            continue
+        span_id = event.get("span")
+        if not isinstance(span_id, int):
+            errors.append(f"event {idx}: missing/invalid span id")
+            continue
         if etype == "span_start":
             if span_id in open_spans or span_id in closed:
                 errors.append(f"event {idx}: duplicate span id {span_id}")
@@ -161,38 +257,106 @@ def render_table(stats: Dict[str, SpanStats]) -> str:
     return "\n".join(lines)
 
 
+def render_json(
+    stats: Dict[str, SpanStats],
+    events: Optional[Iterable[dict]] = None,
+    errors: Optional[List[str]] = None,
+    files: Optional[List[str]] = None,
+) -> str:
+    """Machine-readable latency table (CI diffing / flight post-mortems)."""
+    spans = []
+    for name in sorted(stats, key=lambda n: (-stats[n].total, n)):
+        s = stats[name]
+        p50, p99 = s.hist.percentiles([50.0, 99.0])
+        spans.append(
+            {
+                "span": name,
+                "count": s.count,
+                "total_s": s.total,
+                "mean_ms": (s.total / s.count * 1e3) if s.count else 0.0,
+                "p50_ms": p50 * 1e3,
+                "p99_ms": p99 * 1e3,
+                "max_ms": s.max * 1e3,
+            }
+        )
+    doc: Dict[str, object] = {
+        "schema": "repro.obs.summary",
+        "version": 1,
+        "spans": spans,
+    }
+    if files is not None:
+        doc["files"] = list(files)
+    if events is not None:
+        event_list = list(events)
+        doc["events"] = len(event_list)
+        crashes = [e for e in event_list if e.get("type") == "crash"]
+        if crashes:
+            doc["crashes"] = crashes
+    if errors is not None:
+        doc["valid"] = not errors
+        doc["violations"] = errors
+    return json.dumps(doc, indent=2, default=str)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.summarize",
-        description="Summarise or validate a repro.obs JSONL trace file.",
+        description=(
+            "Summarise or validate repro.obs JSONL traces. Arguments may "
+            "be files, directories of rotated segments, or glob patterns; "
+            "segments are merged in header-timestamp order."
+        ),
     )
-    parser.add_argument("paths", nargs="+", help="trace file(s) to read")
+    parser.add_argument(
+        "paths", nargs="+", help="trace file(s) / director(ies) / glob(s)"
+    )
     parser.add_argument(
         "--validate",
         action="store_true",
         help="validate the trace schema instead of only printing the table",
     )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format for the latency summary (default: table)",
+    )
     args = parser.parse_args(argv)
 
+    files = expand_paths(args.paths)
+    try:
+        events, header_errors = load_merged(files)
+    except (OSError, ValueError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+
+    errors: Optional[List[str]] = None
     status = 0
-    for path in args.paths:
-        try:
-            events = load_events(path)
-        except (OSError, ValueError) as exc:
-            print(f"ERROR: {exc}", file=sys.stderr)
+    if args.validate:
+        # Per-file header errors are already collected (with a path
+        # prefix); drop the merged stream's duplicate header findings.
+        errors = header_errors + [
+            err
+            for err in validate_trace(events)
+            if not any(known.endswith(err) for known in header_errors)
+        ]
+        if errors:
             status = 1
-            continue
-        if args.validate:
-            errors = validate_trace(events)
-            if errors:
-                status = 1
-                print(f"{path}: INVALID ({len(errors)} violation(s))")
+            if args.format == "table":
+                print(f"INVALID ({len(errors)} violation(s))")
                 for err in errors:
                     print(f"  - {err}")
-            else:
-                spans = sum(1 for e in events if e.get("type") == "span_end")
-                print(f"{path}: OK ({len(events)} events, {spans} closed spans)")
-        print(render_table(summarize(events)))
+        elif args.format == "table":
+            spans = sum(1 for e in events if e.get("type") == "span_end")
+            print(
+                f"OK ({len(files)} file(s), {len(events)} events, "
+                f"{spans} closed spans)"
+            )
+    stats = summarize(events)
+    if args.format == "json":
+        print(render_json(stats, events=events, errors=errors, files=files))
+    else:
+        print(render_table(stats))
     return status
 
 

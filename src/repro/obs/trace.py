@@ -219,6 +219,9 @@ class Span:
         recorder.registry.histogram(SPAN_SECONDS_METRIC, span=self.name).observe(
             duration
         )
+        flight = recorder._flight
+        if flight is not None:
+            flight.record_span(self.name, self._start, end, threading.get_ident())
         if recorder._writer is not None:
             stack = recorder._stack()
             if stack and stack[-1] == self.span_id:
@@ -249,6 +252,9 @@ class Recorder:
     ) -> None:
         self.registry = registry
         self._writer = writer
+        # Optional FlightRecorder mirroring every closed span into a
+        # bounded ring; installed/detached by ``repro.obs`` configuration.
+        self._flight = None
         self._span_ids = itertools.count(1)
         self._local = threading.local()
 

@@ -79,6 +79,11 @@ class ExecutionConfig:
     # Background flush period (seconds) for the trace writer; None → flush
     # only on buffer pressure and shutdown.
     obs_flush_interval: Optional[float] = None
+    # Telemetry HTTP exposition port (/metrics, /healthz, /statusz): an
+    # integer starts the process-global obs.http.TelemetryServer when
+    # fit() runs (0 binds an ephemeral port); None leaves whatever
+    # REPRO_OBS_HTTP / an earlier start_http_server() set up.
+    obs_http_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -135,6 +140,13 @@ class ExecutionConfig:
             raise ValueError(
                 "obs_flush_interval must be positive or None, "
                 f"got {self.obs_flush_interval!r}"
+            )
+        if self.obs_http_port is not None and not (
+            0 <= int(self.obs_http_port) <= 65535
+        ):
+            raise ValueError(
+                "obs_http_port must be in [0, 65535] or None, "
+                f"got {self.obs_http_port!r}"
             )
         if self.num_workers >= 2 and self.engine != "sharded":
             # Not an error — the config is valid and fit() runs fine — but
@@ -350,6 +362,9 @@ class Splash:
                 trace_path=exe.obs_trace_path,
                 flush_interval=exe.obs_flush_interval,
             )
+        if exe.obs_http_port is not None:
+            # Idempotent while a server is already listening on the port.
+            obs.start_http_server(int(exe.obs_http_port))
         self._dataset = dataset
         self.split = split or dataset.split()
         # Freeze the training precision now: with execution.dtype=None the

@@ -229,11 +229,82 @@ class PredictionService:
             model.bind_task(task)
         self.metrics = ServiceMetrics()
         self._persistence: Optional[PersistenceManager] = None
+        self._telemetry_server = None
+        self._telemetry_engine = None
+        self._owns_telemetry_engine = False
 
     # ------------------------------------------------------------------
     @property
     def persistence(self) -> Optional[PersistenceManager]:
         return self._persistence
+
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The attached ``TelemetryServer`` (``None`` until started)."""
+        return self._telemetry_server
+
+    @property
+    def health(self):
+        """The attached ``SloEngine`` (``None`` until telemetry starts)."""
+        return self._telemetry_engine
+
+    def start_telemetry(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        rules=None,
+        engine=None,
+        slo_interval: float = 2.0,
+    ):
+        """Expose this service's telemetry over HTTP; returns the server.
+
+        Starts an ``obs.http.TelemetryServer`` on ``port`` (0 = ephemeral;
+        read ``server.port``) backed by the shared registry, with an
+        ``obs.slo.SloEngine`` answering ``/healthz``.  Pass ``rules`` to
+        replace :func:`repro.obs.slo.default_serving_rules`, or a running
+        ``engine`` to share one across services.  The engine is handed the
+        process flight recorder (if enabled) so SLO breaches dump a
+        post-mortem, and ``/statusz`` includes this service's summary.
+        """
+        if self._telemetry_server is not None:
+            return self._telemetry_server
+        from repro import obs
+        from repro.obs.http import TelemetryServer
+        from repro.obs.slo import SloEngine, default_serving_rules
+
+        if engine is None:
+            engine = SloEngine(
+                rules if rules is not None else default_serving_rules(),
+                interval=slo_interval,
+                flight=obs.get_flight_recorder(),
+            ).start()
+            self._owns_telemetry_engine = True
+        else:
+            self._owns_telemetry_engine = False
+        server = TelemetryServer(
+            port=port,
+            host=host,
+            health=engine,
+            statusz_extra=self.metrics.summary,
+        )
+        server.start()
+        self._telemetry_server = server
+        self._telemetry_engine = engine
+        return server
+
+    def stop_telemetry(self) -> None:
+        """Stop the HTTP exposition (and the SLO ticker this service owns)."""
+        server = self._telemetry_server
+        self._telemetry_server = None
+        if server is not None:
+            server.stop()
+        engine = self._telemetry_engine
+        self._telemetry_engine = None
+        if engine is not None and self._owns_telemetry_engine:
+            engine.stop()
+        self._owns_telemetry_engine = False
 
     def attach_persistence(self, manager: Optional[PersistenceManager]) -> None:
         """Bind a :class:`~repro.serving.persistence.PersistenceManager`.
@@ -617,6 +688,10 @@ class PredictionService:
                             return
                     offer(_DONE)
                 except BaseException as error:  # surfaced on the consumer side
+                    # The exception is swallowed here (handed across the
+                    # queue), so threading.excepthook never fires — record
+                    # the crash into the flight recorder explicitly.
+                    obs.record_crash("serving-ingest", error)
                     offer(error)
 
             thread = threading.Thread(
@@ -642,6 +717,9 @@ class PredictionService:
                         break
                     if isinstance(item, BaseException):
                         raise item
+                    if obs.enabled():
+                        # Ingest lag: materialised work waiting to score.
+                        obs.set_gauge("serving.ingest.backlog", work.qsize())
                     consume(item)
             finally:
                 stop.set()

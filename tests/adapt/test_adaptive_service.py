@@ -156,6 +156,65 @@ class TestAdaptiveService:
         for outcome in adaptive.outcomes:
             assert "shadow gate rejected" in outcome.reason
 
+    def test_health_gate_blocks_promotion(self, shift_drill, tmp_path):
+        """A failing serving SLO holds back even a metrically-winning
+        candidate: registered for audit, never swapped in."""
+        dataset, _ = shift_drill
+        splash = _fresh_splash(dataset)
+        registry = ModelRegistry(str(tmp_path / "blocked"))
+        adaptive = AdaptiveService(
+            splash,
+            dataset.ctdg.num_nodes,
+            config=_adaptation_config(),
+            registry=registry,
+            promotion_gate=lambda: False,
+        )
+        initial_model = adaptive.service.model
+        adaptive.serve_labeled_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            dataset.task.labels,
+            ingest_batch=200,
+        )
+        summary = adaptive.summary()
+        assert summary["refit_attempts"] >= 1
+        assert summary["promotions"] == 0
+        assert adaptive.service.model is initial_model
+        # At least one candidate won the shadow gate and was then blocked
+        # by health (the drill promotes >= 1 without the gate).
+        blocked = [
+            o for o in adaptive.outcomes if "health gate blocked" in o.reason
+        ]
+        assert blocked
+        assert registry.active() is None
+
+    def test_slo_promotion_gate_integration(self, shift_drill):
+        """SloEngine.promotion_gate() plugs straight into AdaptiveService."""
+        from repro.obs.slo import GaugeRule, SloEngine
+
+        dataset, splash = shift_drill
+        from repro import obs
+
+        obs.configure("metrics")
+        try:
+            engine = SloEngine(
+                [GaugeRule("adapt.drift", max_value=1e9, name="never")],
+                burn_window=2,
+            )
+            gate = engine.promotion_gate()
+            assert gate() is True
+            adaptive = AdaptiveService(
+                splash,
+                dataset.ctdg.num_nodes,
+                config=_adaptation_config(policy=ThresholdTrigger(10.0)),
+                promotion_gate=gate,
+            )
+            assert adaptive.promotion_gate is gate
+        finally:
+            obs.configure("off")
+            obs.reset_metrics()
+
     def test_thin_window_skips_refit(self, shift_drill):
         dataset, _ = shift_drill
         adaptive = AdaptiveService(

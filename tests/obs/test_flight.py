@@ -1,0 +1,238 @@
+"""Flight recorder: bounded rings, validating dumps, crash capture."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import FLIGHT_SCHEMA, FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summarize import load_events, summarize, validate_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.configure("off")
+    obs.reset_metrics()
+    yield
+    obs.disable_flight_recorder()
+    obs.configure("off")
+    obs.reset_metrics()
+
+
+def _recorder(tmp_path, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    return FlightRecorder(path=str(tmp_path / "flight.jsonl"), **kwargs)
+
+
+def test_dump_is_a_validating_trace(tmp_path):
+    flight = _recorder(tmp_path)
+    flight.record_span("serving.score", 1.0, 1.5, thread=1)
+    flight.record_span("serving.ingest", 1.2, 1.3, thread=2)
+    flight.registry.counter("serving.queries").inc(9)
+    flight.snapshot()
+    path = flight.dump(reason="manual-test")
+    events = load_events(path)
+    assert validate_trace(events) == []
+    header = events[0]
+    assert header["flight"]["schema"] == FLIGHT_SCHEMA
+    assert header["flight"]["reason"] == "manual-test"
+    assert header["flight"]["spans"] == 2
+    stats = summarize(events)
+    assert stats["serving.score"].count == 1
+    assert stats["serving.ingest"].count == 1
+    snapshots = [e for e in events if e["type"] == "snapshot"]
+    # The parked snapshot plus the terminal one the dump grabs itself.
+    assert len(snapshots) == 2
+    assert snapshots[-1]["metrics"]["counters"]["serving.queries"] == 9
+
+
+def test_span_ring_is_bounded(tmp_path):
+    flight = _recorder(tmp_path, max_spans=4)
+    for i in range(100):
+        flight.record_span("s", float(i), float(i) + 0.5, thread=1)
+    path = flight.dump()
+    events = load_events(path)
+    starts = [e for e in events if e["type"] == "span_start"]
+    assert len(starts) == 4
+    assert [e["ts"] for e in starts] == [96.0, 97.0, 98.0, 99.0]
+
+
+def test_snapshot_ring_is_bounded(tmp_path):
+    flight = _recorder(tmp_path, max_snapshots=2)
+    for _ in range(5):
+        flight.snapshot()
+    path = flight.dump()
+    snapshots = [
+        e for e in load_events(path) if e["type"] == "snapshot"
+    ]
+    assert len(snapshots) == 2  # ring kept 2; the terminal grab evicted one
+
+
+def test_crash_event_carries_traceback(tmp_path):
+    flight = _recorder(tmp_path)
+    try:
+        raise RuntimeError("kaboom")
+    except RuntimeError as error:
+        path = flight.record_crash("serving-ingest", error)
+    events = load_events(path)
+    assert validate_trace(events) == []
+    crash = next(e for e in events if e["type"] == "crash")
+    assert crash["where"] == "serving-ingest"
+    assert "kaboom" in crash["error"]
+    assert "RuntimeError" in crash["traceback"]
+    assert events[0]["flight"]["reason"] == "crash:serving-ingest"
+
+
+def test_record_crash_without_dump_is_flushed_by_finalize(tmp_path):
+    flight = _recorder(tmp_path)
+    flight.record_crash("worker", RuntimeError("late"), dump=False)
+    assert flight.dumps == []
+    path = flight.finalize()
+    assert path is not None
+    assert load_events(path)[0]["flight"]["reason"] == "shutdown"
+    assert flight.finalize() is None  # nothing undumped left
+
+
+def test_repeat_dumps_get_distinct_paths(tmp_path):
+    flight = _recorder(tmp_path)
+    first = flight.dump()
+    second = flight.dump()
+    assert first != second
+    assert second == f"{first}.1"
+    assert flight.dumps == [first, second]
+
+
+def test_directory_path_gets_default_names(tmp_path):
+    flight = FlightRecorder(path=str(tmp_path), registry=MetricsRegistry())
+    first = flight.dump()
+    second = flight.dump()
+    assert first != second
+    assert first.startswith(str(tmp_path))
+    assert "repro-obs-flight-" in first
+
+
+def test_dump_is_atomic_no_tmp_left_behind(tmp_path):
+    flight = _recorder(tmp_path)
+    flight.dump()
+    leftovers = [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]
+    assert leftovers == []
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(max_spans=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(max_snapshots=0)
+
+
+def test_excepthooks_chain_and_uninstall(tmp_path):
+    flight = _recorder(tmp_path)
+    seen = []
+    previous = lambda *args: seen.append(args)  # noqa: E731
+    import sys
+
+    original = sys.excepthook
+    original_threading = threading.excepthook
+    sys.excepthook = previous
+    try:
+        flight.install_excepthooks()
+        flight.install_excepthooks()  # idempotent
+        assert sys.excepthook is not previous
+        assert threading.excepthook is not original_threading
+        flight.uninstall_excepthooks()
+        assert sys.excepthook is previous
+        assert threading.excepthook is original_threading
+    finally:
+        sys.excepthook = original
+
+
+# ---------------------------------------------------------------------------
+# Module-level facade
+
+
+def test_enable_flight_recorder_attaches_to_spans(tmp_path):
+    obs.configure("metrics")
+    target = str(tmp_path / "flight.jsonl")
+    flight = obs.enable_flight_recorder(path=target, install_hooks=False)
+    assert obs.get_flight_recorder() is flight
+    with obs.span("serving.score"):
+        pass
+    with obs.span("serving.ingest"):
+        pass
+    path = flight.dump()
+    stats = summarize(load_events(path))
+    assert "serving.score" in stats
+    assert "serving.ingest" in stats
+
+
+def test_enable_survives_reconfigure(tmp_path):
+    obs.configure("metrics")
+    flight = obs.enable_flight_recorder(
+        path=str(tmp_path / "f.jsonl"), install_hooks=False
+    )
+    obs.configure("metrics")  # new Recorder must re-attach the flight ring
+    with obs.span("after.reconfigure"):
+        pass
+    stats = summarize(load_events(flight.dump()))
+    assert "after.reconfigure" in stats
+
+
+def test_obs_record_crash_facade(tmp_path):
+    obs.configure("metrics")
+    flight = obs.enable_flight_recorder(
+        path=str(tmp_path / "f.jsonl"), install_hooks=False
+    )
+    path = obs.record_crash("adapt-refit", RuntimeError("x"))
+    assert path in flight.dumps
+    obs.disable_flight_recorder()
+    assert obs.get_flight_recorder() is None
+    assert obs.record_crash("nowhere") is None  # no-op without a recorder
+
+
+def test_flight_off_mode_records_nothing(tmp_path):
+    """Spans in off mode never reach the flight ring (NullRecorder)."""
+    flight = obs.enable_flight_recorder(
+        path=str(tmp_path / "f.jsonl"), install_hooks=False
+    )
+    with obs.span("invisible"):
+        pass
+    events = load_events(flight.dump())
+    assert [e for e in events if e["type"] == "span_start"] == []
+
+
+def test_env_configures_flight(tmp_path, monkeypatch):
+    import subprocess
+    import sys
+
+    target = tmp_path / "envflight"
+    code = (
+        "from repro import obs\n"
+        "flight = obs.get_flight_recorder()\n"
+        "assert flight is not None, 'env did not enable the recorder'\n"
+        "with obs.span('env.span'):\n"
+        "    pass\n"
+        "print(flight.dump())\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONPATH": "src",
+            "REPRO_OBS": "metrics",
+            "REPRO_OBS_FLIGHT": str(target),
+            "PATH": "/usr/bin:/bin",
+        },
+        cwd="/root/repo",
+    )
+    assert result.returncode == 0, result.stderr
+    dump_path = result.stdout.strip().splitlines()[-1]
+    events = load_events(dump_path)
+    assert validate_trace(events) == []
+    assert any(
+        e["type"] == "span_end" and e["name"] == "env.span" for e in events
+    )

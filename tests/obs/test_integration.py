@@ -209,6 +209,78 @@ def test_splash_fit_applies_execution_obs(dataset, tmp_path):
     assert snap["counters"]["replay.events{engine=batched}"] > 0
 
 
+def test_live_service_telemetry_plane(fitted, dataset, tmp_path):
+    """A served stream is scrapeable over HTTP mid-flight, flips to
+    unhealthy on an induced SLO breach, and leaves a validating flight
+    post-mortem behind."""
+    import json
+    import urllib.request
+
+    from repro.obs.slo import GaugeRule, LatencyRule, SloEngine
+
+    obs.configure("metrics")
+    flight = obs.enable_flight_recorder(
+        path=str(tmp_path / "flight.jsonl"), install_hooks=False
+    )
+    service = PredictionService.from_splash(
+        fitted,
+        num_nodes=dataset.ctdg.num_nodes,
+        edge_feature_dim=dataset.ctdg.edge_feature_dim,
+        task=dataset.task,
+    )
+    trap = LatencyRule("serving.score", 99.0, max_seconds=60.0, name="trap")
+    engine = SloEngine(
+        [trap, GaugeRule("serving.ingest.backlog", max_value=1e9)],
+        flight=flight,
+    )
+    server = service.start_telemetry(engine=engine)
+    try:
+        assert service.telemetry is server
+        assert service.health is engine
+        service.serve_stream(
+            dataset.ctdg,
+            dataset.queries.nodes,
+            dataset.queries.times,
+            ingest_batch=128,
+            background=False,
+        )
+        with urllib.request.urlopen(
+            f"{server.address}/metrics", timeout=5.0
+        ) as response:
+            text = response.read().decode()
+        assert f"serving_queries_total {len(dataset.queries)}" in text
+        assert (
+            f"serving_ingest_events_total {dataset.ctdg.num_edges}" in text
+        )
+        with urllib.request.urlopen(
+            f"{server.address}/healthz", timeout=5.0
+        ) as response:
+            verdict = json.loads(response.read().decode())
+        assert verdict["status"] == "ok"
+
+        # Induce a breach: tighten the bound to an impossible budget.
+        trap.max_seconds = 1e-9
+        engine.evaluate()
+        with urllib.request.urlopen(
+            f"{server.address}/healthz", timeout=5.0
+        ) as response:
+            verdict = json.loads(response.read().decode())
+        assert verdict["status"] == "degraded"
+        trap = next(r for r in verdict["rules"] if r["rule"] == "trap")
+        assert not trap["ok"]
+    finally:
+        service.stop_telemetry()
+        obs.disable_flight_recorder()
+    assert not server.running
+    # The ok → degraded transition dumped the flight recorder.
+    assert flight.dumps
+    events = load_events(flight.dumps[0])
+    assert validate_trace(events) == []
+    assert events[0]["flight"]["reason"] == "slo:trap"
+    stats = summarize(events)
+    assert "serving.score" in stats
+
+
 def test_sharded_replay_spans(dataset):
     from repro.models.context import build_context_bundle
 

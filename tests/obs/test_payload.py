@@ -1,0 +1,172 @@
+"""Cross-process metric pooling: payload round-trip and merge semantics.
+
+The wire contract is that ``to_payload() → json → merge_payload()`` into
+an empty registry reproduces the source registry exactly, and that merging
+a worker payload into a live parent equals the in-process
+``MetricsRegistry.merge``.  Hypothesis drives arbitrary instrument mixes
+through both paths and compares snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    PAYLOAD_SCHEMA,
+    PAYLOAD_VERSION,
+    MetricsRegistry,
+    log_bucket_bounds,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies: a registry is a bag of operations.
+
+_names = st.sampled_from(["events", "queries", "lat", "obs.span.seconds"])
+_label_sets = st.sampled_from(
+    [{}, {"layer": "serving"}, {"layer": "replay"}, {"span": "x", "shard": 0}]
+)
+_amounts = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_observations = st.floats(
+    min_value=1e-7, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+
+_counter_ops = st.tuples(st.just("counter"), _names, _label_sets, _amounts)
+_gauge_ops = st.tuples(st.just("gauge"), _names, _label_sets, _amounts)
+_hist_ops = st.tuples(st.just("histogram"), _names, _label_sets, _observations)
+_ops = st.lists(
+    st.one_of(_counter_ops, _gauge_ops, _hist_ops), min_size=0, max_size=40
+)
+
+
+def _apply(registry: MetricsRegistry, ops) -> None:
+    for kind, name, labels, value in ops:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(value)
+        else:
+            registry.histogram(name, **labels).observe(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_payload_roundtrip_reproduces_registry(ops):
+    source = MetricsRegistry()
+    _apply(source, ops)
+    wire = json.loads(json.dumps(source.to_payload()))
+    restored = MetricsRegistry()
+    restored.merge_payload(wire)
+    assert restored.snapshot() == source.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(parent_ops=_ops, worker_ops=_ops)
+def test_merge_payload_equals_in_process_merge(parent_ops, worker_ops):
+    """Shipping a worker registry over the wire must be indistinguishable
+    from merging the live object."""
+    worker = MetricsRegistry()
+    _apply(worker, worker_ops)
+
+    via_wire = MetricsRegistry()
+    _apply(via_wire, parent_ops)
+    via_wire.merge_payload(json.loads(json.dumps(worker.to_payload())))
+
+    in_process = MetricsRegistry()
+    _apply(in_process, parent_ops)
+    in_process.merge(worker)
+
+    assert via_wire.snapshot() == in_process.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops, proc=st.sampled_from(["shard0", "shard1", "refit"]))
+def test_extra_labels_namespace_every_series(ops, proc):
+    worker = MetricsRegistry()
+    _apply(worker, ops)
+    pooled = MetricsRegistry()
+    pooled.merge_payload(worker.to_payload(), extra_labels={"proc": proc})
+    for table in (pooled._counters, pooled._gauges, pooled._histograms):
+        for _, labels in table:
+            assert ("proc", proc) in labels
+
+
+# ---------------------------------------------------------------------------
+# Direct semantics.
+
+
+def test_counters_add_gauges_last_write_wins():
+    parent = MetricsRegistry()
+    parent.counter("events").inc(3)
+    parent.gauge("backlog").set(10.0)
+    worker = MetricsRegistry()
+    worker.counter("events").inc(4)
+    worker.gauge("backlog").set(2.0)
+    parent.merge_payload(worker.to_payload())
+    assert parent.counter("events").value == 7
+    assert parent.gauge("backlog").value == 2.0
+
+
+def test_histogram_merge_is_exact():
+    parent = MetricsRegistry()
+    worker = MetricsRegistry()
+    values = [1e-5, 3e-4, 0.002, 0.002, 0.5, 12.0]
+    for v in values[:3]:
+        parent.histogram("lat").observe(v)
+    for v in values[3:]:
+        worker.histogram("lat").observe(v)
+    reference = MetricsRegistry()
+    for v in values:
+        reference.histogram("lat").observe(v)
+    parent.merge_payload(worker.to_payload())
+    merged = parent.histogram("lat")
+    expected = reference.histogram("lat")
+    assert merged.bucket_counts == expected.bucket_counts
+    assert merged.count == expected.count
+    assert merged.sum == pytest.approx(expected.sum)
+    assert merged.percentile(99.0) == expected.percentile(99.0)
+
+
+def test_payload_carries_schema_and_pid():
+    payload = MetricsRegistry().to_payload()
+    assert payload["schema"] == PAYLOAD_SCHEMA
+    assert payload["version"] == PAYLOAD_VERSION
+    assert isinstance(payload["pid"], int)
+
+
+def test_merge_payload_rejects_wrong_schema():
+    registry = MetricsRegistry()
+    payload = MetricsRegistry().to_payload()
+    payload["schema"] = "someone.else"
+    with pytest.raises(ValueError, match="schema"):
+        registry.merge_payload(payload)
+
+
+def test_merge_payload_rejects_future_version():
+    registry = MetricsRegistry()
+    payload = MetricsRegistry().to_payload()
+    payload["version"] = PAYLOAD_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        registry.merge_payload(payload)
+
+
+def test_merge_payload_rejects_bounds_mismatch():
+    narrow = MetricsRegistry()
+    narrow.histogram("lat", bounds=log_bucket_bounds(1e-3, 1.0, 2)).observe(0.1)
+    wide = MetricsRegistry()
+    wide.histogram("lat").observe(0.1)
+    with pytest.raises(ValueError, match="bounds"):
+        narrow.merge_payload(wide.to_payload())
+
+
+def test_merge_empty_payload_is_noop():
+    registry = MetricsRegistry()
+    registry.counter("events").inc(5)
+    before = registry.snapshot()
+    registry.merge_payload(MetricsRegistry().to_payload())
+    assert registry.snapshot() == before

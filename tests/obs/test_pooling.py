@@ -1,0 +1,151 @@
+"""Sharded-replay metric pooling across real worker processes.
+
+A ``num_workers >= 2`` sharded collection must leave the parent registry
+holding every worker's counters and span histograms under ``proc=shardN``
+labels, with values exactly equal to the per-worker registries — which for
+the shard counters are known in closed form from the shard plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.datasets import email_eu_like
+from repro.models.context import build_context_bundle
+from repro.streams.replay import interleave_cuts, plan_shards
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.configure("off")
+    obs.reset_metrics()
+    yield
+    obs.configure("off")
+    obs.reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return email_eu_like(seed=3, num_edges=700)
+
+
+def _sharded_bundle(dataset, num_workers):
+    return build_context_bundle(
+        dataset.ctdg,
+        dataset.queries,
+        k=5,
+        processes=[],
+        engine="sharded",
+        num_workers=num_workers,
+        clamp_workers=False,
+    )
+
+
+def test_pooled_counters_equal_per_worker_registries(dataset):
+    """Each worker's registry, merged home, must read exactly the shard
+    sizes the plan handed it — per ``proc`` series, not just in total."""
+    obs.configure("metrics")
+    bundle = _sharded_bundle(dataset, num_workers=2)
+    assert bundle.num_queries == len(dataset.queries)
+
+    cuts, _, _ = interleave_cuts(dataset.ctdg.times, dataset.queries.times)
+    shards = plan_shards(cuts, dataset.ctdg.num_edges, 2)
+    assert len(shards) == 2
+
+    snap = obs.get_registry().snapshot()
+    counters = snap["counters"]
+    for index, (e_lo, e_hi, q_lo, q_hi) in enumerate(shards):
+        events = counters[f"replay.shard.events{{proc=shard{index}}}"]
+        queries = counters[f"replay.shard.queries{{proc=shard{index}}}"]
+        assert events == e_hi - e_lo
+        assert queries == q_hi - q_lo
+    pooled_events = sum(
+        v for k, v in counters.items() if k.startswith("replay.shard.events{")
+    )
+    pooled_queries = sum(
+        v for k, v in counters.items() if k.startswith("replay.shard.queries{")
+    )
+    assert pooled_events == dataset.ctdg.num_edges
+    assert pooled_queries == len(dataset.queries)
+
+
+def test_pooled_span_histograms_cover_every_shard(dataset):
+    obs.configure("metrics")
+    _sharded_bundle(dataset, num_workers=2)
+    snap = obs.get_registry().snapshot()
+    hists = snap["histograms"]
+    for index in range(2):
+        key = (
+            "obs.span.seconds"
+            f"{{proc=shard{index},span=replay.sharded.collect}}"
+        )
+        assert key in hists, sorted(hists)
+        assert hists[key]["count"] == 1
+    # Parent-side orchestration spans carry no proc label.
+    assert "obs.span.seconds{span=replay.sharded.merge}" in hists
+    assert "obs.span.seconds{span=replay.sharded.scatter}" in hists
+
+
+def test_pooled_totals_match_serial_run(dataset):
+    """The same workload collected serially (no pool) must account for the
+    identical event/query totals — pooling only adds the proc dimension."""
+    obs.configure("metrics")
+    _sharded_bundle(dataset, num_workers=0)
+    serial = obs.get_registry().snapshot()["counters"]
+    serial_events = sum(
+        v for k, v in serial.items() if k.startswith("replay.shard.events")
+    )
+    serial_queries = sum(
+        v for k, v in serial.items() if k.startswith("replay.shard.queries")
+    )
+
+    obs.reset_metrics()
+    _sharded_bundle(dataset, num_workers=2)
+    pooled = obs.get_registry().snapshot()["counters"]
+    pooled_events = sum(
+        v for k, v in pooled.items() if k.startswith("replay.shard.events")
+    )
+    pooled_queries = sum(
+        v for k, v in pooled.items() if k.startswith("replay.shard.queries")
+    )
+    assert pooled_events == serial_events == dataset.ctdg.num_edges
+    assert pooled_queries == serial_queries == len(dataset.queries)
+
+
+def test_pooled_bundle_matches_serial_bundle(dataset):
+    """Telemetry shipping must not perturb the replay itself."""
+    obs.configure("metrics")
+    pooled = _sharded_bundle(dataset, num_workers=2)
+    serial = _sharded_bundle(dataset, num_workers=0)
+    np.testing.assert_array_equal(pooled.neighbor_nodes, serial.neighbor_nodes)
+    np.testing.assert_array_equal(pooled.neighbor_times, serial.neighbor_times)
+
+
+def test_render_prometheus_exposes_proc_series(dataset):
+    obs.configure("metrics")
+    _sharded_bundle(dataset, num_workers=2)
+    text = obs.render_prometheus()
+    assert 'replay_shard_events_total{proc="shard0"}' in text
+    assert 'replay_shard_events_total{proc="shard1"}' in text
+    assert 'proc="shard0"' in text and 'span="replay.sharded.collect"' in text
+
+
+def test_serial_fallback_ships_no_payload(dataset):
+    """The in-process path must not label (or double-count) its own
+    registry: no proc series when no pool ran."""
+    obs.configure("metrics")
+    _sharded_bundle(dataset, num_workers=0)
+    counters = obs.get_registry().snapshot()["counters"]
+    assert not any("proc=" in key for key in counters)
+    assert counters["replay.shard.events"] == dataset.ctdg.num_edges
+
+
+def test_disabled_obs_ships_nothing(dataset):
+    """Workers run with telemetry off when the parent has it off."""
+    bundle = _sharded_bundle(dataset, num_workers=2)
+    assert bundle.num_queries == len(dataset.queries)
+    snap = obs.get_registry().snapshot()
+    assert snap["counters"] == {}
+    assert snap["histograms"] == {}

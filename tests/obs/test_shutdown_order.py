@@ -1,0 +1,191 @@
+"""Teardown ordering: the flight recorder flushes before telemetry dies.
+
+Each test runs a scripted subprocess because the contract under test is
+interpreter-exit behaviour: atexit ordering, unhandled-exception hooks,
+and the difference between a normal exit and ``os._exit``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.summarize import load_events, validate_trace
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _run(code: str, env_extra=None, expect_rc=0):
+    env = {
+        "PYTHONPATH": "src",
+        "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+    }
+    env.update(env_extra or {})
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=120,
+    )
+    if expect_rc is not None:
+        assert result.returncode == expect_rc, (
+            f"rc={result.returncode}\nstdout={result.stdout}\n"
+            f"stderr={result.stderr}"
+        )
+    return result
+
+
+def _flight_dumps(tmp_path):
+    return sorted(
+        p for p in tmp_path.iterdir() if p.name.startswith("repro-obs-flight")
+    )
+
+
+def test_unhandled_main_exception_dumps_flight(tmp_path):
+    code = (
+        "from repro import obs\n"
+        "with obs.span('doomed.work'):\n"
+        "    pass\n"
+        "raise RuntimeError('unhandled in main')\n"
+    )
+    _run(
+        code,
+        env_extra={
+            "REPRO_OBS": "metrics",
+            "REPRO_OBS_FLIGHT": str(tmp_path) + os.sep,
+        },
+        expect_rc=1,
+    )
+    dumps = _flight_dumps(tmp_path)
+    assert len(dumps) == 1
+    events = load_events(str(dumps[0]))
+    assert validate_trace(events) == []
+    assert events[0]["flight"]["reason"] == "crash:unhandled"
+    crash = next(e for e in events if e["type"] == "crash")
+    assert "unhandled in main" in crash["error"]
+    assert any(
+        e["type"] == "span_end" and e["name"] == "doomed.work" for e in events
+    )
+
+
+def test_unhandled_thread_exception_dumps_flight(tmp_path):
+    code = (
+        "import threading\n"
+        "import repro.obs  # installs the env-configured excepthooks\n"
+        "def boom():\n"
+        "    raise ValueError('worker died')\n"
+        "t = threading.Thread(target=boom, name='serving-ingest')\n"
+        "t.start()\n"
+        "t.join()\n"
+    )
+    _run(
+        code,
+        env_extra={
+            "REPRO_OBS": "metrics",
+            "REPRO_OBS_FLIGHT": str(tmp_path) + os.sep,
+        },
+        expect_rc=0,  # a dead worker thread does not kill the process
+    )
+    dumps = _flight_dumps(tmp_path)
+    assert len(dumps) == 1
+    events = load_events(str(dumps[0]))
+    assert validate_trace(events) == []
+    crash = next(e for e in events if e["type"] == "crash")
+    assert crash["where"] == "thread:serving-ingest"
+    assert "worker died" in crash["error"]
+
+
+def test_undumped_crash_flushes_at_normal_exit(tmp_path):
+    """record_crash(dump=False) relies on atexit: the fix under test is
+    that _shutdown finalises the flight recorder (and stops the HTTP
+    server) *before* tearing the recorder down."""
+    target = tmp_path / "flight.jsonl"
+    code = (
+        "from repro import obs\n"
+        "obs.configure('metrics')\n"
+        f"obs.enable_flight_recorder(path={str(target)!r})\n"
+        "obs.start_http_server(port=0)\n"
+        "with obs.span('quiet.failure'):\n"
+        "    pass\n"
+        "obs.record_crash('late-worker', RuntimeError('deferred'), dump=False)\n"
+    )
+    _run(code, expect_rc=0)
+    assert target.exists()
+    events = load_events(str(target))
+    assert validate_trace(events) == []
+    assert events[0]["flight"]["reason"] == "shutdown"
+    assert any(
+        e["type"] == "span_end" and e["name"] == "quiet.failure"
+        for e in events
+    )
+
+
+def test_shutdown_closes_trace_before_flight_is_lost(tmp_path):
+    """Trace mode + flight + HTTP all torn down at exit: the trace file
+    must still validate (writer closed last) and the flight dump must
+    exist (finalised first)."""
+    trace = tmp_path / "trace.jsonl"
+    flight = tmp_path / "flight.jsonl"
+    code = (
+        "from repro import obs\n"
+        f"obs.configure('trace', trace_path={str(trace)!r})\n"
+        f"obs.enable_flight_recorder(path={str(flight)!r})\n"
+        "obs.start_http_server(port=0)\n"
+        "with obs.span('traced.work'):\n"
+        "    pass\n"
+        "obs.record_crash('worker', RuntimeError('x'), dump=False)\n"
+    )
+    _run(code, expect_rc=0)
+    for path in (trace, flight):
+        assert path.exists(), path
+        assert validate_trace(load_events(str(path))) == []
+
+
+def test_os_exit_leaves_no_torn_dump(tmp_path):
+    """os._exit skips atexit: no dump should appear, and crucially no
+    half-written .tmp file either (dumps are written atomically)."""
+    code = (
+        "import os\n"
+        "from repro import obs\n"
+        "obs.record_crash('vanishing', RuntimeError('gone'), dump=False)\n"
+        "os._exit(0)\n"
+    )
+    _run(
+        code,
+        env_extra={
+            "REPRO_OBS": "metrics",
+            "REPRO_OBS_FLIGHT": str(tmp_path) + os.sep,
+        },
+        expect_rc=0,
+    )
+    assert _flight_dumps(tmp_path) == []
+    assert [p for p in tmp_path.iterdir() if ".tmp." in p.name] == []
+
+
+def test_keyboard_interrupt_does_not_dump(tmp_path):
+    """SystemExit/KeyboardInterrupt are not crashes."""
+    code = "import repro.obs\nraise KeyboardInterrupt\n"
+    result = _run(
+        code,
+        env_extra={
+            "REPRO_OBS": "metrics",
+            "REPRO_OBS_FLIGHT": str(tmp_path) + os.sep,
+        },
+        expect_rc=None,
+    )
+    assert result.returncode != 0
+    assert _flight_dumps(tmp_path) == []
+
+
+@pytest.mark.parametrize("value", ["0", "false", "off"])
+def test_flight_env_disable_values(tmp_path, value):
+    code = (
+        "from repro import obs\n"
+        "assert obs.get_flight_recorder() is None\n"
+    )
+    _run(code, env_extra={"REPRO_OBS_FLIGHT": value}, expect_rc=0)

@@ -1,0 +1,295 @@
+"""SLO rules and the burn-rate health engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BREACHES_METRIC,
+    HEALTH_GAUGE,
+    HEALTH_LEVELS,
+    CounterIncreaseRule,
+    GaugeRule,
+    LatencyRule,
+    SloEngine,
+    default_serving_rules,
+)
+from repro.obs.trace import SPAN_SECONDS_METRIC
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.configure("off")
+    obs.reset_metrics()
+    yield
+    obs.configure("off")
+    obs.reset_metrics()
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+class TestLatencyRule:
+    def test_passes_without_observations(self):
+        registry = MetricsRegistry()
+        result = LatencyRule("serving.score").evaluate(registry)
+        assert result.ok
+        assert result.value is None
+
+    def test_breaches_on_slow_percentile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(SPAN_SECONDS_METRIC, span="serving.score")
+        for _ in range(100):
+            hist.observe(0.001)
+        rule = LatencyRule("serving.score", 99.0, max_seconds=0.25)
+        assert rule.evaluate(registry).ok
+        hist.observe(5.0, count=50)  # now p99 >> 250 ms
+        result = rule.evaluate(registry)
+        assert not result.ok
+        assert result.value > 0.25
+
+    def test_pools_proc_labelled_series(self):
+        """Worker series merged under a proc label count toward the same
+        span budget as the parent's."""
+        registry = MetricsRegistry()
+        registry.histogram(
+            SPAN_SECONDS_METRIC, span="serving.score"
+        ).observe(0.001)
+        registry.histogram(
+            SPAN_SECONDS_METRIC, span="serving.score", proc="shard0"
+        ).observe(5.0, count=99)
+        result = LatencyRule("serving.score", 99.0, 0.25).evaluate(registry)
+        assert not result.ok
+        assert "100 obs" in result.detail
+
+    def test_ignores_other_spans(self):
+        registry = MetricsRegistry()
+        registry.histogram(SPAN_SECONDS_METRIC, span="other").observe(9.0)
+        assert LatencyRule("serving.score").evaluate(registry).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRule("x", percentile=101.0)
+        with pytest.raises(ValueError):
+            LatencyRule("x", max_seconds=0.0)
+
+
+class TestGaugeRule:
+    def test_passes_without_gauge(self):
+        assert GaugeRule("backlog", max_value=10.0).evaluate(
+            MetricsRegistry()
+        ).ok
+
+    def test_worst_offender_decides(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", proc="a").set(5.0)
+        registry.gauge("backlog", proc="b").set(50.0)
+        result = GaugeRule("backlog", max_value=10.0).evaluate(registry)
+        assert not result.ok
+        assert result.value == 50.0
+
+    def test_min_bound(self):
+        registry = MetricsRegistry()
+        registry.gauge("budget").set(0.1)
+        result = GaugeRule("budget", min_value=0.5).evaluate(registry)
+        assert not result.ok
+
+    def test_label_filter(self):
+        registry = MetricsRegistry()
+        registry.gauge("adapt.drift", facet="total").set(0.9)
+        registry.gauge("adapt.drift", facet="degree_js").set(0.1)
+        rule = GaugeRule(
+            "adapt.drift", max_value=0.75, labels={"facet": "degree_js"}
+        )
+        assert rule.evaluate(registry).ok
+
+    def test_needs_a_bound(self):
+        with pytest.raises(ValueError):
+            GaugeRule("x")
+
+
+class TestCounterIncreaseRule:
+    def test_first_look_is_baseline(self):
+        registry = MetricsRegistry()
+        registry.counter("adapt.refits", outcome="error").inc(7)
+        rule = CounterIncreaseRule("adapt.refits", labels={"outcome": "error"})
+        assert rule.evaluate(registry).ok  # pre-existing failures don't page
+        assert rule.evaluate(registry).ok  # no growth since
+        registry.counter("adapt.refits", outcome="error").inc()
+        result = rule.evaluate(registry)
+        assert not result.ok
+        assert result.value == 1.0
+
+    def test_label_filter_excludes_successes(self):
+        registry = MetricsRegistry()
+        rule = CounterIncreaseRule("adapt.refits", labels={"outcome": "error"})
+        rule.evaluate(registry)
+        registry.counter("adapt.refits", outcome="promoted").inc(5)
+        assert rule.evaluate(registry).ok
+
+
+def test_default_serving_rules_names_are_unique():
+    rules = default_serving_rules()
+    names = [r.name for r in rules]
+    assert len(set(names)) == len(names) == 5
+    assert "adapt.refit.failures" in names
+
+
+# ---------------------------------------------------------------------------
+# Engine
+
+
+def _breaching_gauge_engine(registry, **kwargs):
+    registry.gauge("backlog").set(100.0)
+    rule = GaugeRule("backlog", max_value=10.0)
+    return SloEngine([rule], registry=registry, **kwargs)
+
+
+def test_burn_rate_ok_degraded_failing():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("backlog")
+    gauge.set(1.0)
+    engine = SloEngine(
+        [GaugeRule("backlog", max_value=10.0)],
+        registry=registry,
+        burn_window=4,
+        failing_fraction=0.5,
+    )
+    assert engine.evaluate().status == "ok"
+    gauge.set(100.0)
+    assert engine.evaluate().status == "degraded"  # 1 breach of 2 needed
+    assert engine.evaluate().status == "failing"  # 2 of last 4
+    gauge.set(1.0)
+    assert engine.evaluate().status == "ok"  # latest eval passed
+
+
+def test_breaches_counter_and_health_gauge():
+    registry = MetricsRegistry()
+    engine = _breaching_gauge_engine(registry, burn_window=6)
+    engine.evaluate()
+    engine.evaluate()
+    breaches = registry.counter(BREACHES_METRIC, rule="backlog")
+    assert breaches.value == 2
+    assert registry.gauge(HEALTH_GAUGE).value == HEALTH_LEVELS["degraded"]
+
+
+def test_broken_rule_counts_as_breach():
+    class Exploding(GaugeRule):
+        def evaluate(self, registry):
+            raise RuntimeError("boom")
+
+    registry = MetricsRegistry()
+    engine = SloEngine(
+        [Exploding("x", max_value=1.0, name="exploding")], registry=registry
+    )
+    verdict = engine.evaluate()
+    assert verdict.status != "ok"
+    assert "rule error" in verdict.rules[0].detail
+
+
+def test_on_breach_fires_once_per_excursion():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("backlog")
+    gauge.set(100.0)
+    calls = []
+    engine = SloEngine(
+        [GaugeRule("backlog", max_value=10.0)],
+        registry=registry,
+        on_breach=calls.append,
+    )
+    engine.evaluate()
+    engine.evaluate()
+    assert len(calls) == 1  # only the ok → non-ok transition notifies
+    gauge.set(1.0)
+    engine.evaluate()
+    gauge.set(100.0)
+    engine.evaluate()
+    assert len(calls) == 2  # recovered, breached again
+
+
+def test_breach_dumps_flight_recorder(tmp_path):
+    from repro.obs.flight import FlightRecorder
+
+    registry = MetricsRegistry()
+    flight = FlightRecorder(path=str(tmp_path / "flight.jsonl"))
+    engine = _breaching_gauge_engine(registry, flight=flight)
+    engine.evaluate()
+    assert len(flight.dumps) == 1
+    content = (tmp_path / "flight.jsonl").read_text()
+    assert "slo:backlog" in content
+
+
+def test_verdict_lazily_evaluates_once():
+    registry = MetricsRegistry()
+    registry.gauge("backlog").set(1.0)
+    engine = SloEngine(
+        [GaugeRule("backlog", max_value=10.0)], registry=registry
+    )
+    verdict = engine.verdict()
+    assert verdict.evaluations == 1
+    assert engine.verdict().evaluations == 1  # cached, not re-run
+    as_dict = verdict.as_dict()
+    assert as_dict["status"] == "ok"
+    assert as_dict["rules"][0]["rule"] == "backlog"
+
+
+def test_promotion_gate_tracks_health():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("backlog")
+    gauge.set(1.0)
+    engine = SloEngine(
+        [GaugeRule("backlog", max_value=10.0)],
+        registry=registry,
+        burn_window=4,
+        failing_fraction=0.5,
+    )
+    gate = engine.promotion_gate()
+    strict = engine.promotion_gate(allow_degraded=False)
+    engine.evaluate()
+    assert gate() and strict()
+    gauge.set(100.0)
+    engine.evaluate()  # 1 breach of the 2 needed → degraded
+    assert gate()  # lenient gate tolerates degraded
+    assert not strict()
+    engine.evaluate()  # 2 of last 4 → failing
+    assert not gate()
+    assert not strict()
+
+
+def test_ticker_evaluates_in_background():
+    import time
+
+    registry = MetricsRegistry()
+    registry.gauge("backlog").set(1.0)
+    engine = SloEngine(
+        [GaugeRule("backlog", max_value=10.0)],
+        registry=registry,
+        interval=0.02,
+    )
+    engine.start()
+    try:
+        deadline = time.monotonic() + 2.0
+        while engine.verdict().evaluations < 3:
+            assert time.monotonic() < deadline, "ticker never evaluated"
+            time.sleep(0.02)
+    finally:
+        engine.stop()
+    assert engine.verdict().status == "ok"
+
+
+def test_engine_validation():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="at least one rule"):
+        SloEngine([], registry=registry)
+    with pytest.raises(ValueError, match="duplicate"):
+        SloEngine(
+            [GaugeRule("a", max_value=1.0), GaugeRule("a", max_value=2.0)],
+            registry=registry,
+        )
+    with pytest.raises(ValueError, match="interval"):
+        SloEngine(
+            [GaugeRule("a", max_value=1.0)], registry=registry, interval=0.0
+        )

@@ -1,0 +1,221 @@
+"""Summarise rotated trace segments: path expansion, merge order, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.summarize import (
+    expand_paths,
+    load_merged,
+    main,
+    render_json,
+    summarize,
+    validate_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.configure("off")
+    obs.reset_metrics()
+    yield
+    obs.configure("off")
+    obs.reset_metrics()
+
+
+def _write_segment(path, t0, spans, header_time):
+    """One physical segment: header + closed spans at increasing ts."""
+    lines = [
+        {
+            "type": "header",
+            "schema": "repro.obs.trace",
+            "version": 1,
+            "pid": 1,
+            "unix_time": header_time,
+        }
+    ]
+    for offset, (span_id, name) in enumerate(spans):
+        start = t0 + offset
+        lines.append(
+            {
+                "type": "span_start",
+                "span": span_id,
+                "name": name,
+                "ts": start,
+                "thread": 1,
+            }
+        )
+        lines.append(
+            {
+                "type": "span_end",
+                "span": span_id,
+                "name": name,
+                "ts": start + 0.5,
+                "dur": 0.5,
+                "thread": 1,
+            }
+        )
+    path.write_text(
+        "".join(json.dumps(line) + "\n" for line in lines), encoding="utf-8"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def rotated_trace(tmp_path):
+    """A logical trace rotated once: `.1` is the *older* segment."""
+    old = _write_segment(
+        tmp_path / "trace.jsonl.1",
+        t0=0.0,
+        spans=[(1, "ingest"), (2, "ingest")],
+        header_time=100.0,
+    )
+    fresh = _write_segment(
+        tmp_path / "trace.jsonl",
+        t0=10.0,
+        spans=[(3, "score")],
+        header_time=200.0,
+    )
+    return tmp_path, old, fresh
+
+
+def test_expand_paths_directory(rotated_trace):
+    directory, old, fresh = rotated_trace
+    assert expand_paths([str(directory)]) == sorted([old, fresh])
+
+
+def test_expand_paths_glob(rotated_trace):
+    directory, old, fresh = rotated_trace
+    assert expand_paths([str(directory / "trace.jsonl*")]) == sorted(
+        [old, fresh]
+    )
+
+
+def test_expand_paths_literal_and_empty_dir(tmp_path):
+    assert expand_paths(["missing.jsonl"]) == ["missing.jsonl"]
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert expand_paths([str(empty)]) == [str(empty)]
+
+
+def test_load_merged_orders_by_header_time(rotated_trace):
+    directory, old, fresh = rotated_trace
+    # Listed fresh-first on purpose: header time must decide, not argv order.
+    events, errors = load_merged([fresh, old])
+    assert errors == []
+    assert events[0]["type"] == "header"
+    assert events[0]["unix_time"] == 100.0  # the older segment's header
+    assert sum(1 for e in events if e["type"] == "header") == 1
+    assert validate_trace(events) == []
+    stats = summarize(events)
+    assert stats["ingest"].count == 2
+    assert stats["score"].count == 1
+
+
+def test_load_merged_reports_per_file_header_errors(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span_start"}\n', encoding="utf-8")
+    events, errors = load_merged([str(bad)])
+    assert len(errors) == 1
+    assert errors[0].startswith(str(bad))
+    assert "not a header" in errors[0]
+
+
+def test_render_json_shape(rotated_trace):
+    directory, old, fresh = rotated_trace
+    events, errors = load_merged([old, fresh])
+    doc = json.loads(
+        render_json(summarize(events), events=events, errors=errors,
+                    files=[old, fresh])
+    )
+    assert doc["schema"] == "repro.obs.summary"
+    assert doc["version"] == 1
+    assert doc["valid"] is True
+    assert doc["files"] == [old, fresh]
+    assert doc["events"] == len(events)
+    by_span = {row["span"]: row for row in doc["spans"]}
+    assert by_span["ingest"]["count"] == 2
+    assert by_span["ingest"]["total_s"] == pytest.approx(1.0)
+    assert by_span["score"]["mean_ms"] == pytest.approx(500.0)
+
+
+def test_render_json_carries_crashes(tmp_path):
+    from repro.obs.flight import FlightRecorder
+
+    flight = FlightRecorder(path=str(tmp_path / "f.jsonl"))
+    path = flight.record_crash("worker", RuntimeError("boom"))
+    events, errors = load_merged([path])
+    doc = json.loads(render_json(summarize(events), events=events))
+    assert doc["crashes"][0]["where"] == "worker"
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_main_validate_directory(rotated_trace, capsys):
+    directory, _, _ = rotated_trace
+    assert main([str(directory), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "OK (2 file(s)" in out
+    assert "3 closed spans" in out
+    assert "ingest" in out  # table follows the verdict
+
+
+def test_main_json_format(rotated_trace, capsys):
+    directory, _, _ = rotated_trace
+    assert main([str(directory), "--format", "json", "--validate"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["valid"] is True
+    assert len(doc["files"]) == 2
+
+
+def test_main_rejects_invalid_segment(rotated_trace, capsys):
+    directory, old, fresh = rotated_trace
+    orphan = {
+        "type": "span_start",
+        "span": 99,
+        "name": "never.closed",
+        "ts": 50.0,
+        "thread": 1,
+    }
+    with open(fresh, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(orphan) + "\n")
+    assert main([str(directory), "--validate"]) == 1
+    out = capsys.readouterr().out
+    assert "INVALID" in out
+    assert "never closed" in out
+
+
+def test_main_missing_file_is_an_error(capsys):
+    assert main(["does-not-exist.jsonl"]) == 1
+    assert "ERROR" in capsys.readouterr().err
+
+
+def test_main_empty_directory_is_an_error(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty), "--validate"]) == 1
+    assert "no .jsonl segments" in capsys.readouterr().err
+
+
+def test_main_real_rotated_trace_roundtrip(tmp_path, capsys):
+    """End to end: a real rotating TraceWriter → directory summarise."""
+    trace = tmp_path / "live" / "trace.jsonl"
+    trace.parent.mkdir()
+    obs.configure("trace", trace_path=str(trace), rotate_bytes=4096)
+    for i in range(200):
+        with obs.span("work", i=i):
+            pass
+    obs.flush()
+    obs.configure("off")
+    segments = expand_paths([str(trace.parent)])
+    assert len(segments) > 1, "rotation never happened; shrink rotate_bytes"
+    assert main([str(trace.parent), "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert f"OK ({len(segments)} file(s)" in out
+    events, _ = load_merged(segments)
+    assert summarize(events)["work"].count == 200
