@@ -51,6 +51,7 @@ from repro.serving import (
     EventLog,
     IncrementalContextStore,
     PredictionService,
+    ServingConfig,
     load_artifact,
 )
 from repro.serving.persistence import SEGMENTS_DIR
@@ -155,8 +156,10 @@ def run_one_size(num_edges: int, tail: int, workdir: str) -> dict:
         splash,
         num_nodes=NUM_NODES,
         edge_feature_dim=EDGE_FEATURE_DIM,
-        persist_path=root,
-        snapshot_every=2**60,  # snapshot placement is explicit below
+        config=ServingConfig(
+            persist_path=root,
+            snapshot_every=2**60,  # snapshot placement is explicit below
+        ),
     )
     cut = num_edges - tail
     ingest_seconds = ingest_journaled(

@@ -21,7 +21,8 @@ Public API
 The blessed entry points are re-exported here (and pinned by
 ``tests/test_public_api.py``): the pipeline front door (:class:`Splash`,
 :class:`SplashConfig`, :class:`ExecutionConfig`, :func:`prepare_experiment`),
-the serving front door (:class:`PredictionService`), and the array-backend
+the serving front door (:func:`serve` + :class:`ServingConfig`, plus
+:class:`PredictionService` for direct use), and the array-backend
 registry (``available_backends`` / ``get_backend`` / ``register_backend`` /
 ``set_default_backend`` / ``use_backend``).  Everything else is reachable
 through the subpackages but carries no stability promise.
@@ -48,7 +49,7 @@ from repro.pipeline import (
     SplashConfig,
     prepare_experiment,
 )
-from repro.serving import PredictionService
+from repro.serving import PredictionService, ServingConfig, serve
 
 __version__ = "1.0.0"
 
@@ -61,6 +62,8 @@ __all__ = [
     "prepare_experiment",
     # serving front door
     "PredictionService",
+    "ServingConfig",
+    "serve",
     # array-backend registry
     "available_backends",
     "get_backend",

@@ -55,6 +55,7 @@ from repro.adapt.scheduler import (
     TriggerPolicy,
 )
 from repro.pipeline.splash import Splash, SplashConfig, fit_window
+from repro.serving.config import ServingConfig
 from repro.serving.service import PredictionService
 from repro.serving.store import IncrementalContextStore
 from repro.streams.ctdg import CTDG
@@ -185,16 +186,15 @@ class AdaptiveService:
 
         self.task_factory = task_factory
 
-        kwargs = {}
-        if micro_batch_size is not None:
-            kwargs["micro_batch_size"] = micro_batch_size
         self.service = PredictionService.from_splash(
             splash,
             num_nodes,
             edge_feature_dim,
-            persist_path=persist_path,
-            snapshot_every=snapshot_every,
-            **kwargs,
+            config=ServingConfig(
+                micro_batch_size=micro_batch_size,
+                persist_path=persist_path,
+                snapshot_every=snapshot_every,
+            ),
         )
         self.monitor = DriftMonitor(
             window_edges=self.config.window_edges,

@@ -73,6 +73,7 @@ from repro.streams.ctdg import CTDG
 from repro.streams.degrees import DegreeTracker
 from repro.streams.neighbors import NeighborEntry, RecentNeighborBuffer
 from repro.streams.replay import (
+    endpoint_shard,
     interleave_cuts,
     plan_shards,
     plan_update_blocks,
@@ -269,7 +270,13 @@ class ReplayState:
     bit-for-bit identical context because both execute exactly this code.
     """
 
-    def __init__(self, k: int, stores: Dict[str, OnlineFeatureStore]) -> None:
+    def __init__(
+        self,
+        k: int,
+        stores: Dict[str, OnlineFeatureStore],
+        owner: Optional[Tuple[int, int]] = None,
+        owner_mask: Optional[np.ndarray] = None,
+    ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         self.k = k
@@ -277,6 +284,48 @@ class ReplayState:
         self.store_names = sorted(stores)
         self.buffer = RecentNeighborBuffer(k)
         self.degrees = DegreeTracker()
+        # Fleet sharding (repro.serving.fleet): with an owner spec, the
+        # *global* state — degrees and feature-store propagation, which any
+        # node's context may transitively depend on — still advances past
+        # every edge, but the per-endpoint context assembly (snapshot
+        # copies + k-recent buffer inserts, the dominant ingest cost) runs
+        # only for endpoints this shard owns.  Owned nodes' contexts stay
+        # bit-for-bit what an unpartitioned replay produces; non-owned
+        # nodes simply have no buffer here.
+        self.owner = owner
+        self._owner_mask = owner_mask
+
+    # ------------------------------------------------------------------
+    def owns(self, node: int) -> bool:
+        """Whether this state assembles context for ``node`` (always true
+        without an owner spec)."""
+        if self.owner is None:
+            return True
+        mask = self._owner_mask
+        if mask is not None and 0 <= node < len(mask):
+            return bool(mask[node])
+        return endpoint_shard(node, self.owner[1]) == self.owner[0]
+
+    def _owns_array(self, nodes: np.ndarray) -> Optional[np.ndarray]:
+        """Vectorised :meth:`owns` (None means "owns everything")."""
+        if self.owner is None:
+            return None
+        mask = self._owner_mask
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if mask is not None:
+            in_range = (nodes >= 0) & (nodes < len(mask))
+            if in_range.all():
+                return mask[nodes]
+            out = np.empty(len(nodes), dtype=bool)
+            out[in_range] = mask[nodes[in_range]]
+        else:
+            in_range = np.zeros(len(nodes), dtype=bool)
+            out = np.empty(len(nodes), dtype=bool)
+        overflow = ~in_range
+        out[overflow] = (
+            endpoint_shard(nodes[overflow], self.owner[1]) == self.owner[0]
+        )
+        return out
 
     # ------------------------------------------------------------------
     def apply_edge(self, index, src, dst, time, feature, weight) -> None:
@@ -286,38 +335,45 @@ class ReplayState:
         self.degrees.observe_edge(src, dst)
         for name in self.store_names:
             self.stores[name].on_edge(index, src, dst, time, feature, weight)
-        src_snap = tuple(
-            self.stores[name].feature_of(src).copy() for name in self.store_names
-        )
-        dst_snap = tuple(
-            self.stores[name].feature_of(dst).copy() for name in self.store_names
-        )
-        src_degree = self.degrees.degree(src)
-        dst_degree = self.degrees.degree(dst)
-        self.buffer.insert(
-            src,
-            NeighborEntry(
-                neighbor=dst,
-                time=time,
-                edge_index=index,
-                weight=weight,
-                feature=feature,
-                neighbor_degree=dst_degree,
-                snapshot_features=dst_snap,
-            ),
-        )
-        self.buffer.insert(
-            dst,
-            NeighborEntry(
-                neighbor=src,
-                time=time,
-                edge_index=index,
-                weight=weight,
-                feature=feature,
-                neighbor_degree=src_degree,
-                snapshot_features=src_snap,
-            ),
-        )
+        # The entry buffered for an endpoint snapshots the *other*
+        # endpoint's state, so each snapshot is needed exactly when the
+        # node it will be buffered under is owned.
+        own_src = self.owner is None or self.owns(src)
+        own_dst = self.owner is None or self.owns(dst)
+        if own_src:
+            dst_snap = tuple(
+                self.stores[name].feature_of(dst).copy()
+                for name in self.store_names
+            )
+            self.buffer.insert(
+                src,
+                NeighborEntry(
+                    neighbor=dst,
+                    time=time,
+                    edge_index=index,
+                    weight=weight,
+                    feature=feature,
+                    neighbor_degree=self.degrees.degree(dst),
+                    snapshot_features=dst_snap,
+                ),
+            )
+        if own_dst:
+            src_snap = tuple(
+                self.stores[name].feature_of(src).copy()
+                for name in self.store_names
+            )
+            self.buffer.insert(
+                dst,
+                NeighborEntry(
+                    neighbor=src,
+                    time=time,
+                    edge_index=index,
+                    weight=weight,
+                    feature=feature,
+                    neighbor_degree=self.degrees.degree(src),
+                    snapshot_features=src_snap,
+                ),
+            )
 
     def apply_edge_block(
         self,
@@ -349,41 +405,52 @@ class ReplayState:
         both = np.concatenate([src, dst])
         snaps = [self.stores[name].features_of(both) for name in self.store_names]
         both_deg = self.degrees.degrees_of(both)
+        own_src = self._owns_array(src)
+        own_dst = self._owns_array(dst)
         insert = self.buffer.insert
-        for offset in range(count):
+        if own_src is None:
+            active = range(count)
+        else:
+            # An offset with no owned endpoint buffers nothing here; skip
+            # its loop iteration entirely so a shard's per-event cost
+            # tracks its owned share of the stream, not the full stream.
+            active = np.nonzero(own_src | own_dst)[0]
+        for offset in active:
             feature = features[offset] if features is not None else None
             s, d = int(src[offset]), int(dst[offset])
             time = float(times[offset])
             weight = float(weights[offset])
             index = int(indices[offset])
-            insert(
-                s,
-                NeighborEntry(
-                    neighbor=d,
-                    time=time,
-                    edge_index=index,
-                    weight=weight,
-                    feature=feature,
-                    neighbor_degree=int(both_deg[count + offset]),
-                    # Copy: a view would pin the whole per-run gather
-                    # matrix for as long as this entry stays buffered.
-                    snapshot_features=tuple(
-                        snap[count + offset].copy() for snap in snaps
+            if own_src is None or own_src[offset]:
+                insert(
+                    s,
+                    NeighborEntry(
+                        neighbor=d,
+                        time=time,
+                        edge_index=index,
+                        weight=weight,
+                        feature=feature,
+                        neighbor_degree=int(both_deg[count + offset]),
+                        # Copy: a view would pin the whole per-run gather
+                        # matrix for as long as this entry stays buffered.
+                        snapshot_features=tuple(
+                            snap[count + offset].copy() for snap in snaps
+                        ),
                     ),
-                ),
-            )
-            insert(
-                d,
-                NeighborEntry(
-                    neighbor=s,
-                    time=time,
-                    edge_index=index,
-                    weight=weight,
-                    feature=feature,
-                    neighbor_degree=int(both_deg[offset]),
-                    snapshot_features=tuple(snap[offset].copy() for snap in snaps),
-                ),
-            )
+                )
+            if own_dst is None or own_dst[offset]:
+                insert(
+                    d,
+                    NeighborEntry(
+                        neighbor=s,
+                        time=time,
+                        edge_index=index,
+                        weight=weight,
+                        feature=feature,
+                        neighbor_degree=int(both_deg[offset]),
+                        snapshot_features=tuple(snap[offset].copy() for snap in snaps),
+                    ),
+                )
 
     def write_query(
         self,
@@ -394,6 +461,11 @@ class ReplayState:
         seen_mask: Optional[np.ndarray],
     ) -> None:
         """Materialise one query's context into row ``row`` of ``out``."""
+        if self.owner is not None and not self.owns(node):
+            raise ValueError(
+                f"node {node} is not owned by shard {self.owner[0]} of "
+                f"{self.owner[1]}; route the query to its owner shard"
+            )
         entries = self.buffer.neighbors(node)
         out.target_degrees[row] = self.degrees.degree(node)
         out.target_last_times[row] = entries[-1].time if entries else time

@@ -26,6 +26,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PooledRegistryView",
     "DEFAULT_LATENCY_BOUNDS",
     "PAYLOAD_SCHEMA",
     "PAYLOAD_VERSION",
@@ -476,6 +477,69 @@ class MetricsRegistry:
             lines.append(f"{metric}_sum{_prom_labels(h.labels)} {_prom_value(h.sum)}")
             lines.append(f"{metric}_count{_prom_labels(h.labels)} {h.count}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+class PooledRegistryView:
+    """Registry-shaped façade pooling live worker payloads at read time.
+
+    The cross-process wire format (:meth:`MetricsRegistry.to_payload` /
+    :meth:`MetricsRegistry.merge_payload`) pools *final* worker registries
+    — a worker ships its payload once, on exit.  A serving fleet needs the
+    inverse: workers stay alive indefinitely and the router's ``/metrics``
+    must show their *current* state on every scrape.  This view closes
+    that gap without inventing a push channel: it holds the router's own
+    ``base`` registry plus a ``collect`` callable returning
+    ``[(payload, extra_labels), ...]`` — typically one
+    ``registry.to_payload()`` fetched over each worker's control pipe —
+    and materialises a fresh merged registry per read.  Because payload
+    merging is exactly associative, every read equals the one registry a
+    single-process deployment would have, with per-worker series kept
+    distinguishable by ``extra_labels`` (e.g. ``{"proc": "shard0"}``).
+
+    Implements the registry surface the exposition layer consumes
+    (:class:`repro.obs.http.TelemetryServer` and the SLO engine's
+    instrument pooling): ``render_prometheus`` / ``instruments`` /
+    ``snapshot``.  Reads are O(instruments); mutation goes to the real
+    registries, never through this view.
+    """
+
+    def __init__(self, base: Optional[MetricsRegistry], collect) -> None:
+        self._base = base if base is not None else MetricsRegistry()
+        self._collect = collect
+
+    # Mutators pass through to the local base registry (the SLO engine
+    # records its health gauge and breach counters into whatever registry
+    # it evaluates) — worker-side series stay read-only by construction.
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._base.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._base.gauge(name, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        return self._base.histogram(name, bounds, **labels)
+
+    def materialise(self) -> MetricsRegistry:
+        """One merged point-in-time registry (base + every live payload)."""
+        merged = MetricsRegistry()
+        merged.merge(self._base)
+        for payload, extra_labels in self._collect():
+            merged.merge_payload(payload, extra_labels=extra_labels)
+        return merged
+
+    def render_prometheus(self) -> str:
+        return self.materialise().render_prometheus()
+
+    def instruments(self, kind: str, name: str, **labels: object) -> List:
+        return self.materialise().instruments(kind, name, **labels)
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.materialise().snapshot()
 
 
 def _instrument_id(name: str, labels: LabelItems) -> str:

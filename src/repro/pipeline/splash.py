@@ -478,6 +478,23 @@ class Splash:
 
         return save_artifact(self, path)
 
+    def serve(self, config=None, *, num_nodes: int, edge_feature_dim=None, task=None):
+        """Serve this fitted pipeline — see :func:`repro.serving.serve`.
+
+        ``config`` is a :class:`repro.serving.ServingConfig`;
+        ``num_shards`` there selects between one in-process service and a
+        sharded fleet, behind the same client protocol.
+        """
+        from repro.serving import serve
+
+        return serve(
+            self,
+            config,
+            num_nodes=num_nodes,
+            edge_feature_dim=edge_feature_dim,
+            task=task,
+        )
+
     @classmethod
     def load(cls, path: str) -> "Splash":
         """Reconstruct a pipeline saved with :meth:`save`.

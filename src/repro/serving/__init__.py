@@ -31,6 +31,13 @@ and ``PredictionService.hot_swap(model, store=...)``.
 """
 
 from repro.serving.artifact import load_artifact, save_artifact
+from repro.serving.config import ServingConfig
+from repro.serving.fleet import (
+    FleetRouter,
+    FleetWorkerError,
+    ServingClient,
+    serve,
+)
 from repro.serving.persistence import (
     EventLog,
     PersistenceManager,
@@ -45,6 +52,11 @@ from repro.serving.service import PredictionService, ServiceMetrics
 from repro.serving.store import IncrementalContextStore, incremental_context_bundle
 
 __all__ = [
+    "ServingConfig",
+    "serve",
+    "ServingClient",
+    "FleetRouter",
+    "FleetWorkerError",
     "IncrementalContextStore",
     "incremental_context_bundle",
     "PredictionService",

@@ -743,12 +743,14 @@ class PersistenceManager:
             segment_events=manifest.get("segment_events", DEFAULT_SEGMENT_EVENTS),
             verify=verify,
         )
+        owner = store_cfg.get("owner")
         store = IncrementalContextStore(
             splash.processes,
             store_cfg["k"],
             store_cfg["num_nodes"],
             store_cfg["edge_feature_dim"],
             propagation=store_cfg.get("propagation", "blocked"),
+            owner=tuple(owner) if owner is not None else None,
         )
         base_offset = int(manifest.get("base_offset", 0))
         usable: List[str] = []
@@ -915,6 +917,14 @@ class PersistenceManager:
                 "num_nodes": int(self.store.num_nodes),
                 "edge_feature_dim": int(self.store.edge_feature_dim),
                 "propagation": self.store.propagation,
+                # Fleet shard stores record their (shard_index, num_shards)
+                # so resume rebuilds the same ownership partition — a
+                # snapshot of one shard must never warm-start another.
+                "owner": (
+                    list(self.store.owner)
+                    if self.store.owner is not None
+                    else None
+                ),
             },
             "base_offset": self._base_offset,
             "segment_events": self._log.segment_events,

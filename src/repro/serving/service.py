@@ -32,6 +32,7 @@ import contextlib
 import queue as queue_mod
 import threading
 import time as time_mod
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
@@ -44,6 +45,7 @@ from repro.models.context import ContextBundle
 from repro.nn.backend import active_backend, use_backend
 from repro.obs.metrics import Histogram
 from repro.nn.tensor import default_dtype, get_default_dtype
+from repro.serving.config import ServingConfig, resolve_serving_config
 from repro.serving.persistence import PersistenceManager
 from repro.serving.store import IncrementalContextStore
 from repro.streams.ctdg import CTDG
@@ -324,15 +326,30 @@ class PredictionService:
         self._persistence = manager
 
     # ------------------------------------------------------------------
+    def _apply_config(self, config: ServingConfig) -> None:
+        """Wire the deployment knobs of a resolved config into this service."""
+        if config.drift_monitor is not None:
+            self.store.attach_monitor(config.drift_monitor)
+        if config.telemetry_port is not None:
+            self.start_telemetry(
+                config.telemetry_port,
+                host=config.telemetry_host,
+                rules=config.slo_rules,
+                slo_interval=config.slo_interval,
+            )
+
     @classmethod
     def from_splash(
         cls,
         splash,
         num_nodes: int,
         edge_feature_dim: Optional[int] = None,
-        persist_path: Optional[str] = None,
-        snapshot_every: Optional[int] = None,
-        **kwargs,
+        config: Optional[ServingConfig] = None,
+        *,
+        task: Optional[Task] = None,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        owner: Optional[tuple] = None,
+        **deprecated_kwargs,
     ) -> "PredictionService":
         """Service around a fitted (or loaded) :class:`~repro.pipeline.Splash`.
 
@@ -341,11 +358,37 @@ class PredictionService:
         training precision.  ``edge_feature_dim`` defaults to what the
         model trained on (artifacts record it).
 
-        ``persist_path`` initialises durable serving state there (artifact
-        copy, segment log journalling every ingested edge, periodic
-        snapshots every ``snapshot_every`` edges); restart later with
-        :meth:`resume`, which replays only the post-snapshot tail.
+        Deployment knobs live in ``config`` (:class:`ServingConfig`):
+        persistence root + snapshot cadence (restart later with
+        :meth:`resume`, which replays only the post-snapshot tail),
+        micro-batch size, dtype/backend overrides, telemetry exposition,
+        and drift-monitor attachment.  ``config.num_shards`` ≥ 2 is a
+        *fleet* spec — use :func:`repro.serving.serve` for that; this
+        constructor always builds one in-process service.  The pre-config
+        flat keywords (``persist_path=``, ``snapshot_every=``,
+        ``micro_batch_size=``, ``dtype=``, ``backend=``) still work but
+        are deprecated (one warning each); unknown keywords raise.
+
+        ``owner`` is the fleet-internal ``(shard_index, num_shards)``
+        store-partitioning spec (:mod:`repro.serving.fleet` passes it for
+        its workers); it does not change this service's API.
         """
+        config = resolve_serving_config(
+            config, deprecated_kwargs, where="from_splash"
+        )
+        if config.snapshot_every is not None and config.persist_path is None:
+            warnings.warn(
+                "snapshot_every has no effect without persist_path; "
+                "snapshots are cut into the persistence root",
+                UserWarning,
+                stacklevel=2,
+            )
+        if config.num_shards >= 2 and owner is None:
+            raise ValueError(
+                f"config.num_shards={config.num_shards} requests a serving "
+                "fleet; build it with repro.serving.serve(splash, config) — "
+                "from_splash constructs a single in-process service"
+            )
         if splash.model is None or not splash.processes:
             raise RuntimeError(
                 "Splash has no trained model/processes; fit() or load() first"
@@ -358,19 +401,29 @@ class PredictionService:
             num_nodes,
             edge_feature_dim,
             propagation=splash.config.execution.propagation,
+            owner=owner,
         )
-        kwargs.setdefault("dtype", splash.fit_dtype)
-        kwargs.setdefault("backend", splash.fit_backend)
-        service = cls(splash.model, store, **kwargs)
-        if persist_path is not None:
+        service = cls(
+            splash.model,
+            store,
+            task=task,
+            scores_fn=scores_fn,
+            micro_batch_size=config.micro_batch_size,
+            dtype=config.dtype if config.dtype is not None else splash.fit_dtype,
+            backend=(
+                config.backend if config.backend is not None else splash.fit_backend
+            ),
+        )
+        if config.persist_path is not None:
             manager_kwargs = {}
-            if snapshot_every is not None:
-                manager_kwargs["snapshot_every"] = snapshot_every
+            if config.snapshot_every is not None:
+                manager_kwargs["snapshot_every"] = config.snapshot_every
             service.attach_persistence(
                 PersistenceManager.create(
-                    persist_path, splash, store, **manager_kwargs
+                    config.persist_path, splash, store, **manager_kwargs
                 )
             )
+        service._apply_config(config)
         return service
 
     @classmethod
@@ -379,8 +432,10 @@ class PredictionService:
         persist_path: str,
         *,
         verify: bool = True,
-        snapshot_every: Optional[int] = None,
-        **kwargs,
+        config: Optional[ServingConfig] = None,
+        task: Optional[Task] = None,
+        scores_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        **deprecated_kwargs,
     ) -> "PredictionService":
         """Warm-restart a service from a persistence root.
 
@@ -389,14 +444,35 @@ class PredictionService:
         the durable log's unsnapshotted suffix is replayed.  The resumed
         store materialises bit-for-bit what a cold replay of the whole
         durable log would (gated by ``benchmarks/bench_restart.py``).
+
+        ``config`` carries the same deployment knobs as
+        :meth:`from_splash`, except the persistence root — that is the
+        positional argument here, so ``config.persist_path`` must be
+        unset.  Flat keywords are accepted with the same deprecation
+        policy.
         """
+        config = resolve_serving_config(config, deprecated_kwargs, where="resume")
+        if config.persist_path is not None:
+            raise ValueError(
+                "resume takes the persistence root positionally; leave "
+                "config.persist_path unset"
+            )
         splash, store, manager = PersistenceManager.resume(
-            persist_path, verify=verify, snapshot_every=snapshot_every
+            persist_path, verify=verify, snapshot_every=config.snapshot_every
         )
-        kwargs.setdefault("dtype", splash.fit_dtype)
-        kwargs.setdefault("backend", splash.fit_backend)
-        service = cls(splash.model, store, **kwargs)
+        service = cls(
+            splash.model,
+            store,
+            task=task,
+            scores_fn=scores_fn,
+            micro_batch_size=config.micro_batch_size,
+            dtype=config.dtype if config.dtype is not None else splash.fit_dtype,
+            backend=(
+                config.backend if config.backend is not None else splash.fit_backend
+            ),
+        )
         service.attach_persistence(manager)
+        service._apply_config(config)
         logger.info(
             "resumed service from %s: %d edges live, %d durable in the log",
             persist_path,

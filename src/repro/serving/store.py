@@ -44,7 +44,7 @@ from repro.models.context import (
     partition_processes,
 )
 from repro.streams.ctdg import CTDG
-from repro.streams.replay import iter_interleave, plan_update_blocks
+from repro.streams.replay import endpoint_shard, iter_interleave, plan_update_blocks
 from repro.tasks.base import QuerySet
 
 
@@ -72,6 +72,16 @@ class IncrementalContextStore:
         ``"event"`` drives :meth:`~repro.models.context.ReplayState.apply_edge`
         per event (the reference).  Materialised contexts are bit-for-bit
         identical either way.
+    owner:
+        Optional ``(shard_index, num_shards)`` fleet-ownership spec
+        (:mod:`repro.serving.fleet`).  The store still ingests *every*
+        edge — global degrees and feature propagation, which any context
+        may transitively depend on, must track the full stream — but the
+        expensive per-endpoint context assembly (snapshot copies and
+        k-recent buffer inserts) runs only for nodes whose
+        :func:`repro.streams.replay.endpoint_shard` equals ``shard_index``.
+        Owned nodes' contexts stay bit-for-bit what an unsharded store
+        produces; querying a non-owned node raises.
     """
 
     def __init__(
@@ -81,6 +91,7 @@ class IncrementalContextStore:
         num_nodes: int,
         edge_feature_dim: int = 0,
         propagation: str = "blocked",
+        owner: Optional[tuple] = None,
     ) -> None:
         if num_nodes < 0:
             raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
@@ -92,6 +103,15 @@ class IncrementalContextStore:
             raise ValueError(
                 f"unknown propagation mode {propagation!r}; use 'blocked' or 'event'"
             )
+        if owner is not None:
+            shard_index, num_shards = (int(owner[0]), int(owner[1]))
+            if num_shards <= 0:
+                raise ValueError(f"num_shards must be positive, got {num_shards}")
+            if not 0 <= shard_index < num_shards:
+                raise ValueError(
+                    f"shard_index must be in [0, {num_shards}), got {shard_index}"
+                )
+            owner = (shard_index, num_shards)
         stores, structural_params, static_tables, seen_mask = partition_processes(
             processes
         )
@@ -99,7 +119,14 @@ class IncrementalContextStore:
         self.num_nodes = int(num_nodes)
         self.edge_feature_dim = int(edge_feature_dim)
         self.propagation = propagation
-        self._state = ReplayState(k, stores)
+        self.owner = owner
+        owner_mask = None
+        if owner is not None and num_nodes:
+            owner_mask = (
+                endpoint_shard(np.arange(num_nodes, dtype=np.int64), owner[1])
+                == owner[0]
+            )
+        self._state = ReplayState(k, stores, owner=owner, owner_mask=owner_mask)
         self._structural_params = structural_params
         self._static_tables = static_tables
         self._seen_mask = seen_mask
@@ -145,6 +172,20 @@ class IncrementalContextStore:
         if name == "structural" and self._structural_params:
             return int(self._structural_params["dim"])
         raise KeyError(f"no feature process {name!r} in this store")
+
+    def owns(self, nodes):
+        """Ownership test under this store's fleet shard spec.
+
+        Scalar in → bool out; array in → boolean array.  Without an
+        ``owner`` spec everything is owned.
+        """
+        if self.owner is None:
+            if np.isscalar(nodes) or np.ndim(nodes) == 0:
+                return True
+            return np.ones(len(np.atleast_1d(nodes)), dtype=bool)
+        if np.isscalar(nodes) or np.ndim(nodes) == 0:
+            return self._state.owns(int(nodes))
+        return self._state._owns_array(np.asarray(nodes, dtype=np.int64))
 
     @property
     def monitor(self):
@@ -335,6 +376,7 @@ class IncrementalContextStore:
                 "num_nodes": int(self.num_nodes),
                 "edge_feature_dim": int(self.edge_feature_dim),
                 "store_names": list(self._state.store_names),
+                "owner": list(self.owner) if self.owner is not None else None,
             }
             return arrays, scalars
 
@@ -357,6 +399,14 @@ class IncrementalContextStore:
             raise ValueError(
                 f"snapshot feature stores {scalars['store_names']} do not "
                 f"match this store's {self._state.store_names}"
+            )
+        snap_owner = scalars.get("owner")
+        snap_owner = tuple(snap_owner) if snap_owner is not None else None
+        if snap_owner != self.owner:
+            raise ValueError(
+                f"snapshot owner={snap_owner} does not match this store's "
+                f"owner={self.owner}; a shard snapshot only resumes into a "
+                f"store with the same (shard_index, num_shards)"
             )
         with self._progress:
             if self._edges_ingested:

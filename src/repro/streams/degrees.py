@@ -3,6 +3,15 @@
 deg_i(t) counts the temporal edges incident to node i that arrived up to
 time t; both endpoints of an edge gain one.  Self-loops add two, matching
 the multiset definition in Eq. (2).
+
+The tracker keeps a dense int64 count array for the contiguous id range
+actually observed (grown geometrically, so amortised O(1) per edge) and
+an overflow dict for ids outside it (negative, or past ``_DENSE_CAP``).
+Dense counts make the block-replay hot path — ``observe_edges`` /
+``degrees_of`` over one update run — pure numpy instead of a Python loop
+per node, which matters because every serving shard replays the *global*
+degree stream (see ``repro.serving.fleet``): this cost is paid per shard,
+not divided across them.
 """
 
 from __future__ import annotations
@@ -11,49 +20,92 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+# Ids at or above this never get dense slots (a hostile id like 2**60 must
+# not allocate memory proportional to it); they fall back to the dict.
+_DENSE_CAP = 1 << 22
+
 
 class DegreeTracker:
     """O(1)-per-edge streaming degree counts over a dynamic node set."""
 
     def __init__(self, num_nodes_hint: int = 0) -> None:
-        self._degrees: Dict[int, int] = {}
-        self._num_nodes_hint = num_nodes_hint
+        size = min(max(int(num_nodes_hint), 0), _DENSE_CAP)
+        self._dense = np.zeros(size, dtype=np.int64)
+        self._overflow: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _grow_to(self, node: int) -> None:
+        """Extend the dense range to cover ``node`` (< ``_DENSE_CAP``)."""
+        new_size = min(max(2 * (node + 1), 256), _DENSE_CAP)
+        grown = np.zeros(new_size, dtype=np.int64)
+        grown[: len(self._dense)] = self._dense
+        self._dense = grown
 
     def observe_edge(self, src: int, dst: int) -> None:
-        self._degrees[src] = self._degrees.get(src, 0) + 1
-        self._degrees[dst] = self._degrees.get(dst, 0) + 1
+        for node in (src, dst):
+            if 0 <= node < len(self._dense):
+                self._dense[node] += 1
+            elif 0 <= node < _DENSE_CAP:
+                self._grow_to(node)
+                self._dense[node] += 1
+            else:
+                self._overflow[node] = self._overflow.get(node, 0) + 1
 
     def observe_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
         """Vectorised :meth:`observe_edge` over parallel endpoint arrays.
 
         Equivalent to observing each edge in turn (a self-loop still adds
-        two); one dict update per *distinct* node instead of two per edge.
+        two); the dense range takes one unbuffered scatter-add.
         """
-        nodes, counts = np.unique(
-            np.concatenate([np.asarray(src), np.asarray(dst)]), return_counts=True
+        nodes = np.concatenate(
+            [np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)]
         )
-        degrees = self._degrees
-        for node, count in zip(nodes.tolist(), counts.tolist()):
-            degrees[node] = degrees.get(node, 0) + count
+        if not nodes.size:
+            return
+        top = int(nodes.max())
+        if top >= len(self._dense) and top < _DENSE_CAP:
+            self._grow_to(top)
+        in_dense = (nodes >= 0) & (nodes < len(self._dense))
+        if in_dense.all():
+            np.add.at(self._dense, nodes, 1)
+            return
+        np.add.at(self._dense, nodes[in_dense], 1)
+        overflow = self._overflow
+        for node in nodes[~in_dense].tolist():
+            overflow[node] = overflow.get(node, 0) + 1
 
     def degree(self, node: int) -> int:
-        return self._degrees.get(node, 0)
+        if 0 <= node < len(self._dense):
+            return int(self._dense[node])
+        return self._overflow.get(node, 0)
 
     def degrees_of(self, nodes: np.ndarray) -> np.ndarray:
-        return np.array([self._degrees.get(int(n), 0) for n in nodes], dtype=np.int64)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        in_dense = (nodes >= 0) & (nodes < len(self._dense))
+        if in_dense.all():
+            return self._dense[nodes]
+        out = np.zeros(len(nodes), dtype=np.int64)
+        out[in_dense] = self._dense[nodes[in_dense]]
+        overflow = self._overflow
+        for row in np.nonzero(~in_dense)[0].tolist():
+            out[row] = overflow.get(int(nodes[row]), 0)
+        return out
 
     def as_array(self, num_nodes: int) -> np.ndarray:
         out = np.zeros(num_nodes, dtype=np.int64)
-        for node, degree in self._degrees.items():
-            if node < num_nodes:
+        copy = min(num_nodes, len(self._dense))
+        out[:copy] = self._dense[:copy]
+        for node, degree in self._overflow.items():
+            if 0 <= node < num_nodes:
                 out[node] = degree
         return out
 
     def num_active_nodes(self) -> int:
-        return len(self._degrees)
+        return int(np.count_nonzero(self._dense)) + len(self._overflow)
 
     def reset(self) -> None:
-        self._degrees.clear()
+        self._dense[:] = 0
+        self._overflow.clear()
 
     # ------------------------------------------------------------------
     # Persistence (serving snapshots, repro.serving.persistence)
@@ -65,10 +117,17 @@ class DegreeTracker:
         export byte-identical arrays, which is what lets snapshot files be
         compared and checksummed.
         """
-        nodes = np.array(sorted(self._degrees), dtype=np.int64)
-        counts = np.array(
-            [self._degrees[int(node)] for node in nodes], dtype=np.int64
+        dense_nodes = np.nonzero(self._dense)[0].astype(np.int64)
+        entries = {
+            node: count for node, count in self._overflow.items() if count
+        }
+        if not entries:
+            return dense_nodes, self._dense[dense_nodes]
+        entries.update(
+            zip(dense_nodes.tolist(), self._dense[dense_nodes].tolist())
         )
+        nodes = np.array(sorted(entries), dtype=np.int64)
+        counts = np.array([entries[int(node)] for node in nodes], dtype=np.int64)
         return nodes, counts
 
     def restore_arrays(self, nodes: np.ndarray, counts: np.ndarray) -> None:
@@ -77,6 +136,18 @@ class DegreeTracker:
             raise ValueError(
                 f"nodes/counts length mismatch: {len(nodes)} vs {len(counts)}"
             )
-        self._degrees = dict(
-            zip(np.asarray(nodes).tolist(), np.asarray(counts).tolist())
-        )
+        nodes = np.asarray(nodes, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        self._dense[:] = 0
+        self._overflow.clear()
+        if not nodes.size:
+            return
+        top = int(nodes.max())
+        if top >= len(self._dense) and top < _DENSE_CAP:
+            self._grow_to(top)
+        in_dense = (nodes >= 0) & (nodes < len(self._dense))
+        self._dense[nodes[in_dense]] = counts[in_dense]
+        for node, count in zip(
+            nodes[~in_dense].tolist(), counts[~in_dense].tolist()
+        ):
+            self._overflow[node] = count

@@ -181,6 +181,34 @@ def plan_shards(
     ]
 
 
+def endpoint_shard(
+    nodes, num_shards: int
+):
+    """Stable endpoint-hash shard assignment for node ids.
+
+    Maps each node id to a shard in ``[0, num_shards)`` via the SplitMix64
+    finaliser — a fixed bijective mixer, so the assignment is deterministic
+    across processes, platforms, and restarts (a fleet worker that resumes
+    from its persistence root must own exactly the nodes it owned before),
+    yet decorrelated from id order (consecutive ids, e.g. one community's
+    block of the id space, spread across shards instead of landing on one).
+    Accepts a scalar or an array; returns the same shape (``int64``).
+    Negative ids are folded through two's complement — any int64 hashes.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    scalar = np.isscalar(nodes) or np.ndim(nodes) == 0
+    z = np.atleast_1d(np.asarray(nodes, dtype=np.int64)).astype(np.uint64)
+    z = (z + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z = z ^ (z >> np.uint64(31))
+    shards = (z % np.uint64(num_shards)).astype(np.int64)
+    if scalar:
+        return int(shards[0])
+    return shards
+
+
 def plan_update_blocks(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
     """Partition an edge sequence into maximal endpoint-disjoint runs.
 

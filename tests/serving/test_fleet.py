@@ -1,0 +1,407 @@
+"""Fleet consistency: sharded serving must be bit-equal to one process.
+
+Three layers of guarantees, each fuzzed where it can fail:
+
+* ``endpoint_shard`` — deterministic, shape-preserving, covers every shard;
+* the owner-partitioned ``IncrementalContextStore`` — each shard's
+  materialised contexts bit-equal the unsharded store's rows over streams
+  full of ties, self-loops and hub bursts (the replay-engine hazards);
+* the full fleet — ``serve_stream``/``predict`` scores bit-equal the
+  single-process service at float32 *and* float64, surviving a
+  kill-one-worker → warm-restart → catch-up drill.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import email_eu_like
+from repro.models import ModelConfig
+from repro.pipeline import ExecutionConfig, Splash, SplashConfig
+from repro.serving import (
+    FleetRouter,
+    FleetWorkerError,
+    IncrementalContextStore,
+    PredictionService,
+    ServingClient,
+    ServingConfig,
+    serve,
+)
+from repro.serving.fleet import shard_root
+from repro.streams.replay import endpoint_shard
+from tests.conftest import fitted_context_processes, random_tied_stream
+
+FAST_MODEL = ModelConfig(
+    hidden_dim=16, epochs=3, batch_size=64, patience=3, time_dim=8, seed=0
+)
+
+BUNDLE_ROWS = [
+    "neighbor_nodes",
+    "neighbor_times",
+    "neighbor_degrees",
+    "edge_features",
+    "edge_weights",
+    "mask",
+    "target_degrees",
+    "target_last_times",
+    "target_seen",
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return email_eu_like(seed=3, num_edges=800)
+
+
+@pytest.fixture(scope="module", params=["float32", "float64"])
+def fitted(request, dataset):
+    config = SplashConfig(
+        feature_dim=10,
+        k=6,
+        model=FAST_MODEL,
+        execution=ExecutionConfig(dtype=request.param),
+        seed=0,
+    )
+    splash = Splash(config)
+    splash.fit(dataset)
+    return splash
+
+
+class TestEndpointShard:
+    def test_deterministic_and_in_range(self):
+        nodes = np.arange(10_000, dtype=np.int64)
+        a = endpoint_shard(nodes, 7)
+        b = endpoint_shard(nodes, 7)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 7
+
+    def test_scalar_matches_array(self):
+        nodes = np.array([0, 1, 17, 2**40, -3], dtype=np.int64)
+        arr = endpoint_shard(nodes, 5)
+        for node, shard in zip(nodes, arr):
+            assert endpoint_shard(int(node), 5) == shard
+
+    def test_every_shard_gets_nodes(self):
+        # The SplitMix64 finaliser decorrelates consecutive ids: even a
+        # tiny contiguous id block must not collapse onto one shard.
+        owners = endpoint_shard(np.arange(256, dtype=np.int64), 4)
+        counts = np.bincount(owners, minlength=4)
+        assert (counts > 0).all()
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            endpoint_shard(np.arange(4), 0)
+
+
+class TestOwnerPartitionedStore:
+    """Shard stores jointly reproduce the unsharded store, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_fuzz_bit_equality(self, seed, num_shards):
+        g, _ = random_tied_stream(
+            seed, num_nodes=40, num_edges=300, num_queries=0, d_e=3
+        )
+        processes = fitted_context_processes(g, dim=5, seed=seed)
+
+        def build(owner=None):
+            store = IncrementalContextStore(
+                processes, 5, g.num_nodes, g.edge_feature_dim, owner=owner
+            )
+            for lo in range(0, g.num_edges, 37):
+                hi = min(g.num_edges, lo + 37)
+                store.ingest_arrays(
+                    g.src[lo:hi],
+                    g.dst[lo:hi],
+                    g.times[lo:hi],
+                    g.edge_features[lo:hi],
+                    g.weights[lo:hi],
+                )
+            return store
+
+        full = build()
+        nodes = np.arange(g.num_nodes)
+        at = float(g.times[-1]) + 1.0
+        reference = full.materialise(nodes, at)
+        owners = endpoint_shard(nodes, num_shards)
+        for shard in range(num_shards):
+            mine = nodes[owners == shard]
+            rows = np.where(owners == shard)[0]
+            bundle = build(owner=(shard, num_shards)).materialise(mine, at)
+            for name in BUNDLE_ROWS:
+                assert np.array_equal(
+                    getattr(bundle, name), getattr(reference, name)[rows]
+                ), name
+            for name in reference.neighbor_features:
+                assert np.array_equal(
+                    bundle.neighbor_features[name],
+                    reference.neighbor_features[name][rows],
+                )
+                assert np.array_equal(
+                    bundle.target_features[name],
+                    reference.target_features[name][rows],
+                )
+
+    def test_non_owned_query_raises(self):
+        g, _ = random_tied_stream(5, num_nodes=20, num_edges=80, num_queries=0)
+        processes = fitted_context_processes(g, dim=4)
+        store = IncrementalContextStore(processes, 4, g.num_nodes, owner=(0, 2))
+        store.ingest_arrays(g.src, g.dst, g.times, None, g.weights)
+        foreign = int(
+            np.arange(g.num_nodes)[endpoint_shard(np.arange(g.num_nodes), 2) == 1][0]
+        )
+        with pytest.raises(ValueError, match="owner shard"):
+            store.materialise([foreign], float(g.times[-1]) + 1.0)
+
+    def test_owner_validation(self):
+        g, _ = random_tied_stream(6, num_nodes=10, num_edges=30, num_queries=0)
+        processes = fitted_context_processes(g, dim=4)
+        with pytest.raises(ValueError, match="shard_index"):
+            IncrementalContextStore(processes, 4, g.num_nodes, owner=(2, 2))
+        with pytest.raises(ValueError, match="num_shards"):
+            IncrementalContextStore(processes, 4, g.num_nodes, owner=(0, 0))
+
+    def test_owner_roundtrips_runtime_state(self):
+        g, _ = random_tied_stream(7, num_nodes=20, num_edges=60, num_queries=0)
+        processes = fitted_context_processes(g, dim=4)
+        store = IncrementalContextStore(processes, 4, g.num_nodes, owner=(1, 2))
+        store.ingest_arrays(g.src, g.dst, g.times, None, g.weights)
+        arrays, scalars = store.export_runtime_state()
+        assert scalars["owner"] == [1, 2]
+        twin = IncrementalContextStore(processes, 4, g.num_nodes, owner=(1, 2))
+        twin.restore_runtime_state(arrays, scalars)
+        assert twin.owner == (1, 2)
+        wrong = IncrementalContextStore(processes, 4, g.num_nodes, owner=(0, 2))
+        with pytest.raises(ValueError, match="owner"):
+            wrong.restore_runtime_state(arrays, scalars)
+
+
+class TestFleetBitEquality:
+    """The tentpole guarantee, at both precisions (fitted is parametrised)."""
+
+    def test_serve_stream_matches_single_service(self, fitted, dataset):
+        g, q = dataset.ctdg, dataset.queries
+        single = PredictionService.from_splash(
+            fitted, g.num_nodes, task=dataset.task
+        )
+        expected = single.serve_stream(
+            g, q.nodes, q.times, ingest_batch=256, background=False
+        )
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=3),
+            task=dataset.task,
+        ) as fleet:
+            actual = fleet.serve_stream(g, q.nodes, q.times, ingest_batch=256)
+        assert actual.dtype == expected.dtype
+        assert np.array_equal(actual, expected)
+
+    def test_predict_matches_after_partial_ingest(self, fitted, dataset):
+        g = dataset.ctdg
+        cut = g.num_edges // 2
+        single = PredictionService.from_splash(
+            fitted, g.num_nodes, task=dataset.task
+        )
+        single._ingest_arrays(
+            g.src[:cut], g.dst[:cut], g.times[:cut],
+            g.edge_features[:cut] if g.edge_features is not None else None,
+            g.weights[:cut],
+        )
+        nodes = np.arange(g.num_nodes)
+        at = float(g.times[cut - 1])
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=2),
+            task=dataset.task,
+        ) as fleet:
+            fleet.ingest_arrays(
+                g.src[:cut], g.dst[:cut], g.times[:cut],
+                g.edge_features[:cut] if g.edge_features is not None else None,
+                g.weights[:cut],
+            )
+            assert np.array_equal(
+                fleet.predict(nodes, at), single.predict(nodes, at)
+            )
+
+
+class TestFleetRestart:
+    def _ingest_both(self, single, fleet, g, lo, hi, batch=100):
+        for b_lo in range(lo, hi, batch):
+            b_hi = min(b_lo + batch, hi)
+            feats = (
+                g.edge_features[b_lo:b_hi]
+                if g.edge_features is not None
+                else None
+            )
+            single._ingest_arrays(
+                g.src[b_lo:b_hi], g.dst[b_lo:b_hi], g.times[b_lo:b_hi],
+                feats, g.weights[b_lo:b_hi],
+            )
+            fleet.ingest_arrays(
+                g.src[b_lo:b_hi], g.dst[b_lo:b_hi], g.times[b_lo:b_hi],
+                feats, g.weights[b_lo:b_hi],
+            )
+
+    def test_kill_warm_restart_catch_up(self, fitted, dataset, tmp_path):
+        """The drill: SIGKILL one worker mid-stream, restart, stay exact."""
+        g = dataset.ctdg
+        single = PredictionService.from_splash(
+            fitted, g.num_nodes, task=dataset.task
+        )
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(
+                num_shards=2,
+                persist_path=str(tmp_path / "fleet"),
+                snapshot_every=150,
+                catchup_ring=64,
+            ),
+            task=dataset.task,
+        ) as fleet:
+            half = g.num_edges // 2
+            self._ingest_both(single, fleet, g, 0, half)
+            fleet.kill_shard(1)
+            assert not fleet.health()["healthy"]
+            info = fleet.restart_shard(1)
+            # Warm restart: the durable prefix resumed, not replayed —
+            # only the non-durable remainder came back through the ring.
+            assert info["resumed"] + info["replayed"] == half
+            assert info["resumed"] > 0
+            assert fleet.health()["healthy"]
+            self._ingest_both(single, fleet, g, half, g.num_edges)
+            nodes = np.arange(g.num_nodes)
+            at = float(g.times[-1]) + 1.0
+            assert np.array_equal(
+                fleet.predict(nodes, at), single.predict(nodes, at)
+            )
+            # The restarted shard persisted under its own root throughout.
+            assert os.path.exists(
+                os.path.join(shard_root(str(tmp_path / "fleet"), 1), "manifest.json")
+            )
+
+    def test_restart_from_ring_alone(self, fitted, dataset):
+        """Without persistence the ring replays the shard's whole history."""
+        g = dataset.ctdg
+        cut = 300
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=2, catchup_ring=64),
+            task=dataset.task,
+        ) as fleet:
+            for lo in range(0, cut, 50):
+                hi = lo + 50
+                fleet.ingest_arrays(
+                    g.src[lo:hi], g.dst[lo:hi], g.times[lo:hi],
+                    g.edge_features[lo:hi] if g.edge_features is not None else None,
+                    g.weights[lo:hi],
+                )
+            fleet.kill_shard(0)
+            info = fleet.restart_shard(0)
+            assert info == {"resumed": 0, "replayed": cut}
+            assert fleet.health()["healthy"]
+
+    def test_restart_fails_when_ring_too_short(self, fitted, dataset):
+        g = dataset.ctdg
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=2, catchup_ring=1),
+            task=dataset.task,
+        ) as fleet:
+            for lo in range(0, 150, 50):
+                hi = lo + 50
+                fleet.ingest_arrays(
+                    g.src[lo:hi], g.dst[lo:hi], g.times[lo:hi],
+                    g.edge_features[lo:hi] if g.edge_features is not None else None,
+                    g.weights[lo:hi],
+                )
+            fleet.kill_shard(1)
+            with pytest.raises(FleetWorkerError, match="catch-up ring"):
+                fleet.restart_shard(1)
+
+
+class TestFrontDoor:
+    def test_single_and_fleet_share_protocol(self, fitted, dataset):
+        g, q = dataset.ctdg, dataset.queries
+        single = serve(fitted, num_nodes=g.num_nodes, task=dataset.task)
+        fleet = serve(
+            fitted,
+            ServingConfig(num_shards=2),
+            num_nodes=g.num_nodes,
+            task=dataset.task,
+        )
+        try:
+            assert isinstance(single, ServingClient)
+            assert isinstance(fleet, ServingClient)
+            assert not single.is_fleet and fleet.is_fleet
+            expected = single.serve_stream(g, q.nodes, q.times)
+            actual = fleet.serve_stream(g, q.nodes, q.times)
+            assert np.array_equal(actual, expected)
+            for client, shards in ((single, 1), (fleet, 2)):
+                health = client.health()
+                assert health["healthy"]
+                assert health["num_shards"] == shards
+                assert health["edges_ingested"] == g.num_edges
+                assert len(health["shards"]) == shards
+        finally:
+            fleet.shutdown()
+            single.shutdown()
+
+    def test_splash_serve_delegates(self, fitted, dataset):
+        client = fitted.serve(num_nodes=dataset.ctdg.num_nodes, task=dataset.task)
+        try:
+            assert isinstance(client, ServingClient)
+            count = client.ingest(
+                dataset.ctdg.src[:10],
+                dataset.ctdg.dst[:10],
+                dataset.ctdg.times[:10],
+                dataset.ctdg.edge_features[:10]
+                if dataset.ctdg.edge_features is not None
+                else None,
+            )
+            assert count == 10
+        finally:
+            client.shutdown()
+
+    def test_from_splash_refuses_fleet_config(self, fitted, dataset):
+        with pytest.raises(ValueError, match="serve"):
+            PredictionService.from_splash(
+                fitted,
+                dataset.ctdg.num_nodes,
+                config=ServingConfig(num_shards=4),
+            )
+
+
+class TestFleetTelemetry:
+    def test_pooled_registry_labels_every_shard(self, fitted, dataset):
+        from repro import obs
+
+        g = dataset.ctdg
+        previous = obs.current_mode()
+        obs.configure(mode="metrics")
+        try:
+            with FleetRouter(
+                fitted,
+                g.num_nodes,
+                config=ServingConfig(num_shards=2),
+                task=dataset.task,
+            ) as fleet:
+                fleet.ingest_arrays(
+                    g.src[:100], g.dst[:100], g.times[:100],
+                    g.edge_features[:100] if g.edge_features is not None else None,
+                    g.weights[:100],
+                )
+                text = fleet.pooled_registry().render_prometheus()
+                assert 'proc="shard0"' in text
+                assert 'proc="shard1"' in text
+                # Router-side series pool next to worker series.
+                assert "fleet_ingest_events_total" in text
+        finally:
+            obs.configure(mode=previous)

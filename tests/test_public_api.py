@@ -12,6 +12,7 @@ import repro
 GOLDEN_ALL = [
     "ExecutionConfig",
     "PredictionService",
+    "ServingConfig",
     "Splash",
     "SplashConfig",
     "__version__",
@@ -19,6 +20,7 @@ GOLDEN_ALL = [
     "get_backend",
     "prepare_experiment",
     "register_backend",
+    "serve",
     "set_default_backend",
     "use_backend",
 ]
@@ -35,12 +37,16 @@ class TestPublicAPI:
     def test_reexports_are_the_canonical_objects(self):
         from repro.nn import backend as backend_mod
         from repro.pipeline import splash as splash_mod
+        from repro.serving.config import ServingConfig
+        from repro.serving.fleet import serve
         from repro.serving.service import PredictionService
 
         assert repro.Splash is splash_mod.Splash
         assert repro.SplashConfig is splash_mod.SplashConfig
         assert repro.ExecutionConfig is splash_mod.ExecutionConfig
         assert repro.PredictionService is PredictionService
+        assert repro.ServingConfig is ServingConfig
+        assert repro.serve is serve
         assert repro.use_backend is backend_mod.use_backend
         assert repro.get_backend is backend_mod.get_backend
 
