@@ -169,6 +169,7 @@ def _one_capacity_pass(splash, ctdg, num_shards: int) -> list:
             for lo in range(0, ctdg.num_edges, INGEST_BATCH):
                 hi = lo + INGEST_BATCH
                 batch = (
+                    lo,  # stream offset — workers dedup ingest by base
                     ctdg.src[lo:hi],
                     ctdg.dst[lo:hi],
                     ctdg.times[lo:hi],

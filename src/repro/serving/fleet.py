@@ -72,6 +72,11 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("fleet")
 
+#: Ceiling on a worker's build/resume before the router gives up on its
+#: ready handshake.  Generous — a warm restart replays a durable tail —
+#: but bounded, so an OOM-killed child cannot hang the router forever.
+_SPAWN_TIMEOUT_S = 300.0
+
 #: Arrays a worker ships back per materialised micro-batch slice, in the
 #: order they are scattered into the router's output block.
 _ROW_ARRAYS = (
@@ -97,6 +102,7 @@ def shard_root(persist_path: str, shard_index: int) -> str:
 # ----------------------------------------------------------------------
 def _worker_main(
     conn,
+    inherited_conns: tuple,
     shard_index: int,
     splash,
     num_nodes: int,
@@ -108,14 +114,24 @@ def _worker_main(
     """Run one shard worker: build/resume its service, then serve commands.
 
     Forked from the router, so ``splash`` and friends arrive by memory
-    inheritance, not pickling.  The worker re-initialises observability
-    from scratch (cleared registry, no inherited trace writer/HTTP
-    server), builds an owner-partitioned service — resuming from its
-    persistence root when a manifest is already there — and then answers
-    command tuples over the pipe until ``shutdown``.  Every reply is
-    ``("ok", value)`` or ``("error", message)``; errors never kill the
-    worker, so one poisoned query batch cannot take a shard down.
+    inheritance, not pickling.  The fork also copies every pipe fd the
+    router holds — the router end of *this* worker's pipe and both ends
+    of every sibling's — and any of those staying open here would defeat
+    EOF-based router-death detection (``conn.recv`` only raises
+    ``EOFError`` once the last copy of the router end closes), so they
+    are closed first.  The worker then re-initialises observability from
+    scratch (cleared registry, no inherited trace writer/HTTP server),
+    builds an owner-partitioned service — resuming from its persistence
+    root when a manifest is already there — and answers command tuples
+    over the pipe until ``shutdown``.  Every reply is ``("ok", value)``
+    or ``("error", message)``; errors never kill the worker, so one
+    poisoned query batch cannot take a shard down.
     """
+    for other in inherited_conns:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     obs._fork_reinit(obs_mode)
     try:
         service = _build_worker_service(
@@ -133,8 +149,30 @@ def _worker_main(
             return
         try:
             if command == "ingest":
-                src, dst, times, features, weights = payload
-                service._ingest_arrays(src, dst, times, features, weights)
+                base, src, dst, times, features, weights = payload
+                # Base-aware dedup: ``base`` is the stream offset of the
+                # batch's first edge.  A shard that already ingested part
+                # (or all) of the batch — it succeeded in a broadcast a
+                # sibling failed, or its durable restart prefix ends
+                # inside a ring batch — skips the covered prefix, so
+                # router retries and ring replay are idempotent.
+                count = len(times)
+                have = store.edges_ingested
+                if have < base:
+                    raise RuntimeError(
+                        f"shard {shard_index} has ingested {have} edges but "
+                        f"the batch starts at offset {base}; refusing to "
+                        "ingest across a gap"
+                    )
+                skip = min(have - base, count)
+                if skip < count:
+                    service._ingest_arrays(
+                        src[skip:],
+                        dst[skip:],
+                        times[skip:],
+                        features[skip:] if features is not None else None,
+                        weights[skip:] if weights is not None else None,
+                    )
                 conn.send(("ok", store.edges_ingested))
             elif command == "materialise":
                 nodes, times = payload
@@ -264,6 +302,39 @@ class FleetWorkerError(RuntimeError):
     """A shard worker reported an error (message carries its traceback)."""
 
 
+def _drain(collectors: list) -> Tuple[list, list]:
+    """Run every collector, never skipping one because another raised.
+
+    A collector holds its handle's lock (and owes its pipe one pending
+    response) until it runs; abandoning one after a sibling's failure
+    would wedge every later call to that shard — including ``shutdown``.
+    Returns ``(results, errors)`` with ``None`` standing in for a failed
+    collector's result.
+    """
+    results: list = []
+    errors: list = []
+    for collect in collectors:
+        try:
+            results.append(collect())
+        except Exception as error:
+            results.append(None)
+            errors.append(error)
+    return results, errors
+
+
+def _collect_all(collectors: list) -> list:
+    """Drain every collector, then surface any shard errors — in that order."""
+    results, errors = _drain(collectors)
+    if errors:
+        if len(errors) == 1:
+            raise errors[0]
+        raise FleetWorkerError(
+            f"{len(errors)} shards failed: "
+            + "; ".join(str(error) for error in errors)
+        )
+    return results
+
+
 # ----------------------------------------------------------------------
 # Router side
 # ----------------------------------------------------------------------
@@ -281,19 +352,45 @@ class _WorkerHandle:
         self.conn = None
         self.lock = threading.Lock()
 
-    def spawn(self, target_args: tuple) -> dict:
+    def spawn(self, target_args: tuple, sibling_conns: tuple = ()) -> dict:
+        """Fork the worker and wait for its ready/error handshake.
+
+        ``sibling_conns`` are the router ends of every *other* worker's
+        pipe; the forked child inherits them (plus the router end of its
+        own pipe) and closes them first thing, so a sibling staying alive
+        cannot keep this worker's EOF-based router-death detection from
+        firing.  The handshake is bounded: a child that dies before
+        reporting (OOM kill, crash in the fork) surfaces as a
+        :class:`FleetWorkerError` naming the shard and exit code instead
+        of a bare ``EOFError`` or an indefinite hang.
+        """
         ctx = multiprocessing.get_context("fork")
         parent_conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn,) + target_args,
+            args=(child_conn, tuple(sibling_conns) + (parent_conn,))
+            + target_args,
             name=f"fleet-shard{self.shard_index}",
             daemon=True,
         )
         self.process.start()
         child_conn.close()
         self.conn = parent_conn
-        status, value = parent_conn.recv()
+        try:
+            if not parent_conn.poll(_SPAWN_TIMEOUT_S):
+                raise FleetWorkerError(
+                    f"shard {self.shard_index} sent no ready handshake "
+                    f"within {_SPAWN_TIMEOUT_S:.0f}s"
+                )
+            status, value = parent_conn.recv()
+        except (EOFError, OSError) as error:
+            self.process.join(timeout=5.0)
+            exitcode = self.process.exitcode
+            self.kill()
+            raise FleetWorkerError(
+                f"shard {self.shard_index} died during startup "
+                f"(exitcode={exitcode})"
+            ) from error
         if status != "ready":
             raise FleetWorkerError(
                 f"shard {self.shard_index} failed to start: {value}"
@@ -306,8 +403,14 @@ class _WorkerHandle:
                 raise FleetWorkerError(
                     f"shard {self.shard_index} has no live worker"
                 )
-            self.conn.send((command, payload))
-            status, value = self.conn.recv()
+            try:
+                self.conn.send((command, payload))
+                status, value = self.conn.recv()
+            except (EOFError, OSError) as error:
+                raise FleetWorkerError(
+                    f"shard {self.shard_index} pipe failed during "
+                    f"{command!r}: {error!r}"
+                ) from error
         if status != "ok":
             raise FleetWorkerError(f"shard {self.shard_index}: {value}")
         return value
@@ -331,7 +434,12 @@ class _WorkerHandle:
 
         def collect():
             try:
-                status, value = self.conn.recv()
+                try:
+                    status, value = self.conn.recv()
+                except (EOFError, OSError) as error:
+                    raise FleetWorkerError(
+                        f"shard {self.shard_index} died mid-call: {error!r}"
+                    ) from error
             finally:
                 self.lock.release()
             if status != "ok":
@@ -347,7 +455,10 @@ class _WorkerHandle:
                 self.process.kill()
                 self.process.join(timeout=30.0)
             if self.conn is not None:
-                self.conn.close()
+                try:
+                    self.conn.close()
+                except OSError:  # already closed
+                    pass
             self.process = None
             self.conn = None
 
@@ -433,9 +544,12 @@ class FleetRouter:
             task,
             obs_mode,
         )
+        self._telemetry_args: Optional[dict] = None
         for shard_index in range(self.num_shards):
             handle = _WorkerHandle(shard_index)
-            handle.spawn(self._worker_args(shard_index))
+            handle.spawn(
+                self._worker_args(shard_index), self._sibling_conns(handle)
+            )
             self._workers.append(handle)
         logger.info(
             "fleet up: %d shards over %d nodes (persist=%s)",
@@ -466,13 +580,31 @@ class FleetRouter:
         """Shard index owning each node id."""
         return endpoint_shard(nodes, self.num_shards)
 
+    def _sibling_conns(self, handle: _WorkerHandle) -> tuple:
+        """Router ends of every *other* worker's pipe, for the fork to close."""
+        return tuple(
+            worker.conn
+            for worker in self._workers
+            if worker is not handle and worker.conn is not None
+        )
+
     # ------------------------------------------------------------------
     def _broadcast(self, command: str, payload=None) -> list:
-        """Send to every live worker, then collect — workers overlap."""
-        collectors = [
-            worker.start_call(command, payload) for worker in self._workers
-        ]
-        return [collect() for collect in collectors]
+        """Send to every live worker, then collect — workers overlap.
+
+        Collection is all-or-error but never partial: every started call
+        is drained (releasing its handle lock and consuming its pipe
+        response) before any shard's failure propagates, so one poisoned
+        batch degrades into an exception instead of wedging the fleet.
+        """
+        collectors: list = []
+        try:
+            for worker in self._workers:
+                collectors.append(worker.start_call(command, payload))
+        except BaseException:
+            _drain(collectors)  # release what was started, then re-raise
+            raise
+        return _collect_all(collectors)
 
     def ingest_arrays(
         self,
@@ -489,6 +621,13 @@ class FleetRouter:
         per-endpoint heavy lifting is partitioned by the stores' owner
         masks.  The batch lands in the catch-up ring before the broadcast,
         so a worker that dies mid-broadcast can still be caught up.
+
+        Failure is retryable: the broadcast tags the batch with its
+        stream offset and workers skip any prefix they already hold, so
+        when some shards succeed and one errors (``_edges_ingested``
+        stays put), re-ingesting the same — or a corrected — batch
+        no-ops on the shards that got it the first time instead of
+        double-ingesting.
         """
         src = np.asarray(src)
         dst = np.asarray(dst)
@@ -496,10 +635,16 @@ class FleetRouter:
         count = len(times)
         base = self._edges_ingested
         batch = (src, dst, times, features, weights)
-        self._ring.append((base, batch))
+        if self._ring and self._ring[-1][0] == base:
+            # A retry after a failed broadcast re-lands at the same base:
+            # replace the failed attempt's ring entry so ring bases stay
+            # contiguous for restart_shard's replay arithmetic.
+            self._ring[-1] = (base, batch)
+        else:
+            self._ring.append((base, batch))
         start = time_mod.perf_counter()
         with obs.span("fleet.ingest", batch=count):
-            self._broadcast("ingest", batch)
+            self._broadcast("ingest", (base,) + batch)
         self._edges_ingested = base + count
         self.metrics.record_ingest(count, time_mod.perf_counter() - start)
         obs.inc("fleet.ingest.events", count)
@@ -524,16 +669,20 @@ class FleetRouter:
         )
         owners = self.owner_of(nodes)
         plan: List[Tuple[np.ndarray, Callable[[], object]]] = []
-        for shard_index in range(self.num_shards):
-            rows = np.where(owners == shard_index)[0]
-            if not len(rows):
-                continue
-            collect = self._workers[shard_index].start_call(
-                "materialise", (nodes[rows], times[rows])
-            )
-            plan.append((rows, collect))
-        for rows, collect in plan:
-            packed = collect()
+        try:
+            for shard_index in range(self.num_shards):
+                rows = np.where(owners == shard_index)[0]
+                if not len(rows):
+                    continue
+                collect = self._workers[shard_index].start_call(
+                    "materialise", (nodes[rows], times[rows])
+                )
+                plan.append((rows, collect))
+        except BaseException:
+            _drain([collect for _, collect in plan])
+            raise
+        packs = _collect_all([collect for _, collect in plan])
+        for (rows, _), packed in zip(plan, packs):
             for name in _ROW_ARRAYS:
                 getattr(out, name)[rows] = packed[name]
             for name, value in packed["target_features"].items():
@@ -634,40 +783,55 @@ class FleetRouter:
         The replacement worker warm-restarts from its persistence root —
         O(durable tail), not O(stream) — and reports how many edges its
         durable state covers.  The router then replays only the missing
-        suffix from the catch-up ring (slicing into a ring batch when the
-        durable prefix ends inside one).  Raises when the ring no longer
-        reaches back far enough — the caller must then rebuild the shard
-        from a fuller source instead of silently serving a hole.
+        suffix from the catch-up ring (the worker's base-aware ingest
+        skips the ring batch prefix its durable state already covers).
+        Raises when the ring no longer reaches back far enough — the
+        caller must then rebuild the shard from a fuller source instead
+        of silently serving a hole.
+
+        The replacement is **forked from the router**, so any lock a
+        live telemetry thread (HTTP scrape, SLO ticker) happened to hold
+        at fork time would arrive in the child permanently held.  The
+        router therefore quiesces its telemetry plane around the fork —
+        stop the server and engine, spawn, bring them back on the same
+        port — trading a momentary scrape outage for a child that cannot
+        deadlock before ``obs._fork_reinit`` runs.
         """
         handle = self._workers[shard_index]
-        handle.kill()
-        ready = handle.spawn(self._worker_args(shard_index))
-        resumed = int(ready["edges_ingested"])
-        replayed = 0
-        if resumed < self._edges_ingested:
-            if not self._ring or self._ring[0][0] > resumed:
-                covered = self._ring[0][0] if self._ring else self._edges_ingested
-                raise FleetWorkerError(
-                    f"shard {shard_index} resumed at edge {resumed} but the "
-                    f"catch-up ring only reaches back to edge {covered}; "
-                    "increase ServingConfig.catchup_ring or snapshot more "
-                    "often"
-                )
-            for base, (src, dst, times, features, weights) in self._ring:
-                if base + len(times) <= resumed:
-                    continue
-                skip = max(0, resumed - base)
-                handle.call(
-                    "ingest",
-                    (
-                        src[skip:],
-                        dst[skip:],
-                        times[skip:],
-                        features[skip:] if features is not None else None,
-                        weights[skip:] if weights is not None else None,
-                    ),
-                )
-                replayed += len(times) - skip
+        telemetry_args = (
+            self._telemetry_args
+            if self._scorer._telemetry_server is not None
+            else None
+        )
+        if telemetry_args is not None:
+            self.stop_telemetry()
+        try:
+            handle.kill()
+            ready = handle.spawn(
+                self._worker_args(shard_index), self._sibling_conns(handle)
+            )
+            resumed = int(ready["edges_ingested"])
+            replayed = 0
+            if resumed < self._edges_ingested:
+                if not self._ring or self._ring[0][0] > resumed:
+                    covered = (
+                        self._ring[0][0] if self._ring else self._edges_ingested
+                    )
+                    raise FleetWorkerError(
+                        f"shard {shard_index} resumed at edge {resumed} but "
+                        f"the catch-up ring only reaches back to edge "
+                        f"{covered}; increase ServingConfig.catchup_ring or "
+                        "snapshot more often"
+                    )
+                watermark = resumed
+                for base, batch in self._ring:
+                    if base + len(batch[2]) <= watermark:
+                        continue
+                    watermark = int(handle.call("ingest", (base,) + batch))
+                replayed = watermark - resumed
+        finally:
+            if telemetry_args is not None:
+                self.start_telemetry(**telemetry_args)
         obs.inc("fleet.restarts")
         logger.info(
             "shard %d restarted: resumed %d edges durable, replayed %d from "
@@ -691,7 +855,9 @@ class FleetRouter:
             try:
                 info = worker.call("health")
                 info["alive"] = True
-            except FleetWorkerError as error:
+            except (FleetWorkerError, EOFError, OSError) as error:
+                # A worker dying between the alive check and the call
+                # must degrade to "not alive", not fail the whole report.
                 info = {
                     "shard": worker.shard_index,
                     "alive": False,
@@ -718,7 +884,7 @@ class FleetRouter:
                 continue
             try:
                 result = worker.call("metrics")
-            except FleetWorkerError:
+            except (FleetWorkerError, EOFError, OSError):
                 continue  # scrape must not fail because one shard is down
             if result["payload"] is not None:
                 collected.append(
@@ -777,6 +943,15 @@ class FleetRouter:
         self._scorer._telemetry_server = server
         self._scorer._telemetry_engine = engine
         self._scorer._owns_telemetry_engine = True
+        # Remembered (with the actually-bound port) so restart_shard can
+        # quiesce the telemetry threads around its fork and then bring
+        # the plane back where clients expect it.
+        self._telemetry_args = {
+            "port": server.port,
+            "host": host,
+            "rules": rules,
+            "slo_interval": slo_interval,
+        }
         return server
 
     def stop_telemetry(self) -> None:

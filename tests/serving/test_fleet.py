@@ -379,6 +379,197 @@ class TestFrontDoor:
             )
 
 
+class TestFleetFailureContainment:
+    """Worker failures must degrade into exceptions, never wedge the fleet."""
+
+    def _ingest_prefix(self, fleet, g, hi):
+        fleet.ingest_arrays(
+            g.src[:hi], g.dst[:hi], g.times[:hi],
+            g.edge_features[:hi] if g.edge_features is not None else None,
+            g.weights[:hi],
+        )
+
+    def test_poisoned_ingest_leaves_fleet_serviceable(self, fitted, dataset):
+        """A batch every shard rejects raises — then everything still works.
+
+        Regression: the first failing collector used to abandon its
+        siblings' locks and pipe responses, deadlocking every later call
+        (including shutdown) to those shards.
+        """
+        g = dataset.ctdg
+        cut = 200
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=3),
+            task=dataset.task,
+        ) as fleet:
+            self._ingest_prefix(fleet, g, cut)
+            poisoned = np.array([float(g.times[cut - 1]) - 1.0])
+            with pytest.raises(FleetWorkerError, match="out-of-order"):
+                fleet.ingest_arrays(
+                    g.src[:1], g.dst[:1], poisoned,
+                    g.edge_features[:1] if g.edge_features is not None else None,
+                    g.weights[:1],
+                )
+            # The failed batch ingested nowhere; the fleet keeps serving.
+            assert fleet.edges_ingested == cut
+            health = fleet.health()
+            assert health["healthy"]
+            self._ingest_prefix_from(fleet, g, cut, cut + 100)
+            single = PredictionService.from_splash(
+                fitted, g.num_nodes, task=dataset.task
+            )
+            single._ingest_arrays(
+                g.src[:cut + 100], g.dst[:cut + 100], g.times[:cut + 100],
+                g.edge_features[:cut + 100]
+                if g.edge_features is not None
+                else None,
+                g.weights[:cut + 100],
+            )
+            nodes = np.arange(g.num_nodes)
+            at = float(g.times[cut + 99]) + 1.0
+            assert np.array_equal(
+                fleet.predict(nodes, at), single.predict(nodes, at)
+            )
+
+    def _ingest_prefix_from(self, fleet, g, lo, hi):
+        fleet.ingest_arrays(
+            g.src[lo:hi], g.dst[lo:hi], g.times[lo:hi],
+            g.edge_features[lo:hi] if g.edge_features is not None else None,
+            g.weights[lo:hi],
+        )
+
+    def test_retry_skips_shards_that_already_ingested(self, fitted, dataset):
+        """Base-aware ingest: a retried broadcast no-ops where it landed.
+
+        Simulates a partial fan-out failure by feeding one shard the
+        batch directly, then broadcasting it: the pre-fed shard must skip
+        the duplicate, keeping every shard at the same watermark and the
+        scores bit-equal to the single-process service.
+        """
+        g = dataset.ctdg
+        cut = 150
+        with FleetRouter(
+            fitted,
+            g.num_nodes,
+            config=ServingConfig(num_shards=2),
+            task=dataset.task,
+        ) as fleet:
+            self._ingest_prefix(fleet, g, cut)
+            batch = (
+                g.src[cut:cut + 50], g.dst[cut:cut + 50], g.times[cut:cut + 50],
+                g.edge_features[cut:cut + 50]
+                if g.edge_features is not None
+                else None,
+                g.weights[cut:cut + 50],
+            )
+            # Shard 0 got the batch in a broadcast whose sibling "failed".
+            assert fleet._workers[0].call("ingest", (cut,) + batch) == cut + 50
+            # The router retry must not double-ingest on shard 0.
+            fleet.ingest_arrays(*batch)
+            health = fleet.health()
+            assert health["healthy"]
+            assert {s["edges_ingested"] for s in health["shards"]} == {cut + 50}
+            single = PredictionService.from_splash(
+                fitted, g.num_nodes, task=dataset.task
+            )
+            single._ingest_arrays(
+                g.src[:cut + 50], g.dst[:cut + 50], g.times[:cut + 50],
+                g.edge_features[:cut + 50]
+                if g.edge_features is not None
+                else None,
+                g.weights[:cut + 50],
+            )
+            nodes = np.arange(g.num_nodes)
+            at = float(g.times[cut + 49]) + 1.0
+            assert np.array_equal(
+                fleet.predict(nodes, at), single.predict(nodes, at)
+            )
+
+    def test_broken_pipe_degrades_health_and_scrape(self, fitted, dataset):
+        """A pipe failing mid-call reports the shard down, not a crash."""
+        from repro import obs
+
+        g = dataset.ctdg
+        previous = obs.current_mode()
+        obs.configure(mode="metrics")
+        try:
+            with FleetRouter(
+                fitted,
+                g.num_nodes,
+                config=ServingConfig(num_shards=2),
+                task=dataset.task,
+            ) as fleet:
+                self._ingest_prefix(fleet, g, 100)
+                fleet._workers[1].conn.close()  # process alive, pipe gone
+                health = fleet.health()
+                assert not health["healthy"]
+                down = [s for s in health["shards"] if not s["alive"]]
+                assert [s["shard"] for s in down] == [1]
+                text = fleet.pooled_registry().render_prometheus()
+                assert 'proc="shard0"' in text
+                assert 'proc="shard1"' not in text
+                fleet.kill_shard(1)  # reap so shutdown need not wait on it
+        finally:
+            obs.configure(mode=previous)
+
+    def test_spawn_death_names_shard_and_exitcode(
+        self, fitted, dataset, monkeypatch
+    ):
+        """A child dying pre-handshake surfaces as a FleetWorkerError."""
+        import repro.serving.fleet as fleet_mod
+
+        def dying_worker(conn, inherited_conns, *args):
+            os._exit(13)
+
+        monkeypatch.setattr(fleet_mod, "_worker_main", dying_worker)
+        with pytest.raises(FleetWorkerError, match="died during startup"):
+            FleetRouter(
+                fitted,
+                dataset.ctdg.num_nodes,
+                config=ServingConfig(num_shards=2),
+                task=dataset.task,
+            )
+
+    def test_restart_quiesces_and_restores_telemetry(
+        self, fitted, dataset, tmp_path
+    ):
+        """restart_shard forks safely under a live telemetry plane."""
+        from repro import obs
+
+        g = dataset.ctdg
+        previous = obs.current_mode()
+        obs.configure(mode="metrics")
+        try:
+            with FleetRouter(
+                fitted,
+                g.num_nodes,
+                config=ServingConfig(
+                    num_shards=2,
+                    persist_path=str(tmp_path / "fleet"),
+                    snapshot_every=100,
+                    catchup_ring=64,
+                ),
+                task=dataset.task,
+            ) as fleet:
+                server = fleet.start_telemetry(port=0)
+                port = server.port
+                self._ingest_prefix(fleet, g, 200)
+                fleet.kill_shard(0)
+                info = fleet.restart_shard(0)
+                assert info["resumed"] + info["replayed"] == 200
+                assert fleet.health()["healthy"]
+                # The plane came back on the same port after the fork.
+                restored = fleet.telemetry
+                assert restored is not None and restored.running
+                assert restored.port == port
+                text = fleet.pooled_registry().render_prometheus()
+                assert 'proc="shard0"' in text
+        finally:
+            obs.configure(mode=previous)
+
+
 class TestFleetTelemetry:
     def test_pooled_registry_labels_every_shard(self, fitted, dataset):
         from repro import obs
